@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Ablation: per-coefficient model family — the paper's tree-seeded RBF
+ * network vs ridge linear regression vs the degenerate global-mean
+ * (aggregate-only) model, plus the two RBF weight-fitting strategies
+ * (forward GCV selection vs ridge over all candidate units).
+ */
+
+#include "bench/common.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Ablation — coefficient model families",
+        /*max_benchmarks=*/4);
+
+    TextTable t("mean CPI-domain MSE(%) by model");
+    t.header({"benchmark", "RBF fwd-GCV (paper)", "RBF ridge-all",
+              "linear", "global mean"});
+    for (const auto &bench : ctx.benchmarks) {
+        auto data = generateExperimentData(ctx.spec(bench));
+
+        PredictorOptions rbf_gcv;
+        PredictorOptions rbf_ridge = rbf_gcv;
+        rbf_ridge.rbf.fit = RbfFit::RidgeAll;
+        PredictorOptions lin = rbf_gcv;
+        lin.model = CoefficientModel::Linear;
+        PredictorOptions mean = rbf_gcv;
+        mean.model = CoefficientModel::GlobalMean;
+
+        t.row({bench,
+               fmt(accuracySummary(data, Domain::Cpi, rbf_gcv).mean),
+               fmt(accuracySummary(data, Domain::Cpi, rbf_ridge).mean),
+               fmt(accuracySummary(data, Domain::Cpi, lin).mean),
+               fmt(accuracySummary(data, Domain::Cpi, mean).mean)});
+    }
+    t.print(std::cout);
+    std::cout << "\nShape to check: non-linear RBF models beat linear "
+                 "regression, which\nbeats the aggregate-only global "
+                 "mean — the paper's motivating ordering.\n";
+    return 0;
+}

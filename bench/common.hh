@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench executables.
+ *
+ * Every bench reads WAVEDYN_SCALE (smoke / quick / full, see
+ * EXPERIMENTS.md) and prints the rows or series the corresponding
+ * paper table/figure reports. "full" reproduces the paper's
+ * 200-train / 50-test / 128-sample protocol; "quick" (the default) is
+ * a reduced but representative sweep sized for a single core.
+ */
+
+#ifndef WAVEDYN_BENCH_COMMON_HH
+#define WAVEDYN_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/** Scale-derived context shared by all benches. */
+struct BenchContext
+{
+    Scale scale;
+    ScaledSizes sizes;
+    std::vector<std::string> benchmarks;
+
+    /**
+     * Read the environment and print the standard banner.
+     * max_benchmarks trims the benchmark list at smoke/quick scale to
+     * keep bench runtimes short; at full scale the paper's complete
+     * 12-benchmark suite always runs.
+     */
+    static BenchContext
+    init(const std::string &title, std::size_t max_benchmarks = 12)
+    {
+        BenchContext ctx;
+        ctx.scale = scaleFromEnv();
+        ctx.sizes = sizesFor(ctx.scale);
+        if (ctx.scale == Scale::Full)
+            max_benchmarks = 12;
+        std::size_t n = std::min<std::size_t>(
+            max_benchmarks, ctx.sizes.benchmarkCount);
+        auto names = benchmarkNames();
+        names.resize(std::min(names.size(), n));
+        ctx.benchmarks = names;
+
+        std::cout << "==================================================="
+                     "=====\n"
+                  << title << "\n"
+                  << "scale=" << scaleName(ctx.scale)
+                  << "  train=" << ctx.sizes.trainPoints
+                  << "  test=" << ctx.sizes.testPoints
+                  << "  samples=" << ctx.sizes.samplesPerTrace
+                  << "  interval=" << ctx.sizes.intervalInstrs
+                  << " instrs  benchmarks=" << ctx.benchmarks.size()
+                  << "\n(set WAVEDYN_SCALE=full for the paper's 200/50/"
+                     "128 protocol)\n"
+                  << "==================================================="
+                     "=====\n";
+        return ctx;
+    }
+
+    /** Spec for one benchmark at this context's scale. */
+    ExperimentSpec
+    spec(const std::string &benchmark) const
+    {
+        ExperimentSpec s;
+        s.benchmark = benchmark;
+        s.trainPoints = sizes.trainPoints;
+        s.testPoints = sizes.testPoints;
+        s.samples = sizes.samplesPerTrace;
+        s.intervalInstrs = sizes.intervalInstrs;
+        return s;
+    }
+};
+
+/** Render a trace (first `width` samples) as a sparkline row. */
+inline std::string
+traceRow(const std::vector<double> &trace, std::size_t width = 64)
+{
+    std::vector<double> head(trace.begin(),
+                             trace.begin() +
+                                 std::min(width, trace.size()));
+    return sparkline(head);
+}
+
+/** Min / mean / max of a trace formatted compactly. */
+inline std::string
+traceRange(const std::vector<double> &t)
+{
+    double lo = t.empty() ? 0.0 : t[0], hi = lo, acc = 0.0;
+    for (double v : t) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+        acc += v;
+    }
+    double mean = t.empty() ? 0.0 : acc / static_cast<double>(t.size());
+    return "[" + fmt(lo, 2) + " .. " + fmt(mean, 2) + " .. " +
+           fmt(hi, 2) + "]";
+}
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_BENCH_COMMON_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Extension experiment (paper intro's motivating scenario): forecast
+ * *thermal* dynamics across the design space and use the forecast to
+ * choose a dynamic thermal management policy per configuration —
+ * without simulating the candidates.
+ *
+ * Method: train the power-dynamics predictor as usual, derive die
+ * temperature through the lumped-RC package model, and compare
+ * DTM decisions (does the design need throttling? how much performance
+ * does the policy cost?) between predicted and simulated power traces.
+ */
+
+#include "bench/common.hh"
+#include "power/thermal.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Extension — thermal scenario exploration with DTM",
+        /*max_benchmarks=*/4);
+
+    ThermalParams pkg;
+    DtmPolicy policy;
+
+    TextTable t("DTM decisions: simulated vs predicted power -> thermal");
+    t.header({"benchmark", "cfg", "peak C (sim)", "peak C (pred)",
+              "throttle% (sim)", "throttle% (pred)", "decision match"});
+
+    std::size_t agree = 0, total = 0;
+    for (const auto &bench : ctx.benchmarks) {
+        auto spec = ctx.spec(bench);
+        spec.domains = {Domain::Power};
+        auto data = generateExperimentData(spec);
+        auto out = trainAndEvaluate(data, Domain::Power,
+                                    PredictorOptions{});
+
+        std::size_t show = std::min<std::size_t>(
+            4, data.testPoints.size());
+        for (std::size_t i = 0; i < show; ++i) {
+            const auto &sim_power = data.testTraces.at(Domain::Power)[i];
+            auto pred_power =
+                out.predictor.predictTrace(data.testPoints[i]);
+
+            auto sim_dtm = evaluateDtm(sim_power, policy, pkg);
+            auto pred_dtm = evaluateDtm(pred_power, policy, pkg);
+
+            bool sim_needs = sim_dtm.throttleFraction > 0.0;
+            bool pred_needs = pred_dtm.throttleFraction > 0.0;
+            bool match = sim_needs == pred_needs;
+            agree += match;
+            ++total;
+            t.row({bench, fmt(i), fmt(sim_dtm.peak, 1),
+                   fmt(pred_dtm.peak, 1),
+                   fmt(100.0 * sim_dtm.throttleFraction, 1),
+                   fmt(100.0 * pred_dtm.throttleFraction, 1),
+                   match ? "yes" : "NO"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n'needs DTM' decision agreement: " << agree << "/"
+              << total
+              << "\nShape to check: predicted thermal scenarios match "
+                 "simulated ones well\nenough to choose DTM policies at "
+                 "design time (the paper's intro use case).\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 10: MSE(%) of 16-coefficient models as the sampling frequency
+ * of the same execution interval rises from 64 to 1024 samples. The
+ * paper's finding: error grows only mildly, i.e. a fixed-size model
+ * keeps capturing dynamics of increasing resolution.
+ */
+
+#include "bench/common.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Figure 10 — MSE vs sampling frequency (16 coefficients)",
+        /*max_benchmarks=*/4);
+
+    // Fixed execution length; only the sampling rate changes.
+    const std::size_t total_instrs =
+        ctx.sizes.samplesPerTrace * ctx.sizes.intervalInstrs;
+    std::vector<std::size_t> sample_counts = {64, 128, 256, 512, 1024};
+
+    PredictorOptions opts;
+    opts.coefficients = 16;
+
+    TextTable t("mean MSE(%) across benchmarks, fixed execution");
+    t.header({"#samples", "instrs/sample", "CPI", "Power", "AVF"});
+    for (std::size_t samples : sample_counts) {
+        std::size_t interval = total_instrs / samples;
+        if (interval < 16)
+            continue; // degenerate sampling at this scale
+        std::vector<std::string> row = {fmt(samples), fmt(interval)};
+        for (Domain d : allDomains()) {
+            RunningStats acc;
+            for (const auto &bench : ctx.benchmarks) {
+                auto spec = ctx.spec(bench);
+                spec.samples = samples;
+                spec.intervalInstrs = interval;
+                auto data = generateExperimentData(spec);
+                acc.add(accuracySummary(data, d, opts).mean);
+            }
+            row.push_back(fmt(acc.mean()));
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "\nPaper shape to check: MSE rises gently with "
+                 "sampling frequency —\nthe increase is not "
+                 "significant relative to the added resolution.\n";
+    return 0;
+}

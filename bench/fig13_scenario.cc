@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figures 12 and 13: threshold-based workload execution scenario
+ * classification. Thresholds Q1..Q3 quarter the [min, max] range of
+ * each actual trace; reported is directional asymmetry (1 - DS) in
+ * percent — the fraction of samples the prediction puts on the wrong
+ * side of the threshold.
+ */
+
+#include "bench/common.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Figure 13 — scenario classification (directional asymmetry %)",
+        /*max_benchmarks=*/8);
+
+    PredictorOptions opts;
+
+    for (Domain d : allDomains()) {
+        TextTable t("directional asymmetry — " + domainName(d));
+        t.header({"benchmark", "Q1", "Q2", "Q3"});
+        for (const auto &bench : ctx.benchmarks) {
+            auto data = generateExperimentData(ctx.spec(bench));
+            auto out = trainAndEvaluate(data, d, opts);
+            std::vector<std::vector<double>> preds;
+            for (const auto &p : data.testPoints)
+                preds.push_back(out.predictor.predictTrace(p));
+            auto asym = meanDirectionalAsymmetryQ(
+                data.testTraces.at(d), preds);
+            t.row({bench, fmt(asym[0], 2), fmt(asym[1], 2),
+                   fmt(asym[2], 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Paper shape to check: asymmetry mostly below ~10% at "
+                 "every threshold\nlevel — the models classify "
+                 "execution scenarios, not just averages.\n";
+    return 0;
+}

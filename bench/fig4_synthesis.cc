@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figures 3 and 4: a sampled gcc trace and its reconstruction from
+ * growing wavelet-coefficient subsets (1, 2, 4, 8, 16, ..., all),
+ * reporting reconstruction error and captured energy.
+ */
+
+#include "bench/common.hh"
+#include "sim/simulator.hh"
+#include "util/stats.hh"
+#include "wavelet/haar.hh"
+#include "wavelet/selection.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Figure 4 — synthesising dynamics from few coefficients");
+
+    // Paper uses a 64-sample gcc interval for this illustration.
+    std::size_t n = 64;
+    auto r = simulate(benchmarkByName("gcc"), SimConfig::baseline(), n,
+                      ctx.sizes.intervalInstrs);
+    auto trace = r.trace(Domain::Cpi);
+    auto coeffs = haarForward(trace);
+
+    std::cout << "sampled gcc CPI trace (Figure 3):\n  "
+              << traceRow(trace) << "  " << traceRange(trace) << "\n\n";
+
+    TextTable t("reconstruction quality vs number of coefficients");
+    t.header({"#coeffs", "MSE(%)", "energy captured",
+              "reconstruction"});
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        auto keep = selectByMagnitude(coeffs, k);
+        auto rec = haarInverse(maskCoefficients(coeffs, keep));
+        t.row({fmt(k), fmt(msePercent(trace, rec), 3),
+               fmt(100.0 * energyFraction(coeffs, keep), 1) + "%",
+               traceRow(rec)});
+    }
+    t.print(std::cout);
+    std::cout << "\nClaim check: error falls rapidly; a small subset "
+                 "(~16) captures most\nof the energy, and all 64 "
+                 "coefficients restore the signal exactly.\n";
+    return 0;
+}

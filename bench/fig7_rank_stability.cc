@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 7: magnitude-based ranking of the 128 wavelet coefficients of
+ * gcc dynamics stays consistent across 50 different configurations —
+ * the property that justifies a single shared selection during
+ * training.
+ */
+
+#include "bench/common.hh"
+#include "dse/sampling.hh"
+#include "sim/simulator.hh"
+#include "util/rng.hh"
+#include "wavelet/haar.hh"
+#include "wavelet/selection.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Figure 7 — coefficient ranking stability across configs");
+
+    auto space = DesignSpace::paper();
+    Rng rng(77);
+    auto points = randomTestSample(space, ctx.sizes.testPoints, rng);
+
+    std::vector<std::vector<double>> coeff_sets;
+    for (const auto &p : points) {
+        auto r = simulate(benchmarkByName("gcc"),
+                          SimConfig::fromDesignPoint(space, p),
+                          ctx.sizes.samplesPerTrace,
+                          ctx.sizes.intervalInstrs);
+        coeff_sets.push_back(haarForward(r.trace(Domain::Cpi)));
+    }
+
+    TextTable t("top-k selection stability (mean Jaccard vs aggregate)");
+    t.header({"k", "stability"});
+    for (std::size_t k : {4u, 8u, 16u, 32u})
+        t.row({fmt(k), fmt(topKStability(coeff_sets, k), 3)});
+    t.print(std::cout);
+
+    // Rank heat strip: how often each of the globally-top-16 indices
+    // appears in an individual configuration's top 16.
+    auto agg = selectByMeanMagnitude(coeff_sets, 16);
+    TextTable h("per-coefficient membership in each config's top 16");
+    h.header({"coeff index", "member in N of " +
+                             fmt(coeff_sets.size()) + " configs"});
+    for (std::size_t idx : agg) {
+        std::size_t hits = 0;
+        for (const auto &c : coeff_sets) {
+            auto own = selectByMagnitude(c, 16);
+            for (std::size_t o : own)
+                if (o == idx) {
+                    ++hits;
+                    break;
+                }
+        }
+        h.row({fmt(idx), fmt(hits)});
+    }
+    h.print(std::cout);
+    std::cout << "\nClaim check: top-ranked coefficients largely remain "
+                 "consistent across\nprocessor configurations (high "
+                 "stability, high membership counts).\n";
+    return 0;
+}

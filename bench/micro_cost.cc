@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Micro benchmarks (google-benchmark): the cost of the predictive
+ * machinery vs the cost of detailed simulation — the paper's economic
+ * argument. One trained model answers in microseconds what a
+ * cycle-level simulation answers in seconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hh"
+#include "dse/sampling.hh"
+#include "util/rng.hh"
+#include "wavelet/dwt.hh"
+#include "wavelet/haar.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+std::vector<double>
+sampleTrace(std::size_t n)
+{
+    Rng rng(42);
+    std::vector<double> t(n);
+    for (auto &v : t)
+        v = 1.0 + rng.uniform();
+    return t;
+}
+
+void
+BM_HaarForward128(benchmark::State &state)
+{
+    auto trace = sampleTrace(128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(haarForward(trace));
+}
+BENCHMARK(BM_HaarForward128);
+
+void
+BM_HaarRoundTrip1024(benchmark::State &state)
+{
+    auto trace = sampleTrace(1024);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(haarInverse(haarForward(trace)));
+}
+BENCHMARK(BM_HaarRoundTrip1024);
+
+void
+BM_Db4Forward128(benchmark::State &state)
+{
+    WaveletTransform w(MotherWavelet::Daubechies4);
+    auto trace = sampleTrace(128);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.forward(trace));
+}
+BENCHMARK(BM_Db4Forward128);
+
+/** Shared tiny dataset for the model-cost benches. */
+const ExperimentData &
+dataset()
+{
+    static const ExperimentData data = [] {
+        ExperimentSpec spec;
+        spec.benchmark = "bzip2";
+        spec.trainPoints = 30;
+        spec.testPoints = 4;
+        spec.samples = 64;
+        spec.intervalInstrs = 200;
+        return generateExperimentData(spec);
+    }();
+    return data;
+}
+
+void
+BM_PredictorTrain(benchmark::State &state)
+{
+    const auto &data = dataset();
+    PredictorOptions opts;
+    opts.coefficients = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        WaveletNeuralPredictor p(opts);
+        p.train(data.space, data.trainPoints,
+                data.trainTraces.at(Domain::Cpi));
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_PredictorTrain)->Arg(4)->Arg(16)->Arg(64);
+
+void
+BM_PredictorPredictTrace(benchmark::State &state)
+{
+    const auto &data = dataset();
+    PredictorOptions opts;
+    WaveletNeuralPredictor p(opts);
+    p.train(data.space, data.trainPoints,
+            data.trainTraces.at(Domain::Cpi));
+    const auto &point = data.testPoints.front();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(p.predictTrace(point));
+}
+BENCHMARK(BM_PredictorPredictTrace);
+
+void
+BM_CycleLevelSimulation(benchmark::State &state)
+{
+    // The alternative the predictor replaces: one (short!) run.
+    const auto &bench = benchmarkByName("bzip2");
+    for (auto _ : state) {
+        auto r = simulate(bench, SimConfig::baseline(), 16, 200);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CycleLevelSimulation);
+
+void
+BM_LhsPlan(benchmark::State &state)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bestLatinHypercube(space, 200, 4, rng));
+}
+BENCHMARK(BM_LhsPlan);
+
+} // anonymous namespace
+} // namespace wavedyn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Parameter-importance report (Figure 11 as a tool): which of the nine
+ * design parameters drive a benchmark's dynamics in each domain,
+ * according to the regression trees inside the trained predictor.
+ *
+ * Usage: importance_report [benchmark]
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/table.hh"
+
+using namespace wavedyn;
+
+namespace
+{
+
+std::string
+bar(double v)
+{
+    int n = static_cast<int>(v * 24.0 + 0.5);
+    return std::string(static_cast<std::size_t>(n), '#');
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gcc";
+
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.trainPoints = 48;
+    spec.testPoints = 2;
+    spec.samples = 64;
+    spec.intervalInstrs = 256;
+
+    std::cout << "simulating and training models for '" << bench
+              << "'...\n\n";
+    auto data = generateExperimentData(spec);
+    auto names = data.space.names();
+
+    for (Domain d : allDomains()) {
+        WaveletNeuralPredictor p;
+        p.train(data.space, data.trainPoints, data.trainTraces.at(d));
+        auto order = p.importanceByOrder();
+        auto freq = p.importanceByFrequency();
+
+        TextTable t(bench + " — " + domainName(d) +
+                    " dynamics: what matters");
+        t.header({"parameter", "split order", "split frequency"});
+        for (std::size_t i = 0; i < names.size(); ++i)
+            t.row({names[i], bar(order[i]) + " " + fmt(order[i], 2),
+                   bar(freq[i]) + " " + fmt(freq[i], 2)});
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Longer bars = the parameter splits earlier / more "
+                 "often in the trees\nthat predict the dominant wavelet "
+                 "coefficients (paper Figure 11).\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architectural Vulnerability Factor accounting (Mukherjee et al.,
+ * MICRO'03; Biswas et al., ISCA'05 — the methods the paper builds in).
+ *
+ * AVF of a structure over a window =
+ *     (ACE bit-cycles resident) / (total bits x cycles).
+ *
+ * We account at entry granularity with per-class ACE fractions: an
+ * instruction-queue entry waiting for operands holds mostly-ACE state;
+ * once issued its payload is performance-neutral. ROB entries are ACE
+ * until their result is written back, then a smaller fraction (the
+ * not-yet-committed result) remains ACE. LSQ store entries stay ACE to
+ * commit (their data will be written to memory); load entries are
+ * partially ACE until completion.
+ */
+
+#ifndef WAVEDYN_AVF_ESTIMATOR_HH
+#define WAVEDYN_AVF_ESTIMATOR_HH
+
+#include <cstdint>
+
+#include "workload/instruction.hh"
+
+namespace wavedyn
+{
+
+/** Per-class ACE fractions for the tracked structures. */
+struct AceWeights
+{
+    /** IQ entry, operands outstanding. */
+    double iqWaiting(InstrClass c) const;
+
+    /** ROB entry, result not yet written back. */
+    double robInFlight(InstrClass c) const;
+
+    /** ROB entry, completed but not committed. */
+    double robCompleted(InstrClass c) const;
+
+    /** LSQ entry (loads until completion, stores until commit). */
+    double lsq(InstrClass c) const;
+};
+
+/**
+ * Accumulates ACE bit-cycles for one structure.
+ *
+ * The pipeline maintains the current ACE-weighted occupancy
+ * incrementally (O(1) per event) and calls tick() once per cycle.
+ */
+class AvfAccumulator
+{
+  public:
+    /** @param entries structure capacity in entries. */
+    explicit AvfAccumulator(unsigned entries);
+
+    /** Add w ACE-entries to the current occupancy. */
+    void occupy(double w) { current += w; }
+
+    /** Remove w ACE-entries from the current occupancy. */
+    void release(double w)
+    {
+        current -= w;
+        if (current < 0.0)
+            current = 0.0;
+    }
+
+    /** Account one cycle at the current occupancy. */
+    void
+    tick()
+    {
+        aceCycles += current;
+        ++cycles;
+    }
+
+    /** AVF over the accumulated window, in [0, 1]. */
+    double value() const;
+
+    /** Current instantaneous ACE-weighted occupancy in entries. */
+    double occupancy() const { return current; }
+
+    /** Reset the window (keeps the live occupancy). */
+    void resetWindow();
+
+    std::uint64_t windowCycles() const { return cycles; }
+
+  private:
+    unsigned entries;
+    double current = 0.0;
+    double aceCycles = 0.0;
+    std::uint64_t cycles = 0;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_AVF_ESTIMATOR_HH

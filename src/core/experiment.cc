@@ -1,0 +1,81 @@
+#include "core/experiment.hh"
+
+#include <cassert>
+
+#include "dse/sampling.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+ExperimentSpec
+ExperimentSpec::forScale(const std::string &benchmark, Scale scale)
+{
+    ScaledSizes sizes = sizesFor(scale);
+    ExperimentSpec spec;
+    spec.benchmark = benchmark;
+    spec.trainPoints = sizes.trainPoints;
+    spec.testPoints = sizes.testPoints;
+    spec.samples = sizes.samplesPerTrace;
+    spec.intervalInstrs = sizes.intervalInstrs;
+    return spec;
+}
+
+ExperimentData
+generateExperimentData(const ExperimentSpec &spec)
+{
+    ExperimentData data;
+    data.space = DesignSpace::paper();
+
+    Rng rng(spec.seed);
+    data.trainPoints = spec.randomTraining
+        ? randomSample(data.space, spec.trainPoints, rng)
+        : bestLatinHypercube(data.space, spec.trainPoints,
+                             spec.lhsCandidates, rng);
+    data.testPoints =
+        randomTestSample(data.space, spec.testPoints, rng);
+
+    const BenchmarkProfile &bench = benchmarkByName(spec.benchmark);
+
+    auto run_set = [&](const std::vector<DesignPoint> &points,
+                       std::map<Domain,
+                                std::vector<std::vector<double>>> &out) {
+        for (Domain d : spec.domains)
+            out[d].reserve(points.size());
+        for (const auto &p : points) {
+            SimConfig cfg = SimConfig::fromDesignPoint(data.space, p);
+            SimResult r = simulate(bench, cfg, spec.samples,
+                                   spec.intervalInstrs, spec.dvm);
+            for (Domain d : spec.domains)
+                out[d].push_back(r.trace(d));
+        }
+    };
+    run_set(data.trainPoints, data.trainTraces);
+    run_set(data.testPoints, data.testTraces);
+    return data;
+}
+
+DomainEvaluation
+trainAndEvaluate(const ExperimentData &data, Domain domain,
+                 PredictorOptions opts)
+{
+    auto train_it = data.trainTraces.find(domain);
+    auto test_it = data.testTraces.find(domain);
+    assert(train_it != data.trainTraces.end());
+    assert(test_it != data.testTraces.end());
+
+    DomainEvaluation out{WaveletNeuralPredictor(opts), EvalResult{}};
+    out.predictor.train(data.space, data.trainPoints, train_it->second);
+    out.eval = evaluatePredictor(out.predictor, data.testPoints,
+                                 test_it->second);
+    return out;
+}
+
+BoxplotSummary
+accuracySummary(const ExperimentData &data, Domain domain,
+                const PredictorOptions &opts)
+{
+    return trainAndEvaluate(data, domain, opts).eval.summary;
+}
+
+} // namespace wavedyn

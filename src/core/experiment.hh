@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment orchestration: the paper's end-to-end protocol in one
+ * place, shared by the benches, examples and integration tests.
+ *
+ * Protocol (Section 3): pick training configurations by best-of-m LHS
+ * over the Table 2 training levels, pick test configurations at random
+ * from the test levels, simulate every (configuration x benchmark) run
+ * once, record the per-interval CPI / power / AVF traces, then train
+ * and evaluate one predictor per (benchmark x domain).
+ */
+
+#ifndef WAVEDYN_CORE_EXPERIMENT_HH
+#define WAVEDYN_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hh"
+#include "core/predictor.hh"
+#include "dvm/controller.hh"
+#include "sim/simulator.hh"
+#include "util/options.hh"
+
+namespace wavedyn
+{
+
+/** Everything needed to produce one benchmark's dataset. */
+struct ExperimentSpec
+{
+    std::string benchmark = "gcc";
+    std::size_t trainPoints = 60;
+    std::size_t testPoints = 20;
+    std::size_t samples = 128;       //!< trace resolution (paper: 128)
+    std::size_t intervalInstrs = 256;
+    std::uint64_t seed = 0x5eed;
+    std::size_t lhsCandidates = 8;   //!< best-of-m LHS selection
+    bool randomTraining = false;     //!< ablation: naive random sample
+    DvmConfig dvm;                   //!< DVM policy during simulation
+    std::vector<Domain> domains = allDomains();
+
+    /** Derive the sweep sizes from a WAVEDYN_SCALE selection. */
+    static ExperimentSpec forScale(const std::string &benchmark,
+                                   Scale scale);
+};
+
+/** Simulated dataset for one benchmark. */
+struct ExperimentData
+{
+    DesignSpace space;
+    std::vector<DesignPoint> trainPoints;
+    std::vector<DesignPoint> testPoints;
+    //! traces[domain][point index] — aligned with the point vectors
+    std::map<Domain, std::vector<std::vector<double>>> trainTraces;
+    std::map<Domain, std::vector<std::vector<double>>> testTraces;
+};
+
+/**
+ * Run the full simulation campaign for one spec. This is the expensive
+ * step (trainPoints + testPoints cycle-level simulations).
+ */
+ExperimentData generateExperimentData(const ExperimentSpec &spec);
+
+/** Trained predictor plus its test-set accuracy for one domain. */
+struct DomainEvaluation
+{
+    WaveletNeuralPredictor predictor;
+    EvalResult eval;
+};
+
+/**
+ * Train a predictor on one domain of a dataset and evaluate it on the
+ * held-out test runs.
+ */
+DomainEvaluation trainAndEvaluate(const ExperimentData &data,
+                                  Domain domain,
+                                  PredictorOptions opts = {});
+
+/**
+ * Convenience for sweep benches: MSE(%) boxplot of one (benchmark x
+ * domain) under given predictor options, reusing a prebuilt dataset.
+ */
+BoxplotSummary accuracySummary(const ExperimentData &data, Domain domain,
+                               const PredictorOptions &opts);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_EXPERIMENT_HH

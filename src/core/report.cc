@@ -1,0 +1,110 @@
+#include "core/report.hh"
+
+#include <set>
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace wavedyn
+{
+
+namespace
+{
+
+/** Benchmarks in first-seen order; domains in evaluation order. */
+std::vector<std::string>
+benchmarksOf(const SuiteReport &report)
+{
+    std::vector<std::string> names;
+    std::set<std::string> seen;
+    for (const auto &c : report.cells)
+        if (seen.insert(c.benchmark).second)
+            names.push_back(c.benchmark);
+    return names;
+}
+
+std::vector<Domain>
+domainsOf(const SuiteReport &report)
+{
+    std::vector<Domain> domains;
+    std::set<int> seen;
+    for (const auto &c : report.cells)
+        if (seen.insert(static_cast<int>(c.domain)).second)
+            domains.push_back(c.domain);
+    return domains;
+}
+
+std::string
+cellText(const SuiteCell *c)
+{
+    if (!c)
+        return "-";
+    return fmt(c->mse.median) + " [" + fmt(c->mse.q1) + ", " +
+           fmt(c->mse.q3) + "]";
+}
+
+} // anonymous namespace
+
+std::string
+renderSuiteText(const SuiteReport &report)
+{
+    auto domains = domainsOf(report);
+    TextTable t("suite accuracy — MSE(%) median [q1, q3]");
+    std::vector<std::string> head = {"benchmark"};
+    for (Domain d : domains)
+        head.push_back(domainName(d));
+    t.header(head);
+    for (const auto &bench : benchmarksOf(report)) {
+        std::vector<std::string> row = {bench};
+        for (Domain d : domains)
+            row.push_back(cellText(report.find(bench, d)));
+        t.row(row);
+    }
+    std::ostringstream os;
+    t.print(os);
+    for (Domain d : domains)
+        os << "overall median " << domainName(d) << ": "
+           << fmt(report.overallMedian(d)) << "%\n";
+    return os.str();
+}
+
+std::string
+renderSuiteMarkdown(const SuiteReport &report)
+{
+    auto domains = domainsOf(report);
+    std::ostringstream os;
+    os << "| benchmark |";
+    for (Domain d : domains)
+        os << " " << domainName(d) << " |";
+    os << "\n|---|";
+    for (std::size_t i = 0; i < domains.size(); ++i)
+        os << "---|";
+    os << "\n";
+    for (const auto &bench : benchmarksOf(report)) {
+        os << "| " << bench << " |";
+        for (Domain d : domains)
+            os << " " << cellText(report.find(bench, d)) << " |";
+        os << "\n";
+    }
+    os << "| **overall median** |";
+    for (Domain d : domains)
+        os << " **" << fmt(report.overallMedian(d)) << "** |";
+    os << "\n";
+    return os.str();
+}
+
+std::string
+renderSuiteCsv(const SuiteReport &report)
+{
+    std::ostringstream os;
+    os << "benchmark,domain,config_index,mse_percent\n";
+    for (const auto &c : report.cells) {
+        for (std::size_t i = 0; i < c.msePerTest.size(); ++i) {
+            os << c.benchmark << "," << domainName(c.domain) << "," << i
+               << "," << fmt(c.msePerTest[i], 6) << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace wavedyn

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable rendering of suite campaign reports: the Figure 8
+ * table as ASCII or Markdown, plus a CSV dump for plotting — the
+ * output formats a downstream user actually wants from a campaign.
+ */
+
+#ifndef WAVEDYN_CORE_REPORT_HH
+#define WAVEDYN_CORE_REPORT_HH
+
+#include <string>
+
+#include "core/suite.hh"
+
+namespace wavedyn
+{
+
+/** ASCII table of the accuracy cells (median [q1, q3] per domain). */
+std::string renderSuiteText(const SuiteReport &report);
+
+/** GitHub-flavoured Markdown table of the same content. */
+std::string renderSuiteMarkdown(const SuiteReport &report);
+
+/**
+ * CSV with one row per (benchmark, domain, test configuration):
+ * benchmark,domain,config_index,mse_percent.
+ */
+std::string renderSuiteCsv(const SuiteReport &report);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_REPORT_HH

@@ -1,0 +1,169 @@
+#include "core/serialize.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "wavedyn-predictor-v1";
+
+[[noreturn]] void
+malformed(const std::string &what)
+{
+    throw std::runtime_error("loadPredictor: malformed input: " + what);
+}
+
+} // anonymous namespace
+
+void
+savePredictor(const WaveletNeuralPredictor &pred, std::ostream &os)
+{
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    os << kMagic << "\n";
+
+    const PredictorOptions &o = pred.opts;
+    os << "options " << o.coefficients << " "
+       << (o.selection == SelectionScheme::Magnitude ? "magnitude"
+                                                     : "order")
+       << " "
+       << (o.model == CoefficientModel::Rbf
+               ? "rbf"
+               : o.model == CoefficientModel::Linear ? "linear"
+                                                     : "mean")
+       << " " << (o.paperHaar ? 1 : 0) << " "
+       << motherWaveletName(o.mother) << " "
+       << (o.clampToTrainingRange ? 1 : 0) << "\n";
+
+    const DesignSpace &space = pred.space;
+    os << "space " << space.dimensions() << "\n";
+    for (std::size_t i = 0; i < space.dimensions(); ++i) {
+        const Parameter &p = space.param(i);
+        os << p.name << " " << p.trainLevels.size();
+        for (double v : p.trainLevels)
+            os << " " << v;
+        os << " " << p.testLevels.size();
+        for (double v : p.testLevels)
+            os << " " << v;
+        os << "\n";
+    }
+
+    os << "trace " << pred.length << " " << pred.trainLo << " "
+       << pred.trainHi << "\n";
+
+    os << "selected " << pred.selected.size() << "\n";
+    for (std::size_t i = 0; i < pred.selected.size(); ++i)
+        os << pred.selected[i] << " " << pred.selectionWeight[i] << "\n";
+
+    os << "models " << pred.models.size() << "\n";
+    for (const auto &m : pred.models)
+        m->save(os);
+}
+
+WaveletNeuralPredictor
+loadPredictor(std::istream &is)
+{
+    std::string magic;
+    if (!(is >> magic) || magic != kMagic)
+        malformed("bad magic");
+
+    std::string tag;
+    PredictorOptions opts;
+    {
+        std::string selection, model, mother;
+        int paper_haar = 0, clamp = 0;
+        if (!(is >> tag >> opts.coefficients >> selection >> model >>
+              paper_haar >> mother >> clamp) ||
+            tag != "options")
+            malformed("options record");
+        opts.selection = selection == "order" ? SelectionScheme::Order
+                                              : SelectionScheme::Magnitude;
+        opts.model = model == "linear"
+            ? CoefficientModel::Linear
+            : model == "mean" ? CoefficientModel::GlobalMean
+                              : CoefficientModel::Rbf;
+        opts.paperHaar = paper_haar != 0;
+        opts.mother = mother == "db4" ? MotherWavelet::Daubechies4
+                                      : MotherWavelet::Haar;
+        opts.clampToTrainingRange = clamp != 0;
+    }
+
+    WaveletNeuralPredictor pred(opts);
+
+    std::size_t dims = 0;
+    if (!(is >> tag >> dims) || tag != "space")
+        malformed("space record");
+    for (std::size_t i = 0; i < dims; ++i) {
+        Parameter p;
+        std::size_t n_train = 0, n_test = 0;
+        if (!(is >> p.name >> n_train))
+            malformed("parameter header");
+        p.trainLevels.resize(n_train);
+        for (double &v : p.trainLevels)
+            if (!(is >> v))
+                malformed("train levels");
+        if (!(is >> n_test))
+            malformed("test level count");
+        p.testLevels.resize(n_test);
+        for (double &v : p.testLevels)
+            if (!(is >> v))
+                malformed("test levels");
+        pred.space.addParameter(std::move(p));
+    }
+
+    if (!(is >> tag >> pred.length >> pred.trainLo >> pred.trainHi) ||
+        tag != "trace")
+        malformed("trace record");
+
+    std::size_t n_sel = 0;
+    if (!(is >> tag >> n_sel) || tag != "selected")
+        malformed("selected record");
+    pred.selected.resize(n_sel);
+    pred.selectionWeight.resize(n_sel);
+    for (std::size_t i = 0; i < n_sel; ++i)
+        if (!(is >> pred.selected[i] >> pred.selectionWeight[i]))
+            malformed("selection entry");
+
+    std::size_t n_models = 0;
+    if (!(is >> tag >> n_models) || tag != "models")
+        malformed("models record");
+    if (n_models != n_sel)
+        malformed("model/selection count mismatch");
+    pred.models.reserve(n_models);
+    for (std::size_t i = 0; i < n_models; ++i) {
+        auto m = loadRegressionModel(is);
+        if (!m)
+            malformed("model " + std::to_string(i));
+        pred.models.push_back(std::move(m));
+    }
+    return pred;
+}
+
+bool
+savePredictorFile(const WaveletNeuralPredictor &pred,
+                  const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    savePredictor(pred, os);
+    return static_cast<bool>(os);
+}
+
+WaveletNeuralPredictor
+loadPredictorFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("loadPredictorFile: cannot open " +
+                                 path);
+    return loadPredictor(is);
+}
+
+} // namespace wavedyn

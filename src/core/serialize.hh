@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Persistence for trained predictors.
+ *
+ * A trained WaveletNeuralPredictor — design space, coefficient
+ * selection, clamping range and every per-coefficient model — is
+ * written as a self-contained text document, so a downstream tool can
+ * train once (the expensive simulation campaign) and query forever.
+ *
+ * Not preserved: the regression trees used only for the Figure 11
+ * importance reports (a loaded predictor returns empty importance).
+ */
+
+#ifndef WAVEDYN_CORE_SERIALIZE_HH
+#define WAVEDYN_CORE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/predictor.hh"
+
+namespace wavedyn
+{
+
+/** Write a trained predictor. @pre pred.trained(). */
+void savePredictor(const WaveletNeuralPredictor &pred, std::ostream &os);
+
+/**
+ * Restore a predictor written by savePredictor().
+ * @throws std::runtime_error on malformed input.
+ */
+WaveletNeuralPredictor loadPredictor(std::istream &is);
+
+/** Convenience file wrappers. @return false on I/O failure. */
+bool savePredictorFile(const WaveletNeuralPredictor &pred,
+                       const std::string &path);
+
+/** Load from a file; throws on malformed content. */
+WaveletNeuralPredictor loadPredictorFile(const std::string &path);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_SERIALIZE_HH

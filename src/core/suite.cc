@@ -1,0 +1,62 @@
+#include "core/suite.hh"
+
+#include <algorithm>
+
+namespace wavedyn
+{
+
+const SuiteCell *
+SuiteReport::find(const std::string &benchmark, Domain domain) const
+{
+    for (const auto &c : cells)
+        if (c.benchmark == benchmark && c.domain == domain)
+            return &c;
+    return nullptr;
+}
+
+double
+SuiteReport::overallMedian(Domain domain) const
+{
+    std::vector<double> medians;
+    for (const auto &c : cells)
+        if (c.domain == domain)
+            medians.push_back(c.mse.median);
+    return boxplot(medians).median;
+}
+
+SuiteReport
+runSuite(const std::vector<std::string> &benchmarks,
+         const ExperimentSpec &base, const PredictorOptions &opts,
+         const SuiteProgress &progress)
+{
+    SuiteReport report;
+    std::size_t done = 0;
+    for (const auto &bench : benchmarks) {
+        ExperimentSpec spec = base;
+        spec.benchmark = bench;
+        ExperimentData data = generateExperimentData(spec);
+
+        for (Domain d : spec.domains) {
+            auto out = trainAndEvaluate(data, d, opts);
+
+            SuiteCell cell;
+            cell.benchmark = bench;
+            cell.domain = d;
+            cell.mse = out.eval.summary;
+            cell.msePerTest = out.eval.msePerTest;
+
+            std::vector<std::vector<double>> preds;
+            for (const auto &p : data.testPoints)
+                preds.push_back(out.predictor.predictTrace(p));
+            cell.asymmetryQ = meanDirectionalAsymmetryQ(
+                data.testTraces.at(d), preds);
+            report.cells.push_back(std::move(cell));
+        }
+        ++done;
+        if (progress)
+            progress(bench, done, benchmarks.size());
+    }
+    return report;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Suite-level campaigns: run the paper's protocol over many benchmarks
+ * and domains in one call and collect a structured report — the
+ * programmatic equivalent of Figure 8, used by the CLI tool and by
+ * downstream automation.
+ */
+
+#ifndef WAVEDYN_CORE_SUITE_HH
+#define WAVEDYN_CORE_SUITE_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace wavedyn
+{
+
+/** Accuracy record for one (benchmark, domain) cell. */
+struct SuiteCell
+{
+    std::string benchmark;
+    Domain domain = Domain::Cpi;
+    BoxplotSummary mse;              //!< MSE(%) distribution
+    std::vector<double> msePerTest;  //!< raw per-configuration values
+    std::vector<double> asymmetryQ;  //!< directional asymmetry Q1..Q3
+};
+
+/** Full campaign report. */
+struct SuiteReport
+{
+    std::vector<SuiteCell> cells;
+
+    /** Cell lookup; nullptr when absent. */
+    const SuiteCell *find(const std::string &benchmark,
+                          Domain domain) const;
+
+    /** Median-of-medians per domain (the paper's "overall median"). */
+    double overallMedian(Domain domain) const;
+};
+
+/** Progress callback: (benchmark, completed, total). */
+using SuiteProgress =
+    std::function<void(const std::string &, std::size_t, std::size_t)>;
+
+/**
+ * Run the full campaign: for every benchmark, simulate the train/test
+ * sets once and evaluate a predictor per domain.
+ *
+ * @param benchmarks benchmark names (must exist in allBenchmarks())
+ * @param base spec template; the benchmark field is overwritten
+ * @param opts predictor options shared by all cells
+ * @param progress optional progress callback
+ */
+SuiteReport runSuite(const std::vector<std::string> &benchmarks,
+                     const ExperimentSpec &base,
+                     const PredictorOptions &opts = {},
+                     const SuiteProgress &progress = nullptr);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_SUITE_HH

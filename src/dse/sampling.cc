@@ -1,0 +1,163 @@
+#include "dse/sampling.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+namespace wavedyn
+{
+
+double
+l2StarDiscrepancy(const std::vector<std::vector<double>> &points)
+{
+    if (points.empty())
+        return 0.0;
+    std::size_t n = points.size();
+    std::size_t d = points.front().size();
+    double nd = static_cast<double>(n);
+
+    double term1 = std::pow(1.0 / 3.0, static_cast<double>(d));
+
+    double term2 = 0.0;
+    for (const auto &x : points) {
+        assert(x.size() == d);
+        double prod = 1.0;
+        for (double v : x)
+            prod *= (1.0 - v * v) / 2.0;
+        term2 += prod;
+    }
+    term2 *= 2.0 / nd;
+
+    double term3 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double prod = 1.0;
+            for (std::size_t k = 0; k < d; ++k)
+                prod *= 1.0 - std::max(points[i][k], points[j][k]);
+            term3 += prod;
+        }
+    }
+    term3 /= nd * nd;
+
+    double sq = term1 - term2 + term3;
+    return sq > 0.0 ? std::sqrt(sq) : 0.0;
+}
+
+namespace
+{
+
+/** Remove duplicate points, preserving order. */
+std::vector<DesignPoint>
+dedup(std::vector<DesignPoint> pts)
+{
+    std::set<DesignPoint> seen;
+    std::vector<DesignPoint> out;
+    out.reserve(pts.size());
+    for (auto &p : pts) {
+        if (seen.insert(p).second)
+            out.push_back(std::move(p));
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::vector<DesignPoint>
+latinHypercube(const DesignSpace &space, std::size_t n, Rng &rng)
+{
+    std::size_t d = space.dimensions();
+    // Per-dimension stratified positions: permutation of strata with a
+    // jitter inside each stratum, then snapped onto the level grid.
+    std::vector<std::vector<std::size_t>> strata(d);
+    for (std::size_t k = 0; k < d; ++k) {
+        strata[k].resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            strata[k][i] = i;
+        rng.shuffle(strata[k]);
+    }
+
+    std::vector<DesignPoint> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::size_t> level_idx(d);
+        for (std::size_t k = 0; k < d; ++k) {
+            double u = (static_cast<double>(strata[k][i]) + rng.uniform())
+                       / static_cast<double>(n);
+            std::size_t levels = space.param(k).levels();
+            std::size_t idx = static_cast<std::size_t>(
+                u * static_cast<double>(levels));
+            level_idx[k] = std::min(idx, levels - 1);
+        }
+        pts.push_back(space.pointFromTrainIndices(level_idx));
+    }
+    return pts;
+}
+
+std::vector<DesignPoint>
+bestLatinHypercube(const DesignSpace &space, std::size_t n, std::size_t m,
+                   Rng &rng)
+{
+    assert(m > 0);
+    std::vector<DesignPoint> best;
+    double best_disc = std::numeric_limits<double>::max();
+    for (std::size_t trial = 0; trial < m; ++trial) {
+        auto pts = latinHypercube(space, n, rng);
+        double disc = l2StarDiscrepancy(normalizeAll(space, pts));
+        if (disc < best_disc) {
+            best_disc = disc;
+            best = std::move(pts);
+        }
+    }
+    return dedup(std::move(best));
+}
+
+std::vector<DesignPoint>
+randomSample(const DesignSpace &space, std::size_t n, Rng &rng)
+{
+    std::vector<DesignPoint> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<std::size_t> idx(space.dimensions());
+        for (std::size_t k = 0; k < space.dimensions(); ++k)
+            idx[k] = rng.below(space.param(k).levels());
+        pts.push_back(space.pointFromTrainIndices(idx));
+    }
+    return dedup(std::move(pts));
+}
+
+std::vector<DesignPoint>
+randomTestSample(const DesignSpace &space, std::size_t n, Rng &rng)
+{
+    std::vector<DesignPoint> pts;
+    pts.reserve(n);
+    // Draw with retry so dedup does not shrink the sample; bail out once
+    // the test grid is clearly exhausted.
+    std::set<DesignPoint> seen;
+    std::size_t attempts = 0;
+    while (pts.size() < n && attempts < n * 64 + 64) {
+        ++attempts;
+        std::vector<std::size_t> idx(space.dimensions());
+        for (std::size_t k = 0; k < space.dimensions(); ++k) {
+            std::size_t levels = space.param(k).testLevels.size();
+            assert(levels > 0);
+            idx[k] = rng.below(levels);
+        }
+        DesignPoint p = space.pointFromTestIndices(idx);
+        if (seen.insert(p).second)
+            pts.push_back(std::move(p));
+    }
+    return pts;
+}
+
+std::vector<std::vector<double>>
+normalizeAll(const DesignSpace &space, const std::vector<DesignPoint> &pts)
+{
+    std::vector<std::vector<double>> out;
+    out.reserve(pts.size());
+    for (const auto &p : pts)
+        out.push_back(space.normalize(p));
+    return out;
+}
+
+} // namespace wavedyn

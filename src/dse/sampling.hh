@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sampling plans over the design space (paper Section 3):
+ *
+ *  - Latin Hypercube Sampling over the training level grid. Several LHS
+ *    matrices are generated and the one with the lowest L2-star
+ *    discrepancy (a space-filling figure of merit) is kept, the variant
+ *    the paper describes via [21, 22].
+ *  - Naive uniform random sampling, kept as the ablation baseline.
+ *  - Random test sampling over the Table 2 test levels.
+ */
+
+#ifndef WAVEDYN_DSE_SAMPLING_HH
+#define WAVEDYN_DSE_SAMPLING_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/design_space.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+
+/**
+ * L2-star discrepancy of points in [0,1]^d (Warnock's closed form).
+ * Lower is more uniformly space filling.
+ */
+double l2StarDiscrepancy(const std::vector<std::vector<double>> &points);
+
+/**
+ * One Latin Hypercube draw of n points over the training levels.
+ * Each dimension is stratified into n strata which are randomly
+ * permuted, then mapped onto the discrete level set.
+ */
+std::vector<DesignPoint> latinHypercube(const DesignSpace &space,
+                                        std::size_t n, Rng &rng);
+
+/**
+ * Best-of-m LHS: generate m candidate matrices, keep the one whose
+ * normalised points have the lowest L2-star discrepancy, de-duplicated.
+ */
+std::vector<DesignPoint> bestLatinHypercube(const DesignSpace &space,
+                                            std::size_t n, std::size_t m,
+                                            Rng &rng);
+
+/** Naive uniform random sample over training levels (with dedup). */
+std::vector<DesignPoint> randomSample(const DesignSpace &space,
+                                      std::size_t n, Rng &rng);
+
+/** Uniform random sample over the *test* levels (with dedup). */
+std::vector<DesignPoint> randomTestSample(const DesignSpace &space,
+                                          std::size_t n, Rng &rng);
+
+/** Normalise a set of points via the space. */
+std::vector<std::vector<double>>
+normalizeAll(const DesignSpace &space, const std::vector<DesignPoint> &pts);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_DSE_SAMPLING_HH

@@ -1,0 +1,62 @@
+#include "dvm/controller.hh"
+
+#include <cassert>
+
+namespace wavedyn
+{
+
+DvmController::DvmController(DvmConfig cfg, unsigned iq_entries)
+    : cfg(cfg), iqEntries(iq_entries), wq(cfg.initialWqRatio)
+{
+    assert(iq_entries > 0);
+}
+
+bool
+DvmController::shouldStallDispatch(double iq_ace_occupancy,
+                                   std::uint64_t iq_waiting,
+                                   std::uint64_t iq_ready,
+                                   bool l2_miss_outstanding)
+{
+    if (!cfg.enabled)
+        return false;
+
+    // "ACE bits counter updating()" — accumulate the online window.
+    windowAce += iq_ace_occupancy;
+    ++windowCycles;
+
+    // "every (sample_interval/5) cycles" — adapt wq_ratio.
+    if (windowCycles >= cfg.sampleCycles) {
+        lastAvf = windowAce /
+                  (static_cast<double>(iqEntries) *
+                   static_cast<double>(windowCycles));
+        ++stat.samples;
+        if (lastAvf > cfg.threshold) {
+            wq = wq / 2.0; // rapid decrease
+            ++stat.triggers;
+        } else {
+            wq = wq + 1.0; // slow increase
+        }
+        if (wq < cfg.minWqRatio)
+            wq = cfg.minWqRatio;
+        if (wq > cfg.maxWqRatio)
+            wq = cfg.maxWqRatio;
+        windowAce = 0.0;
+        windowCycles = 0;
+    }
+
+    // "if current context has L2 cache misses then stall dispatching".
+    if (l2_miss_outstanding) {
+        ++stat.stallL2Cycles;
+        return true;
+    }
+
+    // "if waiting/ready > wq_ratio then stall dispatching".
+    double ready = iq_ready > 0 ? static_cast<double>(iq_ready) : 1.0;
+    if (static_cast<double>(iq_waiting) / ready > wq) {
+        ++stat.stallRatioCycles;
+        return true;
+    }
+    return false;
+}
+
+} // namespace wavedyn

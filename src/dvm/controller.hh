@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dynamic Vulnerability Management controller (paper Section 5,
+ * Figure 16 pseudo-code).
+ *
+ * The DVM scheme bounds runtime instruction-queue soft-error
+ * vulnerability:
+ *
+ *   - dispatch stalls while an L2 miss is outstanding;
+ *   - the online IQ AVF is sampled every sample_interval/5 cycles and
+ *     compared with the trigger threshold: above it, wq_ratio is halved
+ *     (rapid decrease); below, incremented (slow increase);
+ *   - dispatch also stalls whenever the ratio of waiting to ready
+ *     instructions in the IQ exceeds wq_ratio.
+ *
+ * The controller is pure policy: the pipeline feeds it observations
+ * each cycle and honours its stall decision.
+ */
+
+#ifndef WAVEDYN_DVM_CONTROLLER_HH
+#define WAVEDYN_DVM_CONTROLLER_HH
+
+#include <cstdint>
+
+namespace wavedyn
+{
+
+/** DVM policy configuration. */
+struct DvmConfig
+{
+    bool enabled = false;
+    double threshold = 0.3;          //!< IQ AVF trigger level
+    std::uint64_t sampleCycles = 500; //!< online AVF window (interval/5)
+    double initialWqRatio = 4.0;
+    double minWqRatio = 0.25;
+    double maxWqRatio = 64.0;
+};
+
+/** Controller statistics for analysis. */
+struct DvmStats
+{
+    std::uint64_t samples = 0;          //!< online AVF evaluations
+    std::uint64_t triggers = 0;         //!< samples above threshold
+    std::uint64_t stallL2Cycles = 0;    //!< dispatch stalls: L2 miss rule
+    std::uint64_t stallRatioCycles = 0; //!< dispatch stalls: wq_ratio rule
+
+    void reset() { *this = DvmStats{}; }
+};
+
+/**
+ * Runtime DVM controller implementing Figure 16.
+ */
+class DvmController
+{
+  public:
+    explicit DvmController(DvmConfig cfg, unsigned iq_entries);
+
+    /**
+     * One-cycle observation and decision.
+     *
+     * @param iq_ace_occupancy ACE-weighted IQ occupancy (entries)
+     * @param iq_waiting IQ entries with outstanding operands
+     * @param iq_ready IQ entries ready to issue
+     * @param l2_miss_outstanding a demand L2 miss is in flight
+     * @return true when dispatch must stall this cycle
+     */
+    bool shouldStallDispatch(double iq_ace_occupancy,
+                             std::uint64_t iq_waiting,
+                             std::uint64_t iq_ready,
+                             bool l2_miss_outstanding);
+
+    double wqRatio() const { return wq; }
+    const DvmStats &stats() const { return stat; }
+    const DvmConfig &config() const { return cfg; }
+
+    /** Online IQ AVF estimate of the last completed window. */
+    double lastOnlineAvf() const { return lastAvf; }
+
+  private:
+    DvmConfig cfg;
+    unsigned iqEntries;
+    double wq;
+    double windowAce = 0.0;
+    std::uint64_t windowCycles = 0;
+    double lastAvf = 0.0;
+    DvmStats stat;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_DVM_CONTROLLER_HH

@@ -1,0 +1,342 @@
+#include "linalg/matrix.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : nRows(rows), nCols(cols), data(rows * cols, fill)
+{
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::fromRows(const std::vector<std::vector<double>> &rows)
+{
+    if (rows.empty())
+        return Matrix();
+    Matrix m(rows.size(), rows.front().size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        assert(rows[r].size() == m.nCols);
+        for (std::size_t c = 0; c < m.nCols; ++c)
+            m.at(r, c) = rows[r][c];
+    }
+    return m;
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix t(nCols, nRows);
+    for (std::size_t r = 0; r < nRows; ++r)
+        for (std::size_t c = 0; c < nCols; ++c)
+            t.at(c, r) = at(r, c);
+    return t;
+}
+
+Matrix
+Matrix::operator*(const Matrix &rhs) const
+{
+    assert(nCols == rhs.nRows);
+    Matrix out(nRows, rhs.nCols);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        for (std::size_t k = 0; k < nCols; ++k) {
+            double v = at(r, k);
+            if (v == 0.0)
+                continue;
+            const double *rhs_row = rhs.rowPtr(k);
+            double *out_row = out.rowPtr(r);
+            for (std::size_t c = 0; c < rhs.nCols; ++c)
+                out_row[c] += v * rhs_row[c];
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::operator*(const std::vector<double> &v) const
+{
+    assert(nCols == v.size());
+    std::vector<double> out(nRows, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *row = rowPtr(r);
+        double acc = 0.0;
+        for (std::size_t c = 0; c < nCols; ++c)
+            acc += row[c] * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix &rhs) const
+{
+    assert(nRows == rhs.nRows && nCols == rhs.nCols);
+    Matrix out(nRows, nCols);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] = data[i] + rhs.data[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double s) const
+{
+    Matrix out(nRows, nCols);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.data[i] = data[i] * s;
+    return out;
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(nCols, nCols);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *row = rowPtr(r);
+        for (std::size_t i = 0; i < nCols; ++i) {
+            double v = row[i];
+            if (v == 0.0)
+                continue;
+            double *g_row = g.rowPtr(i);
+            for (std::size_t j = i; j < nCols; ++j)
+                g_row[j] += v * row[j];
+        }
+    }
+    // Mirror the upper triangle.
+    for (std::size_t i = 0; i < nCols; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            g.at(i, j) = g.at(j, i);
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double> &y) const
+{
+    assert(nRows == y.size());
+    std::vector<double> out(nCols, 0.0);
+    for (std::size_t r = 0; r < nRows; ++r) {
+        const double *row = rowPtr(r);
+        double v = y[r];
+        if (v == 0.0)
+            continue;
+        for (std::size_t c = 0; c < nCols; ++c)
+            out[c] += row[c] * v;
+    }
+    return out;
+}
+
+double
+Matrix::frobenius() const
+{
+    double acc = 0.0;
+    for (double v : data)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    assert(nRows == other.nRows && nCols == other.nCols);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i)
+        worst = std::max(worst, std::fabs(data[i] - other.data[i]));
+    return worst;
+}
+
+namespace
+{
+
+/** In-place Cholesky of a copy; returns false if not PD (no jitter). */
+bool
+tryCholesky(Matrix &s)
+{
+    std::size_t n = s.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = s.at(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            d -= s.at(j, k) * s.at(j, k);
+        if (d <= 0.0 || !std::isfinite(d))
+            return false;
+        d = std::sqrt(d);
+        s.at(j, j) = d;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double v = s.at(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                v -= s.at(i, k) * s.at(j, k);
+            s.at(i, j) = v / d;
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+SolveResult
+choleskySolve(const Matrix &s, const std::vector<double> &b)
+{
+    assert(s.rows() == s.cols());
+    assert(s.rows() == b.size());
+    std::size_t n = s.rows();
+    SolveResult res;
+    if (n == 0) {
+        res.ok = true;
+        return res;
+    }
+
+    // Scale jitter to the matrix magnitude.
+    double scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        scale = std::max(scale, std::fabs(s.at(i, i)));
+    if (scale == 0.0)
+        scale = 1.0;
+
+    Matrix l(0, 0);
+    bool ok = false;
+    double jitter = 0.0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        l = s;
+        if (jitter > 0.0)
+            for (std::size_t i = 0; i < n; ++i)
+                l.at(i, i) += jitter;
+        if (tryCholesky(l)) {
+            ok = true;
+            break;
+        }
+        jitter = jitter == 0.0 ? scale * 1e-12 : jitter * 100.0;
+    }
+    if (!ok)
+        return res;
+
+    // Forward substitution L z = b.
+    std::vector<double> z(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            v -= l.at(i, k) * z[k];
+        z[i] = v / l.at(i, i);
+    }
+    // Back substitution L^T x = z.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        std::size_t i = ii - 1;
+        double v = z[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            v -= l.at(k, i) * x[k];
+        x[i] = v / l.at(i, i);
+    }
+    res.ok = true;
+    res.x = std::move(x);
+    return res;
+}
+
+SolveResult
+leastSquaresQr(const Matrix &a, const std::vector<double> &y)
+{
+    assert(a.rows() >= a.cols());
+    assert(a.rows() == y.size());
+    std::size_t m = a.rows();
+    std::size_t n = a.cols();
+    SolveResult res;
+    if (n == 0) {
+        res.ok = true;
+        return res;
+    }
+
+    Matrix r = a;
+    std::vector<double> b = y;
+
+    // Rank tolerance scaled to the matrix magnitude.
+    double tol = 1e-10 * (a.frobenius() + 1.0);
+
+    // Householder QR applied to [R | b].
+    for (std::size_t k = 0; k < n; ++k) {
+        double alpha = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            alpha += r.at(i, k) * r.at(i, k);
+        alpha = std::sqrt(alpha);
+        if (alpha < tol)
+            return res; // rank deficient
+        if (r.at(k, k) > 0.0)
+            alpha = -alpha;
+
+        std::vector<double> v(m - k);
+        v[0] = r.at(k, k) - alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            v[i - k] = r.at(i, k);
+        double vnorm2 = 0.0;
+        for (double vi : v)
+            vnorm2 += vi * vi;
+        if (vnorm2 == 0.0)
+            return res;
+
+        for (std::size_t c = k; c < n; ++c) {
+            double proj = 0.0;
+            for (std::size_t i = k; i < m; ++i)
+                proj += v[i - k] * r.at(i, c);
+            proj = 2.0 * proj / vnorm2;
+            for (std::size_t i = k; i < m; ++i)
+                r.at(i, c) -= proj * v[i - k];
+        }
+        double proj = 0.0;
+        for (std::size_t i = k; i < m; ++i)
+            proj += v[i - k] * b[i];
+        proj = 2.0 * proj / vnorm2;
+        for (std::size_t i = k; i < m; ++i)
+            b[i] -= proj * v[i - k];
+    }
+
+    // Back substitution on the upper triangle of R.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        std::size_t i = ii - 1;
+        double v = b[i];
+        for (std::size_t c = i + 1; c < n; ++c)
+            v -= r.at(i, c) * x[c];
+        double d = r.at(i, i);
+        if (std::fabs(d) < tol || !std::isfinite(d))
+            return res;
+        x[i] = v / d;
+    }
+    res.ok = true;
+    res.x = std::move(x);
+    return res;
+}
+
+SolveResult
+ridgeSolve(const Matrix &a, const std::vector<double> &y, double lambda)
+{
+    assert(a.rows() == y.size());
+    Matrix s = a.gram();
+    for (std::size_t i = 0; i < s.rows(); ++i)
+        s.at(i, i) += lambda;
+    return choleskySolve(s, a.transposeTimes(y));
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+double
+norm2(const std::vector<double> &v)
+{
+    return std::sqrt(dot(v, v));
+}
+
+} // namespace wavedyn

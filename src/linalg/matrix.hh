@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Small dense linear algebra layer used by the model-fitting code.
+ *
+ * Sized for the workloads in this repo: design matrices of a few hundred
+ * rows by a few hundred candidate basis functions. Row-major storage,
+ * no expression templates, numerics chosen for robustness (Cholesky with
+ * jitter fallback, Householder QR).
+ */
+
+#ifndef WAVEDYN_LINALG_MATRIX_HH
+#define WAVEDYN_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Dense row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero initialised (or fill-valued). */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Build from nested initialiser-style data (rows of equal length). */
+    static Matrix fromRows(const std::vector<std::vector<double>> &rows);
+
+    std::size_t rows() const { return nRows; }
+    std::size_t cols() const { return nCols; }
+
+    /** Element access. */
+    double &at(std::size_t r, std::size_t c) { return data[r * nCols + c]; }
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data[r * nCols + c];
+    }
+
+    /** Raw row pointer (row-major). */
+    double *rowPtr(std::size_t r) { return data.data() + r * nCols; }
+    const double *rowPtr(std::size_t r) const
+    {
+        return data.data() + r * nCols;
+    }
+
+    /** Matrix transpose. */
+    Matrix transposed() const;
+
+    /** Matrix-matrix product. @pre cols() == rhs.rows(). */
+    Matrix operator*(const Matrix &rhs) const;
+
+    /** Matrix-vector product. @pre cols() == v.size(). */
+    std::vector<double> operator*(const std::vector<double> &v) const;
+
+    /** Element-wise sum. @pre same shape. */
+    Matrix operator+(const Matrix &rhs) const;
+
+    /** Scale all elements. */
+    Matrix scaled(double s) const;
+
+    /** A^T * A (Gram matrix), computed directly. */
+    Matrix gram() const;
+
+    /** A^T * y. @pre rows() == y.size(). */
+    std::vector<double> transposeTimes(const std::vector<double> &y) const;
+
+    /** Frobenius norm. */
+    double frobenius() const;
+
+    /** Max |a_ij - b_ij|; requires same shape. */
+    double maxAbsDiff(const Matrix &other) const;
+
+  private:
+    std::size_t nRows = 0;
+    std::size_t nCols = 0;
+    std::vector<double> data;
+};
+
+/** Result of a linear solve attempt. */
+struct SolveResult
+{
+    bool ok = false;
+    std::vector<double> x;
+};
+
+/**
+ * Solve S x = b for symmetric positive definite S via Cholesky.
+ * Falls back to adding diagonal jitter (up to a limit) when S is only
+ * positive semi-definite; reports failure beyond that.
+ */
+SolveResult choleskySolve(const Matrix &s, const std::vector<double> &b);
+
+/**
+ * Least squares min ||A x - y||^2 via Householder QR.
+ * @pre a.rows() >= a.cols().
+ */
+SolveResult leastSquaresQr(const Matrix &a, const std::vector<double> &y);
+
+/**
+ * Ridge regression: solve (A^T A + lambda I) x = A^T y.
+ * lambda = 0 reduces to ordinary least squares through the normal
+ * equations (with jitter fallback).
+ */
+SolveResult ridgeSolve(const Matrix &a, const std::vector<double> &y,
+                       double lambda);
+
+/** Dot product. @pre equal sizes. */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Euclidean norm. */
+double norm2(const std::vector<double> &v);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_LINALG_MATRIX_HH

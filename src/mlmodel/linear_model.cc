@@ -1,0 +1,63 @@
+#include "mlmodel/linear_model.hh"
+
+#include <cassert>
+
+namespace wavedyn
+{
+
+void
+LinearModel::fit(const Matrix &x, const std::vector<double> &y)
+{
+    assert(x.rows() == y.size());
+    assert(x.rows() > 0);
+
+    // Augment with a bias column, do not penalise it strongly (lambda is
+    // tiny anyway for our use).
+    Matrix aug(x.rows(), x.cols() + 1);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        aug.at(r, 0) = 1.0;
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            aug.at(r, c + 1) = x.at(r, c);
+    }
+    SolveResult sol = ridgeSolve(aug, y, lambda);
+    if (!sol.ok) {
+        double m = 0.0;
+        for (double v : y)
+            m += v;
+        w0 = m / static_cast<double>(y.size());
+        w.assign(x.cols(), 0.0);
+        return;
+    }
+    w0 = sol.x[0];
+    w.assign(sol.x.begin() + 1, sol.x.end());
+}
+
+double
+LinearModel::predict(const std::vector<double> &input) const
+{
+    assert(input.size() == w.size());
+    double acc = w0;
+    for (std::size_t i = 0; i < w.size(); ++i)
+        acc += w[i] * input[i];
+    return acc;
+}
+
+void
+GlobalMeanModel::fit(const Matrix &x, const std::vector<double> &y)
+{
+    (void)x;
+    assert(!y.empty());
+    double m = 0.0;
+    for (double v : y)
+        m += v;
+    mean = m / static_cast<double>(y.size());
+}
+
+double
+GlobalMeanModel::predict(const std::vector<double> &input) const
+{
+    (void)input;
+    return mean;
+}
+
+} // namespace wavedyn

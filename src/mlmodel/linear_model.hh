@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Baseline models the paper compares against conceptually:
+ *
+ *  - LinearModel: ridge-regularised linear regression with bias. The
+ *    paper notes linear models "are usually inadequate for modeling the
+ *    non-linear dynamics of real-world workloads"; the ablation bench
+ *    quantifies that on our design space.
+ *
+ *  - GlobalMeanModel: predicts the training mean regardless of input —
+ *    the degenerate "aggregate only" reference point. Combined with a
+ *    whole-trace-mean response it mimics the monolithic global models
+ *    that motivated the paper.
+ */
+
+#ifndef WAVEDYN_MLMODEL_LINEAR_MODEL_HH
+#define WAVEDYN_MLMODEL_LINEAR_MODEL_HH
+
+#include "mlmodel/model.hh"
+
+namespace wavedyn
+{
+
+/** Ridge linear regression y = w0 + w . x. */
+class LinearModel : public RegressionModel
+{
+  public:
+    explicit LinearModel(double lambda = 1e-8) : lambda(lambda) {}
+
+    void fit(const Matrix &x, const std::vector<double> &y) override;
+    double predict(const std::vector<double> &input) const override;
+    std::string name() const override { return "linear"; }
+    void save(std::ostream &os) const override;
+
+    /** Restore a model saved with save() (name token consumed). */
+    static std::unique_ptr<LinearModel> load(std::istream &is);
+
+    /** Fitted coefficients (without bias). */
+    const std::vector<double> &weights() const { return w; }
+
+    /** Fitted bias. */
+    double bias() const { return w0; }
+
+  private:
+    double lambda;
+    std::vector<double> w;
+    double w0 = 0.0;
+};
+
+/** Constant predictor returning the training mean. */
+class GlobalMeanModel : public RegressionModel
+{
+  public:
+    void fit(const Matrix &x, const std::vector<double> &y) override;
+    double predict(const std::vector<double> &input) const override;
+    std::string name() const override { return "global-mean"; }
+    void save(std::ostream &os) const override;
+
+    /** Restore a model saved with save() (name token consumed). */
+    static std::unique_ptr<GlobalMeanModel> load(std::istream &is);
+
+  private:
+    double mean = 0.0;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_MLMODEL_LINEAR_MODEL_HH

@@ -1,0 +1,243 @@
+#include "mlmodel/rbf_network.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+RbfNetwork::RbfNetwork(RbfOptions opts) : opts(opts)
+{
+}
+
+double
+RbfNetwork::response(const RbfUnit &unit, const std::vector<double> &input)
+{
+    assert(unit.center.size() == input.size());
+    double acc = 0.0;
+    for (std::size_t d = 0; d < input.size(); ++d) {
+        double z = (input[d] - unit.center[d]) / unit.radius[d];
+        acc += z * z;
+    }
+    return std::exp(-acc);
+}
+
+namespace
+{
+
+/** Build the n x m response matrix of candidate units. */
+Matrix
+responseMatrix(const Matrix &x, const std::vector<RbfUnit> &units)
+{
+    Matrix phi(x.rows(), units.size());
+    std::vector<double> row(x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        row.assign(x.rowPtr(r), x.rowPtr(r) + x.cols());
+        for (std::size_t j = 0; j < units.size(); ++j)
+            phi.at(r, j) = RbfNetwork::response(units[j], row);
+    }
+    return phi;
+}
+
+/** Append a bias column of ones in front of a matrix. */
+Matrix
+withBias(const Matrix &phi)
+{
+    Matrix out(phi.rows(), phi.cols() + 1);
+    for (std::size_t r = 0; r < phi.rows(); ++r) {
+        out.at(r, 0) = 1.0;
+        for (std::size_t c = 0; c < phi.cols(); ++c)
+            out.at(r, c + 1) = phi.at(r, c);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+void
+RbfNetwork::fit(const Matrix &x, const std::vector<double> &y)
+{
+    assert(x.rows() == y.size());
+    assert(x.rows() > 0);
+
+    net.clear();
+    w0 = 0.0;
+
+    // Seed: one candidate unit per regression tree node.
+    tree = RegressionTree(opts.tree);
+    tree.fit(x, y);
+
+    std::vector<RbfUnit> candidates;
+    candidates.reserve(tree.nodes().size());
+    for (const TreeNode &node : tree.nodes()) {
+        RbfUnit u;
+        u.center = node.center;
+        u.radius.resize(node.halfWidth.size());
+        for (std::size_t d = 0; d < u.radius.size(); ++d) {
+            u.radius[d] = std::max(opts.radiusScale * node.halfWidth[d],
+                                   opts.radiusFloor);
+        }
+        candidates.push_back(std::move(u));
+    }
+
+    if (opts.fit == RbfFit::RidgeAll)
+        fitRidgeAll(x, y, std::move(candidates));
+    else
+        fitForwardGcv(x, y, std::move(candidates));
+}
+
+void
+RbfNetwork::fitRidgeAll(const Matrix &x, const std::vector<double> &y,
+                        std::vector<RbfUnit> candidates)
+{
+    Matrix phi = withBias(responseMatrix(x, candidates));
+    SolveResult sol = ridgeSolve(phi, y, opts.ridgeLambda);
+    if (!sol.ok) {
+        // Degenerate training set: fall back to the mean predictor.
+        double mean = 0.0;
+        for (double v : y)
+            mean += v;
+        w0 = mean / static_cast<double>(y.size());
+        return;
+    }
+    w0 = sol.x[0];
+    for (std::size_t j = 0; j < candidates.size(); ++j) {
+        if (sol.x[j + 1] != 0.0) {
+            candidates[j].weight = sol.x[j + 1];
+            net.push_back(candidates[j]);
+        }
+    }
+}
+
+void
+RbfNetwork::fitForwardGcv(const Matrix &x, const std::vector<double> &y,
+                          std::vector<RbfUnit> candidates)
+{
+    std::size_t n = x.rows();
+    std::size_t m = candidates.size();
+    Matrix phi = responseMatrix(x, candidates);
+
+    // Orthogonal least squares forward selection. The bias column is
+    // always in the basis; candidate columns are kept orthogonalised
+    // against everything selected so far (modified Gram-Schmidt).
+    std::vector<std::vector<double>> q(m, std::vector<double>(n));
+    for (std::size_t j = 0; j < m; ++j)
+        for (std::size_t r = 0; r < n; ++r)
+            q[j][r] = phi.at(r, j);
+
+    // Orthogonalise against the bias (constant) column.
+    std::vector<double> resid = y;
+    {
+        double ymean = 0.0;
+        for (double v : y)
+            ymean += v;
+        ymean /= static_cast<double>(n);
+        for (double &v : resid)
+            v -= ymean;
+        for (std::size_t j = 0; j < m; ++j) {
+            double mean = 0.0;
+            for (double v : q[j])
+                mean += v;
+            mean /= static_cast<double>(n);
+            for (double &v : q[j])
+                v -= mean;
+        }
+    }
+
+    double sse = dot(resid, resid);
+    double best_gcv = std::numeric_limits<double>::max();
+    if (n > 1) {
+        double denom = static_cast<double>(n - 1);
+        best_gcv = static_cast<double>(n) * sse / (denom * denom);
+    }
+
+    std::vector<bool> used(m, false);
+    std::vector<std::size_t> selected;
+    const double norm_tol = 1e-10 * static_cast<double>(n);
+
+    std::size_t max_units = std::min(opts.maxUnits, m);
+    while (selected.size() < max_units &&
+           selected.size() + 2 < n) {
+        // Pick the candidate with the largest error reduction.
+        double best_red = 0.0;
+        std::size_t best_j = m;
+        for (std::size_t j = 0; j < m; ++j) {
+            if (used[j])
+                continue;
+            double qq = dot(q[j], q[j]);
+            if (qq < norm_tol)
+                continue;
+            double qy = dot(q[j], resid);
+            double red = qy * qy / qq;
+            if (red > best_red) {
+                best_red = red;
+                best_j = j;
+            }
+        }
+        if (best_j == m)
+            break;
+
+        double new_sse = std::max(sse - best_red, 0.0);
+        std::size_t gamma = selected.size() + 2; // units + bias + new one
+        double denom = static_cast<double>(n - gamma);
+        double gcv = denom > 0.0
+            ? static_cast<double>(n) * new_sse / (denom * denom)
+            : std::numeric_limits<double>::max();
+        if (gcv >= best_gcv)
+            break;
+        best_gcv = gcv;
+        sse = new_sse;
+
+        // Deflate the residual and the remaining candidates.
+        used[best_j] = true;
+        selected.push_back(best_j);
+        const std::vector<double> &qb = q[best_j];
+        double qq = dot(qb, qb);
+        double coef = dot(qb, resid) / qq;
+        for (std::size_t r = 0; r < n; ++r)
+            resid[r] -= coef * qb[r];
+        for (std::size_t j = 0; j < m; ++j) {
+            if (used[j])
+                continue;
+            double proj = dot(qb, q[j]) / qq;
+            if (proj == 0.0)
+                continue;
+            for (std::size_t r = 0; r < n; ++r)
+                q[j][r] -= proj * qb[r];
+        }
+    }
+
+    // Refit exact weights on the selected original columns + bias.
+    Matrix sel(n, selected.size() + 1);
+    for (std::size_t r = 0; r < n; ++r) {
+        sel.at(r, 0) = 1.0;
+        for (std::size_t c = 0; c < selected.size(); ++c)
+            sel.at(r, c + 1) = phi.at(r, selected[c]);
+    }
+    SolveResult sol = ridgeSolve(sel, y, opts.ridgeLambda);
+    if (!sol.ok) {
+        double mean = 0.0;
+        for (double v : y)
+            mean += v;
+        w0 = mean / static_cast<double>(n);
+        return;
+    }
+    w0 = sol.x[0];
+    for (std::size_t c = 0; c < selected.size(); ++c) {
+        RbfUnit u = candidates[selected[c]];
+        u.weight = sol.x[c + 1];
+        net.push_back(std::move(u));
+    }
+}
+
+double
+RbfNetwork::predict(const std::vector<double> &input) const
+{
+    double acc = w0;
+    for (const RbfUnit &u : net)
+        acc += u.weight * response(u, input);
+    return acc;
+}
+
+} // namespace wavedyn

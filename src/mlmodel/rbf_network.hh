@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Radial basis function network with regression-tree-derived units
+ * (paper Section 2.2, following Orr et al., "Combining Regression Trees
+ * and Radial Basis Function Networks").
+ *
+ * f(x) = w0 + sum_i w_i * phi_i(x),
+ * phi_i(x) = exp(-sum_d ((x_d - mu_id) / theta_id)^2)
+ *
+ * Every node of a regression tree grown on the training data contributes
+ * one candidate unit: centre = node input mean, radius = node half-extent
+ * (scaled, floored). Weights come from either ridge-regularised least
+ * squares over all candidates or greedy forward selection minimising
+ * generalised cross-validation (GCV), Orr's procedure.
+ */
+
+#ifndef WAVEDYN_MLMODEL_RBF_NETWORK_HH
+#define WAVEDYN_MLMODEL_RBF_NETWORK_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "mlmodel/model.hh"
+#include "mlmodel/regression_tree.hh"
+
+namespace wavedyn
+{
+
+/** One Gaussian unit of the network. */
+struct RbfUnit
+{
+    std::vector<double> center; //!< mu
+    std::vector<double> radius; //!< theta (per-dimension)
+    double weight = 0.0;        //!< w
+};
+
+/** Weight fitting strategies. */
+enum class RbfFit
+{
+    RidgeAll,        //!< ridge least squares over every candidate unit
+    ForwardGcv,      //!< greedy forward selection minimising GCV
+};
+
+/** RBF training options. */
+struct RbfOptions
+{
+    TreeOptions tree;            //!< options for the seeding tree
+    double radiusScale = 1.0;    //!< multiplies node half-extents
+    double radiusFloor = 0.05;   //!< minimum theta (inputs are in [0,1])
+    double ridgeLambda = 1e-4;   //!< ridge penalty
+    RbfFit fit = RbfFit::ForwardGcv;
+    std::size_t maxUnits = 48;   //!< cap on selected units
+};
+
+/**
+ * RBF network regression model.
+ */
+class RbfNetwork : public RegressionModel
+{
+  public:
+    explicit RbfNetwork(RbfOptions opts = {});
+
+    void fit(const Matrix &x, const std::vector<double> &y) override;
+    double predict(const std::vector<double> &input) const override;
+    std::string name() const override { return "rbf-network"; }
+    void save(std::ostream &os) const override;
+
+    /** Restore a network saved with save() (name token consumed). */
+    static std::unique_ptr<RbfNetwork> load(std::istream &is);
+
+    /** The units retained after fitting (excludes the bias). */
+    const std::vector<RbfUnit> &units() const { return net; }
+
+    /** Bias term w0. */
+    double bias() const { return w0; }
+
+    /** The seeding regression tree (valid after fit). */
+    const RegressionTree &seedTree() const { return tree; }
+
+    /** Gaussian response of one unit at an input. */
+    static double response(const RbfUnit &unit,
+                           const std::vector<double> &input);
+
+  private:
+    void fitRidgeAll(const Matrix &x, const std::vector<double> &y,
+                     std::vector<RbfUnit> candidates);
+    void fitForwardGcv(const Matrix &x, const std::vector<double> &y,
+                       std::vector<RbfUnit> candidates);
+
+    RbfOptions opts;
+    RegressionTree tree;
+    std::vector<RbfUnit> net;
+    double w0 = 0.0;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_MLMODEL_RBF_NETWORK_HH

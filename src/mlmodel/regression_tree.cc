@@ -1,0 +1,254 @@
+#include "mlmodel/regression_tree.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+RegressionTree::RegressionTree(TreeOptions opts) : opts(opts)
+{
+}
+
+namespace
+{
+
+/** Mean and SSE of y over the given items. */
+void
+nodeStats(const std::vector<double> &y,
+          const std::vector<std::size_t> &items,
+          double &mean, double &sse)
+{
+    mean = 0.0;
+    for (std::size_t i : items)
+        mean += y[i];
+    mean /= static_cast<double>(items.size());
+    sse = 0.0;
+    for (std::size_t i : items) {
+        double d = y[i] - mean;
+        sse += d * d;
+    }
+}
+
+/** Candidate split evaluation result. */
+struct BestSplit
+{
+    bool found = false;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double gain = 0.0;
+};
+
+/**
+ * Exhaustive best split: for each feature, sort items by value and scan
+ * prefix sums; thresholds are midpoints between adjacent distinct values.
+ */
+BestSplit
+findBestSplit(const Matrix &x, const std::vector<double> &y,
+              const std::vector<std::size_t> &items,
+              std::size_t min_leaf, double parent_sse)
+{
+    BestSplit best;
+    std::size_t n = items.size();
+    if (n < 2 * min_leaf)
+        return best;
+
+    std::vector<std::size_t> order = items;
+    for (std::size_t f = 0; f < x.cols(); ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return x.at(a, f) < x.at(b, f);
+                  });
+
+        // Prefix sums of y and y^2 along the sorted order.
+        double left_sum = 0.0, left_sq = 0.0;
+        double total_sum = 0.0, total_sq = 0.0;
+        for (std::size_t i : order) {
+            total_sum += y[i];
+            total_sq += y[i] * y[i];
+        }
+
+        for (std::size_t pos = 0; pos + 1 < n; ++pos) {
+            double yi = y[order[pos]];
+            left_sum += yi;
+            left_sq += yi * yi;
+
+            std::size_t left_n = pos + 1;
+            std::size_t right_n = n - left_n;
+            if (left_n < min_leaf || right_n < min_leaf)
+                continue;
+
+            double a = x.at(order[pos], f);
+            double b = x.at(order[pos + 1], f);
+            if (a == b)
+                continue; // can't separate equal values
+
+            double ln = static_cast<double>(left_n);
+            double rn = static_cast<double>(right_n);
+            double right_sum = total_sum - left_sum;
+            double right_sq = total_sq - left_sq;
+            double left_sse = left_sq - left_sum * left_sum / ln;
+            double right_sse = right_sq - right_sum * right_sum / rn;
+            double gain = parent_sse - (left_sse + right_sse);
+
+            if (gain > best.gain) {
+                best.found = true;
+                best.feature = f;
+                best.threshold = 0.5 * (a + b);
+                best.gain = gain;
+            }
+        }
+    }
+    return best;
+}
+
+} // anonymous namespace
+
+std::size_t
+RegressionTree::build(const Matrix &x, const std::vector<double> &y,
+                      std::vector<std::size_t> &items, std::size_t depth)
+{
+    std::size_t id = tree.size();
+    tree.emplace_back();
+
+    {
+        TreeNode &node = tree[id];
+        node.depth = depth;
+        node.count = items.size();
+        nodeStats(y, items, node.mean, node.sse);
+
+        // Hyper-rectangle statistics used by the RBF construction.
+        std::size_t d = x.cols();
+        node.center.assign(d, 0.0);
+        std::vector<double> lo(d, 0.0), hi(d, 0.0);
+        for (std::size_t f = 0; f < d; ++f) {
+            lo[f] = hi[f] = x.at(items.front(), f);
+        }
+        for (std::size_t i : items) {
+            for (std::size_t f = 0; f < d; ++f) {
+                double v = x.at(i, f);
+                node.center[f] += v;
+                lo[f] = std::min(lo[f], v);
+                hi[f] = std::max(hi[f], v);
+            }
+        }
+        node.halfWidth.assign(d, 0.0);
+        for (std::size_t f = 0; f < d; ++f) {
+            node.center[f] /= static_cast<double>(items.size());
+            node.halfWidth[f] = 0.5 * (hi[f] - lo[f]);
+        }
+    }
+
+    if (depth >= opts.maxDepth)
+        return id;
+
+    BestSplit split = findBestSplit(x, y, items, opts.minLeaf,
+                                    tree[id].sse);
+    if (!split.found || split.gain < opts.minGain)
+        return id;
+
+    std::vector<std::size_t> left_items, right_items;
+    left_items.reserve(items.size());
+    right_items.reserve(items.size());
+    for (std::size_t i : items) {
+        if (x.at(i, split.feature) < split.threshold)
+            left_items.push_back(i);
+        else
+            right_items.push_back(i);
+    }
+    assert(!left_items.empty() && !right_items.empty());
+
+    // Record split statistics before recursing.
+    FeatureImportance &fi = featStats[split.feature];
+    fi.firstSplitDepth = std::min(fi.firstSplitDepth, depth);
+    fi.splitCount += 1;
+    fi.gainSum += split.gain;
+
+    // Free the parent's item list early; children copy what they need.
+    items.clear();
+    items.shrink_to_fit();
+
+    std::size_t left_id = build(x, y, left_items, depth + 1);
+    std::size_t right_id = build(x, y, right_items, depth + 1);
+    tree[id].feature = split.feature;
+    tree[id].threshold = split.threshold;
+    tree[id].left = left_id;
+    tree[id].right = right_id;
+    return id;
+}
+
+void
+RegressionTree::fit(const Matrix &x, const std::vector<double> &y)
+{
+    assert(x.rows() == y.size());
+    assert(x.rows() > 0);
+    tree.clear();
+    featStats.assign(x.cols(), FeatureImportance{});
+
+    std::vector<std::size_t> items(x.rows());
+    for (std::size_t i = 0; i < items.size(); ++i)
+        items[i] = i;
+    build(x, y, items, 0);
+}
+
+double
+RegressionTree::predict(const std::vector<double> &input) const
+{
+    assert(!tree.empty());
+    std::size_t id = 0;
+    while (!tree[id].isLeaf()) {
+        const TreeNode &node = tree[id];
+        assert(node.feature < input.size());
+        id = input[node.feature] < node.threshold ? node.left : node.right;
+    }
+    return tree[id].mean;
+}
+
+std::size_t
+RegressionTree::leafCount() const
+{
+    std::size_t n = 0;
+    for (const auto &node : tree)
+        if (node.isLeaf())
+            ++n;
+    return n;
+}
+
+std::size_t
+RegressionTree::depth() const
+{
+    std::size_t d = 0;
+    for (const auto &node : tree)
+        d = std::max(d, node.depth);
+    return d;
+}
+
+std::vector<double>
+RegressionTree::spokesByOrder() const
+{
+    std::vector<double> out(featStats.size(), 0.0);
+    for (std::size_t f = 0; f < featStats.size(); ++f) {
+        const auto &fi = featStats[f];
+        if (fi.splitCount > 0)
+            out[f] = 1.0 / (1.0 + static_cast<double>(fi.firstSplitDepth));
+    }
+    return out;
+}
+
+std::vector<double>
+RegressionTree::spokesByFrequency() const
+{
+    std::vector<double> out(featStats.size(), 0.0);
+    double max_count = 0.0;
+    for (const auto &fi : featStats)
+        max_count = std::max(max_count,
+                             static_cast<double>(fi.splitCount));
+    if (max_count == 0.0)
+        return out;
+    for (std::size_t f = 0; f < featStats.size(); ++f)
+        out[f] = static_cast<double>(featStats[f].splitCount) / max_count;
+    return out;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,78 @@
+#include "power/thermal.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+/** One RC integration step over a unit interval. */
+double
+stepTemperature(double t, double power, const ThermalParams &p)
+{
+    double target = p.ambient + power * p.resistance;
+    double tau = std::max(p.timeConstantIntervals, 1e-6);
+    // Exact solution of the linear ODE over one interval.
+    double alpha = std::exp(-1.0 / tau);
+    return target + (t - target) * alpha;
+}
+
+} // anonymous namespace
+
+std::vector<double>
+temperatureTrace(const std::vector<double> &power,
+                 const ThermalParams &params)
+{
+    std::vector<double> out;
+    out.reserve(power.size());
+    double t = params.initial;
+    for (double p : power) {
+        t = stepTemperature(t, p, params);
+        out.push_back(t);
+    }
+    return out;
+}
+
+DtmOutcome
+evaluateDtm(const std::vector<double> &power, const DtmPolicy &policy,
+            const ThermalParams &params)
+{
+    assert(policy.release <= policy.trigger);
+    DtmOutcome out;
+    out.temperature.reserve(power.size());
+    out.throttled.reserve(power.size());
+
+    double t = params.initial;
+    bool engaged = false;
+    std::size_t throttled_count = 0;
+    double loss = 0.0;
+
+    for (double p : power) {
+        if (engaged && t < policy.release)
+            engaged = false;
+        else if (!engaged && t > policy.trigger)
+            engaged = true;
+
+        double effective = engaged ? p * policy.powerScale : p;
+        if (engaged) {
+            ++throttled_count;
+            loss += 1.0 - policy.powerScale;
+        }
+        t = stepTemperature(t, effective, params);
+        out.temperature.push_back(t);
+        out.throttled.push_back(engaged);
+        out.peak = std::max(out.peak, t);
+    }
+    if (!power.empty()) {
+        out.throttleFraction = static_cast<double>(throttled_count) /
+                               static_cast<double>(power.size());
+        out.performanceLoss = loss / static_cast<double>(power.size());
+    }
+    return out;
+}
+
+} // namespace wavedyn

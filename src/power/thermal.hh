@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lumped-RC thermal model and a dynamic thermal management (DTM)
+ * policy evaluator.
+ *
+ * The paper's introduction motivates workload-dynamics prediction with
+ * exactly this scenario: instead of packaging for the worst case,
+ * forecast the thermal dynamics across candidate configurations and
+ * pick a DTM policy [Brooks & Martonosi, HPCA'01]. This module turns a
+ * power trace into a die-temperature trace (single thermal node,
+ * standard RC step response) and evaluates a simple throttling DTM
+ * against a temperature ceiling — giving the predictor a fourth,
+ * derived domain to forecast.
+ */
+
+#ifndef WAVEDYN_POWER_THERMAL_HH
+#define WAVEDYN_POWER_THERMAL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Package/die thermal parameters for the lumped RC node. */
+struct ThermalParams
+{
+    double ambient = 45.0;        //!< deg C, inside-case ambient
+    double resistance = 0.8;      //!< deg C per watt (junction->ambient)
+    double timeConstantIntervals = 6.0; //!< RC tau in trace intervals
+    double initial = 60.0;        //!< deg C at trace start
+};
+
+/**
+ * Temperature trace from a power trace: first-order RC step response
+ * T' = (T_amb + P*R - T) / tau, integrated per interval.
+ */
+std::vector<double> temperatureTrace(const std::vector<double> &power,
+                                     const ThermalParams &params = {});
+
+/** Outcome of evaluating a DTM policy against a ceiling. */
+struct DtmOutcome
+{
+    std::vector<double> temperature; //!< managed temperature trace
+    std::vector<bool> throttled;     //!< DTM engaged per interval
+    double peak = 0.0;               //!< max managed temperature
+    double throttleFraction = 0.0;   //!< share of intervals throttled
+    double performanceLoss = 0.0;    //!< mean throttle depth (0..1)
+};
+
+/** Simple DTM: scale power when the trigger temperature is exceeded. */
+struct DtmPolicy
+{
+    double trigger = 82.0;   //!< deg C, engage threshold
+    double release = 78.0;   //!< deg C, disengage threshold
+    double powerScale = 0.6; //!< power multiplier while engaged
+};
+
+/**
+ * Run the throttling DTM over a power trace: when the modelled
+ * temperature crosses the trigger, subsequent intervals run at scaled
+ * power (a fetch-throttle stand-in) until temperature falls below the
+ * release level.
+ */
+DtmOutcome evaluateDtm(const std::vector<double> &power,
+                       const DtmPolicy &policy,
+                       const ThermalParams &params = {});
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_POWER_THERMAL_HH

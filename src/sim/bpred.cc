@@ -1,0 +1,114 @@
+#include "sim/bpred.hh"
+
+#include <cassert>
+
+namespace wavedyn
+{
+
+GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
+    : pht(entries, 1), // weakly not-taken
+      historyMask((1ull << history_bits) - 1)
+{
+    assert(entries > 0);
+    assert((entries & (entries - 1)) == 0 && "PHT size must be 2^n");
+}
+
+std::uint64_t
+GsharePredictor::index(std::uint64_t pc) const
+{
+    return ((pc >> 2) ^ (history & historyMask)) % pht.size();
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc) const
+{
+    return pht[index(pc)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &ctr = pht[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+}
+
+Btb::Btb(unsigned entries, unsigned assoc)
+    : sets(entries / assoc ? entries / assoc : 1), assoc(assoc),
+      table(static_cast<std::size_t>(sets) * assoc)
+{
+}
+
+bool
+Btb::lookup(std::uint64_t pc, std::uint64_t &target)
+{
+    std::uint64_t set = (pc >> 2) % sets;
+    Entry *row = &table[set * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (row[w].valid && row[w].pc == pc) {
+            target = row[w].target;
+            row[w].lastUse = ++useClock;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Btb::update(std::uint64_t pc, std::uint64_t target)
+{
+    ++useClock;
+    std::uint64_t set = (pc >> 2) % sets;
+    Entry *row = &table[set * assoc];
+    unsigned victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (row[w].valid && row[w].pc == pc) {
+            victim = w;
+            break;
+        }
+        if (!row[w].valid) {
+            victim = w;
+            oldest = 0;
+            continue;
+        }
+        if (row[w].lastUse < oldest) {
+            oldest = row[w].lastUse;
+            victim = w;
+        }
+    }
+    row[victim].valid = true;
+    row[victim].pc = pc;
+    row[victim].target = target;
+    row[victim].lastUse = useClock;
+}
+
+ReturnAddressStack::ReturnAddressStack(unsigned entries)
+    : stack(entries ? entries : 1, 0)
+{
+}
+
+void
+ReturnAddressStack::push(std::uint64_t return_pc)
+{
+    stack[top] = return_pc;
+    top = (top + 1) % stack.size();
+    if (count < stack.size())
+        ++count;
+}
+
+bool
+ReturnAddressStack::pop(std::uint64_t &target)
+{
+    if (count == 0)
+        return false;
+    top = (top + stack.size() - 1) % stack.size();
+    target = stack[top];
+    --count;
+    return true;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Front-end predictors (Table 1): gshare direction predictor with
+ * 2-bit saturating counters, a set-associative BTB for taken-branch
+ * targets, and a return address stack.
+ */
+
+#ifndef WAVEDYN_SIM_BPRED_HH
+#define WAVEDYN_SIM_BPRED_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Direction/target prediction statistics. */
+struct BpredStats
+{
+    std::uint64_t lookups = 0;
+    std::uint64_t directionMispredicts = 0;
+    std::uint64_t targetMispredicts = 0;
+    std::uint64_t rasUnderflows = 0;
+
+    double
+    mispredictRate() const
+    {
+        return lookups
+            ? static_cast<double>(directionMispredicts) /
+              static_cast<double>(lookups)
+            : 0.0;
+    }
+
+    void reset() { *this = BpredStats{}; }
+};
+
+/** Gshare: PHT of 2-bit counters indexed by pc ^ global history. */
+class GsharePredictor
+{
+  public:
+    GsharePredictor(unsigned entries, unsigned history_bits);
+
+    /** Predict the direction of the branch at pc. */
+    bool predict(std::uint64_t pc) const;
+
+    /** Update counters and history with the resolved direction. */
+    void update(std::uint64_t pc, bool taken);
+
+    unsigned tableSize() const
+    {
+        return static_cast<unsigned>(pht.size());
+    }
+
+  private:
+    std::uint64_t index(std::uint64_t pc) const;
+
+    std::vector<std::uint8_t> pht;
+    std::uint64_t history = 0;
+    std::uint64_t historyMask;
+};
+
+/** Branch target buffer: set-associative pc -> target map. */
+class Btb
+{
+  public:
+    Btb(unsigned entries, unsigned assoc);
+
+    /** @return true and fills target when pc hits; refreshes LRU. */
+    bool lookup(std::uint64_t pc, std::uint64_t &target);
+
+    /** Install/refresh the mapping. */
+    void update(std::uint64_t pc, std::uint64_t target);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t pc = 0;
+        std::uint64_t target = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned sets;
+    unsigned assoc;
+    std::uint64_t useClock = 0;
+    std::vector<Entry> table;
+};
+
+/** Return address stack with overflow wrap. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned entries);
+
+    void push(std::uint64_t return_pc);
+
+    /** Pop the predicted return target; false when empty. */
+    bool pop(std::uint64_t &target);
+
+    std::size_t depth() const { return count; }
+    std::size_t capacity() const { return stack.size(); }
+
+  private:
+    std::vector<std::uint64_t> stack;
+    std::size_t top = 0;   //!< next push slot
+    std::size_t count = 0; //!< valid entries
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_BPRED_HH

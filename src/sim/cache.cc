@@ -1,0 +1,132 @@
+#include "sim/cache.hh"
+
+#include <cassert>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+unsigned
+log2u(unsigned v)
+{
+    unsigned l = 0;
+    while ((1u << l) < v)
+        ++l;
+    return l;
+}
+
+} // anonymous namespace
+
+Cache::Cache(unsigned size_kb, unsigned assoc, unsigned line_bytes,
+             std::string name)
+    : assoc(assoc), lineSize(line_bytes), label(std::move(name))
+{
+    assert(size_kb > 0 && assoc > 0 && line_bytes > 0);
+    std::uint64_t bytes = static_cast<std::uint64_t>(size_kb) * 1024;
+    std::uint64_t lines_total = bytes / line_bytes;
+    if (lines_total < assoc)
+        lines_total = assoc;
+    numSets = static_cast<unsigned>(lines_total / assoc);
+    if (numSets == 0)
+        numSets = 1;
+    indexShift = log2u(lineSize);
+    lines.assign(static_cast<std::size_t>(numSets) * assoc, Line{});
+}
+
+bool
+Cache::access(std::uint64_t addr)
+{
+    ++stat.accesses;
+    ++useClock;
+    std::uint64_t block = addr >> indexShift;
+    std::uint64_t set = block % numSets;
+    std::uint64_t tag = block / numSets;
+    Line *row = &lines[set * assoc];
+
+    // Hit path.
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].lastUse = useClock;
+            return true;
+        }
+    }
+
+    // Miss: fill into invalid or LRU way.
+    ++stat.misses;
+    unsigned victim = 0;
+    std::uint64_t oldest = ~0ull;
+    for (unsigned w = 0; w < assoc; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+        if (row[w].lastUse < oldest) {
+            oldest = row[w].lastUse;
+            victim = w;
+        }
+    }
+    row[victim].valid = true;
+    row[victim].tag = tag;
+    row[victim].lastUse = useClock;
+    return false;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    std::uint64_t block = addr >> indexShift;
+    std::uint64_t set = block % numSets;
+    std::uint64_t tag = block / numSets;
+    const Line *row = &lines[set * assoc];
+    for (unsigned w = 0; w < assoc; ++w)
+        if (row[w].valid && row[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines)
+        l = Line{};
+    useClock = 0;
+    stat.reset();
+}
+
+namespace
+{
+
+/**
+ * Geometry helper: an entries-deep, assoc-way cache whose "line" is one
+ * page models a TLB exactly.
+ */
+Cache
+makeTlbBacking(unsigned entries, unsigned assoc, unsigned page_bytes,
+               std::string name)
+{
+    unsigned sets = entries / assoc;
+    if (sets == 0)
+        sets = 1;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(sets) * assoc * page_bytes;
+    return Cache(static_cast<unsigned>(bytes / 1024), assoc, page_bytes,
+                 std::move(name));
+}
+
+} // anonymous namespace
+
+Tlb::Tlb(unsigned entries, unsigned assoc, unsigned page_bytes,
+         std::string name)
+    : backing(makeTlbBacking(entries, assoc, page_bytes, std::move(name)))
+{
+}
+
+bool
+Tlb::access(std::uint64_t addr)
+{
+    return backing.access(addr);
+}
+
+} // namespace wavedyn

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-associative cache and TLB models with true LRU replacement.
+ *
+ * Timing is handled by the pipeline; these models answer hit/miss,
+ * perform fills, and keep access statistics for the power model.
+ */
+
+#ifndef WAVEDYN_SIM_CACHE_HH
+#define WAVEDYN_SIM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Access statistics of one cache-like structure. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    void
+    reset()
+    {
+        accesses = 0;
+        misses = 0;
+    }
+};
+
+/**
+ * Set-associative cache with LRU replacement.
+ *
+ * Tag-only model: no data storage, no dirty bits (write-back traffic is
+ * not simulated; see DESIGN.md).
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_kb capacity in KiB
+     * @param assoc number of ways
+     * @param line_bytes line size (power of two)
+     * @param name for diagnostics
+     */
+    Cache(unsigned size_kb, unsigned assoc, unsigned line_bytes,
+          std::string name);
+
+    /**
+     * Look up an address; fills the line on a miss.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t addr);
+
+    /** Look up without fill or statistics (diagnostics only). */
+    bool probe(std::uint64_t addr) const;
+
+    /** Invalidate all lines and clear statistics. */
+    void reset();
+
+    const CacheStats &stats() const { return stat; }
+
+    /** Clear statistics only (interval boundaries). */
+    void resetStats() { stat.reset(); }
+
+    unsigned sets() const { return numSets; }
+    unsigned ways() const { return assoc; }
+    unsigned lineBytes() const { return lineSize; }
+    const std::string &name() const { return label; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned numSets;
+    unsigned assoc;
+    unsigned lineSize;
+    unsigned indexShift;
+    std::string label;
+    std::vector<Line> lines; //!< numSets x assoc, row major
+    std::uint64_t useClock = 0;
+    CacheStats stat;
+};
+
+/**
+ * TLB: a set-associative cache of page translations.
+ */
+class Tlb
+{
+  public:
+    Tlb(unsigned entries, unsigned assoc, unsigned page_bytes,
+        std::string name);
+
+    /** Translate an address; fills on miss. @return true on hit. */
+    bool access(std::uint64_t addr);
+
+    void reset() { backing.reset(); }
+    void resetStats() { backing.resetStats(); }
+    const CacheStats &stats() const { return backing.stats(); }
+
+  private:
+    Cache backing;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_CACHE_HH

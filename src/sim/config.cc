@@ -1,0 +1,57 @@
+#include "sim/config.hh"
+
+#include <sstream>
+
+namespace wavedyn
+{
+
+SimConfig
+SimConfig::baseline()
+{
+    return SimConfig{};
+}
+
+SimConfig
+SimConfig::fromDesignPoint(const DesignSpace &space,
+                           const DesignPoint &point)
+{
+    SimConfig cfg = baseline();
+    for (std::size_t i = 0; i < space.dimensions() && i < point.size();
+         ++i) {
+        const std::string &name = space.param(i).name;
+        unsigned v = static_cast<unsigned>(point[i]);
+        if (name == "Fetch_width")
+            cfg.fetchWidth = v;
+        else if (name == "ROB_size")
+            cfg.robSize = v;
+        else if (name == "IQ_size")
+            cfg.iqSize = v;
+        else if (name == "LSQ_size")
+            cfg.lsqSize = v;
+        else if (name == "L2_size")
+            cfg.l2SizeKb = v;
+        else if (name == "L2_lat")
+            cfg.l2Lat = v;
+        else if (name == "il1_size")
+            cfg.il1SizeKb = v;
+        else if (name == "dl1_size")
+            cfg.dl1SizeKb = v;
+        else if (name == "dl1_lat")
+            cfg.dl1Lat = v;
+        // Unknown names (policy parameters) are deliberately ignored.
+    }
+    return cfg;
+}
+
+std::string
+SimConfig::describe() const
+{
+    std::ostringstream os;
+    os << "w" << fetchWidth << " rob" << robSize << " iq" << iqSize
+       << " lsq" << lsqSize << " l2:" << l2SizeKb << "KB/" << l2Lat
+       << "cy il1:" << il1SizeKb << "KB dl1:" << dl1SizeKb << "KB/"
+       << dl1Lat << "cy";
+    return os.str();
+}
+
+} // namespace wavedyn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Simulated machine configuration.
+ *
+ * Fixed fields follow Table 1 of the paper (8-wide baseline, gshare,
+ * BTB, RAS, two-level caches, 200-cycle memory); the nine design-space
+ * parameters of Table 2 override their corresponding fields via
+ * fromDesignPoint().
+ */
+
+#ifndef WAVEDYN_SIM_CONFIG_HH
+#define WAVEDYN_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dse/design_space.hh"
+
+namespace wavedyn
+{
+
+/** Full machine configuration consumed by the pipeline model. */
+struct SimConfig
+{
+    // ---- Table 2 design-space parameters.
+    unsigned fetchWidth = 8;   //!< fetch/dispatch/issue/commit width
+    unsigned robSize = 96;
+    unsigned iqSize = 96;
+    unsigned lsqSize = 48;
+    unsigned l2SizeKb = 2048;
+    unsigned l2Lat = 12;
+    unsigned il1SizeKb = 32;
+    unsigned dl1SizeKb = 64;
+    unsigned dl1Lat = 1;
+
+    // ---- Fixed Table 1 structure parameters.
+    unsigned il1Assoc = 2;
+    unsigned il1LineBytes = 32;
+    unsigned il1Lat = 1;
+    unsigned dl1Assoc = 4;
+    unsigned dl1LineBytes = 64;
+    unsigned l2Assoc = 4;
+    unsigned l2LineBytes = 128;
+    unsigned memLat = 200;
+
+    unsigned itlbEntries = 128;
+    unsigned itlbAssoc = 4;
+    unsigned dtlbEntries = 256;
+    unsigned dtlbAssoc = 4;
+    // Table 1 lists a 200-cycle TLB miss for the software-walked worst
+    // case; we model a hardware walker whose table accesses mostly hit
+    // the cache hierarchy, or per-interval CPI is swamped by TLB stalls
+    // on large-footprint workloads.
+    unsigned tlbMissLat = 30;
+    unsigned pageBytes = 4096;
+
+    unsigned bpredEntries = 2048; //!< gshare PHT entries
+    unsigned historyBits = 10;
+    unsigned btbEntries = 2048;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+
+    unsigned intAluCount = 8;
+    unsigned intMulCount = 4;
+    unsigned fpAluCount = 8;
+    unsigned fpMulCount = 4;
+    unsigned memPortCount = 4;
+
+    unsigned frontEndDepth = 3;  //!< redirect refill penalty, cycles
+    unsigned btbMissPenalty = 2; //!< taken branch without BTB target
+
+    /** Table 1 baseline machine. */
+    static SimConfig baseline();
+
+    /**
+     * Baseline overridden with a Table 2 design point. The point is
+     * interpreted through the given space's parameter names, so spaces
+     * extended with non-machine parameters (e.g. DVM policy knobs)
+     * pass their extra dimensions through untouched.
+     */
+    static SimConfig fromDesignPoint(const DesignSpace &space,
+                                     const DesignPoint &point);
+
+    /** One-line description for logs. */
+    std::string describe() const;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_CONFIG_HH

@@ -1,0 +1,480 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wavedyn
+{
+
+double
+AvfSample::combined(const SimConfig &cfg) const
+{
+    // Weight each structure by its entry count (bit widths assumed
+    // comparable across IQ/ROB/LSQ entries).
+    double bits = static_cast<double>(cfg.iqSize + cfg.robSize +
+                                      cfg.lsqSize);
+    return (iq * cfg.iqSize + rob * cfg.robSize + lsq * cfg.lsqSize) /
+           bits;
+}
+
+Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+                   DvmConfig dvm)
+    : stream(stream), cfg(cfg),
+      il1Cache(cfg.il1SizeKb, cfg.il1Assoc, cfg.il1LineBytes, "il1"),
+      dl1Cache(cfg.dl1SizeKb, cfg.dl1Assoc, cfg.dl1LineBytes, "dl1"),
+      l2Cache(cfg.l2SizeKb, cfg.l2Assoc, cfg.l2LineBytes, "l2"),
+      itlb(cfg.itlbEntries, cfg.itlbAssoc, cfg.pageBytes, "itlb"),
+      dtlb(cfg.dtlbEntries, cfg.dtlbAssoc, cfg.pageBytes, "dtlb"),
+      gshare(cfg.bpredEntries, cfg.historyBits),
+      btb(cfg.btbEntries, cfg.btbAssoc),
+      ras(cfg.rasEntries),
+      iqAvfAcc(cfg.iqSize), robAvfAcc(cfg.robSize),
+      lsqAvfAcc(cfg.lsqSize),
+      dvmCtl(dvm, cfg.iqSize)
+{
+}
+
+Pipeline::InFlight *
+Pipeline::entryFor(std::uint64_t seq)
+{
+    if (seq < frontSeq)
+        return nullptr;
+    std::uint64_t idx = seq - frontSeq;
+    if (idx >= window.size())
+        return nullptr;
+    return &window[idx];
+}
+
+bool
+Pipeline::depsReady(const InFlight &e) const
+{
+    for (std::uint32_t dep : {e.op.dep1, e.op.dep2}) {
+        if (dep == 0)
+            continue;
+        std::uint64_t pseq = e.seq - dep;
+        if (pseq < frontSeq)
+            continue; // producer committed long ago
+        std::uint64_t idx = pseq - frontSeq;
+        if (idx >= window.size())
+            continue;
+        const InFlight &p = window[idx];
+        if (!p.issued || p.completeCycle > cycle)
+            return false;
+    }
+    return true;
+}
+
+unsigned
+Pipeline::loadLatency(std::uint64_t addr)
+{
+    unsigned lat = cfg.dl1Lat;
+    ++activity.dtlbAccesses;
+    if (!dtlb.access(addr)) {
+        ++activity.dtlbMisses;
+        lat += cfg.tlbMissLat;
+    }
+    ++activity.dl1Accesses;
+    if (!dl1Cache.access(addr)) {
+        ++activity.dl1Misses;
+        ++activity.l2Accesses;
+        if (!l2Cache.access(addr)) {
+            ++activity.l2Misses;
+            ++activity.memAccesses;
+            lat += cfg.l2Lat + cfg.memLat;
+            std::uint64_t done = cycle + lat;
+            l2MissOutstandingUntil =
+                std::max(l2MissOutstandingUntil, done);
+        } else {
+            lat += cfg.l2Lat;
+        }
+    }
+    return lat;
+}
+
+void
+Pipeline::doCompletions()
+{
+    while (!completions.empty() && completions.top().first <= cycle) {
+        std::uint64_t seq = completions.top().second;
+        completions.pop();
+        InFlight *e = entryFor(seq);
+        if (!e || e->aceCompleted)
+            continue;
+        e->aceCompleted = true;
+        // ROB entry: in-flight ACE state shrinks to the pending result.
+        robAvfAcc.release(ace.robInFlight(e->op.cls));
+        robAvfAcc.occupy(ace.robCompleted(e->op.cls));
+        // Loads free their LSQ slot at writeback.
+        if (e->op.cls == InstrClass::Load && e->inLsq) {
+            e->inLsq = false;
+            assert(lsqOcc > 0);
+            --lsqOcc;
+            lsqAvfAcc.release(ace.lsq(InstrClass::Load));
+        }
+    }
+}
+
+void
+Pipeline::doCommit()
+{
+    unsigned done = 0;
+    while (done < cfg.fetchWidth && !window.empty() &&
+           totalCommitted < committedTarget) {
+        InFlight &e = window.front();
+        if (!e.issued || e.completeCycle > cycle)
+            break;
+
+        // Stores write the data cache at commit (no stall; write
+        // buffering assumed).
+        if (e.op.cls == InstrClass::Store) {
+            ++activity.dl1Accesses;
+            if (!dl1Cache.access(e.op.effAddr)) {
+                ++activity.dl1Misses;
+                ++activity.l2Accesses;
+                if (!l2Cache.access(e.op.effAddr)) {
+                    ++activity.l2Misses;
+                    ++activity.memAccesses;
+                }
+            }
+            if (e.inLsq) {
+                assert(lsqOcc > 0);
+                --lsqOcc;
+                lsqAvfAcc.release(ace.lsq(InstrClass::Store));
+            }
+        }
+
+        robAvfAcc.release(e.aceCompleted ? ace.robCompleted(e.op.cls)
+                                         : ace.robInFlight(e.op.cls));
+        ++activity.committed;
+        ++totalCommitted;
+        ++done;
+        window.pop_front();
+        ++frontSeq;
+    }
+}
+
+void
+Pipeline::doIssue()
+{
+    const unsigned issue_width = cfg.fetchWidth;
+    const unsigned scan_cap = std::max(32u, 3 * issue_width);
+
+    unsigned fu_int_alu = 0, fu_int_mul = 0;
+    unsigned fu_fp_alu = 0, fu_fp_mul = 0;
+    unsigned fu_mem = 0;
+    unsigned issued = 0, scanned = 0;
+    std::uint64_t ready_seen = 0, waiting_seen = 0;
+
+    for (auto &e : window) {
+        if (issued >= issue_width)
+            break;
+        if (e.issued)
+            continue;
+        if (!e.inIq)
+            continue;
+        if (++scanned > scan_cap)
+            break;
+
+        if (!depsReady(e)) {
+            ++waiting_seen;
+            continue;
+        }
+        ++ready_seen;
+
+        // Per-class functional unit limits.
+        bool fu_ok = true;
+        switch (e.op.cls) {
+          case InstrClass::IntAlu:
+          case InstrClass::Branch:
+          case InstrClass::Call:
+          case InstrClass::Return:
+            fu_ok = fu_int_alu < cfg.intAluCount;
+            if (fu_ok)
+                ++fu_int_alu;
+            break;
+          case InstrClass::IntMul:
+            fu_ok = fu_int_mul < cfg.intMulCount;
+            if (fu_ok)
+                ++fu_int_mul;
+            break;
+          case InstrClass::FpAlu:
+            fu_ok = fu_fp_alu < cfg.fpAluCount;
+            if (fu_ok)
+                ++fu_fp_alu;
+            break;
+          case InstrClass::FpMul:
+            fu_ok = fu_fp_mul < cfg.fpMulCount;
+            if (fu_ok)
+                ++fu_fp_mul;
+            break;
+          case InstrClass::Load:
+          case InstrClass::Store:
+            fu_ok = fu_mem < cfg.memPortCount;
+            if (fu_ok)
+                ++fu_mem;
+            break;
+        }
+        if (!fu_ok)
+            continue;
+
+        // Issue.
+        unsigned lat;
+        switch (e.op.cls) {
+          case InstrClass::Load:
+            lat = loadLatency(e.op.effAddr);
+            ++activity.issuedMem;
+            break;
+          case InstrClass::Store:
+            lat = 1; // address generation; data written at commit
+            ++activity.issuedMem;
+            break;
+          case InstrClass::IntMul:
+            lat = executionLatency(e.op.cls);
+            ++activity.issuedIntMul;
+            break;
+          case InstrClass::FpAlu:
+            lat = executionLatency(e.op.cls);
+            ++activity.issuedFpAlu;
+            break;
+          case InstrClass::FpMul:
+            lat = executionLatency(e.op.cls);
+            ++activity.issuedFpMul;
+            break;
+          case InstrClass::Branch:
+          case InstrClass::Call:
+          case InstrClass::Return:
+            lat = executionLatency(e.op.cls);
+            ++activity.issuedControl;
+            break;
+          default:
+            lat = executionLatency(e.op.cls);
+            ++activity.issuedIntAlu;
+            break;
+        }
+        if (lat < 1)
+            lat = 1;
+        e.issued = true;
+        e.completeCycle = cycle + lat;
+        completions.emplace(e.completeCycle, e.seq);
+
+        // Operand reads / result write accounting.
+        if (e.op.dep1)
+            ++activity.regReads;
+        if (e.op.dep2)
+            ++activity.regReads;
+        if (e.op.cls != InstrClass::Store && !isControl(e.op.cls))
+            ++activity.regWrites;
+
+        // Free the IQ slot.
+        e.inIq = false;
+        assert(iqOcc > 0);
+        --iqOcc;
+        iqAvfAcc.release(ace.iqWaiting(e.op.cls));
+
+        // A mispredicted branch un-blocks fetch when it resolves.
+        if (e.mispredicted) {
+            fetchWaitingResolve = false;
+            fetchBlockedUntil = std::max(
+                fetchBlockedUntil,
+                e.completeCycle + cfg.frontEndDepth);
+        }
+        ++issued;
+    }
+
+    lastReadyCount = ready_seen;
+    // Entries beyond the scan cap are assumed waiting.
+    std::uint64_t in_iq = iqOcc + issued; // occupancy at scan start
+    lastWaitingCount =
+        waiting_seen + (in_iq > scanned ? in_iq - scanned : 0);
+}
+
+void
+Pipeline::doDispatch()
+{
+    bool stall = dvmCtl.shouldStallDispatch(
+        iqAvfAcc.occupancy(), lastWaitingCount, lastReadyCount,
+        cycle < l2MissOutstandingUntil);
+    if (stall)
+        return;
+
+    unsigned done = 0;
+    while (done < cfg.fetchWidth && !fetchQueue.empty()) {
+        InFlight &e = fetchQueue.front();
+        if (window.size() >= cfg.robSize)
+            break;
+        if (iqOcc >= cfg.iqSize)
+            break;
+        bool mem = isMem(e.op.cls);
+        if (mem && lsqOcc >= cfg.lsqSize)
+            break;
+
+        e.seq = frontSeq + window.size();
+        e.inIq = true;
+        ++iqOcc;
+        iqAvfAcc.occupy(ace.iqWaiting(e.op.cls));
+        robAvfAcc.occupy(ace.robInFlight(e.op.cls));
+        if (mem) {
+            e.inLsq = true;
+            ++lsqOcc;
+            lsqAvfAcc.occupy(ace.lsq(e.op.cls));
+        }
+        ++activity.dispatched;
+        window.push_back(e);
+        fetchQueue.pop_front();
+        ++done;
+    }
+}
+
+void
+Pipeline::doFetch()
+{
+    if (fetchWaitingResolve || cycle < fetchBlockedUntil)
+        return;
+
+    const std::size_t fq_cap = 2 * cfg.fetchWidth;
+    unsigned fetched = 0;
+    while (fetched < cfg.fetchWidth && fetchQueue.size() < fq_cap) {
+        InFlight e;
+        e.op = stream.at(nextFetchSeq);
+
+        // Instruction cache: one access per new line.
+        std::uint64_t line = e.op.pc / cfg.il1LineBytes;
+        bool stop_after = false;
+        if (line != lastFetchLine) {
+            lastFetchLine = line;
+            ++activity.il1Accesses;
+            std::uint64_t page = e.op.pc / cfg.pageBytes;
+            if (page != lastFetchPage) {
+                lastFetchPage = page;
+                ++activity.itlbAccesses;
+                if (!itlb.access(e.op.pc)) {
+                    ++activity.itlbMisses;
+                    fetchBlockedUntil = std::max(
+                        fetchBlockedUntil, cycle + cfg.tlbMissLat);
+                    stop_after = true;
+                }
+            }
+            if (!il1Cache.access(e.op.pc)) {
+                ++activity.il1Misses;
+                ++activity.l2Accesses;
+                unsigned lat;
+                if (!l2Cache.access(e.op.pc)) {
+                    ++activity.l2Misses;
+                    ++activity.memAccesses;
+                    lat = cfg.l2Lat + cfg.memLat;
+                } else {
+                    lat = cfg.l2Lat;
+                }
+                fetchBlockedUntil = std::max(fetchBlockedUntil,
+                                             cycle + lat);
+                stop_after = true;
+            }
+        }
+
+        // Control prediction.
+        if (isControl(e.op.cls)) {
+            if (e.op.cls == InstrClass::Branch) {
+                ++activity.bpredLookups;
+                ++bpStats.lookups;
+                bool predicted = gshare.predict(e.op.pc);
+                gshare.update(e.op.pc, e.op.branchTaken);
+                if (predicted != e.op.branchTaken) {
+                    ++bpStats.directionMispredicts;
+                    ++activity.bpredMispredicts;
+                    e.mispredicted = true;
+                    fetchWaitingResolve = true;
+                    stop_after = true;
+                } else if (e.op.branchTaken) {
+                    ++activity.btbLookups;
+                    std::uint64_t target = 0;
+                    bool hit = btb.lookup(e.op.pc, target) &&
+                               target == e.op.branchTarget;
+                    if (!hit) {
+                        ++bpStats.targetMispredicts;
+                        fetchBlockedUntil = std::max(
+                            fetchBlockedUntil,
+                            cycle + cfg.btbMissPenalty);
+                        stop_after = true;
+                    }
+                    btb.update(e.op.pc, e.op.branchTarget);
+                    // A taken branch ends the fetch group.
+                    stop_after = true;
+                }
+            } else if (e.op.cls == InstrClass::Call) {
+                ras.push(e.op.pc + 4);
+                ++activity.btbLookups;
+                std::uint64_t target = 0;
+                if (!btb.lookup(e.op.pc, target)) {
+                    fetchBlockedUntil = std::max(
+                        fetchBlockedUntil, cycle + cfg.btbMissPenalty);
+                    stop_after = true;
+                }
+                btb.update(e.op.pc, e.op.branchTarget);
+            } else { // Return
+                std::uint64_t target = 0;
+                if (!ras.pop(target)) {
+                    ++bpStats.rasUnderflows;
+                    fetchBlockedUntil = std::max(
+                        fetchBlockedUntil, cycle + cfg.frontEndDepth);
+                    stop_after = true;
+                }
+            }
+        }
+
+        fetchQueue.push_back(e);
+        ++activity.fetched;
+        ++fetched;
+        ++nextFetchSeq;
+        if (stop_after)
+            break;
+    }
+}
+
+void
+Pipeline::cycleOnce()
+{
+    doCompletions();
+    doCommit();
+    doIssue();
+    doDispatch();
+    doFetch();
+
+    // End-of-cycle accounting.
+    activity.iqOccupancySum += iqOcc;
+    activity.robOccupancySum += window.size();
+    activity.lsqOccupancySum += lsqOcc;
+    iqAvfAcc.tick();
+    robAvfAcc.tick();
+    lsqAvfAcc.tick();
+    ++activity.cycles;
+    ++cycle;
+}
+
+void
+Pipeline::runInstructions(std::uint64_t count)
+{
+    committedTarget = totalCommitted + count;
+    while (totalCommitted < committedTarget)
+        cycleOnce();
+}
+
+AvfSample
+Pipeline::intervalAvf() const
+{
+    AvfSample s;
+    s.iq = iqAvfAcc.value();
+    s.rob = robAvfAcc.value();
+    s.lsq = lsqAvfAcc.value();
+    return s;
+}
+
+void
+Pipeline::resetInterval()
+{
+    activity.reset();
+    iqAvfAcc.resetWindow();
+    robAvfAcc.resetWindow();
+    lsqAvfAcc.resetWindow();
+}
+
+} // namespace wavedyn

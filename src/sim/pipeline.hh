@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cycle-level out-of-order pipeline model.
+ *
+ * Stage structure per cycle (evaluated oldest-work-first so the model
+ * is deadlock free):
+ *
+ *   1. completion events (writeback): ROB entries transition to
+ *      completed, loads release their LSQ entry;
+ *   2. commit: in order, up to commit width, stores write the DL1;
+ *   3. issue: oldest-first wakeup/select over the IQ with per-class
+ *      functional unit limits; loads walk DTLB/DL1/L2/memory;
+ *   4. dispatch: fetch buffer -> ROB/IQ/LSQ, gated by the DVM policy;
+ *   5. fetch: IL1/ITLB access, gshare + BTB + RAS prediction; direction
+ *      mispredicts block fetch until the branch resolves.
+ *
+ * The model is trace driven (committed path only); wrong-path work is
+ * approximated by the front-end redirect bubbles. Store-to-load
+ * forwarding conflicts and write-back traffic are not modelled; see
+ * DESIGN.md for the substitution notes.
+ */
+
+#ifndef WAVEDYN_SIM_PIPELINE_HH
+#define WAVEDYN_SIM_PIPELINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "avf/estimator.hh"
+#include "dvm/controller.hh"
+#include "power/model.hh"
+#include "sim/bpred.hh"
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "workload/stream.hh"
+
+namespace wavedyn
+{
+
+/** AVF values of the tracked structures over a window. */
+struct AvfSample
+{
+    double iq = 0.0;
+    double rob = 0.0;
+    double lsq = 0.0;
+
+    /** Bit-weighted combination used as the "processor AVF" metric. */
+    double combined(const SimConfig &cfg) const;
+};
+
+/**
+ * The out-of-order core. Drives one benchmark's instruction stream
+ * through the machine; exposes per-interval activity and AVF windows.
+ */
+class Pipeline
+{
+  public:
+    Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+             DvmConfig dvm = {});
+
+    /** Simulate until `count` more instructions commit. */
+    void runInstructions(std::uint64_t count);
+
+    /** Activity accumulated since the last interval reset. */
+    const ActivityCounts &intervalActivity() const { return activity; }
+
+    /** AVF over the current interval window. */
+    AvfSample intervalAvf() const;
+
+    /** Close the interval: clears activity and AVF windows. */
+    void resetInterval();
+
+    /** Cycles elapsed since construction. */
+    std::uint64_t now() const { return cycle; }
+
+    /** Instructions committed since construction. */
+    std::uint64_t committed() const { return totalCommitted; }
+
+    /** DVM controller state (valid when DVM configured). */
+    const DvmController &dvm() const { return dvmCtl; }
+
+    /** Cache hierarchies, exposed for tests and diagnostics. */
+    const Cache &il1() const { return il1Cache; }
+    const Cache &dl1() const { return dl1Cache; }
+    const Cache &l2() const { return l2Cache; }
+    const BpredStats &bpredStats() const { return bpStats; }
+
+  private:
+    struct InFlight
+    {
+        MicroOp op;
+        std::uint64_t seq = 0;
+        std::uint64_t completeCycle = ~0ull;
+        bool issued = false;
+        bool inIq = false;
+        bool inLsq = false;
+        bool aceCompleted = false; //!< ROB ACE transition applied
+        bool mispredicted = false; //!< direction mispredict at fetch
+    };
+
+    /** Completion event: (cycle, seq), min-heap on cycle. */
+    using Event = std::pair<std::uint64_t, std::uint64_t>;
+
+    void cycleOnce();
+    void doCompletions();
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch();
+
+    /** Window entry for a sequence number, or nullptr if committed. */
+    InFlight *entryFor(std::uint64_t seq);
+
+    bool depsReady(const InFlight &e) const;
+
+    /** Load latency through DTLB/DL1/L2/memory; updates stats. */
+    unsigned loadLatency(std::uint64_t addr);
+
+    const InstructionStream &stream;
+    SimConfig cfg;
+
+    Cache il1Cache, dl1Cache, l2Cache;
+    Tlb itlb, dtlb;
+    GsharePredictor gshare;
+    Btb btb;
+    ReturnAddressStack ras;
+    BpredStats bpStats;
+
+    AceWeights ace;
+    AvfAccumulator iqAvfAcc, robAvfAcc, lsqAvfAcc;
+    DvmController dvmCtl;
+
+    std::deque<InFlight> window; //!< the ROB, oldest first
+    std::uint64_t frontSeq = 0;  //!< seq of window.front()
+    std::deque<InFlight> fetchQueue;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        completions;
+
+    std::uint64_t cycle = 0;
+    std::uint64_t nextFetchSeq = 0;
+    std::uint64_t totalCommitted = 0;
+    std::uint64_t committedTarget = 0;
+
+    unsigned iqOcc = 0;
+    unsigned lsqOcc = 0;
+
+    // Front-end stall state.
+    std::uint64_t fetchBlockedUntil = 0;
+    bool fetchWaitingResolve = false;
+    std::uint64_t lastFetchLine = ~0ull;
+    std::uint64_t lastFetchPage = ~0ull;
+
+    // DVM observations from the previous issue scan.
+    std::uint64_t lastReadyCount = 0;
+    std::uint64_t lastWaitingCount = 0;
+    std::uint64_t l2MissOutstandingUntil = 0;
+
+    ActivityCounts activity;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_PIPELINE_HH

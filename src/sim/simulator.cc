@@ -1,0 +1,145 @@
+#include "sim/simulator.hh"
+
+#include <cassert>
+
+#include "workload/stream.hh"
+
+namespace wavedyn
+{
+
+const std::vector<Domain> &
+allDomains()
+{
+    static const std::vector<Domain> domains = {Domain::Cpi,
+                                                Domain::Power,
+                                                Domain::Avf};
+    return domains;
+}
+
+std::string
+domainName(Domain d)
+{
+    switch (d) {
+      case Domain::Cpi:
+        return "CPI";
+      case Domain::Power:
+        return "Power";
+      case Domain::Avf:
+        return "AVF";
+      case Domain::IqAvf:
+        return "IQ_AVF";
+    }
+    return "?";
+}
+
+double
+IntervalSample::metric(Domain d) const
+{
+    switch (d) {
+      case Domain::Cpi:
+        return cpi;
+      case Domain::Power:
+        return power;
+      case Domain::Avf:
+        return avf;
+      case Domain::IqAvf:
+        return iqAvf;
+    }
+    return 0.0;
+}
+
+std::vector<double>
+SimResult::trace(Domain d) const
+{
+    std::vector<double> out;
+    out.reserve(intervals.size());
+    for (const auto &s : intervals)
+        out.push_back(s.metric(d));
+    return out;
+}
+
+double
+SimResult::aggregate(Domain d) const
+{
+    if (intervals.empty())
+        return 0.0;
+    double acc = 0.0;
+    double weight = 0.0;
+    for (const auto &s : intervals) {
+        double w = static_cast<double>(s.instructions);
+        acc += s.metric(d) * w;
+        weight += w;
+    }
+    return weight > 0.0 ? acc / weight : 0.0;
+}
+
+SimResult
+simulate(const BenchmarkProfile &bench, const SimConfig &cfg,
+         std::size_t numIntervals, std::size_t intervalInstrs,
+         const DvmConfig &dvm)
+{
+    assert(numIntervals > 0 && intervalInstrs > 0);
+
+    // An eighth of the run warms caches, TLBs and predictor tables
+    // before sampling begins (the paper fast-forwards to a SimPoint,
+    // which arrives with warm state).
+    std::uint64_t body =
+        static_cast<std::uint64_t>(numIntervals) * intervalInstrs;
+    std::uint64_t warmup = body / 8;
+
+    InstructionStream stream(bench, warmup + body);
+    Pipeline pipe(stream, cfg, dvm);
+    PowerModel power(cfg);
+
+    if (warmup > 0) {
+        pipe.runInstructions(warmup);
+        pipe.resetInterval();
+    }
+
+    SimResult result;
+    result.intervals.reserve(numIntervals);
+
+    for (std::size_t i = 0; i < numIntervals; ++i) {
+        pipe.resetInterval();
+        std::uint64_t start_cycle = pipe.now();
+        pipe.runInstructions(intervalInstrs);
+
+        const ActivityCounts &act = pipe.intervalActivity();
+        AvfSample avf = pipe.intervalAvf();
+
+        IntervalSample s;
+        s.cycles = pipe.now() - start_cycle;
+        s.instructions = act.committed;
+        s.cpi = s.instructions
+            ? static_cast<double>(s.cycles) /
+              static_cast<double>(s.instructions)
+            : 0.0;
+        s.ipc = s.cpi > 0.0 ? 1.0 / s.cpi : 0.0;
+        s.power = power.watts(act);
+        s.iqAvf = avf.iq;
+        s.robAvf = avf.rob;
+        s.lsqAvf = avf.lsq;
+        s.avf = avf.combined(cfg);
+        s.dl1MissRate = act.dl1Accesses
+            ? static_cast<double>(act.dl1Misses) /
+              static_cast<double>(act.dl1Accesses)
+            : 0.0;
+        s.l2MissRate = act.l2Accesses
+            ? static_cast<double>(act.l2Misses) /
+              static_cast<double>(act.l2Accesses)
+            : 0.0;
+        s.bpredMissRate = act.bpredLookups
+            ? static_cast<double>(act.bpredMispredicts) /
+              static_cast<double>(act.bpredLookups)
+            : 0.0;
+        result.intervals.push_back(s);
+    }
+
+    result.totalCycles = pipe.now();
+    result.totalInstructions = pipe.committed() - warmup;
+    result.dvmStats = pipe.dvm().stats();
+    result.dvmFinalWqRatio = pipe.dvm().wqRatio();
+    return result;
+}
+
+} // namespace wavedyn

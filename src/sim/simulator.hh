@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace-producing simulation driver.
+ *
+ * Runs a benchmark on a machine configuration and samples per-interval
+ * metrics — exactly the "workload dynamics" the paper's models predict:
+ * a trace of N samples per run (N = 128 in the paper), in the
+ * performance (CPI), power (watts) and reliability (AVF) domains.
+ */
+
+#ifndef WAVEDYN_SIM_SIMULATOR_HH
+#define WAVEDYN_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dvm/controller.hh"
+#include "power/model.hh"
+#include "sim/config.hh"
+#include "sim/pipeline.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/** Metric domains of the paper's evaluation. */
+enum class Domain
+{
+    Cpi,   //!< performance (cycles per instruction)
+    Power, //!< watts
+    Avf,   //!< combined processor AVF
+    IqAvf, //!< instruction queue AVF (DVM case study)
+};
+
+/** All domains, evaluation order. */
+const std::vector<Domain> &allDomains();
+
+/** Short name for a domain. */
+std::string domainName(Domain d);
+
+/** One sampled interval of a run. */
+struct IntervalSample
+{
+    double cpi = 0.0;
+    double ipc = 0.0;
+    double power = 0.0;
+    double avf = 0.0;
+    double iqAvf = 0.0;
+    double robAvf = 0.0;
+    double lsqAvf = 0.0;
+    double dl1MissRate = 0.0;
+    double l2MissRate = 0.0;
+    double bpredMissRate = 0.0;
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+
+    /** Value of a metric domain. */
+    double metric(Domain d) const;
+};
+
+/** Result of one simulated run. */
+struct SimResult
+{
+    std::vector<IntervalSample> intervals;
+    std::uint64_t totalCycles = 0;
+    std::uint64_t totalInstructions = 0;
+    DvmStats dvmStats;
+    double dvmFinalWqRatio = 0.0;
+
+    /** Time series of one metric across intervals. */
+    std::vector<double> trace(Domain d) const;
+
+    /** Instruction-weighted aggregate of a metric. */
+    double aggregate(Domain d) const;
+};
+
+/**
+ * Simulation front door: one run = one (benchmark, config, DVM policy)
+ * triple sampled into numIntervals intervals of intervalInstrs
+ * committed instructions each.
+ */
+SimResult simulate(const BenchmarkProfile &bench, const SimConfig &cfg,
+                   std::size_t numIntervals, std::size_t intervalInstrs,
+                   const DvmConfig &dvm = {});
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_SIMULATOR_HH

@@ -1,0 +1,63 @@
+#include "util/options.hh"
+
+#include <cstdlib>
+
+namespace wavedyn
+{
+
+Scale
+scaleFromEnv()
+{
+    const char *v = std::getenv("WAVEDYN_SCALE");
+    if (!v)
+        return Scale::Quick;
+    std::string s(v);
+    if (s == "smoke")
+        return Scale::Smoke;
+    if (s == "full")
+        return Scale::Full;
+    return Scale::Quick;
+}
+
+std::string
+scaleName(Scale s)
+{
+    switch (s) {
+      case Scale::Smoke:
+        return "smoke";
+      case Scale::Quick:
+        return "quick";
+      case Scale::Full:
+        return "full";
+    }
+    return "quick";
+}
+
+ScaledSizes
+sizesFor(Scale s)
+{
+    switch (s) {
+      case Scale::Smoke:
+        return {24, 8, 64, 192, 3};
+      case Scale::Quick:
+        return {60, 20, 128, 256, 12};
+      case Scale::Full:
+        return {200, 50, 128, 512, 12};
+    }
+    return {60, 20, 128, 256, 12};
+}
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || parsed == 0)
+        return fallback;
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace wavedyn

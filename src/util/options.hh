@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Environment-driven scaling knobs shared by benches and examples.
+ *
+ * The paper ran 250 simulations x 12 benchmarks x 200M instructions on a
+ * cluster; this repo runs on one core. WAVEDYN_SCALE selects how much of
+ * the paper's sweep each bench executes:
+ *
+ *   WAVEDYN_SCALE=smoke   minimal (CI-sized) runs
+ *   WAVEDYN_SCALE=quick   default; reduced but representative
+ *   WAVEDYN_SCALE=full    the paper's 200-train/50-test protocol
+ */
+
+#ifndef WAVEDYN_UTIL_OPTIONS_HH
+#define WAVEDYN_UTIL_OPTIONS_HH
+
+#include <cstddef>
+#include <string>
+
+namespace wavedyn
+{
+
+/** Experiment scale selected via WAVEDYN_SCALE. */
+enum class Scale { Smoke, Quick, Full };
+
+/** Read WAVEDYN_SCALE (default Quick). Unknown values -> Quick. */
+Scale scaleFromEnv();
+
+/** Human-readable name for a scale. */
+std::string scaleName(Scale s);
+
+/**
+ * Scale-dependent experiment sizes. All benches derive their sweep sizes
+ * from this one place so EXPERIMENTS.md can document a single mapping.
+ */
+struct ScaledSizes
+{
+    std::size_t trainPoints;     //!< design points simulated for training
+    std::size_t testPoints;      //!< held-out design points
+    std::size_t samplesPerTrace; //!< trace resolution (paper: 128)
+    std::size_t intervalInstrs;  //!< instructions per sampled interval
+    std::size_t benchmarkCount;  //!< how many of the 12 benchmarks to run
+};
+
+/** Look up the sizes for a scale. */
+ScaledSizes sizesFor(Scale s);
+
+/** Read an integer environment override, or fall back. */
+std::size_t envSize(const char *name, std::size_t fallback);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_OPTIONS_HH

@@ -1,0 +1,236 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace wavedyn
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mu - mu;
+    std::size_t tot = n + other.n;
+    m2 += other.m2 + delta * delta *
+          (static_cast<double>(n) * static_cast<double>(other.n)) /
+          static_cast<double>(tot);
+    mu = (mu * static_cast<double>(n) +
+          other.mu * static_cast<double>(other.n)) /
+         static_cast<double>(tot);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n = tot;
+}
+
+double
+quantile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    if (q <= 0.0)
+        return sorted.front();
+    if (q >= 1.0)
+        return sorted.back();
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    std::size_t idx = static_cast<std::size_t>(pos);
+    double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= sorted.size())
+        return sorted.back();
+    return sorted[idx] * (1.0 - frac) + sorted[idx + 1] * frac;
+}
+
+BoxplotSummary
+boxplot(std::vector<double> data)
+{
+    BoxplotSummary s;
+    s.count = data.size();
+    if (data.empty())
+        return s;
+
+    std::sort(data.begin(), data.end());
+    s.min = data.front();
+    s.max = data.back();
+
+    double sum = 0.0;
+    for (double d : data)
+        sum += d;
+    s.mean = sum / static_cast<double>(data.size());
+
+    s.median = quantile(data, 0.5);
+    s.q1 = quantile(data, 0.25);
+    s.q3 = quantile(data, 0.75);
+
+    double reach = 1.5 * s.iqr();
+    double lo_fence = s.q1 - reach;
+    double hi_fence = s.q3 + reach;
+
+    s.whiskerLow = s.max;
+    s.whiskerHigh = s.min;
+    for (double d : data) {
+        if (d < lo_fence || d > hi_fence) {
+            s.outliers.push_back(d);
+        } else {
+            s.whiskerLow = std::min(s.whiskerLow, d);
+            s.whiskerHigh = std::max(s.whiskerHigh, d);
+        }
+    }
+    if (s.outliers.size() == data.size()) {
+        // Degenerate: everything flagged (tiny IQR); whiskers = extremes.
+        s.whiskerLow = s.min;
+        s.whiskerHigh = s.max;
+        s.outliers.clear();
+    }
+    return s;
+}
+
+double
+meanSquaredError(const std::vector<double> &actual,
+                 const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        double d = actual[i] - predicted[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(actual.size());
+}
+
+double
+msePercent(const std::vector<double> &actual,
+           const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        double d = actual[i] - predicted[i];
+        num += d * d;
+        den += actual[i] * actual[i];
+    }
+    if (den <= 0.0)
+        return num <= 0.0 ? 0.0 : 100.0;
+    return 100.0 * num / den;
+}
+
+double
+directionalSymmetry(const std::vector<double> &actual,
+                    const std::vector<double> &predicted,
+                    double threshold)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 1.0;
+    std::size_t agree = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        bool a = actual[i] >= threshold;
+        bool p = predicted[i] >= threshold;
+        if (a == p)
+            ++agree;
+    }
+    return static_cast<double>(agree) / static_cast<double>(actual.size());
+}
+
+std::vector<double>
+quarterThresholds(const std::vector<double> &trace)
+{
+    double lo = trace.empty() ? 0.0 : trace.front();
+    double hi = lo;
+    for (double v : trace) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    return {
+        lo + (hi - lo) * 0.25,
+        lo + (hi - lo) * 0.50,
+        lo + (hi - lo) * 0.75,
+    };
+}
+
+double
+pearson(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    if (a.size() < 2)
+        return 0.0;
+    double ma = meanOf(a);
+    double mb = meanOf(b);
+    double num = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double da = a[i] - ma;
+        double db = b[i] - mb;
+        num += da * db;
+        va += da * da;
+        vb += db * db;
+    }
+    if (va <= 0.0 || vb <= 0.0)
+        return 0.0;
+    return num / std::sqrt(va * vb);
+}
+
+double
+meanOf(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+std::string
+describeBoxplot(const BoxplotSummary &s)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "med=" << s.median << " q1=" << s.q1 << " q3=" << s.q3
+       << " whisk=[" << s.whiskerLow << "," << s.whiskerHigh << "]"
+       << " mean=" << s.mean << " outliers=" << s.outliers.size();
+    return os.str();
+}
+
+} // namespace wavedyn

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Statistics helpers: running summaries, quantiles, boxplot descriptions
+ * (the paper reports accuracy as MSE boxplots, Figure 8), and the error
+ * metrics used throughout the evaluation:
+ *
+ *  - MSE(%): normalised mean squared error, 100 * sum((x-xhat)^2)/sum(x^2).
+ *    The paper's MSE is (1/N) sum (x - xhat)^2 reported "in percent"; we
+ *    normalise by trace energy so the percentage is scale free and
+ *    comparable across CPI, Watts and AVF exactly as the paper's plots are.
+ *
+ *  - Directional symmetry DS (Section 4): fraction of samples where the
+ *    predicted trace falls on the same side of a threshold as the actual
+ *    trace. Reported as directional asymmetry, (1 - DS) in percent.
+ */
+
+#ifndef WAVEDYN_UTIL_STATS_HH
+#define WAVEDYN_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Incremental mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance; 0 when n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return total; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Five-number + outlier summary matching the paper's boxplot definition:
+ * median, first/third quartile hinges, whiskers extending to the most
+ * extreme point within 1.5 IQR of the hinge, and outliers beyond that.
+ */
+struct BoxplotSummary
+{
+    double median = 0.0;
+    double q1 = 0.0;
+    double q3 = 0.0;
+    double whiskerLow = 0.0;
+    double whiskerHigh = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::size_t count = 0;
+    std::vector<double> outliers;
+
+    /** Interquartile range q3 - q1. */
+    double iqr() const { return q3 - q1; }
+};
+
+/** Linear-interpolation quantile (type-7, the R/numpy default). */
+double quantile(std::vector<double> sorted, double q);
+
+/** Build a boxplot summary from raw (unsorted) data. */
+BoxplotSummary boxplot(std::vector<double> data);
+
+/** Plain mean squared error (1/N) sum (a[i]-b[i])^2. @pre equal sizes. */
+double meanSquaredError(const std::vector<double> &actual,
+                        const std::vector<double> &predicted);
+
+/**
+ * Normalised MSE in percent: 100 * sum((a-p)^2) / sum(a^2).
+ * Returns 0 for an all-zero actual trace with a perfect prediction and
+ * 100 * energy ratio otherwise.
+ */
+double msePercent(const std::vector<double> &actual,
+                  const std::vector<double> &predicted);
+
+/**
+ * Directional symmetry against a threshold: fraction of positions where
+ * actual and predicted are on the same side (>= counts as above).
+ */
+double directionalSymmetry(const std::vector<double> &actual,
+                           const std::vector<double> &predicted,
+                           double threshold);
+
+/**
+ * Paper Figure 12 threshold levels: Qk = min + (max-min) * k/4 of the
+ * actual trace, for k in {1,2,3}.
+ */
+std::vector<double> quarterThresholds(const std::vector<double> &trace);
+
+/** Pearson correlation of two equal-length series; 0 if degenerate. */
+double pearson(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Arithmetic mean of a vector; 0 when empty. */
+double meanOf(const std::vector<double> &v);
+
+/** Render a boxplot summary on one line for bench output. */
+std::string describeBoxplot(const BoxplotSummary &s);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_STATS_HH

@@ -1,0 +1,139 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace wavedyn
+{
+
+TextTable::TextTable(std::string title) : title(std::move(title))
+{
+}
+
+void
+TextTable::header(const std::vector<std::string> &cells)
+{
+    if (head.empty())
+        head = cells;
+}
+
+void
+TextTable::row(const std::vector<std::string> &cells)
+{
+    body.push_back(cells);
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t cols = head.size();
+    for (const auto &r : body)
+        cols = std::max(cols, r.size());
+    if (cols == 0)
+        return;
+
+    std::vector<std::size_t> width(cols, 0);
+    auto account = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            width[i] = std::max(width[i], r[i].size());
+    };
+    account(head);
+    for (const auto &r : body)
+        account(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << cell;
+        }
+        os << "\n";
+    };
+
+    if (!title.empty())
+        os << "== " << title << " ==\n";
+    if (!head.empty()) {
+        emit(head);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : body)
+        emit(r);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+fmt(std::size_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+fmt(int v)
+{
+    return std::to_string(v);
+}
+
+void
+writeCsv(std::ostream &os,
+         const std::vector<std::string> &header,
+         const std::vector<std::vector<std::string>> &rows)
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ",";
+            os << cells[i];
+        }
+        os << "\n";
+    };
+    if (!header.empty())
+        line(header);
+    for (const auto &r : rows)
+        line(r);
+}
+
+std::string
+sparkline(const std::vector<double> &series)
+{
+    static const char levels[] = {'_', '.', ',', '-', '~', '+', '*', '#'};
+    if (series.empty())
+        return "";
+    double lo = series.front(), hi = series.front();
+    for (double v : series) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    double span = hi - lo;
+    std::string out;
+    out.reserve(series.size());
+    for (double v : series) {
+        int idx = span > 0.0
+            ? static_cast<int>((v - lo) / span * 7.999)
+            : 0;
+        out.push_back(levels[idx]);
+    }
+    return out;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal ASCII table / CSV writers used by the bench harness to print
+ * the rows and series the paper's tables and figures report.
+ */
+
+#ifndef WAVEDYN_UTIL_TABLE_HH
+#define WAVEDYN_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wavedyn
+{
+
+/**
+ * Column-aligned ASCII table. Collect rows of strings, then print.
+ * The first added row is treated as the header.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with an optional title printed above it. */
+    explicit TextTable(std::string title = "");
+
+    /** Add a header row (only the first call takes effect). */
+    void header(const std::vector<std::string> &cells);
+
+    /** Add a data row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Render to a stream with column alignment and separators. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Number of data rows added. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Format an integer-valued size_t. */
+std::string fmt(std::size_t v);
+
+/** Format an int. */
+std::string fmt(int v);
+
+/** Write rows as CSV to a stream (no quoting; cells must be clean). */
+void writeCsv(std::ostream &os,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows);
+
+/**
+ * Render a series as a crude ASCII sparkline (8 levels) so bench output
+ * can show trace *shape* (Figures 1, 4, 14, 17) in a terminal.
+ */
+std::string sparkline(const std::vector<double> &series);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_TABLE_HH

@@ -1,0 +1,125 @@
+#include "wavelet/dwt.hh"
+
+#include "wavelet/haar.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+std::string
+motherWaveletName(MotherWavelet w)
+{
+    switch (w) {
+      case MotherWavelet::Haar:
+        return "haar";
+      case MotherWavelet::Daubechies4:
+        return "db4";
+    }
+    return "haar";
+}
+
+WaveletTransform::WaveletTransform(MotherWavelet mother) : kind(mother)
+{
+    const double s2 = std::sqrt(2.0);
+    if (mother == MotherWavelet::Haar) {
+        low = {1.0 / s2, 1.0 / s2};
+    } else {
+        const double s3 = std::sqrt(3.0);
+        low = {
+            (1.0 + s3) / (4.0 * s2),
+            (3.0 + s3) / (4.0 * s2),
+            (3.0 - s3) / (4.0 * s2),
+            (1.0 - s3) / (4.0 * s2),
+        };
+    }
+    // Quadrature mirror: g[k] = (-1)^k h[L-1-k].
+    high.resize(low.size());
+    for (std::size_t k = 0; k < low.size(); ++k) {
+        double sign = (k % 2 == 0) ? 1.0 : -1.0;
+        high[k] = sign * low[low.size() - 1 - k];
+    }
+}
+
+void
+WaveletTransform::analyzeLevel(const std::vector<double> &x,
+                               std::vector<double> &approx,
+                               std::vector<double> &detail) const
+{
+    std::size_t n = x.size();
+    assert(n % 2 == 0 && n >= 2);
+    std::size_t half = n / 2;
+    approx.assign(half, 0.0);
+    detail.assign(half, 0.0);
+    for (std::size_t k = 0; k < half; ++k) {
+        double a = 0.0;
+        double d = 0.0;
+        for (std::size_t i = 0; i < low.size(); ++i) {
+            double v = x[(2 * k + i) % n];
+            a += low[i] * v;
+            d += high[i] * v;
+        }
+        approx[k] = a;
+        detail[k] = d;
+    }
+}
+
+std::vector<double>
+WaveletTransform::synthesizeLevel(const std::vector<double> &approx,
+                                  const std::vector<double> &detail) const
+{
+    assert(approx.size() == detail.size());
+    std::size_t half = approx.size();
+    std::size_t n = half * 2;
+    std::vector<double> x(n, 0.0);
+    // Transpose of the analysis operator (orthonormal -> inverse).
+    for (std::size_t k = 0; k < half; ++k) {
+        for (std::size_t i = 0; i < low.size(); ++i) {
+            std::size_t idx = (2 * k + i) % n;
+            x[idx] += low[i] * approx[k] + high[i] * detail[k];
+        }
+    }
+    return x;
+}
+
+std::vector<double>
+WaveletTransform::forward(const std::vector<double> &x) const
+{
+    assert(isPowerOfTwo(x.size()));
+    std::size_t n = x.size();
+    std::vector<double> out(n, 0.0);
+    std::vector<double> approx = x;
+
+    std::size_t len = n;
+    while (len > 1) {
+        std::size_t half = len / 2;
+        std::vector<double> next, detail;
+        analyzeLevel(approx, next, detail);
+        for (std::size_t i = 0; i < half; ++i)
+            out[half + i] = detail[i];
+        approx = std::move(next);
+        len = half;
+    }
+    out[0] = approx[0];
+    return out;
+}
+
+std::vector<double>
+WaveletTransform::inverse(const std::vector<double> &coeffs) const
+{
+    assert(isPowerOfTwo(coeffs.size()));
+    std::size_t n = coeffs.size();
+    std::vector<double> approx = {coeffs[0]};
+
+    std::size_t len = 1;
+    while (len < n) {
+        std::vector<double> detail(coeffs.begin() + len,
+                                   coeffs.begin() + 2 * len);
+        approx = synthesizeLevel(approx, detail);
+        len *= 2;
+    }
+    return approx;
+}
+
+} // namespace wavedyn

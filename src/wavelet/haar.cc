@@ -1,0 +1,129 @@
+#include "wavelet/haar.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::vector<double>
+haarForward(const std::vector<double> &x)
+{
+    assert(isPowerOfTwo(x.size()));
+    std::size_t n = x.size();
+    std::vector<double> out(n, 0.0);
+    std::vector<double> approx = x;
+
+    // Peel one level at a time; details for length len land at
+    // out[len/2 .. len-1], the final average lands at out[0].
+    std::size_t len = n;
+    while (len > 1) {
+        std::size_t half = len / 2;
+        std::vector<double> next(half);
+        for (std::size_t i = 0; i < half; ++i) {
+            double a = approx[2 * i];
+            double b = approx[2 * i + 1];
+            next[i] = (a + b) / 2.0;
+            out[half + i] = (a - b) / 2.0;
+        }
+        approx = std::move(next);
+        len = half;
+    }
+    out[0] = approx[0];
+    return out;
+}
+
+std::vector<double>
+haarInverse(const std::vector<double> &coeffs)
+{
+    assert(isPowerOfTwo(coeffs.size()));
+    std::size_t n = coeffs.size();
+    std::vector<double> approx = {coeffs[0]};
+
+    std::size_t len = 1;
+    while (len < n) {
+        std::vector<double> next(len * 2);
+        for (std::size_t i = 0; i < len; ++i) {
+            double avg = approx[i];
+            double det = coeffs[len + i];
+            next[2 * i] = avg + det;
+            next[2 * i + 1] = avg - det;
+        }
+        approx = std::move(next);
+        len *= 2;
+    }
+    return approx;
+}
+
+std::vector<double>
+resampleToPowerOfTwo(const std::vector<double> &x)
+{
+    if (x.empty())
+        return {};
+    if (isPowerOfTwo(x.size()))
+        return x;
+
+    // Target the nearest power of two below the length (>= 1).
+    std::size_t target = 1;
+    while (target * 2 <= x.size())
+        target *= 2;
+
+    std::vector<double> out(target, 0.0);
+    double ratio = static_cast<double>(x.size()) /
+                   static_cast<double>(target);
+    for (std::size_t i = 0; i < target; ++i) {
+        double start = static_cast<double>(i) * ratio;
+        double end = start + ratio;
+        // Average the source samples overlapping [start, end).
+        double acc = 0.0;
+        double weight = 0.0;
+        std::size_t s0 = static_cast<std::size_t>(start);
+        std::size_t s1 = static_cast<std::size_t>(std::ceil(end));
+        s1 = std::min(s1, x.size());
+        for (std::size_t s = s0; s < s1; ++s) {
+            double lo = std::max(start, static_cast<double>(s));
+            double hi = std::min(end, static_cast<double>(s + 1));
+            double w = hi - lo;
+            if (w <= 0.0)
+                continue;
+            acc += x[s] * w;
+            weight += w;
+        }
+        out[i] = weight > 0.0 ? acc / weight : 0.0;
+    }
+    return out;
+}
+
+std::size_t
+haarLevels(std::size_t n)
+{
+    assert(isPowerOfTwo(n));
+    std::size_t l = 0;
+    while (n > 1) {
+        n /= 2;
+        ++l;
+    }
+    return l;
+}
+
+std::size_t
+coefficientLevel(std::size_t index)
+{
+    if (index == 0)
+        return 0;
+    std::size_t level = 1;
+    std::size_t block = 1;
+    while (block * 2 <= index) {
+        block *= 2;
+        ++level;
+    }
+    return level;
+}
+
+} // namespace wavedyn

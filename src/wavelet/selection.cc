@@ -1,0 +1,134 @@
+#include "wavelet/selection.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+std::vector<std::size_t>
+topKByScore(const std::vector<double> &score, std::size_t k)
+{
+    std::vector<std::size_t> idx(score.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    k = std::min(k, idx.size());
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return score[a] > score[b];
+                     });
+    idx.resize(k);
+    return idx;
+}
+
+} // anonymous namespace
+
+std::vector<std::size_t>
+selectByMagnitude(const std::vector<double> &coeffs, std::size_t k)
+{
+    std::vector<double> mag(coeffs.size());
+    for (std::size_t i = 0; i < coeffs.size(); ++i)
+        mag[i] = std::fabs(coeffs[i]);
+    return topKByScore(mag, k);
+}
+
+std::vector<std::size_t>
+selectByOrder(std::size_t total, std::size_t k)
+{
+    k = std::min(k, total);
+    std::vector<std::size_t> idx(k);
+    std::iota(idx.begin(), idx.end(), 0);
+    return idx;
+}
+
+std::vector<std::size_t>
+selectByMeanMagnitude(const std::vector<std::vector<double>> &coeffSets,
+                      std::size_t k)
+{
+    if (coeffSets.empty())
+        return {};
+    std::size_t n = coeffSets.front().size();
+    std::vector<double> mean(n, 0.0);
+    for (const auto &c : coeffSets) {
+        assert(c.size() == n);
+        for (std::size_t i = 0; i < n; ++i)
+            mean[i] += std::fabs(c[i]);
+    }
+    for (double &m : mean)
+        m /= static_cast<double>(coeffSets.size());
+    return topKByScore(mean, k);
+}
+
+std::vector<double>
+maskCoefficients(const std::vector<double> &coeffs,
+                 const std::vector<std::size_t> &keep)
+{
+    std::vector<double> out(coeffs.size(), 0.0);
+    for (std::size_t i : keep) {
+        assert(i < coeffs.size());
+        out[i] = coeffs[i];
+    }
+    return out;
+}
+
+double
+energyOf(const std::vector<double> &coeffs)
+{
+    double e = 0.0;
+    for (double c : coeffs)
+        e += c * c;
+    return e;
+}
+
+double
+energyFraction(const std::vector<double> &coeffs,
+               const std::vector<std::size_t> &keep)
+{
+    double total = energyOf(coeffs);
+    if (total <= 0.0)
+        return 0.0;
+    double kept = 0.0;
+    for (std::size_t i : keep)
+        kept += coeffs[i] * coeffs[i];
+    return kept / total;
+}
+
+std::vector<std::size_t>
+magnitudeRanks(const std::vector<double> &coeffs)
+{
+    auto order = selectByMagnitude(coeffs, coeffs.size());
+    std::vector<std::size_t> rank(coeffs.size(), 0);
+    for (std::size_t r = 0; r < order.size(); ++r)
+        rank[order[r]] = r;
+    return rank;
+}
+
+double
+topKStability(const std::vector<std::vector<double>> &coeffSets,
+              std::size_t k)
+{
+    if (coeffSets.empty())
+        return 1.0;
+    auto agg = selectByMeanMagnitude(coeffSets, k);
+    std::set<std::size_t> agg_set(agg.begin(), agg.end());
+
+    double acc = 0.0;
+    for (const auto &c : coeffSets) {
+        auto own = selectByMagnitude(c, k);
+        std::size_t inter = 0;
+        for (std::size_t i : own)
+            if (agg_set.count(i))
+                ++inter;
+        std::size_t uni = agg_set.size() + own.size() - inter;
+        acc += uni ? static_cast<double>(inter) / static_cast<double>(uni)
+                   : 1.0;
+    }
+    return acc / static_cast<double>(coeffSets.size());
+}
+
+} // namespace wavedyn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wavelet coefficient selection (paper Section 3).
+ *
+ * The predictor only models a small set of "important" coefficients and
+ * zeroes the rest before reconstruction. Two schemes from the paper:
+ *
+ *  - magnitude-based: keep the k largest-|c| coefficients. Across a
+ *    design space the selection must be stable (Figure 7), so training
+ *    ranks coefficients by mean |c| over all training configurations.
+ *  - order-based: keep the first k coefficients in layout order (the
+ *    approximation plus the coarsest details).
+ *
+ * The paper finds magnitude-based always wins; both are kept for the
+ * ablation bench.
+ */
+
+#ifndef WAVEDYN_WAVELET_SELECTION_HH
+#define WAVEDYN_WAVELET_SELECTION_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** Selection scheme identifiers. */
+enum class SelectionScheme { Magnitude, Order };
+
+/**
+ * Indices of the k largest-magnitude coefficients of one vector,
+ * in descending magnitude order (ties broken by lower index).
+ */
+std::vector<std::size_t> selectByMagnitude(const std::vector<double> &coeffs,
+                                           std::size_t k);
+
+/** Indices 0..k-1 (order-based selection). */
+std::vector<std::size_t> selectByOrder(std::size_t total, std::size_t k);
+
+/**
+ * Magnitude selection aggregated over many coefficient vectors (one per
+ * training configuration): rank by mean absolute value. This is what the
+ * trained predictor uses so every configuration shares one index set.
+ * @pre all vectors have equal length.
+ */
+std::vector<std::size_t>
+selectByMeanMagnitude(const std::vector<std::vector<double>> &coeffSets,
+                      std::size_t k);
+
+/**
+ * Zero every coefficient whose index is not in keep.
+ */
+std::vector<double> maskCoefficients(const std::vector<double> &coeffs,
+                                     const std::vector<std::size_t> &keep);
+
+/** Sum of squared coefficients. */
+double energyOf(const std::vector<double> &coeffs);
+
+/** Fraction of energy captured by the kept subset (0 when total is 0). */
+double energyFraction(const std::vector<double> &coeffs,
+                      const std::vector<std::size_t> &keep);
+
+/**
+ * Rank vector for Figure 7: rank[i] is the magnitude rank of coefficient
+ * i within this vector (0 = largest magnitude).
+ */
+std::vector<std::size_t> magnitudeRanks(const std::vector<double> &coeffs);
+
+/**
+ * Stability of top-k sets across configurations (Figure 7's claim made
+ * quantitative): mean Jaccard similarity between each configuration's
+ * top-k index set and the aggregate top-k set.
+ */
+double topKStability(const std::vector<std::vector<double>> &coeffSets,
+                     std::size_t k);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_WAVELET_SELECTION_HH

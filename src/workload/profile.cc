@@ -1,0 +1,576 @@
+#include "workload/profile.hh"
+
+#include <cassert>
+
+namespace wavedyn
+{
+
+double
+BenchmarkProfile::totalWeight() const
+{
+    double w = 0.0;
+    for (const auto &s : script)
+        w += s.weight;
+    return w;
+}
+
+void
+BenchmarkProfile::locate(double frac, std::size_t &segment,
+                         double &local) const
+{
+    assert(!script.empty());
+    if (frac < 0.0)
+        frac = 0.0;
+    // One full script iteration spans 1/scriptRepeats of the execution.
+    double reps = static_cast<double>(scriptRepeats ? scriptRepeats : 1);
+    double iter_pos = frac * reps;
+    iter_pos -= static_cast<std::uint64_t>(iter_pos); // wrap to [0,1)
+
+    double total = totalWeight();
+    double target = iter_pos * total;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < script.size(); ++i) {
+        double w = script[i].weight;
+        if (target < acc + w || i + 1 == script.size()) {
+            segment = i;
+            local = w > 0.0 ? (target - acc) / w : 0.0;
+            if (local < 0.0)
+                local = 0.0;
+            if (local >= 1.0)
+                local = 1.0 - 1e-12;
+            return;
+        }
+        acc += w;
+    }
+    segment = script.size() - 1;
+    local = 0.0;
+}
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+/** Convenience builder with the common-case fields. */
+PhaseSegment
+seg(double weight)
+{
+    PhaseSegment s;
+    s.weight = weight;
+    return s;
+}
+
+std::vector<BenchmarkProfile>
+buildBenchmarks()
+{
+    std::vector<BenchmarkProfile> out;
+
+    // ---- bzip2: integer compress/decompress alternation. Moderate
+    // working set, strong streaming, distinct phase pair.
+    {
+        BenchmarkProfile b;
+        b.name = "bzip2";
+        b.seed = 0xb21b;
+        b.scriptRepeats = 3;
+        PhaseSegment compress = seg(1.2);
+        compress.fracLoad = 0.24;
+        compress.fracStore = 0.12;
+        compress.fracBranch = 0.13;
+        compress.dataFootprint = 900 * KiB;
+        compress.streamFrac = 0.75;
+        compress.codeFootprint = 24 * KiB;
+        compress.depNearProb = 0.55;
+        compress.depMeanDist = 10;
+        compress.branchEntropy = 0.10;
+        compress.modAmp = 0.35;
+        compress.modCycles = 2.0;
+        PhaseSegment decompress = seg(1.0);
+        decompress.fracLoad = 0.30;
+        decompress.fracStore = 0.16;
+        decompress.fracBranch = 0.10;
+        decompress.dataFootprint = 224 * KiB;
+        decompress.streamFrac = 0.85;
+        decompress.codeFootprint = 16 * KiB;
+        decompress.depNearProb = 0.70;
+        decompress.depMeanDist = 6;
+        decompress.branchEntropy = 0.05;
+        decompress.modAmp = 0.2;
+        decompress.modCycles = 3.0;
+        b.script = {compress, decompress};
+        out.push_back(b);
+    }
+
+    // ---- crafty: chess search. Small data, branchy, high ILP swings,
+    // noticeable integer multiplies (hash keys).
+    {
+        BenchmarkProfile b;
+        b.name = "crafty";
+        b.seed = 0xc4af;
+        b.scriptRepeats = 4;
+        PhaseSegment search = seg(1.5);
+        search.fracLoad = 0.27;
+        search.fracStore = 0.07;
+        search.fracBranch = 0.16;
+        search.fracIntMul = 0.05;
+        search.dataFootprint = 96 * KiB;
+        search.streamFrac = 0.35;
+        search.codeFootprint = 96 * KiB;
+        search.avgBlockLen = 6;
+        search.loopPeriod = 9;
+        search.branchEntropy = 0.22;
+        search.depNearProb = 0.60;
+        search.depMeanDist = 8;
+        search.modAmp = 0.45;
+        search.modCycles = 2.5;
+        PhaseSegment eval = seg(1.0);
+        eval.fracLoad = 0.22;
+        eval.fracStore = 0.05;
+        eval.fracBranch = 0.18;
+        eval.fracIntMul = 0.03;
+        eval.dataFootprint = 40 * KiB;
+        eval.streamFrac = 0.50;
+        eval.codeFootprint = 128 * KiB;
+        eval.avgBlockLen = 5;
+        eval.loopPeriod = 7;
+        eval.branchEntropy = 0.28;
+        eval.depNearProb = 0.65;
+        eval.depMeanDist = 6;
+        eval.modAmp = 0.3;
+        eval.modCycles = 4.0;
+        b.script = {search, eval};
+        out.push_back(b);
+    }
+
+    // ---- eon: C++ ray tracing. FP-flavoured, small data, large code,
+    // regular loops, deep FP dependency chains.
+    {
+        BenchmarkProfile b;
+        b.name = "eon";
+        b.seed = 0xe01;
+        b.scriptRepeats = 3;
+        PhaseSegment trace = seg(1.0);
+        trace.fracLoad = 0.24;
+        trace.fracStore = 0.09;
+        trace.fracBranch = 0.11;
+        trace.fracFpAlu = 0.18;
+        trace.fracFpMul = 0.10;
+        trace.fracIntMul = 0.01;
+        trace.dataFootprint = 96 * KiB;
+        trace.streamFrac = 0.45;
+        trace.codeFootprint = 160 * KiB;
+        trace.avgBlockLen = 9;
+        trace.loopPeriod = 12;
+        trace.branchEntropy = 0.12;
+        trace.depNearProb = 0.45;
+        trace.depMeanDist = 14;
+        trace.modAmp = 0.25;
+        trace.modCycles = 3.0;
+        PhaseSegment shade = seg(0.8);
+        shade.fracLoad = 0.20;
+        shade.fracStore = 0.08;
+        shade.fracBranch = 0.09;
+        shade.fracFpAlu = 0.24;
+        shade.fracFpMul = 0.14;
+        shade.dataFootprint = 56 * KiB;
+        shade.streamFrac = 0.60;
+        shade.codeFootprint = 96 * KiB;
+        shade.avgBlockLen = 11;
+        shade.loopPeriod = 20;
+        shade.branchEntropy = 0.06;
+        shade.depNearProb = 0.35;
+        shade.depMeanDist = 18;
+        shade.modAmp = 0.2;
+        shade.modCycles = 2.0;
+        b.script = {trace, shade};
+        out.push_back(b);
+    }
+
+    // ---- gap: group theory. Bursty allocation phases, garbage-
+    // collection-like sweeps over a larger footprint.
+    {
+        BenchmarkProfile b;
+        b.name = "gap";
+        b.seed = 0x9a9;
+        b.scriptRepeats = 2;
+        PhaseSegment compute = seg(1.4);
+        compute.fracLoad = 0.26;
+        compute.fracStore = 0.11;
+        compute.fracBranch = 0.12;
+        compute.fracIntMul = 0.06;
+        compute.dataFootprint = 700 * KiB;
+        compute.streamFrac = 0.55;
+        compute.codeFootprint = 48 * KiB;
+        compute.depNearProb = 0.5;
+        compute.depMeanDist = 11;
+        compute.branchEntropy = 0.12;
+        compute.modAmp = 0.5;
+        compute.modCycles = 3.0;
+        PhaseSegment sweep = seg(0.6);
+        sweep.fracLoad = 0.34;
+        sweep.fracStore = 0.18;
+        sweep.fracBranch = 0.08;
+        sweep.dataFootprint = 3 * MiB;
+        sweep.streamFrac = 0.85;
+        sweep.codeFootprint = 12 * KiB;
+        sweep.depNearProb = 0.7;
+        sweep.depMeanDist = 5;
+        sweep.branchEntropy = 0.04;
+        sweep.modAmp = 0.15;
+        sweep.modCycles = 1.0;
+        b.script = {compute, sweep};
+        out.push_back(b);
+    }
+
+    // ---- gcc: compiler. Many short phases, huge code footprint,
+    // branch heavy with high entropy, data footprint swinging widely.
+    {
+        BenchmarkProfile b;
+        b.name = "gcc";
+        b.seed = 0x9cc;
+        b.scriptRepeats = 2;
+        PhaseSegment parse = seg(0.8);
+        parse.fracLoad = 0.28;
+        parse.fracStore = 0.12;
+        parse.fracBranch = 0.17;
+        parse.dataFootprint = 420 * KiB;
+        parse.streamFrac = 0.4;
+        parse.codeFootprint = 220 * KiB;
+        parse.avgBlockLen = 5;
+        parse.loopPeriod = 8;
+        parse.branchEntropy = 0.26;
+        parse.depNearProb = 0.6;
+        parse.depMeanDist = 8;
+        parse.modAmp = 0.3;
+        parse.modCycles = 2.0;
+        PhaseSegment optimize = seg(1.2);
+        optimize.fracLoad = 0.30;
+        optimize.fracStore = 0.10;
+        optimize.fracBranch = 0.14;
+        optimize.fracIntMul = 0.02;
+        optimize.dataFootprint = 1200 * KiB;
+        optimize.streamFrac = 0.3;
+        optimize.codeFootprint = 320 * KiB;
+        optimize.avgBlockLen = 6;
+        optimize.loopPeriod = 10;
+        optimize.branchEntropy = 0.2;
+        optimize.depNearProb = 0.5;
+        optimize.depMeanDist = 12;
+        optimize.modAmp = 0.45;
+        optimize.modCycles = 3.0;
+        PhaseSegment emit = seg(0.6);
+        emit.fracLoad = 0.24;
+        emit.fracStore = 0.2;
+        emit.fracBranch = 0.12;
+        emit.dataFootprint = 700 * KiB;
+        emit.streamFrac = 0.8;
+        emit.codeFootprint = 128 * KiB;
+        emit.avgBlockLen = 7;
+        emit.loopPeriod = 14;
+        emit.branchEntropy = 0.1;
+        emit.depNearProb = 0.65;
+        emit.depMeanDist = 7;
+        emit.modAmp = 0.2;
+        emit.modCycles = 1.5;
+        b.script = {parse, optimize, emit};
+        out.push_back(b);
+    }
+
+    // ---- mcf: single-depot vehicle scheduling. Memory bound pointer
+    // chasing over a footprint far beyond any L2 level; long-latency
+    // dependent loads dominate.
+    {
+        BenchmarkProfile b;
+        b.name = "mcf";
+        b.seed = 0x3cf;
+        b.scriptRepeats = 2;
+        PhaseSegment chase = seg(1.5);
+        chase.fracLoad = 0.36;
+        chase.fracStore = 0.09;
+        chase.fracBranch = 0.12;
+        chase.dataFootprint = 12 * MiB;
+        chase.streamFrac = 0.10;
+        chase.codeFootprint = 10 * KiB;
+        chase.avgBlockLen = 7;
+        chase.loopPeriod = 24;
+        chase.branchEntropy = 0.18;
+        chase.depNearProb = 0.75; // loads feed the next address
+        chase.depMeanDist = 4;
+        chase.modAmp = 0.35;
+        chase.modCycles = 2.0;
+        PhaseSegment relax = seg(0.5);
+        relax.fracLoad = 0.30;
+        relax.fracStore = 0.14;
+        relax.fracBranch = 0.10;
+        relax.dataFootprint = 5 * MiB;
+        relax.streamFrac = 0.55;
+        relax.codeFootprint = 8 * KiB;
+        relax.branchEntropy = 0.08;
+        relax.depNearProb = 0.55;
+        relax.depMeanDist = 9;
+        relax.modAmp = 0.25;
+        relax.modCycles = 1.0;
+        b.script = {chase, relax};
+        out.push_back(b);
+    }
+
+    // ---- parser: word processing. Recursive descent, erratic branches,
+    // dictionary working set around L2 scale.
+    {
+        BenchmarkProfile b;
+        b.name = "parser";
+        b.seed = 0xba5e;
+        b.scriptRepeats = 3;
+        PhaseSegment tokenize = seg(0.7);
+        tokenize.fracLoad = 0.27;
+        tokenize.fracStore = 0.09;
+        tokenize.fracBranch = 0.16;
+        tokenize.dataFootprint = 96 * KiB;
+        tokenize.streamFrac = 0.7;
+        tokenize.codeFootprint = 40 * KiB;
+        tokenize.avgBlockLen = 5;
+        tokenize.branchEntropy = 0.15;
+        tokenize.depNearProb = 0.65;
+        tokenize.depMeanDist = 6;
+        tokenize.modAmp = 0.2;
+        tokenize.modCycles = 2.0;
+        PhaseSegment analyze = seg(1.3);
+        analyze.fracLoad = 0.31;
+        analyze.fracStore = 0.08;
+        analyze.fracBranch = 0.15;
+        analyze.dataFootprint = 1400 * KiB;
+        analyze.streamFrac = 0.25;
+        analyze.codeFootprint = 72 * KiB;
+        analyze.avgBlockLen = 6;
+        analyze.loopPeriod = 7;
+        analyze.branchEntropy = 0.3;
+        analyze.depNearProb = 0.55;
+        analyze.depMeanDist = 10;
+        analyze.modAmp = 0.4;
+        analyze.modCycles = 3.5;
+        b.script = {tokenize, analyze};
+        out.push_back(b);
+    }
+
+    // ---- perlbmk: interpreter. Dispatch-loop pattern: big code
+    // footprint, indirect-branch-like entropy, small-to-mid data.
+    {
+        BenchmarkProfile b;
+        b.name = "perlbmk";
+        b.seed = 0x9e51;
+        b.scriptRepeats = 3;
+        PhaseSegment interp = seg(1.2);
+        interp.fracLoad = 0.29;
+        interp.fracStore = 0.12;
+        interp.fracBranch = 0.17;
+        interp.dataFootprint = 160 * KiB;
+        interp.streamFrac = 0.35;
+        interp.codeFootprint = 256 * KiB;
+        interp.avgBlockLen = 5;
+        interp.loopPeriod = 6;
+        interp.branchEntropy = 0.32;
+        interp.depNearProb = 0.6;
+        interp.depMeanDist = 7;
+        interp.modAmp = 0.3;
+        interp.modCycles = 2.5;
+        PhaseSegment regex = seg(0.8);
+        regex.fracLoad = 0.26;
+        regex.fracStore = 0.07;
+        regex.fracBranch = 0.2;
+        regex.dataFootprint = 56 * KiB;
+        regex.streamFrac = 0.6;
+        regex.codeFootprint = 64 * KiB;
+        regex.avgBlockLen = 4;
+        regex.loopPeriod = 5;
+        regex.branchEntropy = 0.12;
+        regex.depNearProb = 0.7;
+        regex.depMeanDist = 4;
+        regex.modAmp = 0.25;
+        regex.modCycles = 4.0;
+        b.script = {interp, regex};
+        out.push_back(b);
+    }
+
+    // ---- swim: FP stencil over large arrays. Heavy streaming, long
+    // FP chains, extremely regular branches, phases per sweep array.
+    {
+        BenchmarkProfile b;
+        b.name = "swim";
+        b.seed = 0x5317;
+        b.scriptRepeats = 4;
+        PhaseSegment sweep1 = seg(1.0);
+        sweep1.fracLoad = 0.33;
+        sweep1.fracStore = 0.15;
+        sweep1.fracBranch = 0.05;
+        sweep1.fracFpAlu = 0.22;
+        sweep1.fracFpMul = 0.12;
+        sweep1.dataFootprint = 6 * MiB;
+        sweep1.streamFrac = 0.95;
+        sweep1.codeFootprint = 6 * KiB;
+        sweep1.avgBlockLen = 16;
+        sweep1.loopPeriod = 64;
+        sweep1.branchEntropy = 0.01;
+        sweep1.depNearProb = 0.3;
+        sweep1.depMeanDist = 20;
+        sweep1.modAmp = 0.1;
+        sweep1.modCycles = 1.0;
+        PhaseSegment sweep2 = seg(1.0);
+        sweep2 = sweep1;
+        sweep2.dataFootprint = 3 * MiB;
+        sweep2.fracFpMul = 0.18;
+        sweep2.fracLoad = 0.30;
+        sweep2.depMeanDist = 26;
+        sweep2.modCycles = 2.0;
+        b.script = {sweep1, sweep2};
+        out.push_back(b);
+    }
+
+    // ---- twolf: place and route. Random small-structure access,
+    // moderate branches, annealing acceptance noise.
+    {
+        BenchmarkProfile b;
+        b.name = "twolf";
+        b.seed = 0x2a01f;
+        b.scriptRepeats = 3;
+        PhaseSegment move = seg(1.0);
+        move.fracLoad = 0.30;
+        move.fracStore = 0.10;
+        move.fracBranch = 0.14;
+        move.fracIntMul = 0.04;
+        move.dataFootprint = 520 * KiB;
+        move.streamFrac = 0.2;
+        move.codeFootprint = 56 * KiB;
+        move.avgBlockLen = 6;
+        move.loopPeriod = 11;
+        move.branchEntropy = 0.24;
+        move.depNearProb = 0.55;
+        move.depMeanDist = 9;
+        move.modAmp = 0.35;
+        move.modCycles = 3.0;
+        PhaseSegment cost = seg(0.7);
+        cost.fracLoad = 0.26;
+        cost.fracStore = 0.06;
+        cost.fracBranch = 0.12;
+        cost.fracIntMul = 0.08;
+        cost.dataFootprint = 128 * KiB;
+        cost.streamFrac = 0.45;
+        cost.codeFootprint = 32 * KiB;
+        cost.branchEntropy = 0.16;
+        cost.depNearProb = 0.5;
+        cost.depMeanDist = 12;
+        cost.modAmp = 0.25;
+        cost.modCycles = 2.0;
+        b.script = {move, cost};
+        out.push_back(b);
+    }
+
+    // ---- vortex: object database. Store-heavy transactions, large
+    // code, mid data footprint with poor locality.
+    {
+        BenchmarkProfile b;
+        b.name = "vortex";
+        b.seed = 0x0f7e;
+        b.scriptRepeats = 2;
+        PhaseSegment lookup = seg(1.0);
+        lookup.fracLoad = 0.31;
+        lookup.fracStore = 0.13;
+        lookup.fracBranch = 0.13;
+        lookup.dataFootprint = 1800 * KiB;
+        lookup.streamFrac = 0.3;
+        lookup.codeFootprint = 192 * KiB;
+        lookup.avgBlockLen = 6;
+        lookup.branchEntropy = 0.14;
+        lookup.depNearProb = 0.6;
+        lookup.depMeanDist = 8;
+        lookup.modAmp = 0.3;
+        lookup.modCycles = 2.0;
+        PhaseSegment update = seg(0.9);
+        update.fracLoad = 0.26;
+        update.fracStore = 0.22;
+        update.fracBranch = 0.11;
+        update.dataFootprint = 900 * KiB;
+        update.streamFrac = 0.5;
+        update.codeFootprint = 128 * KiB;
+        update.branchEntropy = 0.1;
+        update.depNearProb = 0.65;
+        update.depMeanDist = 7;
+        update.modAmp = 0.4;
+        update.modCycles = 3.0;
+        b.script = {lookup, update};
+        out.push_back(b);
+    }
+
+    // ---- vpr: FPGA place & route. Distinct place (random walk) and
+    // route (graph search) phases with an FP cost function.
+    {
+        BenchmarkProfile b;
+        b.name = "vpr";
+        b.seed = 0x09b5;
+        b.scriptRepeats = 2;
+        PhaseSegment place = seg(1.0);
+        place.fracLoad = 0.28;
+        place.fracStore = 0.09;
+        place.fracBranch = 0.13;
+        place.fracFpAlu = 0.08;
+        place.fracFpMul = 0.04;
+        place.dataFootprint = 380 * KiB;
+        place.streamFrac = 0.25;
+        place.codeFootprint = 48 * KiB;
+        place.avgBlockLen = 7;
+        place.loopPeriod = 13;
+        place.branchEntropy = 0.2;
+        place.depNearProb = 0.5;
+        place.depMeanDist = 10;
+        place.modAmp = 0.4;
+        place.modCycles = 2.5;
+        PhaseSegment route = seg(1.0);
+        route.fracLoad = 0.33;
+        route.fracStore = 0.08;
+        route.fracBranch = 0.15;
+        route.fracFpAlu = 0.05;
+        route.dataFootprint = 2200 * KiB;
+        route.streamFrac = 0.15;
+        route.codeFootprint = 64 * KiB;
+        route.avgBlockLen = 6;
+        route.loopPeriod = 9;
+        route.branchEntropy = 0.26;
+        route.depNearProb = 0.6;
+        route.depMeanDist = 8;
+        route.modAmp = 0.35;
+        route.modCycles = 3.0;
+        b.script = {place, route};
+        out.push_back(b);
+    }
+
+    return out;
+}
+
+} // anonymous namespace
+
+const std::vector<BenchmarkProfile> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> benches = buildBenchmarks();
+    return benches;
+}
+
+const BenchmarkProfile &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &b : allBenchmarks())
+        if (b.name == name)
+            return b;
+    assert(false && "unknown benchmark");
+    return allBenchmarks().front();
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &b : allBenchmarks())
+        names.push_back(b.name);
+    return names;
+}
+
+} // namespace wavedyn

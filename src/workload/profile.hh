@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic benchmark profiles standing in for the SPEC CPU 2000
+ * binaries the paper simulates (see DESIGN.md, substitutions).
+ *
+ * Each profile is a phase script: a loop over segments whose instruction
+ * mix, dependency structure, memory footprints and branch behaviour
+ * differ, plus within-segment modulation. Phase boundaries and
+ * modulation produce the time-varying behaviour ("workload dynamics")
+ * the paper predicts; footprints and dependency distances couple that
+ * behaviour to the nine design-space parameters (cache capacities and
+ * latencies, queue sizes, fetch width).
+ */
+
+#ifndef WAVEDYN_WORKLOAD_PROFILE_HH
+#define WAVEDYN_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wavedyn
+{
+
+/**
+ * One phase segment. Fractions refer to the instruction mix; the
+ * remainder after all listed classes is integer ALU work.
+ */
+struct PhaseSegment
+{
+    double weight = 1.0;      //!< share of one script iteration
+
+    // Instruction mix.
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracBranch = 0.12; //!< includes a sliver of calls/returns
+    double fracFpAlu = 0.0;
+    double fracFpMul = 0.0;
+    double fracIntMul = 0.02;
+
+    // Dependency structure.
+    double depNearProb = 0.5; //!< chance a source is 1-3 instrs back
+    double depMeanDist = 12;  //!< mean backward distance otherwise
+    double dep2Prob = 0.4;    //!< chance of a second source operand
+
+    // Memory behaviour.
+    std::uint64_t dataFootprint = 1 << 20; //!< bytes touched
+    double streamFrac = 0.6;  //!< sequential (vs random) access share
+
+    // Code behaviour.
+    std::uint64_t codeFootprint = 64 << 10; //!< bytes of hot code
+    double avgBlockLen = 8;   //!< dynamic basic block length
+
+    // Branch behaviour.
+    double loopPeriod = 16;   //!< loop exit every ~N blocks
+    double branchEntropy = 0.1; //!< chance a branch flips randomly
+
+    // Within-segment modulation of footprint and miss behaviour.
+    double modAmp = 0.3;      //!< relative amplitude
+    double modCycles = 2.0;   //!< sinusoid periods per segment
+};
+
+/** A named benchmark: seed + looping phase script. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::size_t scriptRepeats = 2; //!< script iterations per execution
+    std::vector<PhaseSegment> script;
+
+    /** Sum of segment weights. */
+    double totalWeight() const;
+
+    /**
+     * Segment index and local progress (0..1 within the segment) for a
+     * global execution fraction in [0,1).
+     */
+    void locate(double frac, std::size_t &segment, double &local) const;
+};
+
+/** The twelve SPEC CPU 2000 benchmarks the paper evaluates. */
+const std::vector<BenchmarkProfile> &allBenchmarks();
+
+/** Look up a benchmark by name; asserts when absent. */
+const BenchmarkProfile &benchmarkByName(const std::string &name);
+
+/** All benchmark names, paper order. */
+std::vector<std::string> benchmarkNames();
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_WORKLOAD_PROFILE_HH

@@ -1,0 +1,321 @@
+#include "workload/stream.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+// Draw slots per instruction index; every random decision about
+// instruction i uses counter i * drawSlots + slot so decisions are
+// independent and reproducible.
+enum DrawSlot : std::uint64_t
+{
+    SlotClass = 0,
+    SlotDep1Near,
+    SlotDep1Dist,
+    SlotDep2Prob,
+    SlotDep2Dist,
+    SlotAddrKind,
+    SlotAddrValue,
+    SlotBranchFlip,
+    SlotControlKind,
+    DrawSlots,
+};
+
+/** Geometric-ish distance from a uniform draw with the given mean. */
+std::uint32_t
+geometricDistance(double u, double mean, std::uint32_t cap)
+{
+    if (u >= 1.0)
+        u = 1.0 - 1e-12;
+    // Inverse CDF of an exponential with the requested mean.
+    double d = -mean * std::log1p(-u);
+    std::uint32_t v = static_cast<std::uint32_t>(d) + 1;
+    return v > cap ? cap : v;
+}
+
+} // anonymous namespace
+
+InstructionStream::InstructionStream(const BenchmarkProfile &profile,
+                                     std::uint64_t totalInstrs)
+    : prof(profile), total(totalInstrs ? totalInstrs : 1),
+      rng(hashCombine(profile.seed, 0x77a4edULL))
+{
+}
+
+void
+InstructionStream::locate(std::uint64_t i, std::size_t &seg,
+                          double &local) const
+{
+    double frac = static_cast<double>(i % total) /
+                  static_cast<double>(total);
+    prof.locate(frac, seg, local);
+}
+
+std::size_t
+InstructionStream::segmentAt(std::uint64_t i) const
+{
+    std::size_t seg;
+    double local;
+    locate(i, seg, local);
+    return seg;
+}
+
+std::uint64_t
+InstructionStream::blockLenOf(const PhaseSegment &s)
+{
+    double len = std::round(s.avgBlockLen);
+    if (len < 2.0)
+        len = 2.0;
+    return static_cast<std::uint64_t>(len);
+}
+
+std::uint64_t
+InstructionStream::dataFootprintAt(std::uint64_t i) const
+{
+    std::size_t seg_idx;
+    double local;
+    locate(i, seg_idx, local);
+    const PhaseSegment &seg = prof.script[seg_idx];
+
+    // Quantise the modulation (32 steps per segment) and round the
+    // footprint to 8 KiB so addresses keep their locality within a
+    // chunk instead of being re-wrapped every instruction.
+    double local_q = std::floor(local * 32.0) / 32.0;
+    double mod = 1.0 + seg.modAmp *
+                 std::sin(2.0 * M_PI * seg.modCycles * local_q);
+    double fp = static_cast<double>(seg.dataFootprint) * mod;
+    if (fp < 8192.0)
+        fp = 8192.0;
+    return static_cast<std::uint64_t>(fp) & ~8191ull;
+}
+
+MicroOp
+InstructionStream::at(std::uint64_t i) const
+{
+    std::size_t seg_idx;
+    double local;
+    locate(i, seg_idx, local);
+    const PhaseSegment &seg = prof.script[seg_idx];
+    const std::uint64_t base_ctr = i * DrawSlots;
+
+    MicroOp op;
+
+    // ---- Block structure and PC. Blocks of length L end in a control
+    // op. The dynamic block sequence is loop structured: an inner loop
+    // body of `loopBody` blocks executes `lp` iterations before the
+    // walk advances — so branch PCs recur immediately (predictor
+    // tables train) and instruction lines are reused (IL1 locality).
+    const std::uint64_t L = blockLenOf(seg);
+    const std::uint64_t block = i / L;
+    const std::uint64_t pos = i % L;
+    const std::uint64_t block_bytes = L * 4;
+
+    std::uint64_t lp =
+        static_cast<std::uint64_t>(std::round(seg.loopPeriod));
+    if (lp < 2)
+        lp = 2;
+    constexpr std::uint64_t loopBody = 4; //!< blocks per inner loop
+
+    std::uint64_t static_blocks = seg.codeFootprint / block_bytes;
+    if (static_blocks == 0)
+        static_blocks = 1;
+    // Hot code region: the walk folds onto a sixteenth of the static
+    // footprint; rare jumps touch the cold remainder. IL1 behaviour
+    // keys off il1_size vs hot-region size. The region size is kept a
+    // multiple of loopBody so folding preserves a block's position
+    // within the loop body — a static PC is then *always* a back edge
+    // or *always* a forward branch, which predictor tables rely on.
+    std::uint64_t hot_blocks = (static_blocks / 16) & ~(loopBody - 1);
+    if (hot_blocks < loopBody)
+        hot_blocks = loopBody;
+    // Per-segment code region so different phases run different code.
+    const std::uint64_t code_region =
+        hashCombine(prof.seed, 0xc0de0000ull + seg_idx) << 20;
+
+    // Dynamic block -> static slot through a two-level loop structure:
+    // inner loops of loopBody blocks iterate lp times, and a "function"
+    // of funcInstances such loops is itself re-entered funcRepeats
+    // times before the walk advances. The second level gives branch
+    // PCs and code lines the medium-range temporal reuse real call
+    // chains have; without it predictor tables never warm up.
+    constexpr std::uint64_t funcInstances = 16;
+    constexpr std::uint64_t funcRepeats = 8;
+    const std::uint64_t span = loopBody * lp;
+    auto slot_of = [&](std::uint64_t b) {
+        std::uint64_t instance_raw = b / span;
+        std::uint64_t func = instance_raw / (funcInstances * funcRepeats);
+        std::uint64_t within_f =
+            instance_raw % (funcInstances * funcRepeats);
+        std::uint64_t instance_eff =
+            func * funcInstances + (within_f % funcInstances);
+        std::uint64_t inner = (b % span) % loopBody;
+        return instance_eff * loopBody + inner;
+    };
+    // Static slot -> code address (hot walk with rare cold jumps).
+    auto base_of_slot = [&](std::uint64_t s) {
+        std::uint64_t h = splitmix64(hashCombine(prof.seed, s));
+        std::uint64_t sb;
+        if ((h & 15) != 0) {
+            sb = s % hot_blocks;
+        } else {
+            sb = hot_blocks +
+                 (static_blocks > hot_blocks
+                      ? h % (static_blocks - hot_blocks)
+                      : 0);
+        }
+        return code_region + sb * block_bytes;
+    };
+    auto block_base = [&](std::uint64_t b) {
+        return base_of_slot(slot_of(b));
+    };
+    op.pc = block_base(block) + pos * 4;
+
+    const bool is_control = pos == L - 1;
+
+    // ---- Class selection.
+    if (is_control) {
+        double u = rng.uniformAt(base_ctr + SlotControlKind);
+        if (u < 0.04)
+            op.cls = InstrClass::Call;
+        else if (u < 0.08)
+            op.cls = InstrClass::Return;
+        else
+            op.cls = InstrClass::Branch;
+    } else {
+        // Renormalise the non-control mix over the remaining slots.
+        double f_load = seg.fracLoad;
+        double f_store = seg.fracStore;
+        double f_fpalu = seg.fracFpAlu;
+        double f_fpmul = seg.fracFpMul;
+        double f_imul = seg.fracIntMul;
+        double sum = f_load + f_store + f_fpalu + f_fpmul + f_imul;
+        double scale = sum > 0.92 ? 0.92 / sum : 1.0;
+        double u = rng.uniformAt(base_ctr + SlotClass);
+        double acc = f_load * scale;
+        if (u < acc) {
+            op.cls = InstrClass::Load;
+        } else if (u < (acc += f_store * scale)) {
+            op.cls = InstrClass::Store;
+        } else if (u < (acc += f_fpalu * scale)) {
+            op.cls = InstrClass::FpAlu;
+        } else if (u < (acc += f_fpmul * scale)) {
+            op.cls = InstrClass::FpMul;
+        } else if (u < (acc += f_imul * scale)) {
+            op.cls = InstrClass::IntMul;
+        } else {
+            op.cls = InstrClass::IntAlu;
+        }
+    }
+
+    // ---- Register dependencies (backward distances).
+    {
+        constexpr std::uint32_t cap = 256;
+        bool near = rng.chanceAt(base_ctr + SlotDep1Near,
+                                 seg.depNearProb);
+        if (near) {
+            op.dep1 = 1 + static_cast<std::uint32_t>(
+                rng.belowAt(base_ctr + SlotDep1Dist, 3));
+        } else {
+            op.dep1 = 3 + geometricDistance(
+                rng.uniformAt(base_ctr + SlotDep1Dist),
+                seg.depMeanDist, cap);
+        }
+        if (rng.chanceAt(base_ctr + SlotDep2Prob, seg.dep2Prob)) {
+            op.dep2 = 1 + geometricDistance(
+                rng.uniformAt(base_ctr + SlotDep2Dist),
+                seg.depMeanDist * 0.5 + 1.0, cap);
+        }
+        // Instruction 0..k has no producers further back than i.
+        if (op.dep1 > i)
+            op.dep1 = 0;
+        if (op.dep2 > i)
+            op.dep2 = 0;
+    }
+
+    // ---- Memory addresses.
+    if (isMem(op.cls)) {
+        const std::uint64_t fp = dataFootprintAt(i);
+        // Per-segment data region keeps phases in distinct address space.
+        const std::uint64_t data_region =
+            0x100000000ull +
+            (hashCombine(prof.seed, 0xda7a0000ull + seg_idx) << 24);
+        bool streaming = rng.chanceAt(base_ctr + SlotAddrKind,
+                                      seg.streamFrac);
+        std::uint64_t offset;
+        if (streaming) {
+            // Four interleaved sequential streams, each cycling a
+            // window of its quarter of the footprint. The window scales
+            // with the footprint (clamped to [8 KiB, 256 KiB]) so small
+            // working sets revisit and become cache resident while
+            // large ones keep streaming — giving the cache-capacity
+            // regimes the design space must distinguish.
+            std::uint64_t sid = i & 3;
+            std::uint64_t window = fp / 8;
+            if (window < 8192)
+                window = 8192;
+            if (window > 262144)
+                window = 262144;
+            std::uint64_t step = ((i >> 2) * 8) % window;
+            offset = (sid * (fp / 4) + step) % fp;
+        } else {
+            // "Random" accesses keep temporal locality: 31/32 hit a
+            // hot quarter of the footprint (so dl1/L2 capacity vs
+            // footprint decides the hit rate), the rest roam the whole
+            // structure (a trickle of compulsory misses, as pointer
+            // chasing produces in practice).
+            std::uint64_t draw = rng.at(base_ctr + SlotAddrValue);
+            std::uint64_t hot = fp / 4 ? fp / 4 : fp;
+            if ((draw & 31) != 0)
+                offset = (draw >> 5) % hot;
+            else
+                offset = (draw >> 5) % fp;
+            offset &= ~7ull;
+        }
+        op.effAddr = data_region + offset;
+    }
+
+    // ---- Control resolution.
+    if (isControl(op.cls)) {
+        std::uint64_t within = block % span;
+        std::uint64_t iter = within / loopBody;
+        std::uint64_t inner = within % loopBody;
+
+        bool taken;
+        if (inner == loopBody - 1) {
+            // Back edge: taken on every iteration but the last.
+            taken = iter != lp - 1;
+        } else {
+            // Forward branch: direction is a fixed per-PC bias, which
+            // a gshare predictor learns quickly. Keyed by the *code
+            // address* so slots folding onto one PC agree.
+            std::uint64_t h = splitmix64(
+                hashCombine(prof.seed ^ 0xf0f0f0f0ull, op.pc));
+            taken = (h & 3) != 0; // three quarters of PCs taken-biased
+        }
+        // Data-dependent noise. Real programs concentrate hard-to-
+        // predict outcomes in a minority of branches; spreading flips
+        // uniformly would randomise the global history and destroy
+        // gshare for *every* branch. One eighth of branch PCs are
+        // "noisy" and flip at half the segment's branchEntropy; the
+        // rest flip only rarely.
+        std::uint64_t pc_h = splitmix64(
+            hashCombine(prof.seed ^ 0x9192939495ull, op.pc));
+        double flip = (pc_h % 8 == 0) ? 0.5 * seg.branchEntropy
+                                      : 0.01 * seg.branchEntropy;
+        if (rng.chanceAt(base_ctr + SlotBranchFlip, flip))
+            taken = !taken;
+        if (op.cls == InstrClass::Call || op.cls == InstrClass::Return)
+            taken = true;
+        op.branchTaken = taken;
+        op.branchTarget = block_base(block + 1);
+    }
+
+    return op;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic synthetic instruction stream.
+ *
+ * MicroOp i is a pure function of (profile, totalInstrs, i): the stream
+ * generator uses a counter-based RNG so the identical "program" is
+ * replayed on every microarchitecture configuration, and simulation can
+ * be chunked into intervals without storing the trace.
+ *
+ * Structure:
+ *  - Execution position i maps to a phase segment through the profile's
+ *    looping phase script (fraction i/totalInstrs).
+ *  - Dynamic basic blocks of the segment's average length end in a
+ *    control micro-op; block ids map onto a finite static code footprint
+ *    so branch predictors see recurring PCs.
+ *  - Loads/stores address a per-segment data footprint through a mix of
+ *    sequential streams and uniform random accesses; the effective
+ *    footprint is modulated sinusoidally within a segment, which is one
+ *    of the sources of time-varying cache behaviour.
+ */
+
+#ifndef WAVEDYN_WORKLOAD_STREAM_HH
+#define WAVEDYN_WORKLOAD_STREAM_HH
+
+#include <cstdint>
+
+#include "util/rng.hh"
+#include "workload/instruction.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/** Generates the committed micro-op stream of one benchmark run. */
+class InstructionStream
+{
+  public:
+    /**
+     * @param profile the benchmark to synthesise
+     * @param totalInstrs nominal dynamic length of the run (defines the
+     *        phase-script time base; indices beyond it wrap).
+     */
+    InstructionStream(const BenchmarkProfile &profile,
+                      std::uint64_t totalInstrs);
+
+    /** The micro-op at dynamic index i. Pure function of (this, i). */
+    MicroOp at(std::uint64_t i) const;
+
+    /** Segment index active at dynamic index i. */
+    std::size_t segmentAt(std::uint64_t i) const;
+
+    /**
+     * Effective (modulated) data footprint in bytes at index i;
+     * exposed for tests and diagnostics.
+     */
+    std::uint64_t dataFootprintAt(std::uint64_t i) const;
+
+    std::uint64_t totalInstructions() const { return total; }
+
+    const BenchmarkProfile &profile() const { return prof; }
+
+  private:
+    /** Segment and local progress for index i. */
+    void locate(std::uint64_t i, std::size_t &seg, double &local) const;
+
+    /** Rounded dynamic block length of a segment (>= 2). */
+    static std::uint64_t blockLenOf(const PhaseSegment &s);
+
+    const BenchmarkProfile &prof;
+    std::uint64_t total;
+    CounterRng rng;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_WORKLOAD_STREAM_HH

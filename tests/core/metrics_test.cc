@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for predictor evaluation metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metrics.hh"
+#include "dse/sampling.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(DirectionalAsymmetryQ, PerfectPredictionIsZero)
+{
+    std::vector<double> t = {1, 2, 3, 4, 5, 4, 3, 2};
+    auto a = directionalAsymmetryQ(t, t);
+    ASSERT_EQ(a.size(), 3u);
+    for (double v : a)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(DirectionalAsymmetryQ, InvertedPredictionIsBad)
+{
+    std::vector<double> actual = {0, 0, 0, 0, 10, 10, 10, 10};
+    std::vector<double> inverted = {10, 10, 10, 10, 0, 0, 0, 0};
+    auto a = directionalAsymmetryQ(actual, inverted);
+    for (double v : a)
+        EXPECT_DOUBLE_EQ(v, 100.0);
+}
+
+TEST(DirectionalAsymmetryQ, PartialDisagreement)
+{
+    std::vector<double> actual = {0, 0, 10, 10};
+    std::vector<double> pred = {0, 10, 10, 10}; // one sample wrong
+    auto a = directionalAsymmetryQ(actual, pred);
+    // Thresholds 2.5, 5, 7.5: sample 1 disagrees at all levels.
+    for (double v : a)
+        EXPECT_DOUBLE_EQ(v, 25.0);
+}
+
+TEST(MeanDirectionalAsymmetryQ, AveragesAcrossTraces)
+{
+    std::vector<double> perfect = {0, 0, 10, 10};
+    std::vector<double> wrong = {10, 10, 0, 0};
+    auto m = meanDirectionalAsymmetryQ({perfect, perfect},
+                                       {perfect, wrong});
+    for (double v : m)
+        EXPECT_DOUBLE_EQ(v, 50.0);
+}
+
+TEST(MeanDirectionalAsymmetryQ, EmptyInput)
+{
+    auto m = meanDirectionalAsymmetryQ({}, {});
+    ASSERT_EQ(m.size(), 3u);
+    for (double v : m)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(FractionAbove, Basics)
+{
+    std::vector<double> t = {1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(fractionAbove(t, 2.5), 0.5);
+    EXPECT_DOUBLE_EQ(fractionAbove(t, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(fractionAbove(t, 9.0), 0.0);
+    EXPECT_DOUBLE_EQ(fractionAbove({}, 1.0), 0.0);
+}
+
+TEST(FractionAbove, StrictlyAbove)
+{
+    std::vector<double> t = {2.0, 2.0};
+    EXPECT_DOUBLE_EQ(fractionAbove(t, 2.0), 0.0);
+}
+
+TEST(ExceedanceAgreement, AgreesWhenBothExceed)
+{
+    std::vector<double> a = {0.1, 0.5};
+    std::vector<double> p = {0.0, 0.45};
+    EXPECT_TRUE(exceedanceAgreement(a, p, 0.3));
+}
+
+TEST(ExceedanceAgreement, AgreesWhenNeitherExceeds)
+{
+    std::vector<double> a = {0.1, 0.2};
+    std::vector<double> p = {0.05, 0.25};
+    EXPECT_TRUE(exceedanceAgreement(a, p, 0.3));
+}
+
+TEST(ExceedanceAgreement, DisagreesOnMissedEmergency)
+{
+    std::vector<double> a = {0.1, 0.5};
+    std::vector<double> p = {0.1, 0.2};
+    EXPECT_FALSE(exceedanceAgreement(a, p, 0.3));
+}
+
+TEST(EvaluatePredictor, ZeroErrorOnMemorizedConstantFamily)
+{
+    // Constant traces independent of config: any model family nails it.
+    DesignSpace space = DesignSpace::paper();
+    Rng rng(3);
+    auto train = latinHypercube(space, 30, rng);
+    auto test = randomTestSample(space, 6, rng);
+    std::vector<std::vector<double>> train_traces(
+        train.size(), std::vector<double>(32, 2.5));
+    std::vector<std::vector<double>> test_traces(
+        test.size(), std::vector<double>(32, 2.5));
+
+    WaveletNeuralPredictor p;
+    p.train(space, train, train_traces);
+    auto res = evaluatePredictor(p, test, test_traces);
+    ASSERT_EQ(res.msePerTest.size(), test.size());
+    for (double m : res.msePerTest)
+        EXPECT_LT(m, 0.01);
+    EXPECT_LT(res.summary.median, 0.01);
+}
+
+TEST(EvaluatePredictor, SummaryMatchesBoxplotOfPerTest)
+{
+    DesignSpace space = DesignSpace::paper();
+    Rng rng(5);
+    auto train = latinHypercube(space, 30, rng);
+    auto test = randomTestSample(space, 8, rng);
+    auto trace_for = [&](const DesignPoint &p) {
+        auto n = space.normalize(p);
+        std::vector<double> t(32);
+        for (std::size_t i = 0; i < 32; ++i)
+            t[i] = 1.0 + n[FetchWidth] +
+                   0.3 * std::sin(0.2 * static_cast<double>(i));
+        return t;
+    };
+    std::vector<std::vector<double>> train_traces, test_traces;
+    for (const auto &p : train)
+        train_traces.push_back(trace_for(p));
+    for (const auto &p : test)
+        test_traces.push_back(trace_for(p));
+
+    WaveletNeuralPredictor p;
+    p.train(space, train, train_traces);
+    auto res = evaluatePredictor(p, test, test_traces);
+    auto manual = boxplot(res.msePerTest);
+    EXPECT_DOUBLE_EQ(res.summary.median, manual.median);
+    EXPECT_DOUBLE_EQ(res.summary.q1, manual.q1);
+    EXPECT_DOUBLE_EQ(res.summary.q3, manual.q3);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for suite report rendering (text / Markdown / CSV).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+SuiteReport
+fakeReport()
+{
+    SuiteReport r;
+    for (const char *bench : {"gcc", "mcf"}) {
+        for (Domain d : {Domain::Cpi, Domain::Power}) {
+            SuiteCell c;
+            c.benchmark = bench;
+            c.domain = d;
+            c.msePerTest = {1.0, 2.0, 3.0};
+            c.mse = boxplot(c.msePerTest);
+            c.asymmetryQ = {1.0, 2.0, 3.0};
+            r.cells.push_back(c);
+        }
+    }
+    return r;
+}
+
+TEST(Report, TextContainsBenchmarksAndDomains)
+{
+    auto s = renderSuiteText(fakeReport());
+    EXPECT_NE(s.find("gcc"), std::string::npos);
+    EXPECT_NE(s.find("mcf"), std::string::npos);
+    EXPECT_NE(s.find("CPI"), std::string::npos);
+    EXPECT_NE(s.find("Power"), std::string::npos);
+    EXPECT_NE(s.find("overall median"), std::string::npos);
+}
+
+TEST(Report, TextShowsMedianAndQuartiles)
+{
+    auto s = renderSuiteText(fakeReport());
+    // median 2, q1 1.5, q3 2.5 of {1,2,3}.
+    EXPECT_NE(s.find("2.000 [1.500, 2.500]"), std::string::npos);
+}
+
+TEST(Report, MarkdownHasTableStructure)
+{
+    auto s = renderSuiteMarkdown(fakeReport());
+    EXPECT_NE(s.find("| benchmark |"), std::string::npos);
+    EXPECT_NE(s.find("|---|"), std::string::npos);
+    EXPECT_NE(s.find("| gcc |"), std::string::npos);
+    EXPECT_NE(s.find("**overall median**"), std::string::npos);
+}
+
+TEST(Report, CsvOneRowPerTestConfig)
+{
+    auto s = renderSuiteCsv(fakeReport());
+    // Header + 2 benchmarks x 2 domains x 3 configs = 13 lines.
+    std::size_t lines = 0;
+    for (char ch : s)
+        if (ch == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 13u);
+    EXPECT_NE(s.find("gcc,CPI,0,1.000000"), std::string::npos);
+    EXPECT_NE(s.find("mcf,Power,2,3.000000"), std::string::npos);
+}
+
+TEST(Report, EmptyReportDoesNotCrash)
+{
+    SuiteReport empty;
+    EXPECT_FALSE(renderSuiteCsv(empty).empty()); // header only
+    renderSuiteText(empty);
+    renderSuiteMarkdown(empty);
+}
+
+TEST(Report, MissingCellRendersDash)
+{
+    SuiteReport r = fakeReport();
+    // Remove one cell: gcc/Power.
+    r.cells.erase(r.cells.begin() + 1);
+    auto s = renderSuiteText(r);
+    EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the experiment orchestration layer (specs, dataset
+ * generation at smoke scale, scenario-level helpers).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+ExperimentSpec
+tinySpec(const std::string &bench = "bzip2")
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.trainPoints = 12;
+    spec.testPoints = 4;
+    spec.samples = 16;
+    spec.intervalInstrs = 150;
+    return spec;
+}
+
+TEST(ExperimentSpec, ForScaleFullMatchesPaper)
+{
+    auto spec = ExperimentSpec::forScale("gcc", Scale::Full);
+    EXPECT_EQ(spec.benchmark, "gcc");
+    EXPECT_EQ(spec.trainPoints, 200u);
+    EXPECT_EQ(spec.testPoints, 50u);
+    EXPECT_EQ(spec.samples, 128u);
+}
+
+TEST(ExperimentSpec, DefaultDomainsAreThree)
+{
+    ExperimentSpec spec;
+    EXPECT_EQ(spec.domains.size(), 3u);
+}
+
+TEST(GenerateExperimentData, ShapesConsistent)
+{
+    auto data = generateExperimentData(tinySpec());
+    EXPECT_EQ(data.space.dimensions(), 9u);
+    EXPECT_GT(data.trainPoints.size(), 8u);
+    EXPECT_EQ(data.testPoints.size(), 4u);
+    for (Domain d : allDomains()) {
+        ASSERT_TRUE(data.trainTraces.count(d));
+        ASSERT_TRUE(data.testTraces.count(d));
+        EXPECT_EQ(data.trainTraces.at(d).size(),
+                  data.trainPoints.size());
+        EXPECT_EQ(data.testTraces.at(d).size(), data.testPoints.size());
+        for (const auto &t : data.trainTraces.at(d))
+            EXPECT_EQ(t.size(), 16u);
+    }
+}
+
+TEST(GenerateExperimentData, TrainPointsOnTrainLevels)
+{
+    auto data = generateExperimentData(tinySpec("crafty"));
+    for (const auto &p : data.trainPoints)
+        EXPECT_TRUE(data.space.valid(p));
+}
+
+TEST(GenerateExperimentData, Deterministic)
+{
+    auto a = generateExperimentData(tinySpec("vpr"));
+    auto b = generateExperimentData(tinySpec("vpr"));
+    ASSERT_EQ(a.trainPoints.size(), b.trainPoints.size());
+    EXPECT_EQ(a.trainPoints, b.trainPoints);
+    EXPECT_EQ(a.trainTraces.at(Domain::Cpi),
+              b.trainTraces.at(Domain::Cpi));
+}
+
+TEST(GenerateExperimentData, SeedChangesSample)
+{
+    auto spec_a = tinySpec();
+    auto spec_b = tinySpec();
+    spec_b.seed = spec_a.seed + 1;
+    auto a = generateExperimentData(spec_a);
+    auto b = generateExperimentData(spec_b);
+    EXPECT_NE(a.trainPoints, b.trainPoints);
+}
+
+TEST(GenerateExperimentData, RandomTrainingAblation)
+{
+    auto spec = tinySpec();
+    spec.randomTraining = true;
+    auto data = generateExperimentData(spec);
+    EXPECT_GT(data.trainPoints.size(), 8u);
+    for (const auto &p : data.trainPoints)
+        EXPECT_TRUE(data.space.valid(p));
+}
+
+TEST(GenerateExperimentData, IqAvfDomainOnRequest)
+{
+    auto spec = tinySpec();
+    spec.domains = {Domain::IqAvf, Domain::Power};
+    auto data = generateExperimentData(spec);
+    EXPECT_TRUE(data.trainTraces.count(Domain::IqAvf));
+    EXPECT_TRUE(data.trainTraces.count(Domain::Power));
+    EXPECT_FALSE(data.trainTraces.count(Domain::Cpi));
+}
+
+TEST(TrainAndEvaluate, ProducesFiniteAccuracy)
+{
+    auto data = generateExperimentData(tinySpec("gap"));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto out = trainAndEvaluate(data, Domain::Cpi, opts);
+    EXPECT_TRUE(out.predictor.trained());
+    EXPECT_EQ(out.eval.msePerTest.size(), data.testPoints.size());
+    for (double m : out.eval.msePerTest) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LT(m, 100.0);
+    }
+}
+
+TEST(AccuracySummary, MatchesTrainAndEvaluate)
+{
+    auto data = generateExperimentData(tinySpec("eon"));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto direct = trainAndEvaluate(data, Domain::Power, opts);
+    auto summary = accuracySummary(data, Domain::Power, opts);
+    EXPECT_DOUBLE_EQ(summary.median, direct.eval.summary.median);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for predictor persistence: exact round-trips for every model
+ * family and graceful failure on malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/serialize.hh"
+#include "dse/sampling.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+struct TinyData
+{
+    DesignSpace space;
+    std::vector<DesignPoint> train, test;
+    std::vector<std::vector<double>> traces;
+};
+
+TinyData
+makeData(std::uint64_t seed = 5)
+{
+    TinyData d;
+    d.space = DesignSpace::paper();
+    Rng rng(seed);
+    d.train = bestLatinHypercube(d.space, 30, 4, rng);
+    d.test = randomTestSample(d.space, 6, rng);
+    for (const auto &p : d.train) {
+        auto n = d.space.normalize(p);
+        std::vector<double> t(32);
+        for (std::size_t i = 0; i < t.size(); ++i)
+            t[i] = 1.0 + n[L2Size] +
+                   0.4 * std::sin(0.4 * static_cast<double>(i)) *
+                       (1.0 + n[FetchWidth]);
+        d.traces.push_back(t);
+    }
+    return d;
+}
+
+WaveletNeuralPredictor
+trainOne(const TinyData &d, CoefficientModel model)
+{
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    opts.model = model;
+    WaveletNeuralPredictor p(opts);
+    p.train(d.space, d.train, d.traces);
+    return p;
+}
+
+class SerializeModels
+    : public ::testing::TestWithParam<CoefficientModel>
+{
+};
+
+TEST_P(SerializeModels, ExactRoundTrip)
+{
+    auto d = makeData();
+    auto original = trainOne(d, GetParam());
+
+    std::stringstream buf;
+    savePredictor(original, buf);
+    auto restored = loadPredictor(buf);
+
+    EXPECT_TRUE(restored.trained());
+    EXPECT_EQ(restored.traceLength(), original.traceLength());
+    EXPECT_EQ(restored.selectedCoefficients(),
+              original.selectedCoefficients());
+    for (const auto &pt : d.test) {
+        auto a = original.predictTrace(pt);
+        auto b = restored.predictTrace(pt);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            ASSERT_DOUBLE_EQ(a[i], b[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, SerializeModels,
+                         ::testing::Values(CoefficientModel::Rbf,
+                                           CoefficientModel::Linear,
+                                           CoefficientModel::GlobalMean));
+
+TEST(Serialize, OptionsSurvive)
+{
+    auto d = makeData();
+    PredictorOptions opts;
+    opts.coefficients = 4;
+    opts.selection = SelectionScheme::Order;
+    opts.paperHaar = false;
+    opts.mother = MotherWavelet::Daubechies4;
+    opts.clampToTrainingRange = false;
+    WaveletNeuralPredictor p(opts);
+    p.train(d.space, d.train, d.traces);
+
+    std::stringstream buf;
+    savePredictor(p, buf);
+    auto restored = loadPredictor(buf);
+    EXPECT_EQ(restored.options().coefficients, 4u);
+    EXPECT_EQ(restored.options().selection, SelectionScheme::Order);
+    EXPECT_FALSE(restored.options().paperHaar);
+    EXPECT_EQ(restored.options().mother, MotherWavelet::Daubechies4);
+    EXPECT_FALSE(restored.options().clampToTrainingRange);
+}
+
+TEST(Serialize, SpaceSurvives)
+{
+    auto d = makeData();
+    auto p = trainOne(d, CoefficientModel::Rbf);
+    std::stringstream buf;
+    savePredictor(p, buf);
+    auto restored = loadPredictor(buf);
+    const auto &space = restored.designSpace();
+    EXPECT_EQ(space.dimensions(), 9u);
+    EXPECT_EQ(space.param(RobSize).name, "ROB_size");
+    EXPECT_EQ(space.param(L2Lat).trainLevels,
+              (std::vector<double>{8, 12, 14, 16, 20}));
+}
+
+TEST(Serialize, TrainingRangeSurvives)
+{
+    auto d = makeData();
+    auto p = trainOne(d, CoefficientModel::Rbf);
+    std::stringstream buf;
+    savePredictor(p, buf);
+    auto restored = loadPredictor(buf);
+    EXPECT_DOUBLE_EQ(restored.trainingRange().first,
+                     p.trainingRange().first);
+    EXPECT_DOUBLE_EQ(restored.trainingRange().second,
+                     p.trainingRange().second);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    auto d = makeData();
+    auto p = trainOne(d, CoefficientModel::Rbf);
+    std::string path = ::testing::TempDir() + "/wavedyn_model.txt";
+    ASSERT_TRUE(savePredictorFile(p, path));
+    auto restored = loadPredictorFile(path);
+    auto a = p.predictTrace(d.test[0]);
+    auto b = restored.predictTrace(d.test[0]);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Serialize, BadMagicThrows)
+{
+    std::stringstream buf("not-a-predictor 1 2 3");
+    EXPECT_THROW(loadPredictor(buf), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedInputThrows)
+{
+    auto d = makeData();
+    auto p = trainOne(d, CoefficientModel::Rbf);
+    std::stringstream buf;
+    savePredictor(p, buf);
+    std::string text = buf.str();
+    std::stringstream cut(text.substr(0, text.size() / 2));
+    EXPECT_THROW(loadPredictor(cut), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows)
+{
+    EXPECT_THROW(loadPredictorFile("/nonexistent/dir/model.txt"),
+                 std::runtime_error);
+}
+
+TEST(Serialize, SaveToBadPathFails)
+{
+    auto d = makeData();
+    auto p = trainOne(d, CoefficientModel::Rbf);
+    EXPECT_FALSE(savePredictorFile(p, "/nonexistent/dir/model.txt"));
+}
+
+} // anonymous namespace
+} // namespace wavedyn

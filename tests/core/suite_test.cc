@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the suite-level campaign runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+ExperimentSpec
+tinyBase()
+{
+    ExperimentSpec base;
+    base.trainPoints = 12;
+    base.testPoints = 4;
+    base.samples = 16;
+    base.intervalInstrs = 150;
+    return base;
+}
+
+TEST(Suite, ProducesCellPerBenchmarkDomain)
+{
+    auto report = runSuite({"bzip2", "eon"}, tinyBase());
+    EXPECT_EQ(report.cells.size(), 2u * 3u);
+    EXPECT_NE(report.find("bzip2", Domain::Cpi), nullptr);
+    EXPECT_NE(report.find("eon", Domain::Avf), nullptr);
+    EXPECT_EQ(report.find("mcf", Domain::Cpi), nullptr);
+}
+
+TEST(Suite, CellsCarryFullStatistics)
+{
+    auto report = runSuite({"bzip2"}, tinyBase());
+    const SuiteCell *c = report.find("bzip2", Domain::Power);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->msePerTest.size(), 4u);
+    EXPECT_EQ(c->asymmetryQ.size(), 3u);
+    for (double m : c->msePerTest)
+        EXPECT_GE(m, 0.0);
+    for (double a : c->asymmetryQ) {
+        EXPECT_GE(a, 0.0);
+        EXPECT_LE(a, 100.0);
+    }
+}
+
+TEST(Suite, OverallMedianAggregates)
+{
+    auto report = runSuite({"bzip2", "eon"}, tinyBase());
+    double med = report.overallMedian(Domain::Cpi);
+    EXPECT_GE(med, 0.0);
+    EXPECT_LT(med, 100.0);
+}
+
+TEST(Suite, ProgressCallbackInvoked)
+{
+    std::vector<std::string> seen;
+    runSuite({"bzip2", "eon"}, tinyBase(), {},
+             [&](const std::string &b, std::size_t done,
+                 std::size_t total) {
+                 seen.push_back(b);
+                 EXPECT_LE(done, total);
+             });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "bzip2");
+    EXPECT_EQ(seen[1], "eon");
+}
+
+TEST(Suite, RespectsDomainSubset)
+{
+    auto base = tinyBase();
+    base.domains = {Domain::IqAvf};
+    auto report = runSuite({"bzip2"}, base);
+    EXPECT_EQ(report.cells.size(), 1u);
+    EXPECT_NE(report.find("bzip2", Domain::IqAvf), nullptr);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

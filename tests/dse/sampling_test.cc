@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for LHS sampling and the L2-star discrepancy space-filling
+ * criterion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dse/design_space.hh"
+#include "dse/sampling.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(L2StarDiscrepancy, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(l2StarDiscrepancy({}), 0.0);
+}
+
+TEST(L2StarDiscrepancy, KnownSinglePoint1d)
+{
+    // Closed form for one point x in 1D:
+    // D^2 = 1/3 - (1 - x^2) + (1 - x); at x = 0.5: 1/3 - 0.75 + 0.5.
+    double d = l2StarDiscrepancy({{0.5}});
+    double expected = std::sqrt(1.0 / 3.0 - 0.75 + 0.5);
+    EXPECT_NEAR(d, expected, 1e-12);
+}
+
+TEST(L2StarDiscrepancy, UniformGridBeatsClusteredPoints)
+{
+    std::vector<std::vector<double>> grid, clustered;
+    for (int i = 0; i < 16; ++i) {
+        double u = (i + 0.5) / 16.0;
+        grid.push_back({u});
+        clustered.push_back({0.5 + 0.01 * i / 16.0});
+    }
+    EXPECT_LT(l2StarDiscrepancy(grid), l2StarDiscrepancy(clustered));
+}
+
+TEST(L2StarDiscrepancy, MorePointsLowerDiscrepancy)
+{
+    // Regular grids get more uniform as they refine.
+    std::vector<std::vector<double>> few, many;
+    for (int i = 0; i < 4; ++i)
+        few.push_back({(i + 0.5) / 4.0});
+    for (int i = 0; i < 64; ++i)
+        many.push_back({(i + 0.5) / 64.0});
+    EXPECT_LT(l2StarDiscrepancy(many), l2StarDiscrepancy(few));
+}
+
+TEST(LatinHypercube, RequestedCount)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(1);
+    auto pts = latinHypercube(space, 50, rng);
+    EXPECT_EQ(pts.size(), 50u);
+}
+
+TEST(LatinHypercube, PointsAreValid)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(2);
+    for (const auto &p : latinHypercube(space, 80, rng))
+        EXPECT_TRUE(space.valid(p));
+}
+
+TEST(LatinHypercube, StratifiesEachDimension)
+{
+    // With n a multiple of the level count, LHS hits every level of
+    // every dimension almost exactly n/levels times.
+    auto space = DesignSpace::paper();
+    Rng rng(3);
+    const std::size_t n = 120;
+    auto pts = latinHypercube(space, n, rng);
+    for (std::size_t k = 0; k < space.dimensions(); ++k) {
+        const auto &param = space.param(k);
+        std::vector<std::size_t> counts(param.levels(), 0);
+        for (const auto &p : pts)
+            counts[param.levelIndex(p[k])]++;
+        double expected = static_cast<double>(n) /
+                          static_cast<double>(param.levels());
+        for (std::size_t lvl = 0; lvl < param.levels(); ++lvl) {
+            EXPECT_NEAR(static_cast<double>(counts[lvl]), expected,
+                        expected * 0.15 + 1.0)
+                << param.name << " level " << lvl;
+        }
+    }
+}
+
+TEST(BestLatinHypercube, BetterDiscrepancyThanRandomOnAverage)
+{
+    // On a coarse discrete grid a *single* LHS draw is statistically
+    // close to random sampling, which is exactly why the paper selects
+    // the best of several LHS matrices by L2-star discrepancy. Compare
+    // that full procedure against naive random sampling.
+    auto space = DesignSpace::paper();
+    Rng rng(4);
+    double lhs_acc = 0.0, rnd_acc = 0.0;
+    const int trials = 8;
+    for (int t = 0; t < trials; ++t) {
+        auto lhs_pts = bestLatinHypercube(space, 60, 16, rng);
+        auto rnd_pts = randomSample(space, 60, rng);
+        lhs_acc += l2StarDiscrepancy(normalizeAll(space, lhs_pts));
+        rnd_acc += l2StarDiscrepancy(normalizeAll(space, rnd_pts));
+    }
+    EXPECT_LT(lhs_acc, rnd_acc);
+}
+
+TEST(BestLatinHypercube, NoWorseThanSingleDraw)
+{
+    auto space = DesignSpace::paper();
+    Rng rng_a(5), rng_b(5);
+    auto single = latinHypercube(space, 40, rng_a);
+    auto best = bestLatinHypercube(space, 40, 8, rng_b);
+    // Same stream start: the best-of-8 includes the single draw.
+    EXPECT_LE(l2StarDiscrepancy(normalizeAll(space, best)),
+              l2StarDiscrepancy(normalizeAll(space, single)) + 1e-12);
+}
+
+TEST(BestLatinHypercube, Deduplicates)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(6);
+    auto pts = bestLatinHypercube(space, 100, 4, rng);
+    std::set<DesignPoint> uniq(pts.begin(), pts.end());
+    EXPECT_EQ(uniq.size(), pts.size());
+}
+
+TEST(RandomSample, ValidAndDeduplicated)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(7);
+    auto pts = randomSample(space, 100, rng);
+    EXPECT_LE(pts.size(), 100u);
+    EXPECT_GE(pts.size(), 90u); // dedup rarely removes many in 245k grid
+    std::set<DesignPoint> uniq(pts.begin(), pts.end());
+    EXPECT_EQ(uniq.size(), pts.size());
+    for (const auto &p : pts)
+        EXPECT_TRUE(space.valid(p));
+}
+
+TEST(RandomTestSample, DrawsFromTestLevelsOnly)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(8);
+    auto pts = randomTestSample(space, 50, rng);
+    EXPECT_EQ(pts.size(), 50u);
+    for (const auto &p : pts) {
+        for (std::size_t k = 0; k < space.dimensions(); ++k) {
+            const auto &lv = space.param(k).testLevels;
+            bool found = false;
+            for (double v : lv)
+                found = found || v == p[k];
+            EXPECT_TRUE(found) << space.param(k).name;
+        }
+    }
+}
+
+TEST(RandomTestSample, UniquePoints)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(9);
+    auto pts = randomTestSample(space, 50, rng);
+    std::set<DesignPoint> uniq(pts.begin(), pts.end());
+    EXPECT_EQ(uniq.size(), pts.size());
+}
+
+TEST(RandomTestSample, ExhaustsSmallTestGridGracefully)
+{
+    DesignSpace space;
+    space.addParameter({"a", {1, 2}, {1, 2}});
+    space.addParameter({"b", {1, 2}, {1}});
+    Rng rng(10);
+    // Only 2 distinct test points exist; asking for 10 returns 2.
+    auto pts = randomTestSample(space, 10, rng);
+    EXPECT_EQ(pts.size(), 2u);
+}
+
+TEST(NormalizeAll, ShapeAndRange)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(11);
+    auto pts = latinHypercube(space, 30, rng);
+    auto norm = normalizeAll(space, pts);
+    ASSERT_EQ(norm.size(), pts.size());
+    for (const auto &v : norm) {
+        ASSERT_EQ(v.size(), space.dimensions());
+        for (double x : v) {
+            EXPECT_GE(x, 0.0);
+            EXPECT_LE(x, 1.0);
+        }
+    }
+}
+
+class LhsSizes : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(LhsSizes, AllPointsValidAndCounted)
+{
+    auto space = DesignSpace::paper();
+    Rng rng(GetParam());
+    auto pts = latinHypercube(space, GetParam(), rng);
+    EXPECT_EQ(pts.size(), GetParam());
+    for (const auto &p : pts)
+        ASSERT_TRUE(space.valid(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LhsSizes,
+                         ::testing::Values(1, 2, 10, 50, 200));
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Integration tests for the Section 5 case study: predicting IQ AVF
+ * dynamics with the DVM policy in the loop, across configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+ExperimentSpec
+dvmSpec(const std::string &bench, bool dvm_on, double threshold = 0.3)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.trainPoints = 24;
+    spec.testPoints = 6;
+    spec.samples = 32;
+    spec.intervalInstrs = 300;
+    spec.domains = {Domain::IqAvf, Domain::Power};
+    spec.dvm.enabled = dvm_on;
+    spec.dvm.threshold = threshold;
+    spec.dvm.sampleCycles = 100;
+    return spec;
+}
+
+TEST(DvmStudy, IqAvfTracesPredictableWithDvmEnabled)
+{
+    auto data = generateExperimentData(dvmSpec("mcf", true));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto out = trainAndEvaluate(data, Domain::IqAvf, opts);
+    // Figure 18(a): IQ AVF dynamics under DVM remain predictable.
+    EXPECT_LT(out.eval.summary.median, 40.0);
+    for (double m : out.eval.msePerTest)
+        EXPECT_GE(m, 0.0);
+}
+
+TEST(DvmStudy, PowerTracesPredictableWithDvmEnabled)
+{
+    auto data = generateExperimentData(dvmSpec("gcc", true));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto out = trainAndEvaluate(data, Domain::Power, opts);
+    // Figure 18(b): power under DVM is the easier target.
+    EXPECT_LT(out.eval.summary.median, 20.0);
+}
+
+TEST(DvmStudy, DvmLowersMeanIqAvfOnTestConfigs)
+{
+    auto off = generateExperimentData(dvmSpec("mcf", false));
+    auto on = generateExperimentData(dvmSpec("mcf", true, 0.2));
+    // Same sampled configurations (same seed) -> pairwise comparable.
+    ASSERT_EQ(off.testPoints, on.testPoints);
+    double mean_off = 0.0, mean_on = 0.0;
+    for (std::size_t i = 0; i < off.testPoints.size(); ++i) {
+        mean_off += meanOf(off.testTraces.at(Domain::IqAvf)[i]);
+        mean_on += meanOf(on.testTraces.at(Domain::IqAvf)[i]);
+    }
+    EXPECT_LT(mean_on, mean_off);
+}
+
+TEST(DvmStudy, PredictorForecastsThresholdExceedance)
+{
+    // Figure 17's use case: does the predicted trace agree with the
+    // simulated one on "does IQ AVF ever exceed the DVM target"?
+    auto data = generateExperimentData(dvmSpec("mcf", true, 0.3));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto out = trainAndEvaluate(data, Domain::IqAvf, opts);
+
+    std::size_t agree = 0;
+    const auto &actual = data.testTraces.at(Domain::IqAvf);
+    for (std::size_t i = 0; i < data.testPoints.size(); ++i) {
+        auto pred = out.predictor.predictTrace(data.testPoints[i]);
+        if (exceedanceAgreement(actual[i], pred, 0.3))
+            ++agree;
+    }
+    // Majority agreement even at smoke scale.
+    EXPECT_GE(agree * 2, data.testPoints.size());
+}
+
+class DvmStudyThresholds : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DvmStudyThresholds, PredictionQualityAcrossThresholds)
+{
+    // Figure 19: the models work across DVM trigger levels.
+    auto data = generateExperimentData(dvmSpec("gap", true, GetParam()));
+    PredictorOptions opts;
+    opts.coefficients = 8;
+    auto out = trainAndEvaluate(data, Domain::IqAvf, opts);
+    EXPECT_LT(out.eval.summary.median, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperThresholds, DvmStudyThresholds,
+                         ::testing::Values(0.2, 0.3, 0.5));
+
+} // anonymous namespace
+} // namespace wavedyn

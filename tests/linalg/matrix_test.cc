@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the dense matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Matrix, ZeroInitialised)
+{
+    Matrix m(2, 3);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+}
+
+TEST(Matrix, FillValue)
+{
+    Matrix m(2, 2, 7.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 1), 7.0);
+}
+
+TEST(Matrix, IdentityDiagonal)
+{
+    Matrix i = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_DOUBLE_EQ(i.at(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, FromRows)
+{
+    Matrix m = Matrix::fromRows({{1, 2}, {3, 4}});
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(Matrix, TransposeRoundTrip)
+{
+    Matrix m = Matrix::fromRows({{1, 2, 3}, {4, 5, 6}});
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t.at(2, 1), 6.0);
+    EXPECT_DOUBLE_EQ(m.maxAbsDiff(t.transposed()), 0.0);
+}
+
+TEST(Matrix, MatMulKnown)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix b = Matrix::fromRows({{5, 6}, {7, 8}});
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityIsNeutral)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    Matrix i = Matrix::identity(2);
+    EXPECT_DOUBLE_EQ((a * i).maxAbsDiff(a), 0.0);
+    EXPECT_DOUBLE_EQ((i * a).maxAbsDiff(a), 0.0);
+}
+
+TEST(Matrix, MatVec)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}});
+    std::vector<double> v = {1, 1};
+    auto r = a * v;
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    EXPECT_DOUBLE_EQ(r[1], 7.0);
+}
+
+TEST(Matrix, Addition)
+{
+    Matrix a = Matrix::fromRows({{1, 2}});
+    Matrix b = Matrix::fromRows({{3, 4}});
+    Matrix c = a + b;
+    EXPECT_DOUBLE_EQ(c.at(0, 0), 4.0);
+    EXPECT_DOUBLE_EQ(c.at(0, 1), 6.0);
+}
+
+TEST(Matrix, Scaled)
+{
+    Matrix a = Matrix::fromRows({{1, -2}});
+    Matrix s = a.scaled(-2.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 0), -2.0);
+    EXPECT_DOUBLE_EQ(s.at(0, 1), 4.0);
+}
+
+TEST(Matrix, GramMatchesExplicit)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    Matrix g = a.gram();
+    Matrix expected = a.transposed() * a;
+    EXPECT_LT(g.maxAbsDiff(expected), 1e-12);
+}
+
+TEST(Matrix, TransposeTimesMatchesExplicit)
+{
+    Matrix a = Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    std::vector<double> y = {1, -1, 2};
+    auto direct = a.transposeTimes(y);
+    auto expected = a.transposed() * y;
+    ASSERT_EQ(direct.size(), expected.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_NEAR(direct[i], expected[i], 1e-12);
+}
+
+TEST(Matrix, Frobenius)
+{
+    Matrix a = Matrix::fromRows({{3, 4}});
+    EXPECT_DOUBLE_EQ(a.frobenius(), 5.0);
+}
+
+TEST(DotAndNorm, Basics)
+{
+    std::vector<double> a = {1, 2, 2};
+    std::vector<double> b = {2, 0, 1};
+    EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+    EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

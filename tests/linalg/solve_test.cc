@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the linear solvers (Cholesky, QR least squares, ridge).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/matrix.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(CholeskySolve, Identity)
+{
+    auto sol = choleskySolve(Matrix::identity(3), {1, 2, 3});
+    ASSERT_TRUE(sol.ok);
+    EXPECT_DOUBLE_EQ(sol.x[0], 1.0);
+    EXPECT_DOUBLE_EQ(sol.x[1], 2.0);
+    EXPECT_DOUBLE_EQ(sol.x[2], 3.0);
+}
+
+TEST(CholeskySolve, KnownSpdSystem)
+{
+    // S = [[4,2],[2,3]], b = [2,1] -> x = [0.5, 0].
+    Matrix s = Matrix::fromRows({{4, 2}, {2, 3}});
+    auto sol = choleskySolve(s, {2, 1});
+    ASSERT_TRUE(sol.ok);
+    EXPECT_NEAR(sol.x[0], 0.5, 1e-12);
+    EXPECT_NEAR(sol.x[1], 0.0, 1e-12);
+}
+
+TEST(CholeskySolve, RandomSpdRoundTrip)
+{
+    Rng rng(99);
+    const std::size_t n = 12;
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a.at(r, c) = rng.gaussian();
+    Matrix s = a.gram(); // SPD with probability 1
+    for (std::size_t i = 0; i < n; ++i)
+        s.at(i, i) += 0.5;
+
+    std::vector<double> x_true(n);
+    for (auto &v : x_true)
+        v = rng.gaussian();
+    auto b = s * x_true;
+    auto sol = choleskySolve(s, b);
+    ASSERT_TRUE(sol.ok);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(sol.x[i], x_true[i], 1e-8);
+}
+
+TEST(CholeskySolve, SemiDefiniteUsesJitter)
+{
+    // Rank-1 matrix: xx^T; plain Cholesky fails, jitter must rescue it.
+    Matrix s = Matrix::fromRows({{1, 1}, {1, 1}});
+    auto sol = choleskySolve(s, {1, 1});
+    EXPECT_TRUE(sol.ok);
+    // Solution should satisfy the system approximately.
+    auto r = s * sol.x;
+    EXPECT_NEAR(r[0], 1.0, 1e-3);
+    EXPECT_NEAR(r[1], 1.0, 1e-3);
+}
+
+TEST(CholeskySolve, EmptySystem)
+{
+    auto sol = choleskySolve(Matrix(0, 0), {});
+    EXPECT_TRUE(sol.ok);
+    EXPECT_TRUE(sol.x.empty());
+}
+
+TEST(LeastSquaresQr, ExactSquareSystem)
+{
+    Matrix a = Matrix::fromRows({{2, 0}, {0, 4}});
+    auto sol = leastSquaresQr(a, {2, 8});
+    ASSERT_TRUE(sol.ok);
+    EXPECT_NEAR(sol.x[0], 1.0, 1e-12);
+    EXPECT_NEAR(sol.x[1], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresQr, OverdeterminedProjects)
+{
+    // Fit y = c to {1, 3}: least squares c = 2.
+    Matrix a = Matrix::fromRows({{1}, {1}});
+    auto sol = leastSquaresQr(a, {1, 3});
+    ASSERT_TRUE(sol.ok);
+    EXPECT_NEAR(sol.x[0], 2.0, 1e-12);
+}
+
+TEST(LeastSquaresQr, RecoversPlantedLine)
+{
+    Rng rng(5);
+    const std::size_t n = 100;
+    Matrix a(n, 2);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double x = rng.uniform(-1, 1);
+        a.at(i, 0) = 1.0;
+        a.at(i, 1) = x;
+        y[i] = 3.0 - 2.0 * x;
+    }
+    auto sol = leastSquaresQr(a, y);
+    ASSERT_TRUE(sol.ok);
+    EXPECT_NEAR(sol.x[0], 3.0, 1e-10);
+    EXPECT_NEAR(sol.x[1], -2.0, 1e-10);
+}
+
+TEST(LeastSquaresQr, RankDeficientReportsFailure)
+{
+    // Two identical columns.
+    Matrix a = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+    auto sol = leastSquaresQr(a, {1, 2, 3});
+    EXPECT_FALSE(sol.ok);
+}
+
+TEST(RidgeSolve, MatchesQrWhenUnregularised)
+{
+    Rng rng(7);
+    const std::size_t n = 40;
+    Matrix a(n, 3);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t c = 0; c < 3; ++c)
+            a.at(i, c) = rng.gaussian();
+        y[i] = rng.gaussian();
+    }
+    auto qr = leastSquaresQr(a, y);
+    auto ridge = ridgeSolve(a, y, 0.0);
+    ASSERT_TRUE(qr.ok);
+    ASSERT_TRUE(ridge.ok);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(qr.x[i], ridge.x[i], 1e-8);
+}
+
+TEST(RidgeSolve, ShrinksTowardZero)
+{
+    Matrix a = Matrix::fromRows({{1}, {1}, {1}});
+    std::vector<double> y = {2, 2, 2};
+    auto loose = ridgeSolve(a, y, 0.0);
+    auto tight = ridgeSolve(a, y, 100.0);
+    ASSERT_TRUE(loose.ok);
+    ASSERT_TRUE(tight.ok);
+    EXPECT_NEAR(loose.x[0], 2.0, 1e-10);
+    EXPECT_LT(std::fabs(tight.x[0]), std::fabs(loose.x[0]));
+    EXPECT_GT(tight.x[0], 0.0);
+}
+
+TEST(RidgeSolve, HandlesCollinearColumns)
+{
+    // Identical columns are hopeless for QR but fine for ridge.
+    Matrix a = Matrix::fromRows({{1, 1}, {2, 2}, {3, 3}});
+    auto sol = ridgeSolve(a, {2, 4, 6}, 1e-6);
+    ASSERT_TRUE(sol.ok);
+    // Prediction (not the individual weights) must be right.
+    double pred = sol.x[0] * 2.0 + sol.x[1] * 2.0;
+    EXPECT_NEAR(pred, 4.0, 1e-3);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

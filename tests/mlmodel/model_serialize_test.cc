@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Round-trip tests for the standalone regression-model serializers
+ * (the predictor-level round trip lives in tests/core/serialize_test).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "mlmodel/linear_model.hh"
+#include "mlmodel/rbf_network.hh"
+#include "mlmodel/regression_tree.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+void
+makeData(Matrix &x, std::vector<double> &y, std::size_t n = 80)
+{
+    Rng rng(9);
+    x = Matrix(n, 2);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x.at(i, 0) = rng.uniform();
+        x.at(i, 1) = rng.uniform();
+        y[i] = std::sin(4.0 * x.at(i, 0)) + x.at(i, 1);
+    }
+}
+
+template <typename ModelT>
+void
+expectRoundTrip(const ModelT &model)
+{
+    std::stringstream buf;
+    model.save(buf);
+    auto restored = loadRegressionModel(buf);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->name(), model.name());
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        std::vector<double> probe = {rng.uniform(), rng.uniform()};
+        ASSERT_DOUBLE_EQ(restored->predict(probe), model.predict(probe));
+    }
+}
+
+TEST(ModelSerialize, RegressionTreeRoundTrip)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    RegressionTree t;
+    t.fit(x, y);
+    expectRoundTrip(t);
+}
+
+TEST(ModelSerialize, RbfNetworkRoundTrip)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    expectRoundTrip(net);
+}
+
+TEST(ModelSerialize, LinearRoundTrip)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    LinearModel m;
+    m.fit(x, y);
+    expectRoundTrip(m);
+}
+
+TEST(ModelSerialize, GlobalMeanRoundTrip)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    GlobalMeanModel m;
+    m.fit(x, y);
+    expectRoundTrip(m);
+}
+
+TEST(ModelSerialize, UnknownKindReturnsNull)
+{
+    std::stringstream buf("martian-model 1 2 3");
+    EXPECT_EQ(loadRegressionModel(buf), nullptr);
+}
+
+TEST(ModelSerialize, TruncatedRbfReturnsNull)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    std::stringstream buf;
+    net.save(buf);
+    std::string text = buf.str();
+    std::stringstream cut(text.substr(0, text.size() / 3));
+    EXPECT_EQ(loadRegressionModel(cut), nullptr);
+}
+
+TEST(ModelSerialize, LoadedTreeHasNoImportance)
+{
+    // Importance statistics are fit-time artefacts and not persisted.
+    Matrix x;
+    std::vector<double> y;
+    makeData(x, y);
+    RegressionTree t;
+    t.fit(x, y);
+    std::stringstream buf;
+    t.save(buf);
+    std::string kind;
+    buf >> kind;
+    auto restored = RegressionTree::load(buf);
+    ASSERT_NE(restored, nullptr);
+    for (const auto &fi : restored->importance())
+        EXPECT_EQ(fi.splitCount, 0u);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

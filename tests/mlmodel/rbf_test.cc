@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Tests for the RBF network with regression-tree-derived units.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlmodel/rbf_network.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+/** Random inputs in [0,1]^d plus responses from a provided function. */
+template <typename F>
+void
+makeData(std::size_t n, std::size_t d, F f, std::uint64_t seed,
+         Matrix &x, std::vector<double> &y)
+{
+    Rng rng(seed);
+    x = Matrix(n, d);
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::vector<double> row(d);
+        for (std::size_t k = 0; k < d; ++k) {
+            row[k] = rng.uniform();
+            x.at(i, k) = row[k];
+        }
+        y[i] = f(row);
+    }
+}
+
+double
+testError(const RegressionModel &m, std::size_t d,
+          double (*f)(const std::vector<double> &), std::uint64_t seed)
+{
+    Rng rng(seed);
+    double sse = 0.0, ref = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> row(d);
+        for (auto &v : row)
+            v = rng.uniform();
+        double truth = f(row);
+        double pred = m.predict(row);
+        sse += (truth - pred) * (truth - pred);
+        ref += truth * truth;
+    }
+    return ref > 0 ? sse / ref : sse;
+}
+
+double
+smoothFunc(const std::vector<double> &v)
+{
+    return std::sin(3.0 * v[0]) + 2.0 * v[1];
+}
+
+double
+constantFunc(const std::vector<double> &)
+{
+    return 4.2;
+}
+
+TEST(RbfUnitResponse, PeaksAtCenter)
+{
+    RbfUnit u;
+    u.center = {0.5, 0.5};
+    u.radius = {0.2, 0.2};
+    double at_center = RbfNetwork::response(u, {0.5, 0.5});
+    double off_center = RbfNetwork::response(u, {0.7, 0.5});
+    EXPECT_DOUBLE_EQ(at_center, 1.0);
+    EXPECT_LT(off_center, at_center);
+    EXPECT_GT(off_center, 0.0);
+}
+
+TEST(RbfUnitResponse, MonotoneDecayWithDistance)
+{
+    RbfUnit u;
+    u.center = {0.0};
+    u.radius = {1.0};
+    double prev = 2.0;
+    for (double x = 0.0; x <= 3.0; x += 0.25) {
+        double r = RbfNetwork::response(u, {x});
+        EXPECT_LT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(RbfUnitResponse, RadiusControlsWidth)
+{
+    RbfUnit narrow, wide;
+    narrow.center = wide.center = {0.0};
+    narrow.radius = {0.1};
+    wide.radius = {1.0};
+    EXPECT_LT(RbfNetwork::response(narrow, {0.5}),
+              RbfNetwork::response(wide, {0.5}));
+}
+
+TEST(RbfNetwork, FitsConstantExactly)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(50, 2, constantFunc, 1, x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    // Ridge shrinkage leaves a tiny bias; "exact" up to the regulariser.
+    EXPECT_NEAR(net.predict({0.3, 0.9}), 4.2, 1e-3);
+}
+
+TEST(RbfNetwork, LearnsSmoothNonlinearFunction)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(200, 2, smoothFunc, 2, x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    EXPECT_LT(testError(net, 2, smoothFunc, 3), 0.02);
+}
+
+TEST(RbfNetwork, RidgeAllAlsoLearns)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(200, 2, smoothFunc, 4, x, y);
+    RbfOptions opts;
+    opts.fit = RbfFit::RidgeAll;
+    RbfNetwork net(opts);
+    net.fit(x, y);
+    EXPECT_LT(testError(net, 2, smoothFunc, 5), 0.05);
+}
+
+TEST(RbfNetwork, BeatsGlobalMeanOnNonlinearData)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(150, 2, smoothFunc, 6, x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+
+    Rng rng(7);
+    double sse_net = 0.0, sse_mean = 0.0;
+    for (int i = 0; i < 200; ++i) {
+        std::vector<double> row = {rng.uniform(), rng.uniform()};
+        double truth = smoothFunc(row);
+        sse_net += std::pow(truth - net.predict(row), 2);
+        sse_mean += std::pow(truth - mean, 2);
+    }
+    EXPECT_LT(sse_net, 0.2 * sse_mean);
+}
+
+TEST(RbfNetwork, UnitCountBounded)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(200, 3,
+             [](const std::vector<double> &v) {
+                 return std::sin(8.0 * v[0]) * std::cos(5.0 * v[1]) + v[2];
+             },
+             8, x, y);
+    RbfOptions opts;
+    opts.maxUnits = 20;
+    RbfNetwork net(opts);
+    net.fit(x, y);
+    EXPECT_LE(net.units().size(), 20u);
+    EXPECT_GT(net.units().size(), 0u);
+}
+
+TEST(RbfNetwork, RadiiRespectFloor)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(100, 2, smoothFunc, 9, x, y);
+    RbfOptions opts;
+    opts.radiusFloor = 0.07;
+    RbfNetwork net(opts);
+    net.fit(x, y);
+    for (const auto &u : net.units())
+        for (double r : u.radius)
+            EXPECT_GE(r, 0.07);
+}
+
+TEST(RbfNetwork, SeedTreeAvailableAfterFit)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(80, 2, smoothFunc, 10, x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    EXPECT_FALSE(net.seedTree().nodes().empty());
+}
+
+TEST(RbfNetwork, DeterministicFit)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(120, 2, smoothFunc, 11, x, y);
+    RbfNetwork a, b;
+    a.fit(x, y);
+    b.fit(x, y);
+    Rng rng(12);
+    for (int i = 0; i < 50; ++i) {
+        std::vector<double> row = {rng.uniform(), rng.uniform()};
+        EXPECT_DOUBLE_EQ(a.predict(row), b.predict(row));
+    }
+}
+
+TEST(RbfNetwork, HandlesTinyTrainingSet)
+{
+    Matrix x(3, 2);
+    x.at(0, 0) = 0.0;
+    x.at(1, 0) = 0.5;
+    x.at(2, 0) = 1.0;
+    std::vector<double> y = {1.0, 2.0, 3.0};
+    RbfNetwork net;
+    net.fit(x, y);
+    // Must produce finite predictions near the data range.
+    double p = net.predict({0.5, 0.0});
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 4.0);
+}
+
+TEST(RbfNetwork, RefitReplacesOldModel)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(60, 1, [](const std::vector<double> &v) { return v[0]; },
+             13, x, y);
+    RbfNetwork net;
+    net.fit(x, y);
+    double before = net.predict({0.5});
+
+    std::vector<double> y2(y.size(), 9.0);
+    net.fit(x, y2);
+    EXPECT_NEAR(net.predict({0.5}), 9.0, 1e-3);
+    EXPECT_NE(before, net.predict({0.5}));
+}
+
+TEST(RbfNetwork, InterpolatesBetweenLevels)
+{
+    // Train on a coarse grid, predict between grid points: prediction
+    // should stay within the response range (no wild extrapolation).
+    Matrix x(5, 1);
+    std::vector<double> y(5);
+    for (int i = 0; i < 5; ++i) {
+        x.at(i, 0) = i / 4.0;
+        y[i] = std::sin(3.0 * x.at(i, 0));
+    }
+    RbfNetwork net;
+    net.fit(x, y);
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        double v = net.predict({p});
+        EXPECT_GT(v, -1.5);
+        EXPECT_LT(v, 1.5);
+    }
+}
+
+class RbfFitModes : public ::testing::TestWithParam<RbfFit>
+{
+};
+
+TEST_P(RbfFitModes, RecoverAdditiveFunction)
+{
+    Matrix x;
+    std::vector<double> y;
+    makeData(250, 3,
+             [](const std::vector<double> &v) {
+                 return v[0] + 0.5 * std::sin(4.0 * v[1]) - 0.3 * v[2];
+             },
+             21, x, y);
+    RbfOptions opts;
+    opts.fit = GetParam();
+    RbfNetwork net(opts);
+    net.fit(x, y);
+
+    Rng rng(22);
+    double sse = 0.0;
+    const int n = 150;
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> row = {rng.uniform(), rng.uniform(),
+                                   rng.uniform()};
+        double truth = row[0] + 0.5 * std::sin(4.0 * row[1]) -
+                       0.3 * row[2];
+        sse += std::pow(truth - net.predict(row), 2);
+    }
+    // Response range is roughly [-0.8, 1.5]; 0.05 mean squared error
+    // corresponds to ~15% RMS, comfortably better than the mean model.
+    EXPECT_LT(sse / n, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RbfFitModes,
+                         ::testing::Values(RbfFit::ForwardGcv,
+                                           RbfFit::RidgeAll));
+
+} // anonymous namespace
+} // namespace wavedyn

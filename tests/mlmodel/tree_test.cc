@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the CART regression tree and its importance statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlmodel/regression_tree.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+Matrix
+gridInputs2d(std::size_t per_axis)
+{
+    Matrix x(per_axis * per_axis, 2);
+    std::size_t r = 0;
+    for (std::size_t i = 0; i < per_axis; ++i) {
+        for (std::size_t j = 0; j < per_axis; ++j) {
+            x.at(r, 0) = static_cast<double>(i) /
+                         static_cast<double>(per_axis - 1);
+            x.at(r, 1) = static_cast<double>(j) /
+                         static_cast<double>(per_axis - 1);
+            ++r;
+        }
+    }
+    return x;
+}
+
+TEST(RegressionTree, ConstantResponseIsSingleLeaf)
+{
+    Matrix x = gridInputs2d(5);
+    std::vector<double> y(x.rows(), 3.0);
+    RegressionTree t;
+    t.fit(x, y);
+    EXPECT_EQ(t.leafCount(), 1u);
+    EXPECT_DOUBLE_EQ(t.predict({0.3, 0.7}), 3.0);
+}
+
+TEST(RegressionTree, SplitsOnStepFunction)
+{
+    Matrix x = gridInputs2d(6);
+    std::vector<double> y(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = x.at(r, 0) < 0.5 ? 1.0 : 5.0;
+    RegressionTree t;
+    t.fit(x, y);
+    EXPECT_NEAR(t.predict({0.1, 0.5}), 1.0, 1e-9);
+    EXPECT_NEAR(t.predict({0.9, 0.5}), 5.0, 1e-9);
+    // The step is on feature 0 only.
+    EXPECT_EQ(t.importance()[0].firstSplitDepth, 0u);
+    EXPECT_EQ(t.importance()[1].splitCount, 0u);
+}
+
+TEST(RegressionTree, RootNodeCoversAllSamples)
+{
+    Matrix x = gridInputs2d(4);
+    std::vector<double> y(x.rows(), 0.0);
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = x.at(r, 0);
+    RegressionTree t;
+    t.fit(x, y);
+    ASSERT_FALSE(t.nodes().empty());
+    EXPECT_EQ(t.nodes()[0].count, x.rows());
+    EXPECT_EQ(t.nodes()[0].depth, 0u);
+}
+
+TEST(RegressionTree, NodeCentersInsideUnitBox)
+{
+    Matrix x = gridInputs2d(6);
+    std::vector<double> y(x.rows());
+    Rng rng(3);
+    for (auto &v : y)
+        v = rng.gaussian();
+    RegressionTree t;
+    t.fit(x, y);
+    for (const auto &node : t.nodes()) {
+        ASSERT_EQ(node.center.size(), 2u);
+        for (double c : node.center) {
+            EXPECT_GE(c, 0.0);
+            EXPECT_LE(c, 1.0);
+        }
+        for (double h : node.halfWidth) {
+            EXPECT_GE(h, 0.0);
+            EXPECT_LE(h, 0.5 + 1e-12);
+        }
+    }
+}
+
+TEST(RegressionTree, MaxDepthRespected)
+{
+    Matrix x = gridInputs2d(8);
+    std::vector<double> y(x.rows());
+    Rng rng(5);
+    for (auto &v : y)
+        v = rng.gaussian();
+    TreeOptions opts;
+    opts.maxDepth = 2;
+    opts.minLeaf = 1;
+    RegressionTree t(opts);
+    t.fit(x, y);
+    EXPECT_LE(t.depth(), 2u);
+}
+
+TEST(RegressionTree, MinLeafRespected)
+{
+    Matrix x = gridInputs2d(8);
+    std::vector<double> y(x.rows());
+    Rng rng(7);
+    for (auto &v : y)
+        v = rng.gaussian();
+    TreeOptions opts;
+    opts.minLeaf = 10;
+    RegressionTree t(opts);
+    t.fit(x, y);
+    for (const auto &node : t.nodes()) {
+        if (node.isLeaf()) {
+            EXPECT_GE(node.count, 10u);
+        }
+    }
+}
+
+TEST(RegressionTree, ReducesTrainingErrorVsMean)
+{
+    // Nonlinear response: tree must beat the global mean on training SSE.
+    Matrix x = gridInputs2d(8);
+    std::vector<double> y(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = std::sin(6.0 * x.at(r, 0)) + x.at(r, 1) * x.at(r, 1);
+    RegressionTree t;
+    t.fit(x, y);
+
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+    double sse_mean = 0.0, sse_tree = 0.0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        double p = t.predict({x.at(r, 0), x.at(r, 1)});
+        sse_tree += (y[r] - p) * (y[r] - p);
+        sse_mean += (y[r] - mean) * (y[r] - mean);
+    }
+    EXPECT_LT(sse_tree, 0.3 * sse_mean);
+}
+
+TEST(RegressionTree, PredictionIsNodeMean)
+{
+    // With maxDepth 0 the tree is one leaf predicting the global mean.
+    Matrix x = gridInputs2d(4);
+    std::vector<double> y(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = static_cast<double>(r);
+    TreeOptions opts;
+    opts.maxDepth = 0;
+    RegressionTree t(opts);
+    t.fit(x, y);
+    double mean = 0.0;
+    for (double v : y)
+        mean += v;
+    mean /= static_cast<double>(y.size());
+    EXPECT_NEAR(t.predict({0.5, 0.5}), mean, 1e-12);
+}
+
+TEST(RegressionTree, ImportanceIdentifiesDominantFeature)
+{
+    // y depends strongly on feature 1, weakly on feature 0.
+    Matrix x = gridInputs2d(8);
+    std::vector<double> y(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = 10.0 * x.at(r, 1) + 0.1 * x.at(r, 0);
+    RegressionTree t;
+    t.fit(x, y);
+    auto spokes_order = t.spokesByOrder();
+    auto spokes_freq = t.spokesByFrequency();
+    // The dominant feature splits first (order spoke maximal)...
+    EXPECT_GT(spokes_order[1], spokes_order[0]);
+    EXPECT_DOUBLE_EQ(spokes_order[1], 1.0);
+    // ...and is split materially often. (Split *frequency* can slightly
+    // favour the weak feature once the dominant one is resolved, so only
+    // a substantial share is required.)
+    EXPECT_GT(spokes_freq[1], 0.5);
+}
+
+TEST(RegressionTree, SpokesZeroWhenNeverSplit)
+{
+    Matrix x = gridInputs2d(5);
+    std::vector<double> y(x.rows(), 1.0);
+    RegressionTree t;
+    t.fit(x, y);
+    for (double s : t.spokesByOrder())
+        EXPECT_DOUBLE_EQ(s, 0.0);
+    for (double s : t.spokesByFrequency())
+        EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(RegressionTree, GainSumAccountsForVarianceReduction)
+{
+    Matrix x = gridInputs2d(8);
+    std::vector<double> y(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r)
+        y[r] = x.at(r, 0) < 0.5 ? 0.0 : 8.0;
+    RegressionTree t;
+    t.fit(x, y);
+    // Nearly all SSE is explained by the first split on feature 0.
+    EXPECT_GT(t.importance()[0].gainSum,
+              0.9 * t.nodes()[0].sse);
+}
+
+TEST(RegressionTree, SingleSampleFits)
+{
+    Matrix x(1, 3);
+    x.at(0, 0) = 0.5;
+    std::vector<double> y = {7.0};
+    RegressionTree t;
+    t.fit(x, y);
+    EXPECT_DOUBLE_EQ(t.predict({0.0, 0.0, 0.0}), 7.0);
+    EXPECT_EQ(t.leafCount(), 1u);
+}
+
+TEST(RegressionTree, DuplicateInputsDoNotSplit)
+{
+    // All inputs identical: no split can separate them.
+    Matrix x(10, 2, 0.5);
+    std::vector<double> y(10);
+    for (std::size_t i = 0; i < 10; ++i)
+        y[i] = static_cast<double>(i);
+    RegressionTree t;
+    t.fit(x, y);
+    EXPECT_EQ(t.leafCount(), 1u);
+    EXPECT_NEAR(t.predict({0.5, 0.5}), 4.5, 1e-12);
+}
+
+TEST(RegressionTree, DeterministicAcrossFits)
+{
+    Matrix x = gridInputs2d(7);
+    std::vector<double> y(x.rows());
+    Rng rng(11);
+    for (auto &v : y)
+        v = rng.gaussian();
+    RegressionTree a, b;
+    a.fit(x, y);
+    b.fit(x, y);
+    ASSERT_EQ(a.nodes().size(), b.nodes().size());
+    for (std::size_t i = 0; i < 50; ++i) {
+        std::vector<double> probe = {rng.uniform(), rng.uniform()};
+        EXPECT_DOUBLE_EQ(a.predict(probe), b.predict(probe));
+    }
+}
+
+} // anonymous namespace
+} // namespace wavedyn

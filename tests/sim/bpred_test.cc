@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for gshare, BTB and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/bpred.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    // Global history shifts during warmup, so the indexed counter only
+    // stabilises once the 10-bit history saturates at all-taken.
+    GsharePredictor p(1024, 10);
+    std::uint64_t pc = 0x400;
+    for (int i = 0; i < 30; ++i)
+        p.update(pc, true);
+    EXPECT_TRUE(p.predict(pc));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    GsharePredictor p(1024, 10);
+    std::uint64_t pc = 0x400;
+    for (int i = 0; i < 8; ++i)
+        p.update(pc, false);
+    EXPECT_FALSE(p.predict(pc));
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory)
+{
+    // With global history, a strict T/N alternation becomes separable;
+    // accuracy after warmup should be near perfect.
+    GsharePredictor p(4096, 10);
+    std::uint64_t pc = 0x800;
+    bool taken = false;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 3000; ++i) {
+        taken = !taken;
+        bool pred = p.predict(pc);
+        if (i > 500) {
+            ++total;
+            if (pred == taken)
+                ++correct;
+        }
+        p.update(pc, taken);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.95);
+}
+
+TEST(Gshare, LoopPatternLearned)
+{
+    // taken, taken, ..., not-taken every 8th: classic loop branch.
+    GsharePredictor p(4096, 10);
+    std::uint64_t pc = 0xc00;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 8000; ++i) {
+        bool taken = (i % 8) != 7;
+        bool pred = p.predict(pc);
+        if (i > 1000) {
+            ++total;
+            if (pred == taken)
+                ++correct;
+        }
+        p.update(pc, taken);
+    }
+    EXPECT_GT(static_cast<double>(correct) / total, 0.9);
+}
+
+TEST(Gshare, RandomOutcomesNearChance)
+{
+    GsharePredictor p(2048, 10);
+    Rng rng(3);
+    std::uint64_t pc = 0x1000;
+    int correct = 0, total = 0;
+    for (int i = 0; i < 20000; ++i) {
+        bool taken = rng.chance(0.5);
+        bool pred = p.predict(pc);
+        if (i > 2000) {
+            ++total;
+            if (pred == taken)
+                ++correct;
+        }
+        p.update(pc, taken);
+    }
+    double acc = static_cast<double>(correct) / total;
+    EXPECT_GT(acc, 0.40);
+    EXPECT_LT(acc, 0.60);
+}
+
+TEST(Gshare, TableSizeMatches)
+{
+    GsharePredictor p(2048, 10);
+    EXPECT_EQ(p.tableSize(), 2048u);
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb b(256, 4);
+    std::uint64_t target = 0;
+    EXPECT_FALSE(b.lookup(0x400, target));
+    b.update(0x400, 0x900);
+    ASSERT_TRUE(b.lookup(0x400, target));
+    EXPECT_EQ(target, 0x900u);
+}
+
+TEST(Btb, UpdateOverwritesTarget)
+{
+    Btb b(256, 4);
+    b.update(0x400, 0x900);
+    b.update(0x400, 0xa00);
+    std::uint64_t target = 0;
+    ASSERT_TRUE(b.lookup(0x400, target));
+    EXPECT_EQ(target, 0xa00u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    Btb b(4, 2); // 2 sets x 2 ways
+    // These PCs map to the same set (stride = sets * 4 bytes).
+    std::uint64_t pcs[3] = {0x0, 0x8, 0x10};
+    b.update(pcs[0], 1);
+    b.update(pcs[1], 2);
+    std::uint64_t t;
+    ASSERT_TRUE(b.lookup(pcs[0], t)); // refresh 0 -> 1 is LRU
+    b.update(pcs[2], 3);              // evicts pcs[1]
+    EXPECT_TRUE(b.lookup(pcs[0], t));
+    EXPECT_FALSE(b.lookup(pcs[1], t));
+    EXPECT_TRUE(b.lookup(pcs[2], t));
+}
+
+TEST(Ras, PushPopLifo)
+{
+    ReturnAddressStack r(8);
+    r.push(0x100);
+    r.push(0x200);
+    std::uint64_t t = 0;
+    ASSERT_TRUE(r.pop(t));
+    EXPECT_EQ(t, 0x200u);
+    ASSERT_TRUE(r.pop(t));
+    EXPECT_EQ(t, 0x100u);
+}
+
+TEST(Ras, EmptyPopFails)
+{
+    ReturnAddressStack r(8);
+    std::uint64_t t = 0;
+    EXPECT_FALSE(r.pop(t));
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack r(2);
+    r.push(1);
+    r.push(2);
+    r.push(3); // overwrites 1
+    std::uint64_t t = 0;
+    ASSERT_TRUE(r.pop(t));
+    EXPECT_EQ(t, 3u);
+    ASSERT_TRUE(r.pop(t));
+    EXPECT_EQ(t, 2u);
+    EXPECT_FALSE(r.pop(t));
+}
+
+TEST(Ras, DepthTracksContents)
+{
+    ReturnAddressStack r(4);
+    EXPECT_EQ(r.depth(), 0u);
+    r.push(1);
+    r.push(2);
+    EXPECT_EQ(r.depth(), 2u);
+    std::uint64_t t;
+    r.pop(t);
+    EXPECT_EQ(r.depth(), 1u);
+    EXPECT_EQ(r.capacity(), 4u);
+}
+
+TEST(BpredStats, MispredictRate)
+{
+    BpredStats s;
+    EXPECT_DOUBLE_EQ(s.mispredictRate(), 0.0);
+    s.lookups = 100;
+    s.directionMispredicts = 7;
+    EXPECT_DOUBLE_EQ(s.mispredictRate(), 0.07);
+    s.reset();
+    EXPECT_EQ(s.lookups, 0u);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

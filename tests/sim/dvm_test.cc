@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the DVM controller (Figure 16) and its effect inside the
+ * pipeline (Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvm/controller.hh"
+#include "sim/simulator.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+DvmConfig
+enabledDvm(double threshold = 0.3, std::uint64_t sample = 50)
+{
+    DvmConfig d;
+    d.enabled = true;
+    d.threshold = threshold;
+    d.sampleCycles = sample;
+    return d;
+}
+
+TEST(DvmController, DisabledNeverStalls)
+{
+    DvmController c(DvmConfig{}, 96);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(c.shouldStallDispatch(96.0, 96, 0, true));
+    EXPECT_EQ(c.stats().samples, 0u);
+}
+
+TEST(DvmController, L2MissStallsDispatch)
+{
+    DvmController c(enabledDvm(), 96);
+    EXPECT_TRUE(c.shouldStallDispatch(0.0, 0, 10, true));
+    EXPECT_EQ(c.stats().stallL2Cycles, 1u);
+}
+
+TEST(DvmController, NoStallWhenCalm)
+{
+    DvmController c(enabledDvm(), 96);
+    // Low AVF, few waiting, no L2 miss.
+    EXPECT_FALSE(c.shouldStallDispatch(5.0, 2, 10, false));
+}
+
+TEST(DvmController, HighAvfHalvesWqRatio)
+{
+    DvmController c(enabledDvm(0.3, 10), 96);
+    double before = c.wqRatio();
+    // 10 cycles at AVF ~ 0.9 completes one sample window.
+    for (int i = 0; i < 10; ++i)
+        c.shouldStallDispatch(0.9 * 96, 10, 10, false);
+    EXPECT_NEAR(c.wqRatio(), before / 2.0, 1e-12);
+    EXPECT_EQ(c.stats().samples, 1u);
+    EXPECT_EQ(c.stats().triggers, 1u);
+}
+
+TEST(DvmController, LowAvfIncrementsWqRatio)
+{
+    DvmController c(enabledDvm(0.3, 10), 96);
+    double before = c.wqRatio();
+    for (int i = 0; i < 10; ++i)
+        c.shouldStallDispatch(0.05 * 96, 1, 10, false);
+    EXPECT_NEAR(c.wqRatio(), before + 1.0, 1e-12);
+    EXPECT_EQ(c.stats().triggers, 0u);
+}
+
+TEST(DvmController, WqRatioClamped)
+{
+    DvmConfig cfg = enabledDvm(0.1, 5);
+    cfg.minWqRatio = 0.5;
+    cfg.maxWqRatio = 8.0;
+    DvmController c(cfg, 96);
+    // Hammer with high AVF: ratio decays to the floor, not below.
+    for (int i = 0; i < 500; ++i)
+        c.shouldStallDispatch(90.0, 50, 1, false);
+    EXPECT_GE(c.wqRatio(), 0.5);
+    // Then starve: ratio climbs to the ceiling, not above.
+    for (int i = 0; i < 500; ++i)
+        c.shouldStallDispatch(0.0, 0, 10, false);
+    EXPECT_LE(c.wqRatio(), 8.0);
+}
+
+TEST(DvmController, WaitingRatioRuleStalls)
+{
+    DvmConfig cfg = enabledDvm(0.3, 1000000); // no sampling interference
+    cfg.initialWqRatio = 2.0;
+    DvmController c(cfg, 96);
+    // waiting/ready = 30/5 = 6 > 2 -> stall.
+    EXPECT_TRUE(c.shouldStallDispatch(10.0, 30, 5, false));
+    EXPECT_EQ(c.stats().stallRatioCycles, 1u);
+    // waiting/ready = 4/5 < 2 -> pass.
+    EXPECT_FALSE(c.shouldStallDispatch(10.0, 4, 5, false));
+}
+
+TEST(DvmController, ZeroReadyTreatedAsOne)
+{
+    DvmConfig cfg = enabledDvm(0.3, 1000000);
+    cfg.initialWqRatio = 4.0;
+    DvmController c(cfg, 96);
+    EXPECT_TRUE(c.shouldStallDispatch(10.0, 5, 0, false));
+    EXPECT_FALSE(c.shouldStallDispatch(10.0, 3, 0, false));
+}
+
+TEST(DvmController, OnlineAvfMatchesWindow)
+{
+    DvmController c(enabledDvm(0.5, 4), 100);
+    for (int i = 0; i < 4; ++i)
+        c.shouldStallDispatch(25.0, 0, 10, false);
+    EXPECT_NEAR(c.lastOnlineAvf(), 0.25, 1e-12);
+}
+
+// ---- Integration with the pipeline.
+
+TEST(DvmPipeline, ReducesIqAvfOnVulnerableWorkload)
+{
+    // mcf's long L2 misses pile waiting instructions into the IQ; DVM
+    // must reduce the measured IQ AVF.
+    auto base = simulate(benchmarkByName("mcf"), SimConfig::baseline(),
+                         12, 1200);
+    DvmConfig dvm = enabledDvm(0.2, 200);
+    auto managed = simulate(benchmarkByName("mcf"),
+                            SimConfig::baseline(), 12, 1200, dvm);
+    EXPECT_LT(managed.aggregate(Domain::IqAvf),
+              base.aggregate(Domain::IqAvf));
+    EXPECT_GT(managed.dvmStats.samples, 0u);
+}
+
+TEST(DvmPipeline, CostsSomePerformance)
+{
+    auto base = simulate(benchmarkByName("mcf"), SimConfig::baseline(),
+                         8, 1200);
+    auto managed = simulate(benchmarkByName("mcf"),
+                            SimConfig::baseline(), 8, 1200,
+                            enabledDvm(0.15, 200));
+    // Throttling dispatch cannot make the machine faster.
+    EXPECT_GE(managed.totalCycles, base.totalCycles);
+}
+
+TEST(DvmPipeline, TighterThresholdLowersAvfFurther)
+{
+    auto loose = simulate(benchmarkByName("mcf"), SimConfig::baseline(),
+                          8, 1200, enabledDvm(0.5, 200));
+    auto tight = simulate(benchmarkByName("mcf"), SimConfig::baseline(),
+                          8, 1200, enabledDvm(0.1, 200));
+    EXPECT_LE(tight.aggregate(Domain::IqAvf),
+              loose.aggregate(Domain::IqAvf) + 0.02);
+}
+
+TEST(DvmPipeline, StatsReportedInResult)
+{
+    auto r = simulate(benchmarkByName("gcc"), SimConfig::baseline(), 4,
+                      800, enabledDvm(0.25, 100));
+    EXPECT_GT(r.dvmStats.samples, 0u);
+    EXPECT_GT(r.dvmFinalWqRatio, 0.0);
+}
+
+TEST(DvmPipeline, DisabledMatchesBaselineExactly)
+{
+    auto a = simulate(benchmarkByName("vpr"), SimConfig::baseline(), 4,
+                      500);
+    auto b = simulate(benchmarkByName("vpr"), SimConfig::baseline(), 4,
+                      500, DvmConfig{});
+    for (std::size_t i = 0; i < a.intervals.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.intervals[i].cpi, b.intervals[i].cpi);
+}
+
+class DvmThresholds : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(DvmThresholds, PipelineStableUnderPolicy)
+{
+    auto r = simulate(benchmarkByName("parser"), SimConfig::baseline(),
+                      4, 600, enabledDvm(GetParam(), 150));
+    EXPECT_EQ(r.totalInstructions, 2400u);
+    for (const auto &s : r.intervals) {
+        EXPECT_GT(s.cpi, 0.0);
+        EXPECT_LE(s.iqAvf, 1.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperThresholds, DvmThresholds,
+                         ::testing::Values(0.2, 0.3, 0.5));
+
+} // anonymous namespace
+} // namespace wavedyn

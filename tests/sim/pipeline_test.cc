@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the out-of-order pipeline model: bounds, monotonicity with
+ * respect to resources, determinism, and interval bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workload/stream.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+SimResult
+quickRun(const std::string &bench, const SimConfig &cfg,
+         std::size_t intervals = 16, std::size_t per_interval = 400,
+         DvmConfig dvm = {})
+{
+    return simulate(benchmarkByName(bench), cfg, intervals, per_interval,
+                    dvm);
+}
+
+TEST(Pipeline, CommitsRequestedInstructions)
+{
+    auto r = quickRun("bzip2", SimConfig::baseline(), 8, 500);
+    EXPECT_EQ(r.totalInstructions, 8u * 500u);
+    ASSERT_EQ(r.intervals.size(), 8u);
+    for (const auto &s : r.intervals)
+        EXPECT_EQ(s.instructions, 500u);
+}
+
+TEST(Pipeline, CpiBounds)
+{
+    for (const char *b : {"bzip2", "gcc", "mcf", "swim"}) {
+        auto r = quickRun(b, SimConfig::baseline());
+        for (const auto &s : r.intervals) {
+            // Cannot commit faster than width; mcf stalls can be long
+            // but CPI must stay finite and sane.
+            EXPECT_GE(s.cpi, 1.0 / 8.0) << b;
+            EXPECT_LT(s.cpi, 300.0) << b;
+        }
+    }
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    auto a = quickRun("vpr", SimConfig::baseline());
+    auto b = quickRun("vpr", SimConfig::baseline());
+    ASSERT_EQ(a.intervals.size(), b.intervals.size());
+    for (std::size_t i = 0; i < a.intervals.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.intervals[i].cpi, b.intervals[i].cpi);
+        EXPECT_DOUBLE_EQ(a.intervals[i].power, b.intervals[i].power);
+        EXPECT_DOUBLE_EQ(a.intervals[i].avf, b.intervals[i].avf);
+    }
+}
+
+TEST(Pipeline, WiderMachineNotSlower)
+{
+    SimConfig narrow = SimConfig::baseline();
+    narrow.fetchWidth = 2;
+    SimConfig wide = SimConfig::baseline();
+    wide.fetchWidth = 16;
+    auto rn = quickRun("eon", narrow);
+    auto rw = quickRun("eon", wide);
+    EXPECT_GT(rn.aggregate(Domain::Cpi),
+              rw.aggregate(Domain::Cpi) * 0.99);
+}
+
+TEST(Pipeline, NarrowWidthBoundsIpc)
+{
+    SimConfig narrow = SimConfig::baseline();
+    narrow.fetchWidth = 2;
+    auto r = quickRun("swim", narrow);
+    for (const auto &s : r.intervals)
+        EXPECT_GE(s.cpi, 0.5); // IPC <= 2
+}
+
+TEST(Pipeline, BiggerDl1ReducesMissRate)
+{
+    SimConfig small = SimConfig::baseline();
+    small.dl1SizeKb = 8;
+    SimConfig big = SimConfig::baseline();
+    big.dl1SizeKb = 64;
+    auto rs = quickRun("twolf", small, 8, 2000);
+    auto rb = quickRun("twolf", big, 8, 2000);
+    double ms = 0, mb = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        ms += rs.intervals[i].dl1MissRate;
+        mb += rb.intervals[i].dl1MissRate;
+    }
+    EXPECT_GT(ms, mb);
+}
+
+TEST(Pipeline, SlowerDl1RaisesCpi)
+{
+    SimConfig fast = SimConfig::baseline();
+    fast.dl1Lat = 1;
+    SimConfig slow = SimConfig::baseline();
+    slow.dl1Lat = 4;
+    auto rf = quickRun("parser", fast);
+    auto rs = quickRun("parser", slow);
+    EXPECT_GT(rs.aggregate(Domain::Cpi), rf.aggregate(Domain::Cpi));
+}
+
+TEST(Pipeline, MemoryBoundWorkloadSensitiveToL2)
+{
+    SimConfig small = SimConfig::baseline();
+    small.l2SizeKb = 256;
+    SimConfig big = SimConfig::baseline();
+    big.l2SizeKb = 4096;
+    auto rs = quickRun("mcf", small, 8, 1500);
+    auto rb = quickRun("mcf", big, 8, 1500);
+    EXPECT_GT(rs.aggregate(Domain::Cpi), rb.aggregate(Domain::Cpi));
+}
+
+TEST(Pipeline, PowerPositiveAndBounded)
+{
+    auto r = quickRun("gcc", SimConfig::baseline());
+    for (const auto &s : r.intervals) {
+        EXPECT_GT(s.power, 5.0);   // leakage + clock floor
+        EXPECT_LT(s.power, 400.0); // sane ceiling
+    }
+}
+
+TEST(Pipeline, WiderCoreBurnsMorePower)
+{
+    SimConfig narrow = SimConfig::baseline();
+    narrow.fetchWidth = 2;
+    SimConfig wide = SimConfig::baseline();
+    wide.fetchWidth = 16;
+    auto rn = quickRun("swim", narrow);
+    auto rw = quickRun("swim", wide);
+    EXPECT_GT(rw.aggregate(Domain::Power),
+              rn.aggregate(Domain::Power));
+}
+
+TEST(Pipeline, AvfWithinUnitInterval)
+{
+    for (const char *b : {"mcf", "swim", "crafty"}) {
+        auto r = quickRun(b, SimConfig::baseline());
+        for (const auto &s : r.intervals) {
+            EXPECT_GE(s.avf, 0.0) << b;
+            EXPECT_LE(s.avf, 1.0) << b;
+            EXPECT_GE(s.iqAvf, 0.0) << b;
+            EXPECT_LE(s.iqAvf, 1.0) << b;
+            EXPECT_GE(s.robAvf, 0.0) << b;
+            EXPECT_LE(s.robAvf, 1.0) << b;
+            EXPECT_GE(s.lsqAvf, 0.0) << b;
+            EXPECT_LE(s.lsqAvf, 1.0) << b;
+        }
+    }
+}
+
+TEST(Pipeline, AvfNonTrivial)
+{
+    // Occupied queues must register vulnerability.
+    auto r = quickRun("mcf", SimConfig::baseline(), 8, 1500);
+    EXPECT_GT(r.aggregate(Domain::Avf), 0.005);
+}
+
+TEST(Pipeline, TracesVaryOverTime)
+{
+    // The whole point: dynamics. CPI must not be flat across intervals.
+    auto r = simulate(benchmarkByName("gcc"), SimConfig::baseline(), 32,
+                      600);
+    auto t = r.trace(Domain::Cpi);
+    double lo = t[0], hi = t[0];
+    for (double v : t) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_GT(hi, lo * 1.05);
+}
+
+TEST(Pipeline, DynamicsDifferAcrossConfigs)
+{
+    // Figure 1's claim: the same program shows different dynamics on
+    // different machines.
+    SimConfig a = SimConfig::baseline();
+    a.fetchWidth = 2;
+    a.dl1SizeKb = 8;
+    a.l2SizeKb = 256;
+    SimConfig b = SimConfig::baseline();
+    b.fetchWidth = 16;
+    b.dl1SizeKb = 64;
+    b.l2SizeKb = 4096;
+    auto ra = quickRun("gap", a, 16, 600);
+    auto rb = quickRun("gap", b, 16, 600);
+    double diff = 0.0;
+    for (std::size_t i = 0; i < 16; ++i)
+        diff += std::abs(ra.intervals[i].cpi - rb.intervals[i].cpi);
+    EXPECT_GT(diff / 16.0, 0.05);
+}
+
+TEST(Pipeline, TraceHelpersConsistent)
+{
+    auto r = quickRun("vortex", SimConfig::baseline());
+    auto cpis = r.trace(Domain::Cpi);
+    ASSERT_EQ(cpis.size(), r.intervals.size());
+    for (std::size_t i = 0; i < cpis.size(); ++i)
+        EXPECT_DOUBLE_EQ(cpis[i], r.intervals[i].cpi);
+}
+
+TEST(Pipeline, AggregateIsInstructionWeighted)
+{
+    auto r = quickRun("eon", SimConfig::baseline(), 4, 300);
+    double acc = 0.0;
+    for (const auto &s : r.intervals)
+        acc += s.cpi; // equal instruction counts -> plain mean
+    EXPECT_NEAR(r.aggregate(Domain::Cpi), acc / 4.0, 1e-9);
+}
+
+TEST(Pipeline, FromDesignPointMatchesManualConfig)
+{
+    auto space = DesignSpace::paper();
+    DesignPoint p = {8, 128, 64, 32, 1024, 14, 16, 32, 2};
+    SimConfig cfg = SimConfig::fromDesignPoint(space, p);
+    EXPECT_EQ(cfg.fetchWidth, 8u);
+    EXPECT_EQ(cfg.robSize, 128u);
+    EXPECT_EQ(cfg.iqSize, 64u);
+    EXPECT_EQ(cfg.lsqSize, 32u);
+    EXPECT_EQ(cfg.l2SizeKb, 1024u);
+    EXPECT_EQ(cfg.l2Lat, 14u);
+    EXPECT_EQ(cfg.il1SizeKb, 16u);
+    EXPECT_EQ(cfg.dl1SizeKb, 32u);
+    EXPECT_EQ(cfg.dl1Lat, 2u);
+}
+
+TEST(Pipeline, IpcIsInverseCpi)
+{
+    auto r = quickRun("gap", SimConfig::baseline(), 4, 300);
+    for (const auto &s : r.intervals)
+        EXPECT_NEAR(s.ipc * s.cpi, 1.0, 1e-9);
+}
+
+class PipelineAllBenchmarks : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipelineAllBenchmarks, RunsCleanlyOnExtremeConfigs)
+{
+    const auto &b = allBenchmarks()[GetParam()];
+    SimConfig small = SimConfig::baseline();
+    small.fetchWidth = 2;
+    small.robSize = 96;
+    small.iqSize = 32;
+    small.lsqSize = 16;
+    small.l2SizeKb = 256;
+    small.l2Lat = 20;
+    small.il1SizeKb = 8;
+    small.dl1SizeKb = 8;
+    small.dl1Lat = 4;
+    SimConfig big = SimConfig::baseline();
+    big.fetchWidth = 16;
+    big.robSize = 160;
+    big.iqSize = 128;
+    big.lsqSize = 64;
+    big.l2SizeKb = 4096;
+    big.l2Lat = 8;
+    big.il1SizeKb = 64;
+    big.dl1SizeKb = 64;
+    big.dl1Lat = 1;
+
+    for (const SimConfig &cfg : {small, big}) {
+        auto r = simulate(b, cfg, 4, 400);
+        EXPECT_EQ(r.totalInstructions, 1600u) << b.name;
+        for (const auto &s : r.intervals) {
+            EXPECT_GT(s.cpi, 0.0) << b.name;
+            EXPECT_LT(s.cpi, 500.0) << b.name;
+            EXPECT_GE(s.avf, 0.0) << b.name;
+            EXPECT_LE(s.avf, 1.0) << b.name;
+            EXPECT_GT(s.power, 0.0) << b.name;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PipelineAllBenchmarks,
+                         ::testing::Range(0, 12));
+
+} // anonymous namespace
+} // namespace wavedyn

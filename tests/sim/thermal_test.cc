@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the lumped-RC thermal model and the DTM policy evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/thermal.hh"
+#include "sim/simulator.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Thermal, SteadyStateReachesAmbientPlusPR)
+{
+    ThermalParams params;
+    params.ambient = 40.0;
+    params.resistance = 1.0;
+    params.timeConstantIntervals = 2.0;
+    params.initial = 40.0;
+    std::vector<double> power(200, 30.0);
+    auto t = temperatureTrace(power, params);
+    EXPECT_NEAR(t.back(), 70.0, 0.01);
+}
+
+TEST(Thermal, ZeroPowerDecaysToAmbient)
+{
+    ThermalParams params;
+    params.ambient = 45.0;
+    params.initial = 100.0;
+    params.timeConstantIntervals = 3.0;
+    std::vector<double> power(100, 0.0);
+    auto t = temperatureTrace(power, params);
+    EXPECT_NEAR(t.back(), 45.0, 0.01);
+    // Monotone decay.
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_LE(t[i], t[i - 1] + 1e-12);
+}
+
+TEST(Thermal, TimeConstantControlsLag)
+{
+    ThermalParams fast, slow;
+    fast.timeConstantIntervals = 1.0;
+    slow.timeConstantIntervals = 20.0;
+    fast.initial = slow.initial = fast.ambient;
+    std::vector<double> power(10, 50.0);
+    auto tf = temperatureTrace(power, fast);
+    auto ts = temperatureTrace(power, slow);
+    // The fast package approaches steady state sooner.
+    EXPECT_GT(tf[5], ts[5]);
+}
+
+TEST(Thermal, StepResponseIsExponential)
+{
+    ThermalParams p;
+    p.ambient = 0.0;
+    p.resistance = 1.0;
+    p.initial = 0.0;
+    p.timeConstantIntervals = 4.0;
+    std::vector<double> power(50, 10.0);
+    auto t = temperatureTrace(power, p);
+    // After tau intervals, ~63% of the step.
+    EXPECT_NEAR(t[3], 10.0 * (1.0 - std::exp(-1.0)), 0.3);
+}
+
+TEST(Thermal, HigherPowerRunsHotter)
+{
+    std::vector<double> low(64, 30.0), high(64, 90.0);
+    auto tl = temperatureTrace(low);
+    auto th = temperatureTrace(high);
+    EXPECT_GT(th.back(), tl.back());
+}
+
+TEST(Dtm, NoThrottleBelowTrigger)
+{
+    DtmPolicy policy;
+    policy.trigger = 200.0; // unreachable
+    std::vector<double> power(64, 50.0);
+    auto out = evaluateDtm(power, policy);
+    EXPECT_DOUBLE_EQ(out.throttleFraction, 0.0);
+    EXPECT_DOUBLE_EQ(out.performanceLoss, 0.0);
+    // Managed trace equals unmanaged one.
+    auto raw = temperatureTrace(power);
+    for (std::size_t i = 0; i < raw.size(); ++i)
+        EXPECT_DOUBLE_EQ(out.temperature[i], raw[i]);
+}
+
+TEST(Dtm, ThrottlingCapsTemperature)
+{
+    ThermalParams params;
+    params.ambient = 45.0;
+    params.resistance = 0.8;
+    DtmPolicy policy;
+    policy.trigger = 82.0;
+    policy.release = 78.0;
+    policy.powerScale = 0.5;
+    std::vector<double> power(256, 80.0); // steady 109 C unmanaged
+    auto unmanaged = temperatureTrace(power, params);
+    auto managed = evaluateDtm(power, policy, params);
+    EXPECT_GT(unmanaged.back(), 100.0);
+    EXPECT_LT(managed.peak, 90.0);
+    EXPECT_GT(managed.throttleFraction, 0.3);
+    EXPECT_GT(managed.performanceLoss, 0.0);
+}
+
+TEST(Dtm, HysteresisReleasesBelowReleasePoint)
+{
+    DtmPolicy policy;
+    policy.trigger = 80.0;
+    policy.release = 70.0;
+    policy.powerScale = 0.0; // full stop while engaged
+    ThermalParams params;
+    params.initial = 85.0; // start hot
+    params.timeConstantIntervals = 2.0;
+    std::vector<double> power(64, 20.0);
+    auto out = evaluateDtm(power, policy, params);
+    // Starts throttled, then releases permanently once cooled.
+    EXPECT_TRUE(out.throttled.front());
+    EXPECT_FALSE(out.throttled.back());
+}
+
+TEST(Dtm, OutcomeShapesMatchInput)
+{
+    std::vector<double> power(32, 60.0);
+    auto out = evaluateDtm(power, DtmPolicy{});
+    EXPECT_EQ(out.temperature.size(), 32u);
+    EXPECT_EQ(out.throttled.size(), 32u);
+}
+
+TEST(Dtm, EmptyTrace)
+{
+    auto out = evaluateDtm({}, DtmPolicy{});
+    EXPECT_TRUE(out.temperature.empty());
+    EXPECT_DOUBLE_EQ(out.peak, 0.0);
+}
+
+TEST(ThermalIntegration, SimulatedPowerProducesPlausibleDie)
+{
+    auto r = simulate(benchmarkByName("crafty"), SimConfig::baseline(),
+                      32, 400);
+    auto temp = temperatureTrace(r.trace(Domain::Power));
+    for (double t : temp) {
+        EXPECT_GT(t, 40.0);
+        EXPECT_LT(t, 140.0);
+    }
+}
+
+} // anonymous namespace
+} // namespace wavedyn

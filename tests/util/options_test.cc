@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for environment-driven scaling options.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/options.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+class OptionsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { unsetenv("WAVEDYN_SCALE"); }
+};
+
+TEST_F(OptionsTest, DefaultIsQuick)
+{
+    unsetenv("WAVEDYN_SCALE");
+    EXPECT_EQ(scaleFromEnv(), Scale::Quick);
+}
+
+TEST_F(OptionsTest, ParsesSmoke)
+{
+    setenv("WAVEDYN_SCALE", "smoke", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Smoke);
+}
+
+TEST_F(OptionsTest, ParsesFull)
+{
+    setenv("WAVEDYN_SCALE", "full", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Full);
+}
+
+TEST_F(OptionsTest, UnknownFallsBackToQuick)
+{
+    setenv("WAVEDYN_SCALE", "banana", 1);
+    EXPECT_EQ(scaleFromEnv(), Scale::Quick);
+}
+
+TEST_F(OptionsTest, NamesRoundTrip)
+{
+    EXPECT_EQ(scaleName(Scale::Smoke), "smoke");
+    EXPECT_EQ(scaleName(Scale::Quick), "quick");
+    EXPECT_EQ(scaleName(Scale::Full), "full");
+}
+
+TEST_F(OptionsTest, FullMatchesPaperProtocol)
+{
+    auto sizes = sizesFor(Scale::Full);
+    EXPECT_EQ(sizes.trainPoints, 200u);
+    EXPECT_EQ(sizes.testPoints, 50u);
+    EXPECT_EQ(sizes.samplesPerTrace, 128u);
+    EXPECT_EQ(sizes.benchmarkCount, 12u);
+}
+
+TEST_F(OptionsTest, ScalesAreMonotone)
+{
+    auto smoke = sizesFor(Scale::Smoke);
+    auto quick = sizesFor(Scale::Quick);
+    auto full = sizesFor(Scale::Full);
+    EXPECT_LT(smoke.trainPoints, quick.trainPoints);
+    EXPECT_LT(quick.trainPoints, full.trainPoints);
+    EXPECT_LE(smoke.testPoints, quick.testPoints);
+    EXPECT_LE(quick.testPoints, full.testPoints);
+}
+
+TEST_F(OptionsTest, EnvSizeFallback)
+{
+    unsetenv("WAVEDYN_NOT_SET");
+    EXPECT_EQ(envSize("WAVEDYN_NOT_SET", 7), 7u);
+}
+
+TEST_F(OptionsTest, EnvSizeParses)
+{
+    setenv("WAVEDYN_TEST_SIZE", "123", 1);
+    EXPECT_EQ(envSize("WAVEDYN_TEST_SIZE", 7), 123u);
+    unsetenv("WAVEDYN_TEST_SIZE");
+}
+
+TEST_F(OptionsTest, EnvSizeRejectsGarbage)
+{
+    setenv("WAVEDYN_TEST_SIZE", "abc", 1);
+    EXPECT_EQ(envSize("WAVEDYN_TEST_SIZE", 7), 7u);
+    unsetenv("WAVEDYN_TEST_SIZE");
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for statistics helpers: running stats, boxplots, error metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/stats.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a, b, whole;
+    for (int i = 0; i < 50; ++i) {
+        double v = std::sin(static_cast<double>(i)) * 10.0;
+        (i < 20 ? a : b).add(v);
+        whole.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(2.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 1.5);
+}
+
+TEST(Quantile, MedianOfOdd)
+{
+    EXPECT_DOUBLE_EQ(quantile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Quantile, MedianOfEvenInterpolates)
+{
+    EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(Quantile, Extremes)
+{
+    std::vector<double> v = {5, 1, 9};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Boxplot, BasicQuartiles)
+{
+    auto s = boxplot({1, 2, 3, 4, 5, 6, 7, 8, 9});
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.q1, 3.0);
+    EXPECT_DOUBLE_EQ(s.q3, 7.0);
+    EXPECT_EQ(s.count, 9u);
+    EXPECT_TRUE(s.outliers.empty());
+    EXPECT_DOUBLE_EQ(s.whiskerLow, 1.0);
+    EXPECT_DOUBLE_EQ(s.whiskerHigh, 9.0);
+}
+
+TEST(Boxplot, DetectsOutlier)
+{
+    auto s = boxplot({1, 2, 2, 3, 3, 3, 4, 4, 5, 100});
+    ASSERT_EQ(s.outliers.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.outliers[0], 100.0);
+    EXPECT_LT(s.whiskerHigh, 100.0);
+}
+
+TEST(Boxplot, ConstantData)
+{
+    auto s = boxplot({4, 4, 4, 4});
+    EXPECT_DOUBLE_EQ(s.median, 4.0);
+    EXPECT_DOUBLE_EQ(s.iqr(), 0.0);
+    EXPECT_TRUE(s.outliers.empty());
+    EXPECT_DOUBLE_EQ(s.whiskerLow, 4.0);
+    EXPECT_DOUBLE_EQ(s.whiskerHigh, 4.0);
+}
+
+TEST(Boxplot, EmptyData)
+{
+    auto s = boxplot({});
+    EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Boxplot, MeanIsArithmetic)
+{
+    auto s = boxplot({1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+}
+
+TEST(Mse, PerfectPredictionIsZero)
+{
+    std::vector<double> a = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(msePercent(a, a), 0.0);
+}
+
+TEST(Mse, KnownValue)
+{
+    std::vector<double> a = {1, 2, 3};
+    std::vector<double> p = {2, 2, 5};
+    EXPECT_DOUBLE_EQ(meanSquaredError(a, p), (1.0 + 0.0 + 4.0) / 3.0);
+}
+
+TEST(MsePercent, ScaleFree)
+{
+    std::vector<double> a = {1, 2, 3, 4};
+    std::vector<double> p = {1.1, 1.9, 3.2, 3.9};
+    std::vector<double> a10(a), p10(p);
+    for (auto &v : a10)
+        v *= 10.0;
+    for (auto &v : p10)
+        v *= 10.0;
+    EXPECT_NEAR(msePercent(a, p), msePercent(a10, p10), 1e-12);
+}
+
+TEST(MsePercent, ZeroActualHandled)
+{
+    std::vector<double> z = {0, 0};
+    EXPECT_DOUBLE_EQ(msePercent(z, z), 0.0);
+    EXPECT_DOUBLE_EQ(msePercent(z, {1, 1}), 100.0);
+}
+
+TEST(DirectionalSymmetry, PerfectAgreement)
+{
+    std::vector<double> a = {1, 5, 1, 5};
+    EXPECT_DOUBLE_EQ(directionalSymmetry(a, a, 3.0), 1.0);
+}
+
+TEST(DirectionalSymmetry, TotalDisagreement)
+{
+    std::vector<double> a = {1, 1, 1};
+    std::vector<double> p = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(directionalSymmetry(a, p, 3.0), 0.0);
+}
+
+TEST(DirectionalSymmetry, HalfAgreement)
+{
+    std::vector<double> a = {1, 1, 5, 5};
+    std::vector<double> p = {1, 5, 1, 5};
+    EXPECT_DOUBLE_EQ(directionalSymmetry(a, p, 3.0), 0.5);
+}
+
+TEST(DirectionalSymmetry, ThresholdBoundaryCountsAsAbove)
+{
+    std::vector<double> a = {3.0};
+    std::vector<double> p = {3.0};
+    EXPECT_DOUBLE_EQ(directionalSymmetry(a, p, 3.0), 1.0);
+}
+
+TEST(QuarterThresholds, MatchesFigure12Formula)
+{
+    std::vector<double> trace = {0.0, 4.0}; // min 0, max 4
+    auto q = quarterThresholds(trace);
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_DOUBLE_EQ(q[0], 1.0);
+    EXPECT_DOUBLE_EQ(q[1], 2.0);
+    EXPECT_DOUBLE_EQ(q[2], 3.0);
+}
+
+TEST(QuarterThresholds, ConstantTrace)
+{
+    auto q = quarterThresholds({2.0, 2.0, 2.0});
+    for (double t : q)
+        EXPECT_DOUBLE_EQ(t, 2.0);
+}
+
+TEST(Pearson, PerfectPositive)
+{
+    std::vector<double> a = {1, 2, 3, 4};
+    std::vector<double> b = {2, 4, 6, 8};
+    EXPECT_NEAR(pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative)
+{
+    std::vector<double> a = {1, 2, 3, 4};
+    std::vector<double> b = {8, 6, 4, 2};
+    EXPECT_NEAR(pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateIsZero)
+{
+    std::vector<double> a = {1, 1, 1};
+    std::vector<double> b = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(a, b), 0.0);
+}
+
+TEST(MeanOf, Basics)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0}), 3.0);
+}
+
+TEST(DescribeBoxplot, ContainsKeyFields)
+{
+    auto s = boxplot({1, 2, 3, 4, 5});
+    std::string d = describeBoxplot(s);
+    EXPECT_NE(d.find("med="), std::string::npos);
+    EXPECT_NE(d.find("q1="), std::string::npos);
+    EXPECT_NE(d.find("q3="), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

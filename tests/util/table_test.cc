@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the ASCII table / CSV / sparkline helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.row({"longer", "22"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    // Header separator line present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrinted)
+{
+    TextTable t("My Table");
+    t.header({"a"});
+    t.row({"1"});
+    EXPECT_NE(t.str().find("== My Table =="), std::string::npos);
+}
+
+TEST(TextTable, EmptyPrintsNothing)
+{
+    TextTable t;
+    EXPECT_TRUE(t.str().empty());
+}
+
+TEST(TextTable, SecondHeaderIgnored)
+{
+    TextTable t;
+    t.header({"first"});
+    t.header({"second"});
+    EXPECT_NE(t.str().find("first"), std::string::npos);
+    EXPECT_EQ(t.str().find("second"), std::string::npos);
+}
+
+TEST(TextTable, RowCount)
+{
+    TextTable t;
+    t.header({"a"});
+    t.row({"1"});
+    t.row({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RaggedRowsTolerated)
+{
+    TextTable t;
+    t.header({"a", "b", "c"});
+    t.row({"1"});
+    t.row({"1", "2", "3", "4"});
+    // Must not crash, must include all cells.
+    std::string s = t.str();
+    EXPECT_NE(s.find("4"), std::string::npos);
+}
+
+TEST(Fmt, DoublePrecision)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(1.0, 3), "1.000");
+}
+
+TEST(Fmt, Integers)
+{
+    EXPECT_EQ(fmt(static_cast<std::size_t>(42)), "42");
+    EXPECT_EQ(fmt(-3), "-3");
+}
+
+TEST(WriteCsv, CommaSeparated)
+{
+    std::ostringstream os;
+    writeCsv(os, {"a", "b"}, {{"1", "2"}, {"3", "4"}});
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(WriteCsv, NoHeader)
+{
+    std::ostringstream os;
+    writeCsv(os, {}, {{"1"}});
+    EXPECT_EQ(os.str(), "1\n");
+}
+
+TEST(Sparkline, LengthMatchesSeries)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_EQ(sparkline(v).size(), v.size());
+}
+
+TEST(Sparkline, ConstantSeriesIsFlat)
+{
+    std::string s = sparkline({5, 5, 5});
+    EXPECT_EQ(s, "___");
+}
+
+TEST(Sparkline, ExtremesMapToEnds)
+{
+    std::string s = sparkline({0.0, 1.0});
+    EXPECT_EQ(s.front(), '_');
+    EXPECT_EQ(s.back(), '#');
+}
+
+TEST(Sparkline, EmptySeries)
+{
+    EXPECT_TRUE(sparkline({}).empty());
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the paper-convention Haar transform, including the paper's
+ * Figure 2 worked example verified digit for digit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "wavelet/haar.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(IsPowerOfTwo, Basics)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(128));
+    EXPECT_FALSE(isPowerOfTwo(129));
+}
+
+TEST(HaarForward, PaperFigure2Example)
+{
+    // {3,4,20,25,15,5,20,3} -> 11.875 | 1.125 | -9.5,-0.75 |
+    //                          -0.5,-2.5,5,8.5
+    std::vector<double> data = {3, 4, 20, 25, 15, 5, 20, 3};
+    auto c = haarForward(data);
+    ASSERT_EQ(c.size(), 8u);
+    EXPECT_DOUBLE_EQ(c[0], 11.875);
+    EXPECT_DOUBLE_EQ(c[1], 1.125);
+    EXPECT_DOUBLE_EQ(c[2], -9.5);
+    EXPECT_DOUBLE_EQ(c[3], -0.75);
+    EXPECT_DOUBLE_EQ(c[4], -0.5);
+    EXPECT_DOUBLE_EQ(c[5], -2.5);
+    EXPECT_DOUBLE_EQ(c[6], 5.0);
+    EXPECT_DOUBLE_EQ(c[7], 8.5);
+}
+
+TEST(HaarForward, PaperIntermediateLevel)
+{
+    // The paper reconstructs {13, 10.75} = {11.875+1.125, 11.875-1.125}.
+    std::vector<double> data = {3, 4, 20, 25, 15, 5, 20, 3};
+    auto c = haarForward(data);
+    EXPECT_DOUBLE_EQ(c[0] + c[1], 13.0);
+    EXPECT_DOUBLE_EQ(c[0] - c[1], 10.75);
+}
+
+TEST(HaarForward, FirstCoefficientIsMean)
+{
+    std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto c = haarForward(data);
+    EXPECT_DOUBLE_EQ(c[0], 4.5);
+}
+
+TEST(HaarForward, ConstantSignalHasOnlyAverage)
+{
+    std::vector<double> data(16, 3.25);
+    auto c = haarForward(data);
+    EXPECT_DOUBLE_EQ(c[0], 3.25);
+    for (std::size_t i = 1; i < c.size(); ++i)
+        EXPECT_DOUBLE_EQ(c[i], 0.0);
+}
+
+TEST(HaarForward, SingleElement)
+{
+    auto c = haarForward({5.0});
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_DOUBLE_EQ(c[0], 5.0);
+}
+
+TEST(HaarForward, LinearInInput)
+{
+    Rng rng(1);
+    std::vector<double> a(32), b(32), sum(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+        a[i] = rng.gaussian();
+        b[i] = rng.gaussian();
+        sum[i] = 2.0 * a[i] + 3.0 * b[i];
+    }
+    auto ca = haarForward(a);
+    auto cb = haarForward(b);
+    auto cs = haarForward(sum);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_NEAR(cs[i], 2.0 * ca[i] + 3.0 * cb[i], 1e-12);
+}
+
+TEST(HaarInverse, PerfectReconstruction)
+{
+    Rng rng(2);
+    for (std::size_t n : {1u, 2u, 4u, 8u, 64u, 128u, 1024u}) {
+        std::vector<double> data(n);
+        for (auto &v : data)
+            v = rng.uniform(-10, 10);
+        auto rec = haarInverse(haarForward(data));
+        ASSERT_EQ(rec.size(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(rec[i], data[i], 1e-10);
+    }
+}
+
+TEST(HaarInverse, RoundTripFromCoefficients)
+{
+    Rng rng(3);
+    std::vector<double> coeffs(64);
+    for (auto &v : coeffs)
+        v = rng.gaussian();
+    auto c2 = haarForward(haarInverse(coeffs));
+    for (std::size_t i = 0; i < 64; ++i)
+        EXPECT_NEAR(c2[i], coeffs[i], 1e-10);
+}
+
+TEST(HaarInverse, TruncatedCoefficientsApproximate)
+{
+    // Keeping only the average reconstructs a flat line at the mean;
+    // adding details monotonically reduces error (Figure 4 behaviour).
+    Rng rng(4);
+    std::vector<double> data(64);
+    for (std::size_t i = 0; i < 64; ++i)
+        data[i] = std::sin(static_cast<double>(i) * 0.3) +
+                  0.1 * rng.gaussian();
+
+    auto coeffs = haarForward(data);
+    double prev_err = 1e300;
+    for (std::size_t keep : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        std::vector<double> masked(coeffs.size(), 0.0);
+        for (std::size_t i = 0; i < keep; ++i)
+            masked[i] = coeffs[i];
+        auto rec = haarInverse(masked);
+        double err = 0.0;
+        for (std::size_t i = 0; i < data.size(); ++i)
+            err += (rec[i] - data[i]) * (rec[i] - data[i]);
+        EXPECT_LE(err, prev_err + 1e-9);
+        prev_err = err;
+    }
+    EXPECT_NEAR(prev_err, 0.0, 1e-10);
+}
+
+TEST(HaarLevels, Dyadic)
+{
+    EXPECT_EQ(haarLevels(1), 0u);
+    EXPECT_EQ(haarLevels(2), 1u);
+    EXPECT_EQ(haarLevels(128), 7u);
+}
+
+TEST(CoefficientLevel, Layout)
+{
+    EXPECT_EQ(coefficientLevel(0), 0u);
+    EXPECT_EQ(coefficientLevel(1), 1u);
+    EXPECT_EQ(coefficientLevel(2), 2u);
+    EXPECT_EQ(coefficientLevel(3), 2u);
+    EXPECT_EQ(coefficientLevel(4), 3u);
+    EXPECT_EQ(coefficientLevel(7), 3u);
+    EXPECT_EQ(coefficientLevel(8), 4u);
+    EXPECT_EQ(coefficientLevel(64), 7u);
+    EXPECT_EQ(coefficientLevel(127), 7u);
+}
+
+TEST(Resample, PowerOfTwoUnchanged)
+{
+    std::vector<double> v = {1, 2, 3, 4};
+    EXPECT_EQ(resampleToPowerOfTwo(v), v);
+}
+
+TEST(Resample, ShrinksToLowerPowerPreservingMean)
+{
+    std::vector<double> v = {1, 1, 1, 1, 1, 1}; // 6 -> 4
+    auto r = resampleToPowerOfTwo(v);
+    ASSERT_EQ(r.size(), 4u);
+    for (double x : r)
+        EXPECT_NEAR(x, 1.0, 1e-12);
+}
+
+TEST(Resample, EmptyStaysEmpty)
+{
+    EXPECT_TRUE(resampleToPowerOfTwo({}).empty());
+}
+
+TEST(Resample, MeanApproximatelyPreserved)
+{
+    Rng rng(11);
+    std::vector<double> v(100);
+    double mean = 0.0;
+    for (auto &x : v) {
+        x = rng.uniform(0, 10);
+        mean += x;
+    }
+    mean /= 100.0;
+    auto r = resampleToPowerOfTwo(v);
+    ASSERT_EQ(r.size(), 64u);
+    double rmean = 0.0;
+    for (double x : r)
+        rmean += x;
+    rmean /= 64.0;
+    EXPECT_NEAR(rmean, mean, 0.3);
+}
+
+// Property sweep: reconstruction holds across sizes and signal shapes.
+class HaarRoundTrip : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HaarRoundTrip, Exact)
+{
+    std::size_t n = GetParam();
+    Rng rng(n);
+    std::vector<double> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::cos(static_cast<double>(i)) * 5.0 + rng.gaussian();
+    auto rec = haarInverse(haarForward(data));
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_NEAR(rec[i], data[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128,
+                                           256, 512, 1024));
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for wavelet coefficient selection (magnitude vs order schemes,
+ * energy accounting, ranking stability).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hh"
+#include "wavelet/haar.hh"
+#include "wavelet/selection.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(SelectByMagnitude, PicksLargest)
+{
+    std::vector<double> c = {0.1, -5.0, 2.0, 0.0};
+    auto idx = selectByMagnitude(c, 2);
+    ASSERT_EQ(idx.size(), 2u);
+    EXPECT_EQ(idx[0], 1u);
+    EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(SelectByMagnitude, AbsoluteValueUsed)
+{
+    std::vector<double> c = {-10.0, 9.0};
+    auto idx = selectByMagnitude(c, 1);
+    EXPECT_EQ(idx[0], 0u);
+}
+
+TEST(SelectByMagnitude, KLargerThanSize)
+{
+    std::vector<double> c = {1.0, 2.0};
+    auto idx = selectByMagnitude(c, 10);
+    EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(SelectByMagnitude, TieBreaksByIndex)
+{
+    std::vector<double> c = {3.0, 3.0, 3.0};
+    auto idx = selectByMagnitude(c, 2);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+}
+
+TEST(SelectByOrder, FirstK)
+{
+    auto idx = selectByOrder(8, 3);
+    ASSERT_EQ(idx.size(), 3u);
+    EXPECT_EQ(idx[0], 0u);
+    EXPECT_EQ(idx[1], 1u);
+    EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(SelectByOrder, CappedAtTotal)
+{
+    EXPECT_EQ(selectByOrder(2, 5).size(), 2u);
+}
+
+TEST(SelectByMeanMagnitude, AggregatesAcrossSets)
+{
+    // Coefficient 2 is large in both sets; coefficient 0 is large in one.
+    std::vector<std::vector<double>> sets = {
+        {9.0, 0.0, 5.0, 0.1},
+        {0.0, 0.1, 6.0, 0.1},
+    };
+    auto idx = selectByMeanMagnitude(sets, 1);
+    ASSERT_EQ(idx.size(), 1u);
+    EXPECT_EQ(idx[0], 2u);
+}
+
+TEST(SelectByMeanMagnitude, EmptyInput)
+{
+    EXPECT_TRUE(selectByMeanMagnitude({}, 4).empty());
+}
+
+TEST(MaskCoefficients, ZeroesTheRest)
+{
+    std::vector<double> c = {1, 2, 3, 4};
+    auto masked = maskCoefficients(c, {1, 3});
+    EXPECT_DOUBLE_EQ(masked[0], 0.0);
+    EXPECT_DOUBLE_EQ(masked[1], 2.0);
+    EXPECT_DOUBLE_EQ(masked[2], 0.0);
+    EXPECT_DOUBLE_EQ(masked[3], 4.0);
+}
+
+TEST(MaskCoefficients, EmptyKeepGivesZeros)
+{
+    auto masked = maskCoefficients({1, 2}, {});
+    EXPECT_DOUBLE_EQ(masked[0], 0.0);
+    EXPECT_DOUBLE_EQ(masked[1], 0.0);
+}
+
+TEST(Energy, SumOfSquares)
+{
+    EXPECT_DOUBLE_EQ(energyOf({3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(energyOf({}), 0.0);
+}
+
+TEST(EnergyFraction, SubsetShare)
+{
+    std::vector<double> c = {3, 4};
+    EXPECT_DOUBLE_EQ(energyFraction(c, {0}), 9.0 / 25.0);
+    EXPECT_DOUBLE_EQ(energyFraction(c, {0, 1}), 1.0);
+    EXPECT_DOUBLE_EQ(energyFraction({0, 0}, {0}), 0.0);
+}
+
+TEST(EnergyFraction, MagnitudeBeatsOrderOnBackloadedSignal)
+{
+    // Construct a signal whose energy lives in fine-scale coefficients:
+    // order-based selection must capture less energy than magnitude.
+    std::vector<double> data(64, 1.0);
+    for (std::size_t i = 0; i < 64; i += 2)
+        data[i] += (i % 4 == 0) ? 6.0 : -6.0;
+    auto coeffs = haarForward(data);
+    auto mag = selectByMagnitude(coeffs, 8);
+    auto ord = selectByOrder(coeffs.size(), 8);
+    EXPECT_GT(energyFraction(coeffs, mag),
+              energyFraction(coeffs, ord));
+}
+
+TEST(MagnitudeRanks, InverseOfSelectionOrder)
+{
+    std::vector<double> c = {0.5, -3.0, 2.0};
+    auto rank = magnitudeRanks(c);
+    ASSERT_EQ(rank.size(), 3u);
+    EXPECT_EQ(rank[1], 0u); // -3 is largest
+    EXPECT_EQ(rank[2], 1u);
+    EXPECT_EQ(rank[0], 2u);
+}
+
+TEST(TopKStability, IdenticalSetsFullyStable)
+{
+    std::vector<std::vector<double>> sets(5, {5.0, 1.0, 3.0, 0.1});
+    EXPECT_DOUBLE_EQ(topKStability(sets, 2), 1.0);
+}
+
+TEST(TopKStability, DisjointSetsUnstable)
+{
+    std::vector<std::vector<double>> sets = {
+        {9.0, 8.0, 0.0, 0.0},
+        {0.0, 0.0, 9.0, 8.0},
+    };
+    double s = topKStability(sets, 2);
+    EXPECT_LT(s, 0.5);
+}
+
+TEST(TopKStability, EmptyIsStable)
+{
+    EXPECT_DOUBLE_EQ(topKStability({}, 4), 1.0);
+}
+
+TEST(TopKStability, SimilarSpectraMostlyStable)
+{
+    // Perturbed copies of one spectrum: stability should be high.
+    Rng rng(77);
+    std::vector<double> base(128);
+    for (std::size_t i = 0; i < base.size(); ++i)
+        base[i] = std::exp(-static_cast<double>(i) / 10.0) * 10.0;
+    std::vector<std::vector<double>> sets;
+    for (int s = 0; s < 20; ++s) {
+        auto copy = base;
+        for (auto &v : copy)
+            v *= rng.uniform(0.9, 1.1);
+        sets.push_back(copy);
+    }
+    EXPECT_GT(topKStability(sets, 16), 0.8);
+}
+
+// Parameterised energy-capture property: for smooth signals, the top-k
+// magnitude coefficients capture monotonically more energy with k.
+class EnergyCapture : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(EnergyCapture, MonotoneInK)
+{
+    std::size_t n = GetParam();
+    std::vector<double> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+        data[i] = std::sin(static_cast<double>(i) * 0.2) * 3.0 +
+                  std::cos(static_cast<double>(i) * 0.05) * 2.0;
+    auto coeffs = haarForward(data);
+    double prev = -1.0;
+    for (std::size_t k = 1; k <= n; k *= 2) {
+        double frac = energyFraction(coeffs, selectByMagnitude(coeffs, k));
+        EXPECT_GE(frac, prev - 1e-12);
+        prev = frac;
+    }
+    EXPECT_NEAR(prev, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnergyCapture,
+                         ::testing::Values(16, 64, 128, 256));
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the synthetic benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Profiles, TwelveSpecBenchmarks)
+{
+    EXPECT_EQ(allBenchmarks().size(), 12u);
+}
+
+TEST(Profiles, PaperBenchmarkNamesPresent)
+{
+    std::set<std::string> names;
+    for (const auto &b : allBenchmarks())
+        names.insert(b.name);
+    for (const char *expected :
+         {"bzip2", "crafty", "eon", "gap", "gcc", "mcf", "parser",
+          "perlbmk", "twolf", "swim", "vortex", "vpr"}) {
+        EXPECT_TRUE(names.count(expected)) << expected;
+    }
+}
+
+TEST(Profiles, UniqueSeeds)
+{
+    std::set<std::uint64_t> seeds;
+    for (const auto &b : allBenchmarks())
+        EXPECT_TRUE(seeds.insert(b.seed).second) << b.name;
+}
+
+TEST(Profiles, EveryProfileHasPhases)
+{
+    for (const auto &b : allBenchmarks()) {
+        EXPECT_GE(b.script.size(), 2u) << b.name;
+        EXPECT_GE(b.scriptRepeats, 1u) << b.name;
+    }
+}
+
+TEST(Profiles, MixFractionsSane)
+{
+    for (const auto &b : allBenchmarks()) {
+        for (const auto &s : b.script) {
+            double sum = s.fracLoad + s.fracStore + s.fracBranch +
+                         s.fracFpAlu + s.fracFpMul + s.fracIntMul;
+            EXPECT_GT(s.fracLoad, 0.0) << b.name;
+            EXPECT_GT(s.fracBranch, 0.0) << b.name;
+            EXPECT_LT(sum, 1.0) << b.name;
+            EXPECT_GT(s.weight, 0.0) << b.name;
+            EXPECT_GE(s.dataFootprint, 4096u) << b.name;
+            EXPECT_GE(s.codeFootprint, 4096u) << b.name;
+            EXPECT_GE(s.avgBlockLen, 2.0) << b.name;
+            EXPECT_GE(s.streamFrac, 0.0) << b.name;
+            EXPECT_LE(s.streamFrac, 1.0) << b.name;
+            EXPECT_GE(s.branchEntropy, 0.0) << b.name;
+            EXPECT_LE(s.branchEntropy, 0.5) << b.name;
+        }
+    }
+}
+
+TEST(Profiles, BranchFractionConsistentWithBlockLength)
+{
+    // The realised branch share is 1/avgBlockLen; the documented
+    // fracBranch must agree within a factor of two.
+    for (const auto &b : allBenchmarks()) {
+        for (const auto &s : b.script) {
+            double realized = 1.0 / s.avgBlockLen;
+            EXPECT_GT(realized, 0.4 * s.fracBranch) << b.name;
+            EXPECT_LT(realized, 2.5 * s.fracBranch) << b.name;
+        }
+    }
+}
+
+TEST(Profiles, McfIsMemoryBound)
+{
+    const auto &mcf = benchmarkByName("mcf");
+    // Largest footprint must exceed the largest Table 2 L2 (4 MiB).
+    std::uint64_t max_fp = 0;
+    for (const auto &s : mcf.script)
+        max_fp = std::max(max_fp, s.dataFootprint);
+    EXPECT_GT(max_fp, 4ull * 1024 * 1024);
+}
+
+TEST(Profiles, SwimIsFpStreaming)
+{
+    const auto &swim = benchmarkByName("swim");
+    for (const auto &s : swim.script) {
+        EXPECT_GT(s.fracFpAlu + s.fracFpMul, 0.2);
+        EXPECT_GT(s.streamFrac, 0.8);
+    }
+}
+
+TEST(Profiles, LocateCoversAllSegments)
+{
+    for (const auto &b : allBenchmarks()) {
+        std::set<std::size_t> seen;
+        for (double f = 0.0; f < 1.0; f += 0.001) {
+            std::size_t seg;
+            double local;
+            b.locate(f, seg, local);
+            ASSERT_LT(seg, b.script.size());
+            ASSERT_GE(local, 0.0);
+            ASSERT_LT(local, 1.0);
+            seen.insert(seg);
+        }
+        EXPECT_EQ(seen.size(), b.script.size()) << b.name;
+    }
+}
+
+TEST(Profiles, LocateRepeatsScript)
+{
+    const auto &b = benchmarkByName("bzip2");
+    ASSERT_GE(b.scriptRepeats, 2u);
+    // The same script position recurs at f and f + 1/repeats.
+    std::size_t seg_a, seg_b;
+    double loc_a, loc_b;
+    b.locate(0.1, seg_a, loc_a);
+    b.locate(0.1 + 1.0 / static_cast<double>(b.scriptRepeats), seg_b,
+             loc_b);
+    EXPECT_EQ(seg_a, seg_b);
+    EXPECT_NEAR(loc_a, loc_b, 1e-9);
+}
+
+TEST(Profiles, TotalWeightPositive)
+{
+    for (const auto &b : allBenchmarks())
+        EXPECT_GT(b.totalWeight(), 0.0) << b.name;
+}
+
+TEST(Profiles, ByNameRoundTrip)
+{
+    for (const auto &name : benchmarkNames())
+        EXPECT_EQ(benchmarkByName(name).name, name);
+}
+
+TEST(Profiles, FootprintsSpanCacheHierarchy)
+{
+    // Across the suite, footprints must exercise DL1-resident, L2-
+    // resident and memory-resident regimes so cache parameters matter.
+    std::uint64_t min_fp = ~0ull, max_fp = 0;
+    for (const auto &b : allBenchmarks()) {
+        for (const auto &s : b.script) {
+            min_fp = std::min(min_fp, s.dataFootprint);
+            max_fp = std::max(max_fp, s.dataFootprint);
+        }
+    }
+    EXPECT_LT(min_fp, 64ull * 1024);        // fits smallest DL1 range
+    EXPECT_GT(max_fp, 4096ull * 1024);      // exceeds largest L2
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the deterministic instruction stream generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "sim/bpred.hh"
+#include "workload/stream.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+constexpr std::uint64_t kTotal = 1 << 16;
+
+TEST(Stream, DeterministicAcrossInstances)
+{
+    const auto &b = benchmarkByName("gcc");
+    InstructionStream a(b, kTotal), c(b, kTotal);
+    for (std::uint64_t i = 0; i < 2000; i += 7) {
+        MicroOp x = a.at(i);
+        MicroOp y = c.at(i);
+        EXPECT_EQ(x.pc, y.pc);
+        EXPECT_EQ(x.effAddr, y.effAddr);
+        EXPECT_EQ(static_cast<int>(x.cls), static_cast<int>(y.cls));
+        EXPECT_EQ(x.dep1, y.dep1);
+        EXPECT_EQ(x.branchTaken, y.branchTaken);
+    }
+}
+
+TEST(Stream, OrderIndependentAccess)
+{
+    const auto &b = benchmarkByName("vpr");
+    InstructionStream s(b, kTotal);
+    MicroOp fwd = s.at(100);
+    // Touch other indices, then re-read.
+    for (std::uint64_t i = 500; i < 600; ++i)
+        s.at(i);
+    MicroOp again = s.at(100);
+    EXPECT_EQ(fwd.pc, again.pc);
+    EXPECT_EQ(fwd.effAddr, again.effAddr);
+}
+
+TEST(Stream, DifferentBenchmarksDiffer)
+{
+    InstructionStream a(benchmarkByName("mcf"), kTotal);
+    InstructionStream b(benchmarkByName("swim"), kTotal);
+    int same = 0;
+    for (std::uint64_t i = 0; i < 256; ++i)
+        if (a.at(i).pc == b.at(i).pc)
+            ++same;
+    EXPECT_LT(same, 8);
+}
+
+TEST(Stream, MixMatchesProfile)
+{
+    const auto &b = benchmarkByName("swim");
+    InstructionStream s(b, kTotal);
+    std::map<InstrClass, std::uint64_t> counts;
+    const std::uint64_t n = 20000;
+    std::size_t seg0_count = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (s.segmentAt(i) != 0)
+            continue;
+        ++seg0_count;
+        counts[s.at(i).cls]++;
+    }
+    ASSERT_GT(seg0_count, 4000u);
+    const auto &seg = b.script[0];
+    double total = static_cast<double>(seg0_count);
+    // Loads within 25% relative of the specification.
+    double load_frac = counts[InstrClass::Load] / total;
+    EXPECT_NEAR(load_frac, seg.fracLoad, 0.25 * seg.fracLoad + 0.02);
+    // Branch share close to 1/avgBlockLen.
+    double control_frac =
+        (counts[InstrClass::Branch] + counts[InstrClass::Call] +
+         counts[InstrClass::Return]) / total;
+    EXPECT_NEAR(control_frac, 1.0 / seg.avgBlockLen, 0.02);
+    // FP present for swim.
+    EXPECT_GT(counts[InstrClass::FpAlu] + counts[InstrClass::FpMul], 0u);
+}
+
+TEST(Stream, ControlOpsEndBlocks)
+{
+    const auto &b = benchmarkByName("bzip2");
+    InstructionStream s(b, kTotal);
+    const auto &seg = b.script[0];
+    std::uint64_t block_len =
+        static_cast<std::uint64_t>(std::round(seg.avgBlockLen));
+    // Instruction at the last slot of each block is control; others not.
+    for (std::uint64_t blk = 0; blk < 50; ++blk) {
+        std::uint64_t last = blk * block_len + block_len - 1;
+        if (s.segmentAt(last) != 0)
+            continue;
+        EXPECT_TRUE(isControl(s.at(last).cls)) << last;
+        if (block_len > 2) {
+            EXPECT_FALSE(isControl(s.at(last - 1).cls)) << last - 1;
+        }
+    }
+}
+
+TEST(Stream, DependenciesPointBackwards)
+{
+    const auto &b = benchmarkByName("crafty");
+    InstructionStream s(b, kTotal);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        MicroOp op = s.at(i);
+        EXPECT_LE(op.dep1, i);
+        EXPECT_LE(op.dep2, i);
+        EXPECT_LE(op.dep1, 600u);
+        EXPECT_LE(op.dep2, 600u);
+    }
+}
+
+TEST(Stream, FirstInstructionHasNoDeps)
+{
+    for (const auto &b : allBenchmarks()) {
+        InstructionStream s(b, kTotal);
+        MicroOp op = s.at(0);
+        EXPECT_EQ(op.dep1, 0u) << b.name;
+        EXPECT_EQ(op.dep2, 0u) << b.name;
+    }
+}
+
+TEST(Stream, MemOpsHaveAddresses)
+{
+    const auto &b = benchmarkByName("gap");
+    InstructionStream s(b, kTotal);
+    std::uint64_t mem_seen = 0;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        MicroOp op = s.at(i);
+        if (isMem(op.cls)) {
+            ++mem_seen;
+            EXPECT_NE(op.effAddr, 0u);
+        } else {
+            EXPECT_EQ(op.effAddr, 0u);
+        }
+    }
+    EXPECT_GT(mem_seen, 1000u);
+}
+
+TEST(Stream, AddressesWithinModulatedFootprint)
+{
+    const auto &b = benchmarkByName("twolf");
+    InstructionStream s(b, kTotal);
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        MicroOp op = s.at(i);
+        if (!isMem(op.cls))
+            continue;
+        std::uint64_t fp = s.dataFootprintAt(i);
+        // Address offset within the segment's data region must be < fp
+        // plus alignment slack.
+        EXPECT_LT(op.effAddr & 0xffffff, fp + 64) << i;
+    }
+}
+
+TEST(Stream, FootprintModulationVariesOverTime)
+{
+    const auto &b = benchmarkByName("gap");
+    InstructionStream s(b, kTotal);
+    std::uint64_t lo = ~0ull, hi = 0;
+    for (std::uint64_t i = 0; i < kTotal; i += 256) {
+        std::uint64_t fp = s.dataFootprintAt(i);
+        lo = std::min(lo, fp);
+        hi = std::max(hi, fp);
+    }
+    EXPECT_GT(hi, lo + lo / 4); // at least 25% swing
+}
+
+TEST(Stream, BranchOutcomesBiasedTaken)
+{
+    // Loop back edges are overwhelmingly taken and three quarters of
+    // forward-branch PCs are taken-biased, so the overall taken rate
+    // sits clearly above one half but below saturation.
+    const auto &b = benchmarkByName("swim");
+    InstructionStream s(b, kTotal);
+    std::uint64_t taken = 0, branches = 0;
+    for (std::uint64_t i = 0; i < 30000; ++i) {
+        MicroOp op = s.at(i);
+        if (op.cls == InstrClass::Branch) {
+            ++branches;
+            if (op.branchTaken)
+                ++taken;
+        }
+    }
+    ASSERT_GT(branches, 500u);
+    double rate = static_cast<double>(taken) /
+                  static_cast<double>(branches);
+    EXPECT_GT(rate, 0.55);
+    EXPECT_LT(rate, 0.98);
+}
+
+TEST(Stream, EntropyIncreasesOutcomeRandomness)
+{
+    // perlbmk interp phase has entropy 0.32 vs swim 0.01: a gshare
+    // predictor must find perlbmk's branches materially harder.
+    auto mispredicts = [](const std::string &name) {
+        InstructionStream s(benchmarkByName(name), kTotal);
+        GsharePredictor g(2048, 10);
+        std::uint64_t miss = 0, n = 0;
+        for (std::uint64_t i = 0; i < 30000; ++i) {
+            MicroOp op = s.at(i);
+            if (op.cls != InstrClass::Branch)
+                continue;
+            ++n;
+            if (g.predict(op.pc) != op.branchTaken)
+                ++miss;
+            g.update(op.pc, op.branchTaken);
+        }
+        return static_cast<double>(miss) / static_cast<double>(n);
+    };
+    EXPECT_GT(mispredicts("perlbmk"), mispredicts("swim") + 0.05);
+}
+
+TEST(Stream, PcsRecurWithinCodeFootprint)
+{
+    // The static code footprint is finite, so PCs repeat, letting
+    // branch predictors learn.
+    const auto &b = benchmarkByName("mcf"); // 10 KiB code
+    InstructionStream s(b, kTotal);
+    std::set<std::uint64_t> pcs;
+    for (std::uint64_t i = 0; i < 20000; ++i)
+        pcs.insert(s.at(i).pc);
+    // Far fewer unique PCs than instructions.
+    EXPECT_LT(pcs.size(), 6000u);
+}
+
+TEST(Stream, SegmentsChangeOverExecution)
+{
+    for (const auto &b : allBenchmarks()) {
+        InstructionStream s(b, kTotal);
+        std::set<std::size_t> segs;
+        for (std::uint64_t i = 0; i < kTotal; i += kTotal / 64)
+            segs.insert(s.segmentAt(i));
+        EXPECT_EQ(segs.size(), b.script.size()) << b.name;
+    }
+}
+
+TEST(Stream, ControlOpsCarryTargets)
+{
+    const auto &b = benchmarkByName("eon");
+    InstructionStream s(b, kTotal);
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+        MicroOp op = s.at(i);
+        if (isControl(op.cls))
+            EXPECT_NE(op.branchTarget, 0u);
+    }
+}
+
+class StreamAllBenchmarks : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StreamAllBenchmarks, GeneratesSaneOps)
+{
+    const auto &b = allBenchmarks()[GetParam()];
+    InstructionStream s(b, kTotal);
+    std::uint64_t control = 0, mem = 0;
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        MicroOp op = s.at(i);
+        ASSERT_LE(op.dep1, i);
+        if (isControl(op.cls))
+            ++control;
+        if (isMem(op.cls))
+            ++mem;
+    }
+    EXPECT_GT(control, 200u) << b.name;
+    EXPECT_GT(mem, 1500u) << b.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamAllBenchmarks,
+                         ::testing::Range(0, 12));
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * wavedyn command-line tool.
+ *
+ * Subcommands:
+ *   train   <benchmark> <domain> <model.txt> [--train N] [--samples N]
+ *           [--interval N] [--coeffs K] [--dvm THRESH]
+ *       simulate a training campaign and save a trained predictor.
+ *
+ *   predict <model.txt> <p1> .. <p9>
+ *       load a predictor and print the predicted dynamics trace at the
+ *       given design point (Table 2 order: Fetch_width ROB_size IQ_size
+ *       LSQ_size L2_size L2_lat il1_size dl1_size dl1_lat).
+ *
+ *   evaluate <benchmark> <domain> <model.txt> [--test N]
+ *       simulate fresh test configurations and report MSE(%).
+ *
+ *   suite   [--scale smoke|quick|full]
+ *       the Figure 8 campaign as a one-shot report.
+ *
+ *   info    <model.txt>
+ *       describe a saved predictor.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hh"
+#include "core/suite.hh"
+#include "dse/sampling.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace wavedyn;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  wavedyn_cli train <benchmark> <cpi|power|avf|iqavf> "
+        "<model.txt>\n"
+        "              [--train N] [--samples N] [--interval N] "
+        "[--coeffs K] [--dvm T]\n"
+        "  wavedyn_cli predict <model.txt> <p1..p9>\n"
+        "  wavedyn_cli evaluate <benchmark> <domain> <model.txt> "
+        "[--test N]\n"
+        "  wavedyn_cli suite [--scale smoke|quick|full]\n"
+        "  wavedyn_cli info <model.txt>\n";
+    return 2;
+}
+
+bool
+parseDomain(const std::string &s, Domain &out)
+{
+    if (s == "cpi")
+        out = Domain::Cpi;
+    else if (s == "power")
+        out = Domain::Power;
+    else if (s == "avf")
+        out = Domain::Avf;
+    else if (s == "iqavf")
+        out = Domain::IqAvf;
+    else
+        return false;
+    return true;
+}
+
+/** Pull "--name value" options out of argv. */
+struct Options
+{
+    std::size_t train = 60;
+    std::size_t test = 20;
+    std::size_t samples = 128;
+    std::size_t interval = 256;
+    std::size_t coeffs = 16;
+    double dvmThreshold = -1.0; // <0 => DVM off
+    std::string scale = "quick";
+};
+
+Options
+parseOptions(int argc, char **argv, int first)
+{
+    Options o;
+    for (int i = first; i + 1 < argc; i += 2) {
+        std::string key = argv[i];
+        std::string val = argv[i + 1];
+        if (key == "--train")
+            o.train = std::stoul(val);
+        else if (key == "--test")
+            o.test = std::stoul(val);
+        else if (key == "--samples")
+            o.samples = std::stoul(val);
+        else if (key == "--interval")
+            o.interval = std::stoul(val);
+        else if (key == "--coeffs")
+            o.coeffs = std::stoul(val);
+        else if (key == "--dvm")
+            o.dvmThreshold = std::stod(val);
+        else if (key == "--scale")
+            o.scale = val;
+    }
+    return o;
+}
+
+ExperimentSpec
+specFrom(const std::string &bench, Domain domain, const Options &o)
+{
+    ExperimentSpec spec;
+    spec.benchmark = bench;
+    spec.trainPoints = o.train;
+    spec.testPoints = o.test;
+    spec.samples = o.samples;
+    spec.intervalInstrs = o.interval;
+    spec.domains = {domain};
+    if (o.dvmThreshold >= 0.0) {
+        spec.dvm.enabled = true;
+        spec.dvm.threshold = o.dvmThreshold;
+        spec.dvm.sampleCycles = 200;
+    }
+    return spec;
+}
+
+int
+cmdTrain(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    std::string bench = argv[2];
+    Domain domain;
+    if (!parseDomain(argv[3], domain))
+        return usage();
+    std::string path = argv[4];
+    Options o = parseOptions(argc, argv, 5);
+
+    std::cout << "simulating " << o.train << " training configurations "
+              << "of '" << bench << "' (" << o.samples
+              << " samples x " << o.interval << " instrs)...\n";
+    auto data = generateExperimentData(specFrom(bench, domain, o));
+
+    PredictorOptions popts;
+    popts.coefficients = o.coeffs;
+    WaveletNeuralPredictor model(popts);
+    model.train(data.space, data.trainPoints,
+                data.trainTraces.at(domain));
+
+    if (!savePredictorFile(model, path)) {
+        std::cerr << "error: cannot write " << path << "\n";
+        return 1;
+    }
+    std::cout << "saved " << path << " ("
+              << model.selectedCoefficients().size()
+              << " coefficient models)\n";
+    return 0;
+}
+
+int
+cmdPredict(int argc, char **argv)
+{
+    if (argc < 3 + 9)
+        return usage();
+    auto model = loadPredictorFile(argv[2]);
+    DesignPoint point;
+    for (int i = 0; i < 9; ++i)
+        point.push_back(std::stod(argv[3 + i]));
+    if (!model.designSpace().valid(point)) {
+        std::cerr << "error: point is not on the training level grid\n";
+        return 1;
+    }
+    auto trace = model.predictTrace(point);
+    std::cout << "predicted dynamics (" << trace.size()
+              << " samples):\n" << sparkline(trace) << "\n";
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        std::cout << trace[i] << (i + 1 < trace.size() ? " " : "\n");
+    return 0;
+}
+
+int
+cmdEvaluate(int argc, char **argv)
+{
+    if (argc < 5)
+        return usage();
+    std::string bench = argv[2];
+    Domain domain;
+    if (!parseDomain(argv[3], domain))
+        return usage();
+    auto model = loadPredictorFile(argv[4]);
+    Options o = parseOptions(argc, argv, 5);
+
+    std::cout << "simulating " << o.test << " fresh test configurations "
+              << "of '" << bench << "'...\n";
+    Rng rng(0xe5a1);
+    auto space = model.designSpace();
+    auto points = randomTestSample(space, o.test, rng);
+
+    std::vector<std::vector<double>> actual;
+    for (const auto &p : points) {
+        auto r = simulate(benchmarkByName(bench),
+                          SimConfig::fromDesignPoint(space, p),
+                          model.traceLength(), o.interval);
+        actual.push_back(r.trace(domain));
+    }
+    auto eval = evaluatePredictor(model, points, actual);
+    std::cout << "MSE(%) " << describeBoxplot(eval.summary) << "\n";
+    return 0;
+}
+
+int
+cmdSuite(int argc, char **argv)
+{
+    Options o = parseOptions(argc, argv, 2);
+    Scale scale = o.scale == "smoke"
+        ? Scale::Smoke
+        : o.scale == "full" ? Scale::Full : Scale::Quick;
+    auto sizes = sizesFor(scale);
+
+    ExperimentSpec base;
+    base.trainPoints = sizes.trainPoints;
+    base.testPoints = sizes.testPoints;
+    base.samples = sizes.samplesPerTrace;
+    base.intervalInstrs = sizes.intervalInstrs;
+
+    auto names = benchmarkNames();
+    names.resize(std::min<std::size_t>(names.size(),
+                                       sizes.benchmarkCount));
+    auto report = runSuite(names, base, {},
+                           [](const std::string &b, std::size_t d,
+                              std::size_t t) {
+                               std::cout << "  [" << d << "/" << t
+                                         << "] " << b << " done\n";
+                           });
+
+    TextTable t("suite accuracy (MSE%, median [q1, q3])");
+    t.header({"benchmark", "CPI", "Power", "AVF"});
+    for (const auto &bench : names) {
+        std::vector<std::string> row = {bench};
+        for (Domain d : allDomains()) {
+            const SuiteCell *c = report.find(bench, d);
+            row.push_back(c ? fmt(c->mse.median) + " [" +
+                                  fmt(c->mse.q1) + ", " +
+                                  fmt(c->mse.q3) + "]"
+                            : "-");
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    for (Domain d : allDomains())
+        std::cout << "overall median " << domainName(d) << ": "
+                  << fmt(report.overallMedian(d)) << "%\n";
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    auto model = loadPredictorFile(argv[2]);
+    const auto &o = model.options();
+    std::cout << "wavedyn predictor\n"
+              << "  trace length:  " << model.traceLength() << "\n"
+              << "  coefficients:  "
+              << model.selectedCoefficients().size() << " ("
+              << (o.selection == SelectionScheme::Magnitude
+                      ? "magnitude"
+                      : "order")
+              << "-selected)\n"
+              << "  model family:  "
+              << (o.model == CoefficientModel::Rbf
+                      ? "rbf-network"
+                      : o.model == CoefficientModel::Linear
+                            ? "linear"
+                            : "global-mean")
+              << "\n"
+              << "  wavelet:       "
+              << (o.paperHaar ? "haar (paper convention)"
+                              : motherWaveletName(o.mother))
+              << "\n"
+              << "  train range:   [" << model.trainingRange().first
+              << ", " << model.trainingRange().second << "]\n"
+              << "  design space:  " << model.designSpace().dimensions()
+              << " parameters, "
+              << model.designSpace().trainSpaceSize()
+              << " train configs\n";
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "train")
+            return cmdTrain(argc, argv);
+        if (cmd == "predict")
+            return cmdPredict(argc, argv);
+        if (cmd == "evaluate")
+            return cmdEvaluate(argc, argv);
+        if (cmd == "suite")
+            return cmdSuite(argc, argv);
+        if (cmd == "info")
+            return cmdInfo(argc, argv);
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
