@@ -30,6 +30,7 @@ struct BenchContext
 {
     Scale scale;
     ScaledSizes sizes;
+    std::size_t jobs;
     std::vector<std::string> benchmarks;
 
     /**
@@ -37,6 +38,11 @@ struct BenchContext
      * max_benchmarks trims the benchmark list at smoke/quick scale to
      * keep bench runtimes short; at full scale the paper's complete
      * 12-benchmark suite always runs.
+     *
+     * Simulation campaigns run on the process-global pool, sized by
+     * WAVEDYN_JOBS (default: hardware concurrency); every bench gets
+     * the parallel experiment engine for free, with output identical
+     * to WAVEDYN_JOBS=1.
      */
     static BenchContext
     init(const std::string &title, std::size_t max_benchmarks = 12)
@@ -44,6 +50,7 @@ struct BenchContext
         BenchContext ctx;
         ctx.scale = scaleFromEnv();
         ctx.sizes = sizesFor(ctx.scale);
+        ctx.jobs = currentJobs();
         if (ctx.scale == Scale::Full)
             max_benchmarks = 12;
         std::size_t n = std::min<std::size_t>(
@@ -61,8 +68,9 @@ struct BenchContext
                   << "  samples=" << ctx.sizes.samplesPerTrace
                   << "  interval=" << ctx.sizes.intervalInstrs
                   << " instrs  benchmarks=" << ctx.benchmarks.size()
+                  << "  jobs=" << ctx.jobs
                   << "\n(set WAVEDYN_SCALE=full for the paper's 200/50/"
-                     "128 protocol)\n"
+                     "128 protocol; WAVEDYN_JOBS=N sets parallelism)\n"
                   << "==================================================="
                      "=====\n";
         return ctx;

@@ -8,6 +8,7 @@
  */
 
 #include "bench/common.hh"
+#include "core/suite.hh"
 
 using namespace wavedyn;
 
@@ -18,19 +19,20 @@ main()
         "Figure 13 — scenario classification (directional asymmetry %)",
         /*max_benchmarks=*/8);
 
-    PredictorOptions opts;
+    // The suite campaign already computes the directional asymmetry of
+    // every (benchmark x domain) cell, with all runs batched across
+    // the pool; this bench renders that column.
+    auto report = runSuite(ctx.benchmarks, ctx.spec(""),
+                           PredictorOptions{});
 
     for (Domain d : allDomains()) {
         TextTable t("directional asymmetry — " + domainName(d));
         t.header({"benchmark", "Q1", "Q2", "Q3"});
         for (const auto &bench : ctx.benchmarks) {
-            auto data = generateExperimentData(ctx.spec(bench));
-            auto out = trainAndEvaluate(data, d, opts);
-            std::vector<std::vector<double>> preds;
-            for (const auto &p : data.testPoints)
-                preds.push_back(out.predictor.predictTrace(p));
-            auto asym = meanDirectionalAsymmetryQ(
-                data.testTraces.at(d), preds);
+            const SuiteCell *c = report.find(bench, d);
+            if (!c)
+                continue;
+            const auto &asym = c->asymmetryQ;
             t.row({bench, fmt(asym[0], 2), fmt(asym[1], 2),
                    fmt(asym[2], 2)});
         }

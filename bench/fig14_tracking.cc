@@ -17,10 +17,13 @@ main()
         "Figure 14 — predicted vs simulated dynamics (bzip2)");
 
     auto data = generateExperimentData(ctx.spec("bzip2"));
-    PredictorOptions opts;
 
-    for (Domain d : allDomains()) {
-        auto out = trainAndEvaluate(data, d, opts);
+    // One predictor per domain, trained in parallel on the pool.
+    auto evals = trainAndEvaluateAll(data, allDomains());
+
+    for (std::size_t di = 0; di < allDomains().size(); ++di) {
+        Domain d = allDomains()[di];
+        const auto &out = evals[di];
         TextTable t("bzip2 — " + domainName(d));
         t.header({"test cfg", "series", "trace", "range", "MSE(%)",
                   "corr"});

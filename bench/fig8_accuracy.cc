@@ -7,6 +7,7 @@
  */
 
 #include "bench/common.hh"
+#include "core/suite.hh"
 
 using namespace wavedyn;
 
@@ -16,24 +17,30 @@ main()
     auto ctx = BenchContext::init(
         "Figure 8 — dynamics prediction accuracy (MSE% boxplots)");
 
-    PredictorOptions opts; // paper defaults: 16 coefficients, RBF
+    // The suite campaign batches all (configuration x benchmark) runs
+    // across the pool and trains every (benchmark x domain) cell in
+    // parallel; this bench is a rendering of its cells.
+    auto report = runSuite(ctx.benchmarks, ctx.spec(""),
+                           PredictorOptions{});
 
-    std::map<Domain, std::vector<double>> medians;
     for (Domain d : allDomains()) {
         TextTable t("MSE(%) boxplots — " + domainName(d) + " domain");
         t.header({"benchmark", "median", "q1", "q3", "whisk lo",
                   "whisk hi", "mean", "outliers"});
+        std::vector<double> medians;
         for (const auto &bench : ctx.benchmarks) {
-            auto data = generateExperimentData(ctx.spec(bench));
-            auto s = accuracySummary(data, d, opts);
-            medians[d].push_back(s.median);
+            const SuiteCell *c = report.find(bench, d);
+            if (!c)
+                continue;
+            const BoxplotSummary &s = c->mse;
+            medians.push_back(s.median);
             t.row({bench, fmt(s.median), fmt(s.q1), fmt(s.q3),
                    fmt(s.whiskerLow), fmt(s.whiskerHigh), fmt(s.mean),
                    fmt(s.outliers.size())});
         }
         t.print(std::cout);
         std::cout << "overall median across benchmarks: "
-                  << fmt(boxplot(medians[d]).median) << "%\n\n";
+                  << fmt(boxplot(medians).median) << "%\n\n";
     }
 
     std::cout

@@ -1,8 +1,10 @@
 #include "core/experiment.hh"
 
 #include <cassert>
+#include <utility>
 
 #include "dse/sampling.hh"
+#include "exec/scheduler.hh"
 #include "workload/profile.hh"
 
 namespace wavedyn
@@ -21,38 +23,81 @@ ExperimentSpec::forScale(const std::string &benchmark, Scale scale)
     return spec;
 }
 
-ExperimentData
-generateExperimentData(const ExperimentSpec &spec)
+ExperimentPlan
+planExperiment(const ExperimentSpec &spec)
 {
-    ExperimentData data;
-    data.space = DesignSpace::paper();
+    ExperimentPlan plan;
+    plan.space = DesignSpace::paper();
 
     Rng rng(spec.seed);
-    data.trainPoints = spec.randomTraining
-        ? randomSample(data.space, spec.trainPoints, rng)
-        : bestLatinHypercube(data.space, spec.trainPoints,
+    plan.trainPoints = spec.randomTraining
+        ? randomSample(plan.space, spec.trainPoints, rng)
+        : bestLatinHypercube(plan.space, spec.trainPoints,
                              spec.lhsCandidates, rng);
-    data.testPoints =
-        randomTestSample(data.space, spec.testPoints, rng);
+    plan.testPoints =
+        randomTestSample(plan.space, spec.testPoints, rng);
+    return plan;
+}
 
+ScheduledExperiment
+scheduleExperiment(const ExperimentSpec &spec, const ExperimentPlan &plan,
+                   RunScheduler &scheduler)
+{
     const BenchmarkProfile &bench = benchmarkByName(spec.benchmark);
 
-    auto run_set = [&](const std::vector<DesignPoint> &points,
-                       std::map<Domain,
-                                std::vector<std::vector<double>>> &out) {
+    ScheduledExperiment sched;
+    sched.firstTask = scheduler.size();
+    auto enqueue_set = [&](const std::vector<DesignPoint> &points) {
+        for (const auto &p : points) {
+            RunTask task;
+            task.benchmark = &bench;
+            task.config = SimConfig::fromDesignPoint(plan.space, p);
+            task.samples = spec.samples;
+            task.intervalInstrs = spec.intervalInstrs;
+            task.dvm = spec.dvm;
+            scheduler.enqueue(std::move(task));
+        }
+    };
+    enqueue_set(plan.trainPoints);
+    enqueue_set(plan.testPoints);
+    return sched;
+}
+
+ExperimentData
+assembleExperiment(const ExperimentSpec &spec, ExperimentPlan plan,
+                   const RunScheduler &scheduler,
+                   const ScheduledExperiment &sched)
+{
+    ExperimentData data;
+    data.space = std::move(plan.space);
+    data.trainPoints = std::move(plan.trainPoints);
+    data.testPoints = std::move(plan.testPoints);
+
+    std::size_t task = sched.firstTask;
+    auto collect_set = [&](const std::vector<DesignPoint> &points,
+                           std::map<Domain,
+                                    std::vector<std::vector<double>>> &out) {
         for (Domain d : spec.domains)
             out[d].reserve(points.size());
-        for (const auto &p : points) {
-            SimConfig cfg = SimConfig::fromDesignPoint(data.space, p);
-            SimResult r = simulate(bench, cfg, spec.samples,
-                                   spec.intervalInstrs, spec.dvm);
+        for (std::size_t i = 0; i < points.size(); ++i, ++task) {
+            const SimResult &r = scheduler.result(task);
             for (Domain d : spec.domains)
                 out[d].push_back(r.trace(d));
         }
     };
-    run_set(data.trainPoints, data.trainTraces);
-    run_set(data.testPoints, data.testTraces);
+    collect_set(data.trainPoints, data.trainTraces);
+    collect_set(data.testPoints, data.testTraces);
     return data;
+}
+
+ExperimentData
+generateExperimentData(const ExperimentSpec &spec)
+{
+    ExperimentPlan plan = planExperiment(spec);
+    RunScheduler scheduler(spec.seed);
+    ScheduledExperiment sched = scheduleExperiment(spec, plan, scheduler);
+    scheduler.run();
+    return assembleExperiment(spec, std::move(plan), scheduler, sched);
 }
 
 DomainEvaluation
@@ -68,6 +113,18 @@ trainAndEvaluate(const ExperimentData &data, Domain domain,
     out.predictor.train(data.space, data.trainPoints, train_it->second);
     out.eval = evaluatePredictor(out.predictor, data.testPoints,
                                  test_it->second);
+    return out;
+}
+
+std::vector<DomainEvaluation>
+trainAndEvaluateAll(const ExperimentData &data,
+                    const std::vector<Domain> &domains,
+                    PredictorOptions opts)
+{
+    std::vector<DomainEvaluation> out(domains.size());
+    parallelFor(ThreadPool::global(), domains.size(), [&](std::size_t i) {
+        out[i] = trainAndEvaluate(data, domains[i], opts);
+    });
     return out;
 }
 

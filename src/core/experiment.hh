@@ -57,9 +57,46 @@ struct ExperimentData
     std::map<Domain, std::vector<std::vector<double>>> testTraces;
 };
 
+class RunScheduler;
+
+/**
+ * The cheap, inherently sequential part of a campaign: sample the
+ * train/test design points from the spec's RNG stream. Separated from
+ * the simulations so several specs can batch their runs into one
+ * RunScheduler (see runSuite).
+ */
+struct ExperimentPlan
+{
+    DesignSpace space;
+    std::vector<DesignPoint> trainPoints;
+    std::vector<DesignPoint> testPoints;
+};
+
+/** Sample the design points for a spec (deterministic in spec.seed). */
+ExperimentPlan planExperiment(const ExperimentSpec &spec);
+
+/** Where a plan's runs landed in a scheduler's task list. */
+struct ScheduledExperiment
+{
+    std::size_t firstTask = 0; //!< train runs, then test runs
+};
+
+/** Enqueue every (train + test) run of a plan into the scheduler. */
+ScheduledExperiment scheduleExperiment(const ExperimentSpec &spec,
+                                       const ExperimentPlan &plan,
+                                       RunScheduler &scheduler);
+
+/** Collect a scheduled plan's traces after RunScheduler::run(). */
+ExperimentData assembleExperiment(const ExperimentSpec &spec,
+                                  ExperimentPlan plan,
+                                  const RunScheduler &scheduler,
+                                  const ScheduledExperiment &sched);
+
 /**
  * Run the full simulation campaign for one spec. This is the expensive
- * step (trainPoints + testPoints cycle-level simulations).
+ * step (trainPoints + testPoints cycle-level simulations); the runs
+ * execute in parallel on the process-global pool (see currentJobs()),
+ * with results bit-identical for every jobs setting.
  */
 ExperimentData generateExperimentData(const ExperimentSpec &spec);
 
@@ -77,6 +114,15 @@ struct DomainEvaluation
 DomainEvaluation trainAndEvaluate(const ExperimentData &data,
                                   Domain domain,
                                   PredictorOptions opts = {});
+
+/**
+ * trainAndEvaluate for several domains at once, parallelised over the
+ * process-global pool; results align with @p domains.
+ */
+std::vector<DomainEvaluation>
+trainAndEvaluateAll(const ExperimentData &data,
+                    const std::vector<Domain> &domains,
+                    PredictorOptions opts = {});
 
 /**
  * Convenience for sweep benches: MSE(%) boxplot of one (benchmark x

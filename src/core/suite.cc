@@ -1,6 +1,9 @@
 #include "core/suite.hh"
 
 #include <algorithm>
+#include <utility>
+
+#include "exec/scheduler.hh"
 
 namespace wavedyn
 {
@@ -29,33 +32,80 @@ runSuite(const std::vector<std::string> &benchmarks,
          const ExperimentSpec &base, const PredictorOptions &opts,
          const SuiteProgress &progress)
 {
-    SuiteReport report;
-    std::size_t done = 0;
+    // Phase 1 (serial, cheap): sample each benchmark's design points
+    // and flatten every (configuration x benchmark) run into one
+    // scheduler batch, so the parallel phase never stalls on a
+    // per-benchmark barrier.
+    std::vector<ExperimentSpec> specs;
+    std::vector<ExperimentPlan> plans;
+    std::vector<ScheduledExperiment> scheds;
+    RunScheduler scheduler(base.seed);
+    specs.reserve(benchmarks.size());
+    plans.reserve(benchmarks.size());
+    scheds.reserve(benchmarks.size());
     for (const auto &bench : benchmarks) {
         ExperimentSpec spec = base;
         spec.benchmark = bench;
-        ExperimentData data = generateExperimentData(spec);
-
-        for (Domain d : spec.domains) {
-            auto out = trainAndEvaluate(data, d, opts);
-
-            SuiteCell cell;
-            cell.benchmark = bench;
-            cell.domain = d;
-            cell.mse = out.eval.summary;
-            cell.msePerTest = out.eval.msePerTest;
-
-            std::vector<std::vector<double>> preds;
-            for (const auto &p : data.testPoints)
-                preds.push_back(out.predictor.predictTrace(p));
-            cell.asymmetryQ = meanDirectionalAsymmetryQ(
-                data.testTraces.at(d), preds);
-            report.cells.push_back(std::move(cell));
-        }
-        ++done;
-        if (progress)
-            progress(bench, done, benchmarks.size());
+        plans.push_back(planExperiment(spec));
+        scheds.push_back(scheduleExperiment(spec, plans.back(),
+                                            scheduler));
+        specs.push_back(std::move(spec));
     }
+
+    // Phase 2 (parallel): all simulations of the whole campaign.
+    scheduler.run();
+
+    std::vector<ExperimentData> datasets;
+    datasets.reserve(benchmarks.size());
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        datasets.push_back(assembleExperiment(specs[b],
+                                              std::move(plans[b]),
+                                              scheduler, scheds[b]));
+        if (progress)
+            progress(benchmarks[b], b + 1, benchmarks.size());
+    }
+    // The datasets now own the traces; drop the raw SimResults (the
+    // full per-interval records of every run) before the training
+    // phase so campaign peak memory is not double-counted.
+    scheduler.releaseResults();
+
+    // Phase 3 (parallel): one training/evaluation task per
+    // (benchmark x domain) cell, again flattened across benchmarks.
+    // Cells are written by index, so report order and content are
+    // independent of the worker count.
+    struct CellRef
+    {
+        std::size_t bench;
+        Domain domain;
+    };
+    std::vector<CellRef> refs;
+    for (std::size_t b = 0; b < benchmarks.size(); ++b)
+        for (Domain d : specs[b].domains)
+            refs.push_back({b, d});
+
+    std::vector<SuiteCell> cells(refs.size());
+    parallelFor(ThreadPool::global(), refs.size(), [&](std::size_t i) {
+        const CellRef &ref = refs[i];
+        const ExperimentData &data = datasets[ref.bench];
+        auto out = trainAndEvaluate(data, ref.domain, opts);
+
+        SuiteCell cell;
+        cell.benchmark = benchmarks[ref.bench];
+        cell.domain = ref.domain;
+        cell.mse = out.eval.summary;
+        cell.msePerTest = out.eval.msePerTest;
+
+        std::vector<std::vector<double>> preds;
+        preds.reserve(data.testPoints.size());
+        for (const auto &p : data.testPoints)
+            preds.push_back(out.predictor.predictTrace(p));
+        cell.asymmetryQ = meanDirectionalAsymmetryQ(
+            data.testTraces.at(ref.domain), preds);
+        cells[i] = std::move(cell);
+    });
+
+    SuiteReport report;
+    report.cells = std::move(cells);
     return report;
 }
 

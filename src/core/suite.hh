@@ -42,7 +42,15 @@ struct SuiteReport
     double overallMedian(Domain domain) const;
 };
 
-/** Progress callback: (benchmark, completed, total). */
+/**
+ * Progress callback: (benchmark, completed, total). Invoked once per
+ * benchmark, in order, from the calling thread as each benchmark's
+ * dataset is assembled. Because the whole campaign simulates as one
+ * batch (the engine's flattening removes per-benchmark barriers),
+ * no callback fires during the simulation phase itself — the price
+ * of keeping campaign output deterministic for any --jobs setting.
+ * Live per-run progress would need a worker-side hook (ROADMAP).
+ */
 using SuiteProgress =
     std::function<void(const std::string &, std::size_t, std::size_t)>;
 

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <set>
 
+#include "exec/thread_pool.hh"
+
 namespace wavedyn
 {
 
@@ -99,17 +101,26 @@ bestLatinHypercube(const DesignSpace &space, std::size_t n, std::size_t m,
                    Rng &rng)
 {
     assert(m > 0);
-    std::vector<DesignPoint> best;
-    double best_disc = std::numeric_limits<double>::max();
-    for (std::size_t trial = 0; trial < m; ++trial) {
-        auto pts = latinHypercube(space, n, rng);
-        double disc = l2StarDiscrepancy(normalizeAll(space, pts));
-        if (disc < best_disc) {
-            best_disc = disc;
-            best = std::move(pts);
-        }
-    }
-    return dedup(std::move(best));
+    // Candidate generation stays serial: it consumes the caller's RNG
+    // stream, and its order defines the sampled matrices. The O(n^2 d)
+    // discrepancy scoring dominates the cost and is a pure function of
+    // each candidate, so it fans out over the pool; keeping the first
+    // strictly-lowest score reproduces the serial selection exactly.
+    std::vector<std::vector<DesignPoint>> candidates;
+    candidates.reserve(m);
+    for (std::size_t trial = 0; trial < m; ++trial)
+        candidates.push_back(latinHypercube(space, n, rng));
+
+    std::vector<double> disc = parallelMap(
+        ThreadPool::global(), m, [&](std::size_t i) {
+            return l2StarDiscrepancy(normalizeAll(space, candidates[i]));
+        });
+
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < m; ++i)
+        if (disc[i] < disc[best])
+            best = i;
+    return dedup(std::move(candidates[best]));
 }
 
 std::vector<DesignPoint>

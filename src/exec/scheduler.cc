@@ -1,0 +1,44 @@
+#include "exec/scheduler.hh"
+
+#include <cassert>
+#include <utility>
+
+namespace wavedyn
+{
+
+RunScheduler::RunScheduler(std::uint64_t seed) : base(seed) {}
+
+std::size_t
+RunScheduler::enqueue(RunTask task)
+{
+    assert(task.benchmark != nullptr);
+    tasks.push_back(std::move(task));
+    return tasks.size() - 1;
+}
+
+void
+RunScheduler::run(ThreadPool &pool)
+{
+    std::size_t first = completed;
+    std::size_t fresh = tasks.size() - first;
+    if (fresh == 0)
+        return;
+    results.resize(tasks.size());
+    parallelFor(pool, fresh, [&](std::size_t k) {
+        std::size_t i = first + k;
+        const RunTask &t = tasks[i];
+        results[i] = simulate(*t.benchmark, t.config, t.samples,
+                              t.intervalInstrs, t.dvm);
+    });
+    completed = tasks.size();
+}
+
+void
+RunScheduler::releaseResults()
+{
+    released = completed;
+    results.clear();
+    results.shrink_to_fit();
+}
+
+} // namespace wavedyn

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Batched scheduling of simulation runs.
+ *
+ * A campaign (suite or single experiment) enqueues every
+ * (configuration x benchmark) run as one RunTask, then executes the
+ * whole batch on a ThreadPool. Flattening the campaign into a single
+ * task list keeps all cores busy across benchmark boundaries — the
+ * last configurations of one benchmark overlap the first of the next
+ * instead of serialising on a per-benchmark barrier.
+ *
+ * Results are stored by task index, and each task that needs
+ * randomness must draw from its taskRng(i) (a child stream derived
+ * via Rng::split from the scheduler seed), so the outcome of a batch
+ * is bit-identical for any worker count. simulate() itself is a pure
+ * function of its inputs — the synthetic workload uses a counter-based
+ * generator — so today the child streams exist to keep that guarantee
+ * when stochastic run components are added.
+ */
+
+#ifndef WAVEDYN_EXEC_SCHEDULER_HH
+#define WAVEDYN_EXEC_SCHEDULER_HH
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "sim/simulator.hh"
+
+namespace wavedyn
+{
+
+/** One simulation run of a batched campaign. */
+struct RunTask
+{
+    const BenchmarkProfile *benchmark = nullptr;
+    SimConfig config;
+    std::size_t samples = 128;
+    std::size_t intervalInstrs = 256;
+    DvmConfig dvm;
+};
+
+/**
+ * Collects RunTasks and executes them in one parallel batch.
+ *
+ * Usage: enqueue() every run (the returned index identifies it), call
+ * run(), then read result(i). A scheduler can be reused: enqueueing
+ * after run() and calling run() again executes only the new tasks.
+ */
+class RunScheduler
+{
+  public:
+    /** @p seed roots the per-task child RNG streams. */
+    explicit RunScheduler(std::uint64_t seed = 0x5eed);
+
+    /** Queue one run; returns its task index. */
+    std::size_t enqueue(RunTask task);
+
+    /** Total tasks enqueued so far. */
+    std::size_t size() const { return tasks.size(); }
+
+    /** Execute all not-yet-run tasks on @p pool; blocks until done. */
+    void run(ThreadPool &pool);
+
+    /** Execute on the process-global pool. */
+    void run() { run(ThreadPool::global()); }
+
+    /** Result of task @p i. @pre run() has covered index i and
+     *  releaseResults() has not been called since. */
+    const SimResult &
+    result(std::size_t i) const
+    {
+        assert(i >= released && i < results.size());
+        return results[i];
+    }
+
+    /**
+     * Free all stored results (full per-interval traces — the bulk of
+     * a campaign's memory) once they have been consumed. result(i) is
+     * invalid for already-run tasks afterwards; enqueue()/run() keep
+     * working for new tasks.
+     */
+    void releaseResults();
+
+    /** Child RNG stream of task @p i (what task i may draw from). */
+    Rng taskRng(std::size_t i) const { return base.split(i); }
+
+  private:
+    Rng base;
+    std::vector<RunTask> tasks;
+    std::vector<SimResult> results;
+    std::size_t completed = 0;
+    std::size_t released = 0; //!< results below this index were freed
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_EXEC_SCHEDULER_HH

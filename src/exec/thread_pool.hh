@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parallel execution primitives for the experiment engine.
+ *
+ * The paper's protocol — simulate every (configuration x benchmark)
+ * run once, then train one predictor per (benchmark x domain) — is
+ * embarrassingly parallel. This layer provides the shared machinery:
+ *
+ *  - ThreadPool: a fixed-size pool (no work stealing; a single shared
+ *    queue is plenty at millisecond task granularity).
+ *  - parallelFor / parallelMap: blocking index-space helpers with
+ *    deterministic, index-ordered results and deterministic exception
+ *    propagation (the lowest-index exception is rethrown).
+ *  - parallelForSeeded: the same, but each task receives its own child
+ *    Rng derived via Rng::split(index), so any task-level randomness
+ *    is a function of the task index, never of scheduling order.
+ *
+ * Determinism contract: running any helper on a pool of N workers
+ * produces bit-identical results for every N, including the inline
+ * serial path used when jobs == 1. All outputs are indexed by task,
+ * never appended in completion order.
+ *
+ * Nesting: helpers called from inside a pool worker run their loop
+ * inline on that worker instead of re-entering the pool, so nested
+ * parallel sections cannot deadlock a fixed-size pool.
+ */
+
+#ifndef WAVEDYN_EXEC_THREAD_POOL_HH
+#define WAVEDYN_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+
+/**
+ * Fixed-size thread pool with one shared FIFO task queue.
+ *
+ * Construction spawns the workers; destruction drains the queue and
+ * joins them. A pool is reusable for any number of batches.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; 0 means currentJobs(). */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers after finishing queued tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers.size(); }
+
+    /** Enqueue a fire-and-forget task. */
+    void post(std::function<void()> task);
+
+    /** True when called from one of this process's pool workers. */
+    static bool onWorkerThread();
+
+    /**
+     * Process-wide pool for experiment orchestration, sized by
+     * currentJobs(). Rebuilt if the jobs setting changed since the
+     * last call — which destroys the previously returned pool, so
+     * global() and setJobs() must only be used from a single
+     * orchestration thread (the internal lock makes the lookup safe,
+     * but cannot protect a reference another thread still holds).
+     * Worker-side code never needs this: helpers called from workers
+     * run inline.
+     */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::deque<std::function<void()>> queue;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool stopping = false;
+};
+
+namespace detail
+{
+
+/**
+ * Dispatch fn(0..n-1) over the pool and block until done. Exceptions
+ * are captured per index; the lowest-index one is rethrown after all
+ * indices ran. Runs inline when the pool has one worker or the caller
+ * is itself a pool worker.
+ */
+void runIndexed(ThreadPool &pool, std::size_t n,
+                const std::function<void(std::size_t)> &fn);
+
+} // namespace detail
+
+/** Run fn(i) for i in [0, n) in parallel; blocks until complete. */
+template <typename Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    detail::runIndexed(pool, n, std::function<void(std::size_t)>(fn));
+}
+
+/**
+ * Map i -> fn(i) for i in [0, n); the result vector is index-ordered
+ * regardless of the order tasks finish in.
+ */
+template <typename Fn>
+auto
+parallelMap(ThreadPool &pool, std::size_t n, Fn &&fn)
+    -> std::vector<decltype(fn(std::size_t{}))>
+{
+    std::vector<decltype(fn(std::size_t{}))> out(n);
+    detail::runIndexed(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+}
+
+/**
+ * parallelFor where task i draws randomness from base.split(i). The
+ * base generator is not advanced; scheduling order cannot influence
+ * any task's stream.
+ */
+template <typename Fn>
+void
+parallelForSeeded(ThreadPool &pool, std::size_t n, const Rng &base,
+                  Fn &&fn)
+{
+    detail::runIndexed(pool, n, [&](std::size_t i) {
+        Rng child = base.split(i);
+        fn(i, child);
+    });
+}
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_EXEC_THREAD_POOL_HH

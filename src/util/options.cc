@@ -1,6 +1,8 @@
 #include "util/options.hh"
 
+#include <atomic>
 #include <cstdlib>
+#include <thread>
 
 namespace wavedyn
 {
@@ -58,6 +60,49 @@ envSize(const char *name, std::size_t fallback)
     if (end == v || parsed == 0)
         return fallback;
     return static_cast<std::size_t>(parsed);
+}
+
+namespace
+{
+
+std::size_t
+clampJobs(std::size_t n)
+{
+    return n > maxJobs() ? maxJobs() : n;
+}
+
+// 0 = "unset, fall back to defaultJobs()" so an early setJobs() before
+// first use and the env-driven default compose without ordering issues.
+std::atomic<std::size_t> g_jobs{0};
+
+} // anonymous namespace
+
+std::size_t
+defaultJobs()
+{
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return clampJobs(envSize("WAVEDYN_JOBS", hw));
+}
+
+std::size_t
+currentJobs()
+{
+    std::size_t j = g_jobs.load(std::memory_order_relaxed);
+    return j == 0 ? defaultJobs() : clampJobs(j);
+}
+
+void
+setJobs(std::size_t n)
+{
+    g_jobs.store(n, std::memory_order_relaxed);
+}
+
+std::size_t
+maxJobs()
+{
+    return 512;
 }
 
 } // namespace wavedyn

@@ -48,6 +48,31 @@ ScaledSizes sizesFor(Scale s);
 /** Read an integer environment override, or fall back. */
 std::size_t envSize(const char *name, std::size_t fallback);
 
+/**
+ * Default worker count for the parallel experiment engine: the
+ * WAVEDYN_JOBS environment variable when set, otherwise the hardware
+ * concurrency (never 0).
+ */
+std::size_t defaultJobs();
+
+/**
+ * Process-wide jobs setting consulted by ThreadPool::global(). Starts
+ * at defaultJobs(); the CLI's --jobs flag overrides it. jobs == 1
+ * reproduces the historical fully-serial execution.
+ */
+std::size_t currentJobs();
+
+/** Override currentJobs(). @p n == 0 resets to defaultJobs(). */
+void setJobs(std::size_t n);
+
+/**
+ * Hard cap applied to every jobs source (flag, env, direct pool
+ * construction): results are jobs-invariant, so clamping never
+ * changes output, and a wrapped negative value must not abort the
+ * process trying to spawn 2^64 threads.
+ */
+std::size_t maxJobs();
+
 } // namespace wavedyn
 
 #endif // WAVEDYN_UTIL_OPTIONS_HH

@@ -119,6 +119,24 @@ Rng::geometric(double p, std::uint64_t cap)
     return n > cap ? cap : n;
 }
 
+Rng
+Rng::split(std::uint64_t index) const
+{
+    // Mix the parent state with the stream index through two SplitMix64
+    // finalizer rounds; hashCombine is order-sensitive so stream 0 of
+    // stream 1 differs from stream 1 of stream 0.
+    return Rng(hashCombine(state, index ^ 0xd2b74407b1ce6e93ull));
+}
+
+void
+Rng::jump(std::uint64_t steps)
+{
+    // next() advances the state by the fixed SplitMix64 gamma before
+    // mixing, so n draws advance it by exactly n * gamma.
+    state += 0x9e3779b97f4a7c15ull * steps;
+    hasSpare = false;
+}
+
 std::uint64_t
 CounterRng::at(std::uint64_t c) const
 {

@@ -71,6 +71,27 @@ class Rng
     /** Geometric-ish draw: number of failures before success(p), capped. */
     std::uint64_t geometric(double p, std::uint64_t cap);
 
+    /**
+     * Derive an independent child stream for parallel task @p index.
+     *
+     * The child seed is a pure function of (current state, index), so
+     * splitting is deterministic, does not advance this generator, and
+     * equal indices always yield equal child streams. The parallel
+     * experiment engine gives task i the stream split(i); results are
+     * therefore identical no matter how tasks are scheduled across
+     * threads.
+     */
+    Rng split(std::uint64_t index) const;
+
+    /**
+     * Advance the stream by @p steps draws in O(1).
+     *
+     * jump(n) leaves the generator in exactly the state produced by n
+     * calls to next() (the Box-Muller spare is discarded, as mixing
+     * jumped and cached-gaussian state would not be reproducible).
+     */
+    void jump(std::uint64_t steps);
+
   private:
     std::uint64_t state;
     double spare;

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The parallel engine's hard requirement: a campaign run with many
+ * jobs is bit-identical to the same campaign run serially. Rendering
+ * the reports to text/CSV and comparing the bytes is exactly the
+ * "byte-identical report" acceptance bar; the structural comparison
+ * below it pins every double with operator== (no tolerance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+#include "util/options.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+ExperimentSpec
+tinyBase()
+{
+    ExperimentSpec base;
+    base.trainPoints = 10;
+    base.testPoints = 4;
+    base.samples = 16;
+    base.intervalInstrs = 120;
+    return base;
+}
+
+SuiteReport
+runWithJobs(std::size_t jobs)
+{
+    setJobs(jobs);
+    auto report = runSuite({"bzip2", "eon"}, tinyBase());
+    setJobs(0);
+    return report;
+}
+
+void
+expectIdentical(const SuiteReport &a, const SuiteReport &b)
+{
+    // Byte-level: the rendered reports users actually consume.
+    EXPECT_EQ(renderSuiteText(a), renderSuiteText(b));
+    EXPECT_EQ(renderSuiteCsv(a), renderSuiteCsv(b));
+    EXPECT_EQ(renderSuiteMarkdown(a), renderSuiteMarkdown(b));
+
+    // Structural: every stored double, bit for bit.
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t i = 0; i < a.cells.size(); ++i) {
+        const SuiteCell &ca = a.cells[i];
+        const SuiteCell &cb = b.cells[i];
+        EXPECT_EQ(ca.benchmark, cb.benchmark);
+        EXPECT_EQ(ca.domain, cb.domain);
+        EXPECT_EQ(ca.mse.median, cb.mse.median);
+        EXPECT_EQ(ca.mse.q1, cb.mse.q1);
+        EXPECT_EQ(ca.mse.q3, cb.mse.q3);
+        EXPECT_EQ(ca.msePerTest, cb.msePerTest);
+        EXPECT_EQ(ca.asymmetryQ, cb.asymmetryQ);
+    }
+}
+
+TEST(Determinism, SuiteWithEightJobsMatchesSerial)
+{
+    SuiteReport serial = runWithJobs(1);
+    SuiteReport parallel = runWithJobs(8);
+    expectIdentical(serial, parallel);
+}
+
+TEST(Determinism, OddJobCountsMatchToo)
+{
+    SuiteReport serial = runWithJobs(1);
+    expectIdentical(serial, runWithJobs(3));
+}
+
+TEST(Determinism, RepeatedParallelRunsAgree)
+{
+    SuiteReport a = runWithJobs(8);
+    SuiteReport b = runWithJobs(8);
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, ExperimentDataMatchesSerial)
+{
+    ExperimentSpec spec = tinyBase();
+    spec.benchmark = "bzip2";
+
+    setJobs(1);
+    ExperimentData serial = generateExperimentData(spec);
+    setJobs(8);
+    ExperimentData parallel = generateExperimentData(spec);
+    setJobs(0);
+
+    EXPECT_EQ(serial.trainPoints, parallel.trainPoints);
+    EXPECT_EQ(serial.testPoints, parallel.testPoints);
+    for (Domain d : spec.domains) {
+        EXPECT_EQ(serial.trainTraces.at(d), parallel.trainTraces.at(d));
+        EXPECT_EQ(serial.testTraces.at(d), parallel.testTraces.at(d));
+    }
+}
+
+TEST(Determinism, TrainAndEvaluateAllMatchesPerDomain)
+{
+    ExperimentSpec spec = tinyBase();
+    spec.benchmark = "bzip2";
+    ExperimentData data = generateExperimentData(spec);
+
+    setJobs(8);
+    auto all = trainAndEvaluateAll(data, spec.domains);
+    setJobs(0);
+
+    ASSERT_EQ(all.size(), spec.domains.size());
+    for (std::size_t i = 0; i < spec.domains.size(); ++i) {
+        auto single = trainAndEvaluate(data, spec.domains[i]);
+        EXPECT_EQ(all[i].eval.msePerTest, single.eval.msePerTest);
+        EXPECT_EQ(all[i].eval.summary.median, single.eval.summary.median);
+    }
+}
+
+} // anonymous namespace
+} // namespace wavedyn

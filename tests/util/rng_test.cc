@@ -183,6 +183,70 @@ TEST(Rng, GeometricMeanRoughlyMatches)
     EXPECT_NEAR(acc / n, 4.0, 0.15);
 }
 
+TEST(RngSplit, DeterministicPerIndex)
+{
+    Rng base(42);
+    Rng a = base.split(5), b = base.split(5);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSplit, DoesNotAdvanceParent)
+{
+    Rng a(42), b(42);
+    (void)a.split(0);
+    (void)a.split(1);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngSplit, ChildrenAreIndependent)
+{
+    Rng base(42);
+    Rng a = base.split(0), b = base.split(1);
+    int same = 0;
+    for (int i = 0; i < 256; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngSplit, ChildDiffersFromParentStream)
+{
+    Rng base(42);
+    Rng child = base.split(0);
+    int same = 0;
+    for (int i = 0; i < 256; ++i)
+        if (base.next() == child.next())
+            ++same;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(RngSplit, DependsOnParentState)
+{
+    Rng a(42), b(42);
+    b.next(); // advance one stream only
+    Rng ca = a.split(7), cb = b.split(7);
+    EXPECT_NE(ca.next(), cb.next());
+}
+
+TEST(RngJump, MatchesRepeatedNext)
+{
+    Rng stepped(1234), jumped(1234);
+    for (int i = 0; i < 1000; ++i)
+        stepped.next();
+    jumped.jump(1000);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(stepped.next(), jumped.next());
+}
+
+TEST(RngJump, ZeroIsIdentity)
+{
+    Rng a(7), b(7);
+    a.jump(0);
+    EXPECT_EQ(a.next(), b.next());
+}
+
 TEST(CounterRng, PureFunctionOfCounter)
 {
     CounterRng c(99);

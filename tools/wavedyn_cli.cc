@@ -30,6 +30,8 @@
 #include "core/serialize.hh"
 #include "core/suite.hh"
 #include "dse/sampling.hh"
+#include "exec/scheduler.hh"
+#include "util/options.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 
@@ -51,7 +53,12 @@ usage()
         "  wavedyn_cli evaluate <benchmark> <domain> <model.txt> "
         "[--test N]\n"
         "  wavedyn_cli suite [--scale smoke|quick|full]\n"
-        "  wavedyn_cli info <model.txt>\n";
+        "  wavedyn_cli info <model.txt>\n"
+        "\n"
+        "common options:\n"
+        "  --jobs N    simulate/train with N worker threads (default:\n"
+        "              WAVEDYN_JOBS or hardware concurrency; 1 = serial;\n"
+        "              results are identical for every N)\n";
     return 2;
 }
 
@@ -79,6 +86,7 @@ struct Options
     std::size_t samples = 128;
     std::size_t interval = 256;
     std::size_t coeffs = 16;
+    std::size_t jobs = 0; // 0 => WAVEDYN_JOBS / hardware concurrency
     double dvmThreshold = -1.0; // <0 => DVM off
     std::string scale = "quick";
 };
@@ -100,11 +108,14 @@ parseOptions(int argc, char **argv, int first)
             o.interval = std::stoul(val);
         else if (key == "--coeffs")
             o.coeffs = std::stoul(val);
+        else if (key == "--jobs")
+            o.jobs = std::stoul(val);
         else if (key == "--dvm")
             o.dvmThreshold = std::stod(val);
         else if (key == "--scale")
             o.scale = val;
     }
+    setJobs(o.jobs);
     return o;
 }
 
@@ -140,7 +151,8 @@ cmdTrain(int argc, char **argv)
 
     std::cout << "simulating " << o.train << " training configurations "
               << "of '" << bench << "' (" << o.samples
-              << " samples x " << o.interval << " instrs)...\n";
+              << " samples x " << o.interval << " instrs, "
+              << currentJobs() << " jobs)...\n";
     auto data = generateExperimentData(specFrom(bench, domain, o));
 
     PredictorOptions popts;
@@ -193,18 +205,28 @@ cmdEvaluate(int argc, char **argv)
     Options o = parseOptions(argc, argv, 5);
 
     std::cout << "simulating " << o.test << " fresh test configurations "
-              << "of '" << bench << "'...\n";
+              << "of '" << bench << "' (" << currentJobs()
+              << " jobs)...\n";
     Rng rng(0xe5a1);
     auto space = model.designSpace();
     auto points = randomTestSample(space, o.test, rng);
 
-    std::vector<std::vector<double>> actual;
+    const BenchmarkProfile &profile = benchmarkByName(bench);
+    RunScheduler sched;
     for (const auto &p : points) {
-        auto r = simulate(benchmarkByName(bench),
-                          SimConfig::fromDesignPoint(space, p),
-                          model.traceLength(), o.interval);
-        actual.push_back(r.trace(domain));
+        RunTask task;
+        task.benchmark = &profile;
+        task.config = SimConfig::fromDesignPoint(space, p);
+        task.samples = model.traceLength();
+        task.intervalInstrs = o.interval;
+        sched.enqueue(std::move(task));
     }
+    sched.run();
+
+    std::vector<std::vector<double>> actual;
+    actual.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        actual.push_back(sched.result(i).trace(domain));
     auto eval = evaluatePredictor(model, points, actual);
     std::cout << "MSE(%) " << describeBoxplot(eval.summary) << "\n";
     return 0;
@@ -228,11 +250,13 @@ cmdSuite(int argc, char **argv)
     auto names = benchmarkNames();
     names.resize(std::min<std::size_t>(names.size(),
                                        sizes.benchmarkCount));
+    std::cout << "running " << names.size() << "-benchmark campaign ("
+              << currentJobs() << " jobs)...\n";
     auto report = runSuite(names, base, {},
                            [](const std::string &b, std::size_t d,
                               std::size_t t) {
                                std::cout << "  [" << d << "/" << t
-                                         << "] " << b << " done\n";
+                                         << "] " << b << " simulated\n";
                            });
 
     TextTable t("suite accuracy (MSE%, median [q1, q3])");
