@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Generated-scenario accuracy sweep: the Figure 8/13 protocol applied
+ * to synthetic workload families instead of the fixed SPEC stand-ins.
+ * For every family the generator can sample, run a full campaign over
+ * K generated scenarios and report per-domain accuracy — how well the
+ * neuro-wavelet predictor generalises beyond the paper's twelve
+ * profiles, family by family.
+ */
+
+#include "bench/common.hh"
+#include "core/report.hh"
+#include "core/scenario.hh"
+#include "core/suite.hh"
+
+using namespace wavedyn;
+
+int
+main()
+{
+    auto ctx = BenchContext::init(
+        "Generated scenarios — per-family predictor accuracy (MSE %)");
+
+    const std::uint64_t seed = 7;
+    const std::size_t per_family = ctx.scale == Scale::Full
+        ? 8
+        : ctx.scale == Scale::Quick ? 3 : 2;
+
+    TextTable t("per-family accuracy — median of per-scenario medians");
+    t.header({"family", "scenarios", "CPI", "Power", "AVF"});
+    for (WorkloadFamily f : allFamilies()) {
+        ScenarioSet scenarios;
+        scenarios.addGenerated(f, seed, per_family);
+
+        ExperimentSpec base = ctx.spec("");
+        auto report = runSuite(scenarios, base, PredictorOptions{});
+
+        std::vector<std::string> row = {familyName(f),
+                                        fmt(per_family)};
+        for (Domain d : allDomains())
+            row.push_back(fmt(report.overallMedian(d)));
+        t.row(row);
+
+        std::cout << renderSuiteText(report) << "\n";
+    }
+    t.print(std::cout);
+    std::cout << "Shape to check: accuracy on generated families is in "
+                 "the same few-percent\nband as the paper twelve — the "
+                 "predictor is not overfit to the fixed suite.\n"
+                 "Scenario space is open-ended: any (family, seed, "
+                 "index) triple names a profile.\n";
+    return 0;
+}

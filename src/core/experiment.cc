@@ -1,6 +1,7 @@
 #include "core/experiment.hh"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "dse/sampling.hh"
@@ -9,6 +10,31 @@
 
 namespace wavedyn
 {
+
+const ScenarioSet &
+scenariosOf(const ExperimentSpec &spec)
+{
+    return spec.scenarios ? *spec.scenarios : ScenarioSet::paper();
+}
+
+void
+validateSpec(const ExperimentSpec &spec)
+{
+    auto reject = [&](const char *what) {
+        throw std::invalid_argument(
+            std::string("invalid ExperimentSpec for benchmark '") +
+            spec.benchmark + "': " + what);
+    };
+    if (spec.trainPoints == 0)
+        reject("trainPoints must be non-zero");
+    if (spec.testPoints == 0)
+        reject("testPoints must be non-zero");
+    if (spec.samples == 0)
+        reject("samples (trace resolution) must be non-zero");
+    if (spec.intervalInstrs == 0)
+        reject("intervalInstrs must be non-zero");
+    scenariosOf(spec).at(spec.benchmark); // throws when unknown
+}
 
 ExperimentSpec
 ExperimentSpec::forScale(const std::string &benchmark, Scale scale)
@@ -26,6 +52,8 @@ ExperimentSpec::forScale(const std::string &benchmark, Scale scale)
 ExperimentPlan
 planExperiment(const ExperimentSpec &spec)
 {
+    validateSpec(spec);
+
     ExperimentPlan plan;
     plan.space = DesignSpace::paper();
 
@@ -43,7 +71,7 @@ ScheduledExperiment
 scheduleExperiment(const ExperimentSpec &spec, const ExperimentPlan &plan,
                    RunScheduler &scheduler)
 {
-    const BenchmarkProfile &bench = benchmarkByName(spec.benchmark);
+    const BenchmarkProfile &bench = scenariosOf(spec).at(spec.benchmark);
 
     ScheduledExperiment sched;
     sched.firstTask = scheduler.size();

@@ -20,6 +20,7 @@
 
 #include "core/metrics.hh"
 #include "core/predictor.hh"
+#include "core/scenario.hh"
 #include "dvm/controller.hh"
 #include "sim/simulator.hh"
 #include "util/options.hh"
@@ -41,10 +42,35 @@ struct ExperimentSpec
     DvmConfig dvm;                   //!< DVM policy during simulation
     std::vector<Domain> domains = allDomains();
 
+    /**
+     * Scenario set the benchmark name resolves in (non-owning; must
+     * outlive every campaign built from this spec). nullptr means
+     * ScenarioSet::paper() — the paper's fixed twelve.
+     */
+    const ScenarioSet *scenarios = nullptr;
+
     /** Derive the sweep sizes from a WAVEDYN_SCALE selection. */
     static ExperimentSpec forScale(const std::string &benchmark,
                                    Scale scale);
 };
+
+/**
+ * Scenario set a spec resolves benchmark names in: spec.scenarios, or
+ * the paper twelve when unset.
+ */
+const ScenarioSet &scenariosOf(const ExperimentSpec &spec);
+
+/**
+ * Check a spec before any simulation starts: trainPoints, testPoints,
+ * samples and intervalInstrs must be non-zero, and the benchmark must
+ * exist in the spec's scenario set. Every campaign entry point calls
+ * this so misconfiguration surfaces as one clear error instead of a
+ * downstream assert.
+ *
+ * @throws std::invalid_argument (bad field) or std::out_of_range
+ *         (unknown benchmark).
+ */
+void validateSpec(const ExperimentSpec &spec);
 
 /** Simulated dataset for one benchmark. */
 struct ExperimentData

@@ -1,0 +1,129 @@
+#include "core/scenario.hh"
+
+#include <stdexcept>
+
+namespace wavedyn
+{
+
+const ScenarioSet &
+ScenarioSet::paper()
+{
+    static const ScenarioSet set = paperCopy();
+    return set;
+}
+
+ScenarioSet
+ScenarioSet::paperCopy()
+{
+    ScenarioSet set;
+    for (const auto &b : allBenchmarks())
+        set.add(b);
+    return set;
+}
+
+void
+ScenarioSet::add(BenchmarkProfile profile)
+{
+    std::string err = profileValidationError(profile);
+    if (!err.empty())
+        throw std::invalid_argument("invalid scenario: " + err);
+    if (contains(profile.name))
+        throw std::invalid_argument("duplicate scenario name '" +
+                                    profile.name + "'");
+    // push_back first so a failed push leaves no dangling index entry;
+    // emplace can still throw (node allocation, rehash), so roll the
+    // push back rather than leave a profile that names()/iteration
+    // report but find()/at() cannot resolve.
+    entries.push_back(std::move(profile));
+    try {
+        index.emplace(entries.back().name, entries.size() - 1);
+    } catch (...) {
+        entries.pop_back();
+        throw;
+    }
+}
+
+std::vector<std::string>
+ScenarioSet::addGenerated(WorkloadFamily family, std::uint64_t seed,
+                          std::size_t count, std::size_t firstIndex)
+{
+    ScenarioGenerator gen(family, seed);
+    std::vector<std::string> added;
+    std::vector<BenchmarkProfile> fresh;
+    added.reserve(count);
+    // Two-phase so the conflict check runs before anything is added:
+    // a name already present (e.g. via an earlier resolve()) holds a
+    // bit-identical profile by the determinism contract and is simply
+    // skipped; anything else under a generated name is a real
+    // conflict, detected while the set is still untouched.
+    for (std::size_t i = 0; i < count; ++i) {
+        BenchmarkProfile p = gen.generate(firstIndex + i);
+        added.push_back(p.name);
+        if (const BenchmarkProfile *existing = find(p.name)) {
+            if (*existing != p)
+                throw std::invalid_argument(
+                    "scenario name '" + p.name +
+                    "' is taken by a different profile");
+        } else {
+            fresh.push_back(std::move(p));
+        }
+    }
+    for (BenchmarkProfile &p : fresh)
+        add(std::move(p));
+    return added;
+}
+
+const BenchmarkProfile &
+ScenarioSet::resolve(const std::string &name)
+{
+    if (const BenchmarkProfile *p = find(name))
+        return *p;
+    WorkloadFamily family;
+    std::uint64_t seed = 0;
+    std::size_t idx = 0;
+    if (parseGeneratedName(name, family, seed, idx)) {
+        add(ScenarioGenerator(family, seed).generate(idx));
+        // parseGeneratedName only accepts canonical names, so the
+        // generated profile's name round-trips to exactly @p name;
+        // at() throws rather than derefs null if that ever breaks.
+        return at(name);
+    }
+    return at(name); // throws the unknown-benchmark error
+}
+
+const BenchmarkProfile *
+ScenarioSet::find(const std::string &name) const
+{
+    auto it = index.find(name);
+    return it == index.end() ? nullptr : &entries[it->second];
+}
+
+const BenchmarkProfile &
+ScenarioSet::at(const std::string &name) const
+{
+    const BenchmarkProfile *p = find(name);
+    if (!p)
+        throw std::out_of_range("unknown benchmark '" + name +
+                                "' (scenario set has " +
+                                std::to_string(entries.size()) +
+                                " profiles)");
+    return *p;
+}
+
+bool
+ScenarioSet::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+std::vector<std::string>
+ScenarioSet::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const auto &p : entries)
+        out.push_back(p.name);
+    return out;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Scenario registry: the named set of benchmark profiles a campaign
+ * can run. A ScenarioSet holds the paper's fixed twelve, generated
+ * workload-family scenarios (workload/generator.hh), hand-built
+ * profiles, or any mix — the experiment and suite layers resolve
+ * benchmark names through a set instead of the closed allBenchmarks()
+ * list, so the scenario space is open-ended.
+ */
+
+#ifndef WAVEDYN_CORE_SCENARIO_HH
+#define WAVEDYN_CORE_SCENARIO_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/**
+ * An ordered, name-addressable collection of benchmark profiles.
+ *
+ * Profiles are stored in a deque so references returned by at()/find()
+ * stay valid across later add() calls — campaign schedulers hold
+ * profile pointers while the set keeps growing.
+ */
+class ScenarioSet
+{
+  public:
+    /** The paper's twelve SPEC CPU 2000 stand-ins (shared instance). */
+    static const ScenarioSet &paper();
+
+    /** A mutable copy of the paper twelve, ready to extend. */
+    static ScenarioSet paperCopy();
+
+    /** An empty set with no scenarios. */
+    ScenarioSet() = default;
+
+    /**
+     * Add one profile.
+     * @throws std::invalid_argument when the profile fails
+     *         profileValidationError() or its name is already taken.
+     */
+    void add(BenchmarkProfile profile);
+
+    /**
+     * Generate @p count profiles of @p family under @p seed (indices
+     * firstIndex..firstIndex+count-1) and add the ones not already
+     * present (an existing entry under a generated name is
+     * bit-identical by the determinism contract and skipped; any other
+     * profile under that name throws before the set is touched).
+     * @return the names of the whole requested range, generation
+     *         order — newly added or already present.
+     */
+    std::vector<std::string> addGenerated(WorkloadFamily family,
+                                          std::uint64_t seed,
+                                          std::size_t count,
+                                          std::size_t firstIndex = 0);
+
+    /**
+     * at(name), except that a well-formed generated name
+     * ("gen/<family>/s<seed>/<index>") absent from the set is
+     * re-derived from its coordinates and added first — any generated
+     * scenario is reachable by name alone.
+     * @throws std::out_of_range when absent and not a generated name.
+     */
+    const BenchmarkProfile &resolve(const std::string &name);
+
+    /** Profile by name; nullptr when absent. */
+    const BenchmarkProfile *find(const std::string &name) const;
+
+    /**
+     * Profile by name.
+     * @throws std::out_of_range naming the missing benchmark and the
+     *         set size (the error the CLI surfaces for typos).
+     */
+    const BenchmarkProfile &at(const std::string &name) const;
+
+    bool contains(const std::string &name) const;
+
+    /** All names, insertion order. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** Iteration over profiles, insertion order. */
+    std::deque<BenchmarkProfile>::const_iterator
+    begin() const
+    {
+        return entries.begin();
+    }
+    std::deque<BenchmarkProfile>::const_iterator
+    end() const
+    {
+        return entries.end();
+    }
+
+  private:
+    std::deque<BenchmarkProfile> entries;
+    //! name -> entries index, so lookups (and the duplicate check in
+    //! add()) stay O(1) at tens of thousands of generated scenarios.
+    std::unordered_map<std::string, std::size_t> index;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_SCENARIO_HH

@@ -109,4 +109,13 @@ runSuite(const std::vector<std::string> &benchmarks,
     return report;
 }
 
+SuiteReport
+runSuite(const ScenarioSet &scenarios, const ExperimentSpec &base,
+         const PredictorOptions &opts, const SuiteProgress &progress)
+{
+    ExperimentSpec spec = base;
+    spec.scenarios = &scenarios;
+    return runSuite(scenarios.names(), spec, opts, progress);
+}
+
 } // namespace wavedyn

@@ -56,14 +56,26 @@ using SuiteProgress =
 
 /**
  * Run the full campaign: for every benchmark, simulate the train/test
- * sets once and evaluate a predictor per domain.
+ * sets once and evaluate a predictor per domain. Benchmark names
+ * resolve in base.scenarios (default: the paper twelve); unknown names
+ * or degenerate sweep sizes throw before any simulation starts.
  *
- * @param benchmarks benchmark names (must exist in allBenchmarks())
+ * @param benchmarks benchmark names (must exist in the scenario set)
  * @param base spec template; the benchmark field is overwritten
  * @param opts predictor options shared by all cells
  * @param progress optional progress callback
  */
 SuiteReport runSuite(const std::vector<std::string> &benchmarks,
+                     const ExperimentSpec &base,
+                     const PredictorOptions &opts = {},
+                     const SuiteProgress &progress = nullptr);
+
+/**
+ * runSuite over an explicit scenario set (generated scenarios ride
+ * alongside the paper twelve): every profile in @p scenarios is run.
+ * @p scenarios must outlive the call only.
+ */
+SuiteReport runSuite(const ScenarioSet &scenarios,
                      const ExperimentSpec &base,
                      const PredictorOptions &opts = {},
                      const SuiteProgress &progress = nullptr);

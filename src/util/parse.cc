@@ -1,0 +1,36 @@
+#include "util/parse.hh"
+
+#include <limits>
+
+namespace wavedyn
+{
+
+bool
+parseUint64(const std::string &s, std::uint64_t &out)
+{
+    constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+    if (s.empty())
+        return false;
+    out = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        // "next < out" would miss wraps that land above out (e.g.
+        // 1.64e20 mod 2^64); checking before the multiply cannot.
+        if (out > (kMax - digit) / 10)
+            return false; // overflow
+        out = out * 10 + digit;
+    }
+    return true;
+}
+
+bool
+parseCanonicalUint64(const std::string &s, std::uint64_t &out)
+{
+    if (s.size() > 1 && s[0] == '0')
+        return false;
+    return parseUint64(s, out);
+}
+
+} // namespace wavedyn

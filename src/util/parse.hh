@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Strict decimal parsing shared by the CLI flag parser and the
+ * generated-scenario name parser, so "strict" means the same thing —
+ * and overflow is rejected the same way — everywhere a uint64 is read
+ * from text.
+ */
+
+#ifndef WAVEDYN_UTIL_PARSE_HH
+#define WAVEDYN_UTIL_PARSE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wavedyn
+{
+
+/**
+ * Parse all of @p s as a decimal uint64: digits only (no sign,
+ * whitespace or trailing garbage), overflow-checked.
+ * @return false on empty, non-digit or overflowing input.
+ */
+bool parseUint64(const std::string &s, std::uint64_t &out);
+
+/**
+ * parseUint64 that additionally rejects leading zeros ("07"), for
+ * contexts where a value must have exactly one spelling — e.g. the
+ * seed/index fields of generated-scenario names, where "s07" would
+ * alias the profile stored under the canonical "s7" name.
+ */
+bool parseCanonicalUint64(const std::string &s, std::uint64_t &out);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_PARSE_HH

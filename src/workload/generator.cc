@@ -1,0 +1,361 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+#include <iterator>
+#include <stdexcept>
+
+#include "util/parse.hh"
+#include "util/rng.hh"
+
+namespace wavedyn
+{
+
+const std::vector<WorkloadFamily> &
+allFamilies()
+{
+    static const std::vector<WorkloadFamily> families = {
+        WorkloadFamily::ComputeBound,
+        WorkloadFamily::MemoryStreaming,
+        WorkloadFamily::PhaseChaotic,
+        WorkloadFamily::BranchyIrregular,
+        WorkloadFamily::Mixed,
+    };
+    return families;
+}
+
+std::string
+familyName(WorkloadFamily f)
+{
+    switch (f) {
+      case WorkloadFamily::ComputeBound:
+        return "compute-bound";
+      case WorkloadFamily::MemoryStreaming:
+        return "memory-streaming";
+      case WorkloadFamily::PhaseChaotic:
+        return "phase-chaotic";
+      case WorkloadFamily::BranchyIrregular:
+        return "branchy-irregular";
+      case WorkloadFamily::Mixed:
+        return "mixed";
+    }
+    return "unknown";
+}
+
+bool
+parseFamily(const std::string &name, WorkloadFamily &out)
+{
+    for (WorkloadFamily f : allFamilies()) {
+        if (familyName(f) == name) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+WorkloadFamily
+familyByName(const std::string &name)
+{
+    WorkloadFamily f;
+    if (parseFamily(name, f))
+        return f;
+    std::string known;
+    for (WorkloadFamily k : allFamilies())
+        known += (known.empty() ? "" : ", ") + familyName(k);
+    throw std::invalid_argument("unknown workload family '" + name +
+                                "' (known: " + known + ")");
+}
+
+bool
+parseGeneratedName(const std::string &name, WorkloadFamily &family,
+                   std::uint64_t &seed, std::size_t &index)
+{
+    const std::string prefix = "gen/";
+    if (name.rfind(prefix, 0) != 0)
+        return false;
+    std::size_t famEnd = name.find('/', prefix.size());
+    if (famEnd == std::string::npos)
+        return false;
+    if (!parseFamily(name.substr(prefix.size(), famEnd - prefix.size()),
+                     family))
+        return false;
+    std::size_t seedEnd = name.find('/', famEnd + 1);
+    if (seedEnd == std::string::npos || name[famEnd + 1] != 's')
+        return false;
+    std::uint64_t idx = 0;
+    // Canonical parse: a leading-zero spelling like "s07" would alias
+    // the profile stored under the canonical "s7" name, and later
+    // lookups under the alias would miss.
+    if (!parseCanonicalUint64(name.substr(famEnd + 2, seedEnd - famEnd - 2),
+                              seed) ||
+        !parseCanonicalUint64(name.substr(seedEnd + 1), idx))
+        return false;
+    index = static_cast<std::size_t>(idx);
+    return true;
+}
+
+std::string
+profileValidationError(const BenchmarkProfile &p)
+{
+    if (p.name.empty())
+        return "profile has an empty name";
+    if (p.script.empty())
+        return "profile '" + p.name + "' has an empty phase script";
+    if (p.scriptRepeats == 0)
+        return "profile '" + p.name + "' has scriptRepeats == 0";
+    for (std::size_t i = 0; i < p.script.size(); ++i) {
+        const PhaseSegment &s = p.script[i];
+        const std::string where =
+            "profile '" + p.name + "' segment " + std::to_string(i);
+        // The [0,1]-range checks below reject inf/NaN on their own,
+        // but the only-lower-bounded fields (depMeanDist, avgBlockLen,
+        // loopPeriod, modCycles) would accept +inf without this.
+        const double doubles[] = {s.weight, s.fracLoad, s.fracStore,
+                                  s.fracBranch, s.fracFpAlu, s.fracFpMul,
+                                  s.fracIntMul, s.depNearProb,
+                                  s.depMeanDist, s.dep2Prob, s.streamFrac,
+                                  s.avgBlockLen, s.loopPeriod,
+                                  s.branchEntropy, s.modAmp, s.modCycles};
+        for (double d : doubles)
+            if (!std::isfinite(d))
+                return where + ": non-finite field";
+        if (!(s.weight > 0.0))
+            return where + ": weight must be positive";
+        const double fracs[] = {s.fracLoad, s.fracStore, s.fracBranch,
+                                s.fracFpAlu, s.fracFpMul, s.fracIntMul};
+        double mix = 0.0;
+        for (double f : fracs) {
+            if (!(f >= 0.0 && f <= 1.0))
+                return where + ": mix fraction outside [0,1]";
+            mix += f;
+        }
+        if (mix > 1.0)
+            return where + ": instruction mix sums to " +
+                   std::to_string(mix) + " > 1";
+        if (s.dataFootprint == 0)
+            return where + ": dataFootprint must be positive";
+        if (s.codeFootprint == 0)
+            return where + ": codeFootprint must be positive";
+        if (!(s.avgBlockLen >= 2.0))
+            return where + ": avgBlockLen must be >= 2";
+        if (!(s.loopPeriod >= 2.0))
+            return where + ": loopPeriod must be >= 2";
+        const double probs[] = {s.depNearProb, s.dep2Prob,
+                                s.branchEntropy, s.streamFrac};
+        for (double q : probs)
+            if (!(q >= 0.0 && q <= 1.0))
+                return where + ": probability outside [0,1]";
+        if (!(s.depMeanDist >= 1.0))
+            return where + ": depMeanDist must be >= 1";
+        if (!(s.modAmp >= 0.0 && s.modAmp <= 1.0))
+            return where + ": modAmp outside [0,1]";
+        if (!(s.modCycles >= 0.0))
+            return where + ": modCycles must be non-negative";
+    }
+    return "";
+}
+
+namespace
+{
+
+constexpr std::uint64_t KiB = 1024;
+
+/**
+ * Per-family sampling ranges for one segment. Ranges bracket (and
+ * stretch somewhat beyond) what the hand-written paper twelve use, so
+ * generated scenarios exercise the same simulator regimes plus their
+ * edges. Every range keeps the sampled value inside the invariants
+ * profileValidationError() checks.
+ */
+struct SegmentRanges
+{
+    double loadLo, loadHi;
+    double storeLo, storeHi;
+    double branchLo, branchHi;
+    double fpAluHi;   //!< sampled from [0, fpAluHi]
+    double fpMulHi;
+    double intMulHi;
+    double footLo, footHi;     //!< log2(bytes) of the data footprint
+    double codeLo, codeHi;     //!< log2(bytes) of the code footprint
+    double streamLo, streamHi;
+    double blockLo, blockHi;
+    double loopLo, loopHi;
+    double entropyLo, entropyHi;
+    double nearLo, nearHi;
+    double distLo, distHi;
+    double modAmpLo, modAmpHi;
+    double modCycLo, modCycHi;
+};
+
+SegmentRanges
+rangesFor(WorkloadFamily f)
+{
+    SegmentRanges r;
+    switch (f) {
+      case WorkloadFamily::ComputeBound:
+        // Small working sets, FP/multiply pressure, regular control.
+        r = {0.12, 0.24,  0.04, 0.10,  0.05, 0.12,
+             0.25, 0.16, 0.08,
+             14.0, 18.0,  12.0, 16.5,  0.40, 0.75,
+             8.0, 16.0,  12.0, 48.0,  0.01, 0.10,
+             0.30, 0.55,  10.0, 26.0,  0.05, 0.30,  1.0, 3.0};
+        break;
+      case WorkloadFamily::MemoryStreaming:
+        // Multi-MiB sweeps, load/store dominated, long regular loops.
+        r = {0.28, 0.38,  0.10, 0.20,  0.04, 0.10,
+             0.12, 0.08, 0.02,
+             20.0, 24.5,  12.0, 15.0,  0.70, 0.97,
+             8.0, 18.0,  16.0, 64.0,  0.01, 0.08,
+             0.25, 0.55,  8.0, 28.0,  0.05, 0.25,  0.5, 2.0};
+        break;
+      case WorkloadFamily::PhaseChaotic:
+        // Wide footprint swings and strong within-segment modulation;
+        // segment-to-segment contrast comes from the wide ranges.
+        r = {0.18, 0.34,  0.06, 0.18,  0.08, 0.17,
+             0.12, 0.08, 0.05,
+             15.0, 23.5,  13.0, 18.0,  0.15, 0.85,
+             4.0, 12.0,  5.0, 24.0,  0.05, 0.25,
+             0.35, 0.70,  5.0, 20.0,  0.35, 0.60,  1.5, 5.0};
+        break;
+      case WorkloadFamily::BranchyIrregular:
+        // Short blocks, erratic branches, pointer-chasing locality.
+        r = {0.24, 0.34,  0.05, 0.13,  0.13, 0.20,
+             0.04, 0.02, 0.05,
+             16.0, 21.5,  15.0, 18.5,  0.10, 0.40,
+             3.0, 6.0,  4.0, 10.0,  0.15, 0.35,
+             0.50, 0.75,  4.0, 12.0,  0.20, 0.45,  2.0, 4.0};
+        break;
+      case WorkloadFamily::Mixed:
+        // Unused: Mixed picks one of the concrete families per segment.
+        r = rangesFor(WorkloadFamily::ComputeBound);
+        break;
+    }
+    return r;
+}
+
+PhaseSegment
+sampleSegment(WorkloadFamily f, Rng &rng)
+{
+    if (f == WorkloadFamily::Mixed) {
+        // One concrete family per segment; drawing the selector from
+        // the same stream keeps the pure-function-of-(F,S,i) contract.
+        // The list is frozen (not derived from allFamilies()) so
+        // adding families later cannot re-shuffle existing Mixed
+        // profiles or make Mixed select itself.
+        static const WorkloadFamily concrete[] = {
+            WorkloadFamily::ComputeBound,
+            WorkloadFamily::MemoryStreaming,
+            WorkloadFamily::PhaseChaotic,
+            WorkloadFamily::BranchyIrregular,
+        };
+        f = concrete[rng.below(std::size(concrete))];
+    }
+    const SegmentRanges r = rangesFor(f);
+
+    PhaseSegment s;
+    s.weight = rng.uniform(0.4, 1.6);
+    s.fracLoad = rng.uniform(r.loadLo, r.loadHi);
+    s.fracStore = rng.uniform(r.storeLo, r.storeHi);
+    s.fracBranch = rng.uniform(r.branchLo, r.branchHi);
+    s.fracFpAlu = rng.uniform(0.0, r.fpAluHi);
+    s.fracFpMul = rng.uniform(0.0, r.fpMulHi);
+    s.fracIntMul = rng.uniform(0.0, r.intMulHi);
+    // Leave headroom for integer ALU work: cap the non-ALU mix at 0.9
+    // by proportional rescale so validity never depends on the draw.
+    double mix = s.fracLoad + s.fracStore + s.fracBranch + s.fracFpAlu +
+                 s.fracFpMul + s.fracIntMul;
+    if (mix > 0.9) {
+        double scale = 0.9 / mix;
+        s.fracLoad *= scale;
+        s.fracStore *= scale;
+        s.fracBranch *= scale;
+        s.fracFpAlu *= scale;
+        s.fracFpMul *= scale;
+        s.fracIntMul *= scale;
+    }
+
+    s.depNearProb = rng.uniform(r.nearLo, r.nearHi);
+    s.depMeanDist = rng.uniform(r.distLo, r.distHi);
+    s.dep2Prob = rng.uniform(0.25, 0.55);
+
+    // Footprints are sampled log-uniform so KiB- and MiB-scale working
+    // sets are equally likely within a family's bracket.
+    s.dataFootprint = static_cast<std::uint64_t>(
+        std::llround(std::exp2(rng.uniform(r.footLo, r.footHi))));
+    s.streamFrac = rng.uniform(r.streamLo, r.streamHi);
+    s.codeFootprint = static_cast<std::uint64_t>(
+        std::llround(std::exp2(rng.uniform(r.codeLo, r.codeHi))));
+    if (s.dataFootprint < 4 * KiB)
+        s.dataFootprint = 4 * KiB;
+    if (s.codeFootprint < 2 * KiB)
+        s.codeFootprint = 2 * KiB;
+
+    s.avgBlockLen = rng.uniform(r.blockLo, r.blockHi);
+    s.loopPeriod = rng.uniform(r.loopLo, r.loopHi);
+    s.branchEntropy = rng.uniform(r.entropyLo, r.entropyHi);
+
+    s.modAmp = rng.uniform(r.modAmpLo, r.modAmpHi);
+    s.modCycles = rng.uniform(r.modCycLo, r.modCycHi);
+    return s;
+}
+
+std::size_t
+sampleSegmentCount(WorkloadFamily f, Rng &rng)
+{
+    switch (f) {
+      case WorkloadFamily::ComputeBound:
+      case WorkloadFamily::MemoryStreaming:
+        return 1 + rng.below(3); // 1..3
+      case WorkloadFamily::BranchyIrregular:
+        return 2 + rng.below(2); // 2..3
+      case WorkloadFamily::PhaseChaotic:
+        return 4 + rng.below(5); // 4..8
+      case WorkloadFamily::Mixed:
+        return 2 + rng.below(4); // 2..5
+    }
+    return 2;
+}
+
+} // anonymous namespace
+
+ScenarioGenerator::ScenarioGenerator(WorkloadFamily family,
+                                     std::uint64_t seed)
+    : fam(family),
+      rootSeed(seed)
+{
+}
+
+BenchmarkProfile
+ScenarioGenerator::generate(std::size_t index) const
+{
+    // Root the family stream in (family, seed), then split off an
+    // independent child stream per index: profile i never depends on
+    // how many profiles were generated before it.
+    Rng root(hashCombine(rootSeed,
+                         0x5ce7a110ull + static_cast<std::uint64_t>(fam)));
+    Rng rng = root.split(index);
+
+    BenchmarkProfile p;
+    p.name = "gen/" + familyName(fam) + "/s" + std::to_string(rootSeed) +
+             "/" + std::to_string(index);
+    p.seed = rng.next(); // workload-RNG key; distinct per profile
+    p.scriptRepeats = 1 + rng.below(5); // 1..5
+    std::size_t segments = sampleSegmentCount(fam, rng);
+    p.script.reserve(segments);
+    for (std::size_t i = 0; i < segments; ++i)
+        p.script.push_back(sampleSegment(fam, rng));
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+ScenarioGenerator::generateMany(std::size_t count,
+                                std::size_t firstIndex) const
+{
+    std::vector<BenchmarkProfile> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(generate(firstIndex + i));
+    return out;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Generative scenario engine: samples valid BenchmarkProfiles from
+ * named workload-family distributions, turning the workload layer from
+ * the paper's fixed twelve profiles into an open, seed-addressable
+ * family space.
+ *
+ * Determinism contract: profile i of family F under seed S is a pure
+ * function of (F, S, i). Each profile draws from its own child RNG
+ * stream (Rng::split), so generating profile 7 alone yields exactly
+ * the profile that generating 0..7 would have produced at index 7,
+ * and generation is independent of thread count or call order.
+ */
+
+#ifndef WAVEDYN_WORKLOAD_GENERATOR_HH
+#define WAVEDYN_WORKLOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/** Named workload families the generator can sample from. */
+enum class WorkloadFamily
+{
+    ComputeBound,    //!< small footprints, FP/multiply heavy, regular
+    MemoryStreaming, //!< multi-MiB footprints, sequential sweeps
+    PhaseChaotic,    //!< many dissimilar segments, strong modulation
+    BranchyIrregular,//!< short blocks, high branch entropy, poor locality
+    Mixed,           //!< every segment drawn from a random family above
+};
+
+/** All families, declaration order. */
+const std::vector<WorkloadFamily> &allFamilies();
+
+/** CLI name of a family (e.g. "memory-streaming"). */
+std::string familyName(WorkloadFamily f);
+
+/** Parse a family name; returns false on unknown names. */
+bool parseFamily(const std::string &name, WorkloadFamily &out);
+
+/** parseFamily that throws std::invalid_argument listing the names. */
+WorkloadFamily familyByName(const std::string &name);
+
+/**
+ * Parse a generated-profile name ("gen/<family>/s<seed>/<index>")
+ * back into its generation coordinates — the inverse of the naming in
+ * ScenarioGenerator::generate(), so any generated scenario can be
+ * re-derived from its name alone.
+ *
+ * @return false when @p name is not a well-formed generated name.
+ */
+bool parseGeneratedName(const std::string &name, WorkloadFamily &family,
+                        std::uint64_t &seed, std::size_t &index);
+
+/**
+ * Checks the invariants every profile fed to the simulator must hold:
+ * non-empty name and phase script, scriptRepeats >= 1, and per segment
+ * a positive weight, instruction-mix fractions in [0,1] summing to
+ * <= 1, positive data/code footprints, block length >= 2, loop period
+ * >= 2, probabilities in [0,1] and non-negative modulation.
+ *
+ * @return empty string when valid, otherwise a description of the
+ *         first violated invariant.
+ */
+std::string profileValidationError(const BenchmarkProfile &profile);
+
+/**
+ * Deterministic sampler of one workload family.
+ *
+ * generate(i) is a pure function of (family, seed, i); two generators
+ * with equal (family, seed) produce identical profiles forever.
+ */
+class ScenarioGenerator
+{
+  public:
+    ScenarioGenerator(WorkloadFamily family, std::uint64_t seed);
+
+    /**
+     * Sample profile @p index of this family. The profile's name
+     * encodes its coordinates ("gen/<family>/s<seed>/<index>") so any
+     * generated scenario can be re-derived from its name alone.
+     * @post profileValidationError(result).empty()
+     */
+    BenchmarkProfile generate(std::size_t index) const;
+
+    /** generate(firstIndex) .. generate(firstIndex + count - 1). */
+    std::vector<BenchmarkProfile>
+    generateMany(std::size_t count, std::size_t firstIndex = 0) const;
+
+    WorkloadFamily family() const { return fam; }
+    std::uint64_t seed() const { return rootSeed; }
+
+  private:
+    WorkloadFamily fam;
+    std::uint64_t rootSeed;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_WORKLOAD_GENERATOR_HH

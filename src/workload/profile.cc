@@ -1,9 +1,58 @@
 #include "workload/profile.hh"
 
 #include <cassert>
+#include <tuple>
 
 namespace wavedyn
 {
+
+namespace
+{
+
+/** Every PhaseSegment field, for the field-by-field comparison. */
+auto
+tied(const PhaseSegment &s)
+{
+    return std::tie(s.weight, s.fracLoad, s.fracStore, s.fracBranch,
+                    s.fracFpAlu, s.fracFpMul, s.fracIntMul,
+                    s.depNearProb, s.depMeanDist, s.dep2Prob,
+                    s.dataFootprint, s.streamFrac, s.codeFootprint,
+                    s.avgBlockLen, s.loopPeriod, s.branchEntropy,
+                    s.modAmp, s.modCycles);
+}
+
+// All 18 members are 8-byte scalars, so a field added to PhaseSegment
+// but missing from tied() (which would silently weaken the
+// determinism tests built on operator==) fails this instead.
+static_assert(sizeof(PhaseSegment) == 18 * sizeof(double),
+              "PhaseSegment changed: update tied() above");
+
+} // anonymous namespace
+
+bool
+operator==(const PhaseSegment &a, const PhaseSegment &b)
+{
+    return tied(a) == tied(b);
+}
+
+bool
+operator!=(const PhaseSegment &a, const PhaseSegment &b)
+{
+    return !(a == b);
+}
+
+bool
+operator==(const BenchmarkProfile &a, const BenchmarkProfile &b)
+{
+    return a.name == b.name && a.seed == b.seed &&
+           a.scriptRepeats == b.scriptRepeats && a.script == b.script;
+}
+
+bool
+operator!=(const BenchmarkProfile &a, const BenchmarkProfile &b)
+{
+    return !(a == b);
+}
 
 double
 BenchmarkProfile::totalWeight() const

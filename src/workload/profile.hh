@@ -60,6 +60,10 @@ struct PhaseSegment
     double modCycles = 2.0;   //!< sinusoid periods per segment
 };
 
+/** Exact, field-by-field value equality (operator== per double). */
+bool operator==(const PhaseSegment &a, const PhaseSegment &b);
+bool operator!=(const PhaseSegment &a, const PhaseSegment &b);
+
 /** A named benchmark: seed + looping phase script. */
 struct BenchmarkProfile
 {
@@ -77,6 +81,10 @@ struct BenchmarkProfile
      */
     void locate(double frac, std::size_t &segment, double &local) const;
 };
+
+/** Exact equality: name, seed, repeats and every segment. */
+bool operator==(const BenchmarkProfile &a, const BenchmarkProfile &b);
+bool operator!=(const BenchmarkProfile &a, const BenchmarkProfile &b);
 
 /** The twelve SPEC CPU 2000 benchmarks the paper evaluates. */
 const std::vector<BenchmarkProfile> &allBenchmarks();

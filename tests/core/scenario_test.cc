@@ -1,12 +1,18 @@
 /**
  * @file
  * Tests for the experiment orchestration layer (specs, dataset
- * generation at smoke scale, scenario-level helpers).
+ * generation at smoke scale, scenario-level helpers): the ScenarioSet
+ * registry, spec validation error paths, and generated scenarios
+ * threaded end-to-end through the experiment layer.
  */
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "core/experiment.hh"
+#include "core/scenario.hh"
 
 namespace wavedyn
 {
@@ -116,6 +122,162 @@ TEST(TrainAndEvaluate, ProducesFiniteAccuracy)
         EXPECT_GE(m, 0.0);
         EXPECT_LT(m, 100.0);
     }
+}
+
+TEST(ScenarioSet, PaperHasTheTwelve)
+{
+    const ScenarioSet &set = ScenarioSet::paper();
+    EXPECT_EQ(set.size(), 12u);
+    EXPECT_TRUE(set.contains("gcc"));
+    EXPECT_TRUE(set.contains("mcf"));
+    EXPECT_EQ(set.names(), benchmarkNames());
+    EXPECT_EQ(set.at("bzip2").name, "bzip2");
+}
+
+TEST(ScenarioSet, UnknownNameThrowsWithMessage)
+{
+    const ScenarioSet &set = ScenarioSet::paper();
+    EXPECT_EQ(set.find("no-such-bench"), nullptr);
+    try {
+        set.at("no-such-bench");
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_NE(std::string(e.what()).find("no-such-bench"),
+                  std::string::npos);
+    }
+}
+
+TEST(ScenarioSet, DuplicateAndInvalidProfilesRejected)
+{
+    ScenarioSet set = ScenarioSet::paperCopy();
+    EXPECT_THROW(set.add(benchmarkByName("gcc")),
+                 std::invalid_argument);
+
+    BenchmarkProfile bad;
+    bad.name = "bad";
+    bad.script = {}; // empty phase script is invalid
+    EXPECT_THROW(set.add(bad), std::invalid_argument);
+    EXPECT_FALSE(set.contains("bad"));
+
+    // +inf slips past pure lower-bound checks; the validator must
+    // reject non-finite fields before a profile reaches the simulator.
+    BenchmarkProfile inf = benchmarkByName("gcc");
+    inf.name = "inf";
+    inf.script[0].depMeanDist = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(set.add(inf), std::invalid_argument);
+    EXPECT_FALSE(set.contains("inf"));
+}
+
+TEST(ScenarioSet, GeneratedScenariosRideAlongsidePaperTwelve)
+{
+    ScenarioSet set = ScenarioSet::paperCopy();
+    auto added =
+        set.addGenerated(WorkloadFamily::ComputeBound, 7, 3);
+    EXPECT_EQ(set.size(), 15u);
+    ASSERT_EQ(added.size(), 3u);
+    for (const auto &name : added)
+        EXPECT_TRUE(set.contains(name)) << name;
+    // References stay valid as the set keeps growing.
+    const BenchmarkProfile &first = set.at(added[0]);
+    set.addGenerated(WorkloadFamily::Mixed, 7, 8);
+    EXPECT_EQ(&first, &set.at(added[0]));
+}
+
+TEST(ScenarioSet, ResolveRederivesGeneratedNamesOnTheFly)
+{
+    ScenarioSet set = ScenarioSet::paperCopy();
+    // Absent generated name: re-derived from its coordinates, added,
+    // and identical to direct generation.
+    const BenchmarkProfile &p = set.resolve("gen/mixed/s7/2");
+    EXPECT_EQ(p, ScenarioGenerator(WorkloadFamily::Mixed, 7).generate(2));
+    EXPECT_EQ(set.size(), 13u);
+    // Second resolve finds the cached entry instead of re-adding.
+    EXPECT_EQ(&set.resolve("gen/mixed/s7/2"), &p);
+    EXPECT_EQ(set.size(), 13u);
+    // Paper names resolve unchanged; junk still throws.
+    EXPECT_EQ(set.resolve("gcc").name, "gcc");
+    EXPECT_THROW(set.resolve("gen/mixed/7"), std::out_of_range);
+    EXPECT_THROW(set.resolve("no-such-bench"), std::out_of_range);
+    // Non-canonical spellings of a generated name (leading zeros)
+    // throw like any unknown name instead of aliasing the canonical
+    // entry — whether that entry is already present or not.
+    EXPECT_THROW(set.resolve("gen/mixed/s7/02"), std::out_of_range);
+    EXPECT_THROW(set.resolve("gen/mixed/s07/2"), std::out_of_range);
+    EXPECT_EQ(set.size(), 13u);
+
+    // addGenerated composes with earlier resolve()s of the same
+    // coordinates: the already-present index 2 is skipped (identical
+    // by the determinism contract), not a mid-batch duplicate error.
+    auto names = set.addGenerated(WorkloadFamily::Mixed, 7, 4);
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[2], "gen/mixed/s7/2");
+    EXPECT_EQ(set.size(), 16u); // 12 paper + indices 0..3
+}
+
+TEST(ValidateSpec, RejectsZeroFieldsWithClearError)
+{
+    auto expectRejected = [](ExperimentSpec spec, const char *field) {
+        try {
+            validateSpec(spec);
+            FAIL() << field << " == 0 should be rejected";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find(field),
+                      std::string::npos)
+                << "error should name '" << field << "': " << e.what();
+        }
+    };
+    ExperimentSpec zeroSamples = tinySpec();
+    zeroSamples.samples = 0;
+    expectRejected(zeroSamples, "samples");
+
+    ExperimentSpec zeroTrain = tinySpec();
+    zeroTrain.trainPoints = 0;
+    expectRejected(zeroTrain, "trainPoints");
+
+    ExperimentSpec zeroInterval = tinySpec();
+    zeroInterval.intervalInstrs = 0;
+    expectRejected(zeroInterval, "intervalInstrs");
+
+    ExperimentSpec zeroTest = tinySpec();
+    zeroTest.testPoints = 0;
+    expectRejected(zeroTest, "testPoints");
+
+    EXPECT_NO_THROW(validateSpec(tinySpec()));
+}
+
+TEST(ValidateSpec, ErrorPathsReachEveryEntryPoint)
+{
+    ExperimentSpec spec = tinySpec();
+    spec.samples = 0;
+    EXPECT_THROW(planExperiment(spec), std::invalid_argument);
+    EXPECT_THROW(generateExperimentData(spec), std::invalid_argument);
+
+    ExperimentSpec unknown = tinySpec("no-such-bench");
+    EXPECT_THROW(planExperiment(unknown), std::out_of_range);
+}
+
+TEST(GenerateExperimentData, GeneratedScenarioEndToEnd)
+{
+    ScenarioSet set;
+    auto added = set.addGenerated(WorkloadFamily::MemoryStreaming, 7, 1);
+
+    ExperimentSpec spec = tinySpec(added[0]);
+    spec.scenarios = &set;
+    auto data = generateExperimentData(spec);
+    EXPECT_EQ(data.testPoints.size(), 4u);
+    for (Domain d : allDomains())
+        for (const auto &t : data.trainTraces.at(d))
+            EXPECT_EQ(t.size(), 16u);
+
+    // Same scenario, rebuilt from its coordinates in a fresh set:
+    // bit-identical dataset (the seed-addressable contract).
+    ScenarioSet again;
+    again.addGenerated(WorkloadFamily::MemoryStreaming, 7, 1);
+    ExperimentSpec spec2 = tinySpec(added[0]);
+    spec2.scenarios = &again;
+    auto data2 = generateExperimentData(spec2);
+    EXPECT_EQ(data.trainTraces.at(Domain::Cpi),
+              data2.trainTraces.at(Domain::Cpi));
 }
 
 TEST(AccuracySummary, MatchesTrainAndEvaluate)

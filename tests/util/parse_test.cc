@@ -1,0 +1,54 @@
+#include "util/parse.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+using namespace wavedyn;
+
+TEST(ParseUint64, AcceptsPlainDecimals)
+{
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parseUint64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseUint64("7", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(parseUint64("007", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(parseUint64("18446744073709551615", v)); // UINT64_MAX
+    EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUint64, RejectsNonDigits)
+{
+    std::uint64_t v = 0;
+    const char *bad[] = {"", "-1", " -1", "+8", " 8", "8 ", "1x",
+                         "x1", "1.5", "0x10"};
+    for (const char *s : bad)
+        EXPECT_FALSE(parseUint64(s, v)) << s;
+}
+
+TEST(ParseUint64, RejectsOverflow)
+{
+    std::uint64_t v = 0;
+    // One past UINT64_MAX (wraps below the prefix)...
+    EXPECT_FALSE(parseUint64("18446744073709551616", v));
+    // ...and a wrap that lands ABOVE the accumulated prefix, which a
+    // naive post-hoc "next < out" check misses: 1.64e20 mod 2^64 is
+    // ~1.64e19, larger than the 1.64e19 prefix before the last digit.
+    EXPECT_FALSE(parseUint64("164000000000000000000", v));
+    EXPECT_FALSE(parseUint64("99999999999999999999999999", v));
+}
+
+TEST(ParseCanonicalUint64, RejectsLeadingZeros)
+{
+    std::uint64_t v = 99;
+    EXPECT_TRUE(parseCanonicalUint64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(parseCanonicalUint64("10", v));
+    EXPECT_EQ(v, 10u);
+    EXPECT_FALSE(parseCanonicalUint64("00", v));
+    EXPECT_FALSE(parseCanonicalUint64("07", v));
+    EXPECT_FALSE(parseCanonicalUint64("", v));
+}

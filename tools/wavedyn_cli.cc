@@ -12,18 +12,30 @@
  *       given design point (Table 2 order: Fetch_width ROB_size IQ_size
  *       LSQ_size L2_size L2_lat il1_size dl1_size dl1_lat).
  *
- *   evaluate <benchmark> <domain> <model.txt> [--test N]
+ *   evaluate <benchmark> <domain> <model.txt> [--test N] [--interval N]
  *       simulate fresh test configurations and report MSE(%).
  *
  *   suite   [--scale smoke|quick|full]
- *       the Figure 8 campaign as a one-shot report.
+ *           [--generate N --family F --scenario-seed S]
+ *       the Figure 8 campaign as a one-shot report, over the paper
+ *       twelve or over N generated scenarios of a workload family.
+ *       Bare generation flags dispatch here too, so
+ *       `wavedyn_cli --generate 8 --family mixed --scenario-seed 7`
+ *       runs a generated-scenario campaign directly.
+ *
+ *   generate <N> [--family F] [--scenario-seed S]
+ *       print the N generated profiles of a family without running
+ *       anything (inspection aid for the determinism contract).
  *
  *   info    <model.txt>
  *       describe a saved predictor.
  */
 
+#include <cmath>
 #include <cstring>
+#include <initializer_list>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -32,8 +44,10 @@
 #include "dse/sampling.hh"
 #include "exec/scheduler.hh"
 #include "util/options.hh"
+#include "util/parse.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
+#include "workload/generator.hh"
 
 using namespace wavedyn;
 
@@ -51,14 +65,25 @@ usage()
         "[--coeffs K] [--dvm T]\n"
         "  wavedyn_cli predict <model.txt> <p1..p9>\n"
         "  wavedyn_cli evaluate <benchmark> <domain> <model.txt> "
-        "[--test N]\n"
+        "[--test N] [--interval N]\n"
         "  wavedyn_cli suite [--scale smoke|quick|full]\n"
+        "              [--generate N --family F --scenario-seed S]\n"
+        "  wavedyn_cli generate <N> [--family F] [--scenario-seed S]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
-        "common options:\n"
+        "common options (train / evaluate / suite):\n"
         "  --jobs N    simulate/train with N worker threads (default:\n"
         "              WAVEDYN_JOBS or hardware concurrency; 1 = serial;\n"
-        "              results are identical for every N)\n";
+        "              results are identical for every N)\n"
+        "\n"
+        "scenario generation (suite / generate):\n"
+        "  --generate N        run N generated scenarios instead of the\n"
+        "                      paper twelve\n"
+        "  --family F          workload family: compute-bound,\n"
+        "                      memory-streaming, phase-chaotic,\n"
+        "                      branchy-irregular, mixed (default)\n"
+        "  --scenario-seed S   generation seed (default 1); profile i of\n"
+        "                      (family, seed) is always the same profile\n";
     return 2;
 }
 
@@ -78,6 +103,66 @@ parseDomain(const std::string &s, Domain &out)
     return true;
 }
 
+/** Scenario count: 0 is the "flag not given" sentinel, so it errors
+ *  too — a clear message instead of a silently different campaign. */
+std::size_t
+parseCount(const std::string &val, const char *flag)
+{
+    constexpr std::uint64_t kMaxScenarios = 65536;
+    std::uint64_t n = 0;
+    if (!parseUint64(val, n) || n == 0 || n > kMaxScenarios)
+        throw std::invalid_argument(std::string(flag) + " must be in [1, " +
+                                    std::to_string(kMaxScenarios) +
+                                    "], got '" + val + "'");
+    return static_cast<std::size_t>(n);
+}
+
+/** Generation seed: any uint64, strictly parsed. */
+std::uint64_t
+parseSeed(const std::string &val)
+{
+    std::uint64_t seed = 0;
+    if (!parseUint64(val, seed))
+        throw std::invalid_argument(
+            "--scenario-seed must be a non-negative integer, got '" +
+            val + "'");
+    return seed;
+}
+
+/** Strict double parse for --dvm: full-string, finite, clear error. */
+double
+parseDouble(const std::string &val, const std::string &flag)
+{
+    double d = 0.0;
+    bool ok = !val.empty();
+    if (ok) {
+        try {
+            std::size_t pos = 0;
+            d = std::stod(val, &pos);
+            ok = pos == val.size() && std::isfinite(d);
+        } catch (const std::exception &) {
+            ok = false;
+        }
+    }
+    if (!ok)
+        throw std::invalid_argument(flag + " must be a finite number, "
+                                    "got '" + val + "'");
+    return d;
+}
+
+/** Sweep-size / jobs flags: non-negative, capped at a sanity bound. */
+std::size_t
+parseSize(const std::string &val, const std::string &flag)
+{
+    constexpr std::uint64_t kMaxSize = 1000000000; // 1e9
+    std::uint64_t n = 0;
+    if (!parseUint64(val, n) || n > kMaxSize)
+        throw std::invalid_argument(flag +
+                                    " must be a non-negative integer "
+                                    "<= 1000000000, got '" + val + "'");
+    return static_cast<std::size_t>(n);
+}
+
 /** Pull "--name value" options out of argv. */
 struct Options
 {
@@ -89,31 +174,74 @@ struct Options
     std::size_t jobs = 0; // 0 => WAVEDYN_JOBS / hardware concurrency
     double dvmThreshold = -1.0; // <0 => DVM off
     std::string scale = "quick";
+    std::size_t generate = 0; // 0 => paper benchmarks
+    std::string family = "mixed";
+    std::uint64_t scenarioSeed = 1;
+    //! whether --family / --scenario-seed appeared explicitly, so the
+    //! suite path can reject them without --generate instead of
+    //! silently running the paper twelve.
+    bool familySet = false;
+    bool scenarioSeedSet = false;
 };
 
 Options
-parseOptions(int argc, char **argv, int first)
+parseOptions(int argc, char **argv, int first,
+             std::initializer_list<const char *> allowed)
 {
+    // Everything from `first` on must be "--name value" pairs drawn
+    // from this subcommand's `allowed` flags: a typo like --genrate, a
+    // value-less flag, or a flag another subcommand owns (--generate
+    // on train) must error, not be silently dropped (and, via the
+    // bare-flag suite dispatch, kick off a campaign the user never
+    // asked for).
     Options o;
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; i += 2) {
         std::string key = argv[i];
+        bool ok = false;
+        for (const char *a : allowed)
+            ok = ok || key == a;
+        if (!ok)
+            throw std::invalid_argument(
+                "option '" + key + "' is unknown or does not apply to "
+                "this command");
+        // A flag at the end of the line, or followed by another flag
+        // ("--scale --jobs 4"), has no value; o.scale = "--jobs" would
+        // silently drop the jobs setting on the floor.
+        if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)
+            throw std::invalid_argument("option '" + key +
+                                        "' is missing its value");
         std::string val = argv[i + 1];
         if (key == "--train")
-            o.train = std::stoul(val);
+            o.train = parseSize(val, key);
         else if (key == "--test")
-            o.test = std::stoul(val);
+            o.test = parseSize(val, key);
         else if (key == "--samples")
-            o.samples = std::stoul(val);
+            o.samples = parseSize(val, key);
         else if (key == "--interval")
-            o.interval = std::stoul(val);
+            o.interval = parseSize(val, key);
         else if (key == "--coeffs")
-            o.coeffs = std::stoul(val);
+            o.coeffs = parseSize(val, key);
         else if (key == "--jobs")
-            o.jobs = std::stoul(val);
+            o.jobs = parseSize(val, key);
         else if (key == "--dvm")
-            o.dvmThreshold = std::stod(val);
+            o.dvmThreshold = parseDouble(val, key);
         else if (key == "--scale")
             o.scale = val;
+        else if (key == "--generate")
+            o.generate = parseCount(val, "--generate");
+        else if (key == "--family") {
+            o.family = val;
+            o.familySet = true;
+        } else if (key == "--scenario-seed") {
+            o.scenarioSeed = parseSeed(val);
+            o.scenarioSeedSet = true;
+        } else {
+            // Unreachable while every flag in an `allowed` list has a
+            // branch above; user-facing unknown-flag errors come from
+            // the allowed check at the top of the loop.
+            throw std::logic_error("flag in allowed list has no "
+                                   "handler: " + key);
+        }
     }
     setJobs(o.jobs);
     return o;
@@ -147,13 +275,33 @@ cmdTrain(int argc, char **argv)
     if (!parseDomain(argv[3], domain))
         return usage();
     std::string path = argv[4];
-    Options o = parseOptions(argc, argv, 5);
+    Options o = parseOptions(argc, argv, 5,
+                             {"--train", "--samples", "--interval",
+                              "--coeffs", "--dvm", "--jobs"});
+    // validateSpec (via planExperiment) covers --train/--samples/
+    // --interval; --coeffs is a predictor option it never sees, and 0
+    // would silently save a predictor with no coefficient models.
+    if (o.coeffs == 0)
+        throw std::invalid_argument("--coeffs must be non-zero");
 
+    // resolve() re-derives generated names (gen/<family>/s<seed>/<i>)
+    // on the fly, so single-model training covers them too. Resolve
+    // before the progress banner: an unknown benchmark should error
+    // without announcing a simulation that never starts.
+    ScenarioSet scenarios = ScenarioSet::paperCopy();
+    scenarios.resolve(bench);
     std::cout << "simulating " << o.train << " training configurations "
               << "of '" << bench << "' (" << o.samples
               << " samples x " << o.interval << " instrs, "
               << currentJobs() << " jobs)...\n";
-    auto data = generateExperimentData(specFrom(bench, domain, o));
+    ExperimentSpec spec = specFrom(bench, domain, o);
+    spec.scenarios = &scenarios;
+    // train only consumes the training traces, and the test sample is
+    // drawn after the training sample so its size cannot change the
+    // model: keep the mandatory (validateSpec: non-zero) test sweep at
+    // its minimum instead of simulating 20 throwaway configurations.
+    spec.testPoints = 1;
+    auto data = generateExperimentData(spec);
 
     PredictorOptions popts;
     popts.coefficients = o.coeffs;
@@ -174,12 +322,16 @@ cmdTrain(int argc, char **argv)
 int
 cmdPredict(int argc, char **argv)
 {
-    if (argc < 3 + 9)
+    // Exactly model + 9 point coordinates: trailing extras would be
+    // silently dropped otherwise, unlike every other subcommand.
+    if (argc != 3 + 9)
         return usage();
     auto model = loadPredictorFile(argv[2]);
     DesignPoint point;
     for (int i = 0; i < 9; ++i)
-        point.push_back(std::stod(argv[3 + i]));
+        point.push_back(parseDouble(argv[3 + i],
+                                    "point coordinate " +
+                                        std::to_string(i + 1)));
     if (!model.designSpace().valid(point)) {
         std::cerr << "error: point is not on the training level grid\n";
         return 1;
@@ -202,7 +354,16 @@ cmdEvaluate(int argc, char **argv)
     if (!parseDomain(argv[3], domain))
         return usage();
     auto model = loadPredictorFile(argv[4]);
-    Options o = parseOptions(argc, argv, 5);
+    Options o = parseOptions(argc, argv, 5,
+                             {"--test", "--interval", "--jobs"});
+    // evaluate builds RunTasks directly instead of going through
+    // planExperiment, so it must enforce validateSpec's zero-size
+    // guarantee itself: a clear error here, not a simulator assert
+    // (or, under NDEBUG, a garbage zero-instruction run).
+    if (o.test == 0)
+        throw std::invalid_argument("--test must be non-zero");
+    if (o.interval == 0)
+        throw std::invalid_argument("--interval must be non-zero");
 
     std::cout << "simulating " << o.test << " fresh test configurations "
               << "of '" << bench << "' (" << currentJobs()
@@ -211,7 +372,8 @@ cmdEvaluate(int argc, char **argv)
     auto space = model.designSpace();
     auto points = randomTestSample(space, o.test, rng);
 
-    const BenchmarkProfile &profile = benchmarkByName(bench);
+    ScenarioSet scenarios = ScenarioSet::paperCopy();
+    const BenchmarkProfile &profile = scenarios.resolve(bench);
     RunScheduler sched;
     for (const auto &p : points) {
         RunTask task;
@@ -233,12 +395,22 @@ cmdEvaluate(int argc, char **argv)
 }
 
 int
-cmdSuite(int argc, char **argv)
+cmdSuite(int argc, char **argv, int first)
 {
-    Options o = parseOptions(argc, argv, 2);
-    Scale scale = o.scale == "smoke"
-        ? Scale::Smoke
-        : o.scale == "full" ? Scale::Full : Scale::Quick;
+    Options o = parseOptions(argc, argv, first,
+                             {"--scale", "--jobs", "--generate",
+                              "--family", "--scenario-seed"});
+    Scale scale;
+    if (o.scale == "smoke")
+        scale = Scale::Smoke;
+    else if (o.scale == "quick")
+        scale = Scale::Quick;
+    else if (o.scale == "full")
+        scale = Scale::Full;
+    else
+        throw std::invalid_argument(
+            "--scale must be smoke, quick or full, got '" + o.scale +
+            "'");
     auto sizes = sizesFor(scale);
 
     ExperimentSpec base;
@@ -247,9 +419,30 @@ cmdSuite(int argc, char **argv)
     base.samples = sizes.samplesPerTrace;
     base.intervalInstrs = sizes.intervalInstrs;
 
-    auto names = benchmarkNames();
-    names.resize(std::min<std::size_t>(names.size(),
-                                       sizes.benchmarkCount));
+    // Generation flags without --generate would otherwise be silently
+    // ignored and the paper-twelve campaign would run instead — a
+    // different campaign from the one asked for.
+    if (o.generate == 0 && (o.familySet || o.scenarioSeedSet))
+        throw std::invalid_argument(
+            std::string(o.familySet ? "--family" : "--scenario-seed") +
+            " requires --generate N on the suite");
+
+    // The generated set must outlive the campaign: base.scenarios and
+    // the scheduler's tasks hold pointers into it.
+    ScenarioSet scenarios;
+    std::vector<std::string> names;
+    if (o.generate > 0) {
+        scenarios.addGenerated(familyByName(o.family), o.scenarioSeed,
+                               o.generate);
+        names = scenarios.names();
+        base.scenarios = &scenarios;
+        std::cout << "generated " << names.size() << " '" << o.family
+                  << "' scenarios (seed " << o.scenarioSeed << ")\n";
+    } else {
+        names = benchmarkNames();
+        names.resize(std::min<std::size_t>(names.size(),
+                                           sizes.benchmarkCount));
+    }
     std::cout << "running " << names.size() << "-benchmark campaign ("
               << currentJobs() << " jobs)...\n";
     auto report = runSuite(names, base, {},
@@ -280,9 +473,46 @@ cmdSuite(int argc, char **argv)
 }
 
 int
+cmdGenerate(int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-')
+        return usage();
+    std::size_t count = parseCount(argv[2], "generate <N>");
+    Options o = parseOptions(argc, argv, 3,
+                             {"--family", "--scenario-seed"});
+
+    ScenarioGenerator gen(familyByName(o.family), o.scenarioSeed);
+    TextTable t("generated scenarios — " + o.family + ", seed " +
+                std::to_string(o.scenarioSeed));
+    t.header({"name", "segs", "reps", "data KiB", "code KiB", "load",
+              "branch", "entropy"});
+    for (std::size_t i = 0; i < count; ++i) {
+        BenchmarkProfile p = gen.generate(i);
+        double load = 0.0, branch = 0.0, entropy = 0.0;
+        double w = p.totalWeight();
+        std::uint64_t data = 0, code = 0;
+        for (const auto &s : p.script) {
+            load += s.weight * s.fracLoad;
+            branch += s.weight * s.fracBranch;
+            entropy += s.weight * s.branchEntropy;
+            data = std::max(data, s.dataFootprint);
+            code = std::max(code, s.codeFootprint);
+        }
+        t.row({p.name, fmt(p.script.size()), fmt(p.scriptRepeats),
+               fmt(data / 1024), fmt(code / 1024), fmt(load / w, 2),
+               fmt(branch / w, 2), fmt(entropy / w, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "(profile i of a (family, seed) pair is immutable: "
+                 "rerunning this command\n always prints the same "
+                 "scenarios, independent of --jobs or host)\n";
+    return 0;
+}
+
+int
 cmdInfo(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc != 3)
         return usage();
     auto model = loadPredictorFile(argv[2]);
     const auto &o = model.options();
@@ -330,9 +560,26 @@ main(int argc, char **argv)
         if (cmd == "evaluate")
             return cmdEvaluate(argc, argv);
         if (cmd == "suite")
-            return cmdSuite(argc, argv);
+            return cmdSuite(argc, argv, 2);
+        if (cmd == "generate")
+            return cmdGenerate(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
+        // Bare generation flags ("wavedyn_cli --generate 8 --family
+        // mixed ...") run the suite campaign directly. Only --generate
+        // triggers this: any other bare flag (--help, a forgotten
+        // subcommand before --scale/--jobs) gets usage, not a
+        // surprise campaign.
+        if (cmd.rfind("--", 0) == 0) {
+            // Flags sit at odd indices ("--name value" pairs from
+            // argv[1]); only a --generate in a flag position counts,
+            // so a malformed line that merely contains the string in
+            // a value slot still gets usage.
+            for (int i = 1; i < argc; i += 2)
+                if (std::strcmp(argv[i], "--generate") == 0)
+                    return cmdSuite(argc, argv, 1);
+            return usage();
+        }
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
