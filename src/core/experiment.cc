@@ -93,7 +93,7 @@ scheduleExperiment(const ExperimentSpec &spec, const ExperimentPlan &plan,
 
 ExperimentData
 assembleExperiment(const ExperimentSpec &spec, ExperimentPlan plan,
-                   const RunScheduler &scheduler,
+                   RunScheduler &scheduler,
                    const ScheduledExperiment &sched)
 {
     ExperimentData data;
@@ -108,7 +108,10 @@ assembleExperiment(const ExperimentSpec &spec, ExperimentPlan plan,
         for (Domain d : spec.domains)
             out[d].reserve(points.size());
         for (std::size_t i = 0; i < points.size(); ++i, ++task) {
-            const SimResult &r = scheduler.result(task);
+            // Take ownership so the run's raw per-interval record dies
+            // here, as soon as its traces are extracted — the campaign
+            // never double-holds more than one run.
+            SimResult r = scheduler.takeResult(task);
             for (Domain d : spec.domains)
                 out[d].push_back(r.trace(d));
         }

@@ -112,10 +112,16 @@ ScheduledExperiment scheduleExperiment(const ExperimentSpec &spec,
                                        const ExperimentPlan &plan,
                                        RunScheduler &scheduler);
 
-/** Collect a scheduled plan's traces after RunScheduler::run(). */
+/**
+ * Collect a scheduled plan's traces after RunScheduler::run(). Each
+ * run's raw SimResult is *moved out* of the scheduler as its traces
+ * are extracted (RunScheduler::takeResult), so campaign peak memory
+ * holds each run's full per-interval record only once — not raw
+ * results plus extracted traces side by side until a bulk release.
+ */
 ExperimentData assembleExperiment(const ExperimentSpec &spec,
                                   ExperimentPlan plan,
-                                  const RunScheduler &scheduler,
+                                  RunScheduler &scheduler,
                                   const ScheduledExperiment &sched);
 
 /**

@@ -81,8 +81,34 @@ class WaveletNeuralPredictor
                const std::vector<DesignPoint> &points,
                const std::vector<std::vector<double>> &traces);
 
+    /**
+     * Warm-start retraining for adaptive loops: like train(), but when
+     * the predictor is already trained on traces of the same length it
+     * keeps the existing wavelet-coefficient selection frozen and only
+     * re-fits the per-coefficient regression models on the new (grown)
+     * dataset. Selection stability across training sets is the paper's
+     * Figure 7 result, so freezing it loses little accuracy while
+     * keeping the model structure stable from round to round — and
+     * skipping re-selection is the warm start the ROADMAP asks for.
+     * Falls back to a full train() when untrained or the trace length
+     * changed.
+     */
+    void retrain(const DesignSpace &space,
+                 const std::vector<DesignPoint> &points,
+                 const std::vector<std::vector<double>> &traces);
+
     /** Predict the full dynamics trace at a design point. */
     std::vector<double> predictTrace(const DesignPoint &point) const;
+
+    /**
+     * predictTrace for a batch of points — the exploration hot path.
+     * Normalises all points into one matrix and calls each coefficient
+     * model's predictMany once, instead of p x k virtual dispatches
+     * with per-call row building. Bit-identical to calling
+     * predictTrace per point.
+     */
+    std::vector<std::vector<double>>
+    predictTraces(const std::vector<DesignPoint> &points) const;
 
     /** Predict the wavelet coefficient vector (selected slots only). */
     std::vector<double> predictCoefficients(
@@ -133,6 +159,11 @@ class WaveletNeuralPredictor
     friend WaveletNeuralPredictor loadPredictor(std::istream &);
 
   private:
+    void trainImpl(const DesignSpace &space,
+                   const std::vector<DesignPoint> &points,
+                   const std::vector<std::vector<double>> &traces,
+                   bool keepSelection);
+
     std::vector<double> toCoefficients(
         const std::vector<double> &trace) const;
     std::vector<double> fromCoefficients(

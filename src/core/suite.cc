@@ -27,10 +27,11 @@ SuiteReport::overallMedian(Domain domain) const
     return boxplot(medians).median;
 }
 
-SuiteReport
-runSuite(const std::vector<std::string> &benchmarks,
-         const ExperimentSpec &base, const PredictorOptions &opts,
-         const SuiteProgress &progress)
+std::vector<ExperimentData>
+simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
+                      const ExperimentSpec &base,
+                      const SuiteProgress &progress,
+                      const RunProgress &runProgress)
 {
     // Phase 1 (serial, cheap): sample each benchmark's design points
     // and flatten every (configuration x benchmark) run into one
@@ -40,6 +41,8 @@ runSuite(const std::vector<std::string> &benchmarks,
     std::vector<ExperimentPlan> plans;
     std::vector<ScheduledExperiment> scheds;
     RunScheduler scheduler(base.seed);
+    if (runProgress)
+        scheduler.onProgress(runProgress);
     specs.reserve(benchmarks.size());
     plans.reserve(benchmarks.size());
     scheds.reserve(benchmarks.size());
@@ -55,6 +58,10 @@ runSuite(const std::vector<std::string> &benchmarks,
     // Phase 2 (parallel): all simulations of the whole campaign.
     scheduler.run();
 
+    // Assembly moves each run's result out of the scheduler as its
+    // traces are extracted (takeResult), so peak memory holds one
+    // run's raw per-interval record at a time — never the whole
+    // campaign's raw results next to the copied-out traces.
     std::vector<ExperimentData> datasets;
     datasets.reserve(benchmarks.size());
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
@@ -64,10 +71,16 @@ runSuite(const std::vector<std::string> &benchmarks,
         if (progress)
             progress(benchmarks[b], b + 1, benchmarks.size());
     }
-    // The datasets now own the traces; drop the raw SimResults (the
-    // full per-interval records of every run) before the training
-    // phase so campaign peak memory is not double-counted.
-    scheduler.releaseResults();
+    return datasets;
+}
+
+SuiteReport
+runSuite(const std::vector<std::string> &benchmarks,
+         const ExperimentSpec &base, const PredictorOptions &opts,
+         const SuiteProgress &progress, const RunProgress &runProgress)
+{
+    std::vector<ExperimentData> datasets =
+        simulateSuiteDatasets(benchmarks, base, progress, runProgress);
 
     // Phase 3 (parallel): one training/evaluation task per
     // (benchmark x domain) cell, again flattened across benchmarks.
@@ -80,7 +93,7 @@ runSuite(const std::vector<std::string> &benchmarks,
     };
     std::vector<CellRef> refs;
     for (std::size_t b = 0; b < benchmarks.size(); ++b)
-        for (Domain d : specs[b].domains)
+        for (Domain d : base.domains)
             refs.push_back({b, d});
 
     std::vector<SuiteCell> cells(refs.size());
@@ -111,11 +124,13 @@ runSuite(const std::vector<std::string> &benchmarks,
 
 SuiteReport
 runSuite(const ScenarioSet &scenarios, const ExperimentSpec &base,
-         const PredictorOptions &opts, const SuiteProgress &progress)
+         const PredictorOptions &opts, const SuiteProgress &progress,
+         const RunProgress &runProgress)
 {
     ExperimentSpec spec = base;
     spec.scenarios = &scenarios;
-    return runSuite(scenarios.names(), spec, opts, progress);
+    return runSuite(scenarios.names(), spec, opts, progress,
+                    runProgress);
 }
 
 } // namespace wavedyn

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "exec/scheduler.hh"
 
 namespace wavedyn
 {
@@ -49,7 +50,10 @@ struct SuiteReport
  * batch (the engine's flattening removes per-benchmark barriers),
  * no callback fires during the simulation phase itself — the price
  * of keeping campaign output deterministic for any --jobs setting.
- * Live per-run progress would need a worker-side hook (ROADMAP).
+ * For live per-run progress during the simulation phase, pass a
+ * RunProgress hook too: it is invoked from the workers (see
+ * exec/scheduler.hh for the threading contract) and reports completed
+ * runs out of the whole flattened campaign.
  */
 using SuiteProgress =
     std::function<void(const std::string &, std::size_t, std::size_t)>;
@@ -63,12 +67,29 @@ using SuiteProgress =
  * @param benchmarks benchmark names (must exist in the scenario set)
  * @param base spec template; the benchmark field is overwritten
  * @param opts predictor options shared by all cells
- * @param progress optional progress callback
+ * @param progress optional per-benchmark progress callback
+ * @param runProgress optional live per-run hook (worker-side)
  */
 SuiteReport runSuite(const std::vector<std::string> &benchmarks,
                      const ExperimentSpec &base,
                      const PredictorOptions &opts = {},
-                     const SuiteProgress &progress = nullptr);
+                     const SuiteProgress &progress = nullptr,
+                     const RunProgress &runProgress = nullptr);
+
+/**
+ * The simulation phases of runSuite on their own: plan every
+ * benchmark, flatten all (configuration x benchmark) runs into one
+ * scheduler batch, simulate in parallel, and assemble one dataset per
+ * benchmark (aligned with @p benchmarks). This is the shared front
+ * half of every campaign — the accuracy suite trains and evaluates on
+ * the datasets, the exploration engine (dse/explorer.hh) trains its
+ * per-scenario predictors on them.
+ */
+std::vector<ExperimentData>
+simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
+                      const ExperimentSpec &base,
+                      const SuiteProgress &progress = nullptr,
+                      const RunProgress &runProgress = nullptr);
 
 /**
  * runSuite over an explicit scenario set (generated scenarios ride
@@ -78,7 +99,8 @@ SuiteReport runSuite(const std::vector<std::string> &benchmarks,
 SuiteReport runSuite(const ScenarioSet &scenarios,
                      const ExperimentSpec &base,
                      const PredictorOptions &opts = {},
-                     const SuiteProgress &progress = nullptr);
+                     const SuiteProgress &progress = nullptr,
+                     const RunProgress &runProgress = nullptr);
 
 } // namespace wavedyn
 

@@ -128,6 +128,19 @@ DesignSpace::pointFromTestIndices(
     return p;
 }
 
+DesignPoint
+DesignSpace::pointFromFlatTrainIndex(std::size_t flat) const
+{
+    DesignPoint p(params.size());
+    for (std::size_t i = params.size(); i-- > 0;) {
+        std::size_t levels = params[i].levels();
+        p[i] = params[i].trainLevels[flat % levels];
+        flat /= levels;
+    }
+    assert(flat == 0 && "flat index out of range");
+    return p;
+}
+
 std::vector<std::string>
 DesignSpace::names() const
 {

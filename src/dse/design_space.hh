@@ -91,6 +91,16 @@ class DesignSpace
     DesignPoint pointFromTestIndices(
         const std::vector<std::size_t> &idx) const;
 
+    /**
+     * Decode a flat enumeration index into the corresponding training
+     * configuration (mixed-radix, last dimension fastest). Lets a
+     * sweep stream the full cross-product — trainSpaceSize() is
+     * 10^5-10^6 for realistic spaces — in chunks without ever
+     * materialising the point list.
+     * @pre flat < trainSpaceSize().
+     */
+    DesignPoint pointFromFlatTrainIndex(std::size_t flat) const;
+
     /** All parameter names in order. */
     std::vector<std::string> names() const;
 

@@ -1,0 +1,570 @@
+#include "dse/explorer.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/suite.hh"
+#include "exec/thread_pool.hh"
+#include "util/table.hh"
+
+namespace wavedyn
+{
+
+namespace
+{
+
+/** Trained predictors, bank[scenario][domain]. */
+using PredictorBank = std::vector<std::map<Domain, WaveletNeuralPredictor>>;
+
+/**
+ * Minimised objective scores of @p points under every scenario:
+ * val[scenario][objective][point]. The batched predictor path scores a
+ * whole chunk with one predictMany per coefficient model — the sweep
+ * hot path.
+ */
+std::vector<std::vector<std::vector<double>>>
+scenarioObjectiveScores(const PredictorBank &bank,
+                        const std::vector<Domain> &domains,
+                        const std::vector<Objective> &objectives,
+                        const std::vector<DesignPoint> &points)
+{
+    std::vector<std::vector<std::vector<double>>> val(bank.size());
+    for (std::size_t s = 0; s < bank.size(); ++s) {
+        std::map<Domain, std::vector<std::vector<double>>> traces;
+        for (Domain d : domains)
+            traces[d] = bank[s].at(d).predictTraces(points);
+        val[s].assign(objectives.size(),
+                      std::vector<double>(points.size(), 0.0));
+        // One map node per domain for the whole loop; per point only
+        // the trace vectors move in — no map churn on the hot path.
+        std::map<Domain, std::vector<double>> one;
+        for (Domain d : domains)
+            one[d];
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            for (Domain d : domains)
+                one.at(d) = std::move(traces[d][i]);
+            for (std::size_t k = 0; k < objectives.size(); ++k)
+                val[s][k][i] = objectiveScore(objectives[k], one);
+        }
+    }
+    return val;
+}
+
+/**
+ * Collapse per-scenario scores into per-point FrontPoints: score =
+ * scenario mean, value = the raw (un-negated) figure, uncertainty =
+ * cross-scenario disagreement (relative spread averaged over
+ * objectives). Fixed iteration order keeps every number independent
+ * of worker count.
+ */
+std::vector<FrontPoint>
+aggregatePoints(const std::vector<Objective> &objectives,
+                std::vector<DesignPoint> points,
+                const std::vector<std::vector<std::vector<double>>> &val)
+{
+    std::size_t scen = val.size();
+    std::vector<FrontPoint> out;
+    out.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        FrontPoint fp;
+        fp.point = std::move(points[i]);
+        fp.scores.reserve(objectives.size());
+        fp.values.reserve(objectives.size());
+        double disagree = 0.0;
+        for (std::size_t k = 0; k < objectives.size(); ++k) {
+            double sum = 0.0;
+            double lo = val[0][k][i];
+            double hi = lo;
+            for (std::size_t s = 0; s < scen; ++s) {
+                double v = val[s][k][i];
+                sum += v;
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            double mean = sum / static_cast<double>(scen);
+            fp.scores.push_back(mean);
+            fp.values.push_back(maximised(objectives[k]) ? -mean : mean);
+            disagree += (hi - lo) / (std::fabs(mean) + 1e-12);
+        }
+        fp.uncertainty =
+            disagree / static_cast<double>(objectives.size());
+        out.push_back(std::move(fp));
+    }
+    return out;
+}
+
+/**
+ * One full sweep: stream sweepPoints strided configurations through
+ * the bank in chunks, reduce each chunk to its local front on the
+ * worker, merge the shards. O(space) work, O(front + chunk) memory.
+ */
+std::vector<FrontPoint>
+sweepFrontier(const ExploreSpec &spec, const DesignSpace &space,
+              const PredictorBank &bank,
+              const std::vector<Domain> &domains, std::size_t stride,
+              std::size_t sweepPoints)
+{
+    std::size_t chunk = spec.chunk ? spec.chunk : 1024;
+    std::size_t shardCount = (sweepPoints + chunk - 1) / chunk;
+    std::vector<std::vector<FrontPoint>> shards(shardCount);
+    parallelChunks(
+        ThreadPool::global(), sweepPoints, chunk,
+        [&](std::size_t c, std::size_t begin, std::size_t end) {
+            std::vector<DesignPoint> pts;
+            pts.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+                pts.push_back(
+                    space.pointFromFlatTrainIndex(i * stride));
+            auto val = scenarioObjectiveScores(bank, domains,
+                                               spec.objectives, pts);
+            shards[c] = paretoFront(aggregatePoints(
+                spec.objectives, std::move(pts), val));
+        });
+    return mergeFronts(std::move(shards));
+}
+
+/**
+ * Add the distance-to-nearest-training-point term to the uncertainty
+ * of each frontier point (normalised L2; far from every simulated
+ * configuration = poorly supported prediction). Only frontier points
+ * need it, so this runs post-merge on the handful that survived.
+ */
+void
+addDistanceUncertainty(std::vector<FrontPoint> &front,
+                       const DesignSpace &space,
+                       const std::vector<DesignPoint> &trainPoints)
+{
+    std::vector<std::vector<double>> trainNorm;
+    trainNorm.reserve(trainPoints.size());
+    for (const auto &t : trainPoints)
+        trainNorm.push_back(space.normalize(t));
+    for (auto &fp : front) {
+        std::vector<double> norm = space.normalize(fp.point);
+        double best = -1.0;
+        for (const auto &t : trainNorm) {
+            double acc = 0.0;
+            for (std::size_t d = 0; d < norm.size(); ++d) {
+                double z = norm[d] - t[d];
+                acc += z * z;
+            }
+            if (best < 0.0 || acc < best)
+                best = acc;
+        }
+        fp.uncertainty += best > 0.0 ? std::sqrt(best) : 0.0;
+    }
+}
+
+/**
+ * Frontier points worth a real simulation: not already in the
+ * training set, ranked by uncertainty (ties broken canonically so the
+ * pick is deterministic), truncated to the round's budget.
+ */
+std::vector<FrontPoint>
+selectForRefinement(const std::vector<FrontPoint> &front,
+                    const std::set<DesignPoint> &alreadySimulated,
+                    std::size_t k)
+{
+    std::vector<FrontPoint> candidates;
+    for (const auto &fp : front)
+        if (!alreadySimulated.count(fp.point))
+            candidates.push_back(fp);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const FrontPoint &a, const FrontPoint &b) {
+                  if (a.uncertainty != b.uncertainty)
+                      return a.uncertainty > b.uncertainty;
+                  return canonicalLess(a, b);
+              });
+    if (candidates.size() > k)
+        candidates.resize(k);
+    return candidates;
+}
+
+/**
+ * Simulate @p points under every scenario; actual[point][scenario] is
+ * the per-domain trace map. One flattened batch on the pool.
+ */
+std::vector<std::vector<std::map<Domain, std::vector<double>>>>
+simulatePoints(const ExploreSpec &spec, const DesignSpace &space,
+               const std::vector<const BenchmarkProfile *> &profiles,
+               const std::vector<DesignPoint> &points,
+               const std::vector<Domain> &domains,
+               const RunProgress &runProgress)
+{
+    RunScheduler scheduler(spec.base.seed);
+    if (runProgress)
+        scheduler.onProgress(runProgress);
+    for (const auto &p : points) {
+        for (const BenchmarkProfile *profile : profiles) {
+            RunTask task;
+            task.benchmark = profile;
+            task.config = SimConfig::fromDesignPoint(space, p);
+            task.samples = spec.base.samples;
+            task.intervalInstrs = spec.base.intervalInstrs;
+            task.dvm = spec.base.dvm;
+            scheduler.enqueue(std::move(task));
+        }
+    }
+    scheduler.run();
+
+    std::vector<std::vector<std::map<Domain, std::vector<double>>>>
+        actual(points.size());
+    std::size_t task = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        actual[i].resize(profiles.size());
+        for (std::size_t s = 0; s < profiles.size(); ++s, ++task) {
+            SimResult r = scheduler.takeResult(task);
+            for (Domain d : domains)
+                actual[i][s][d] = r.trace(d);
+        }
+    }
+    return actual;
+}
+
+/** Scenario-mean minimised score of one simulated point. */
+double
+simulatedScore(Objective o,
+               const std::vector<std::map<Domain, std::vector<double>>>
+                   &perScenario)
+{
+    double sum = 0.0;
+    for (const auto &traces : perScenario)
+        sum += objectiveScore(o, traces);
+    return sum / static_cast<double>(perScenario.size());
+}
+
+/**
+ * Mean absolute relative error (%) per objective between predicted
+ * scores and the same scores recomputed from real simulations.
+ */
+std::vector<double>
+predictionError(const std::vector<Objective> &objectives,
+                const std::vector<std::vector<double>> &predicted,
+                const std::vector<
+                    std::vector<std::map<Domain, std::vector<double>>>>
+                    &actual)
+{
+    assert(predicted.size() == actual.size());
+    std::vector<double> err(objectives.size(), 0.0);
+    if (predicted.empty())
+        return err;
+    for (std::size_t k = 0; k < objectives.size(); ++k) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < predicted.size(); ++i) {
+            double act = simulatedScore(objectives[k], actual[i]);
+            acc += std::fabs(predicted[i][k] - act) /
+                   std::max(std::fabs(act), 1e-9);
+        }
+        err[k] = 100.0 * acc / static_cast<double>(predicted.size());
+    }
+    return err;
+}
+
+/** (Re)fit every (scenario x domain) predictor, one pool task each. */
+void
+retrainBank(PredictorBank &bank, const DesignSpace &space,
+            const std::vector<DesignPoint> &trainPoints,
+            const std::vector<std::map<Domain,
+                                       std::vector<std::vector<double>>>>
+                &trainTraces)
+{
+    struct CellRef
+    {
+        std::size_t scenario;
+        Domain domain;
+    };
+    std::vector<CellRef> cells;
+    for (std::size_t s = 0; s < bank.size(); ++s)
+        for (const auto &entry : bank[s])
+            cells.push_back({s, entry.first});
+    parallelFor(ThreadPool::global(), cells.size(), [&](std::size_t i) {
+        const CellRef &c = cells[i];
+        bank[c.scenario].at(c.domain).retrain(
+            space, trainPoints, trainTraces[c.scenario].at(c.domain));
+    });
+}
+
+} // anonymous namespace
+
+ExploreReport
+runExplore(const ExploreSpec &spec, const ExploreHooks &hooks)
+{
+    if (spec.scenarios.empty())
+        throw std::invalid_argument(
+            "ExploreSpec needs at least one scenario");
+    if (spec.objectives.empty())
+        throw std::invalid_argument(
+            "ExploreSpec needs at least one objective");
+    if (spec.budget > 0 && spec.perRound == 0)
+        throw std::invalid_argument(
+            "ExploreSpec.perRound must be non-zero when budget > 0");
+
+    std::vector<Domain> domains = domainsFor(spec.objectives);
+    ExperimentSpec base = spec.base;
+    base.domains = domains;
+
+    auto phase = [&](const std::string &msg) {
+        if (hooks.phase)
+            hooks.phase(msg);
+    };
+
+    // ---- Initial campaign: one flattened batch over all scenarios.
+    phase("simulating initial campaign: " +
+          std::to_string(spec.scenarios.size()) + " scenarios x " +
+          std::to_string(base.trainPoints + base.testPoints) + " runs");
+    std::vector<ExperimentData> datasets =
+        simulateSuiteDatasets(spec.scenarios, base, nullptr,
+                              hooks.runProgress);
+
+    DesignSpace space = std::move(datasets[0].space);
+    std::vector<DesignPoint> trainPoints =
+        std::move(datasets[0].trainPoints);
+    std::vector<DesignPoint> testPoints =
+        std::move(datasets[0].testPoints);
+    std::vector<std::map<Domain, std::vector<std::vector<double>>>>
+        trainTraces(datasets.size());
+    std::vector<std::map<Domain, std::vector<std::vector<double>>>>
+        testTraces(datasets.size());
+    for (std::size_t s = 0; s < datasets.size(); ++s) {
+        // Every scenario shares one sampling plan (the plan depends
+        // only on the seed), so the training set is one shared point
+        // list with per-scenario traces. (Index 0's points were moved
+        // out above, so only later scenarios can be compared.)
+        assert(s == 0 || datasets[s].trainPoints == trainPoints);
+        trainTraces[s] = std::move(datasets[s].trainTraces);
+        testTraces[s] = std::move(datasets[s].testTraces);
+    }
+    datasets.clear();
+
+    // ---- Train the predictor bank, one cell per (scenario, domain).
+    phase("training " +
+          std::to_string(spec.scenarios.size() * domains.size()) +
+          " predictors (" + std::to_string(trainPoints.size()) +
+          " training points)");
+    PredictorBank bank(spec.scenarios.size());
+    for (auto &perScenario : bank)
+        for (Domain d : domains)
+            perScenario.emplace(d, WaveletNeuralPredictor(spec.predictor));
+    retrainBank(bank, space, trainPoints, trainTraces);
+
+    // ---- Report scaffolding.
+    ExploreReport report;
+    report.objectives = spec.objectives;
+    report.paramNames = space.names();
+    report.scenarioCount = spec.scenarios.size();
+    report.spaceSize = space.trainSpaceSize();
+    report.sweepStride =
+        spec.maxSweepPoints == 0 || spec.maxSweepPoints >= report.spaceSize
+            ? 1
+            : (report.spaceSize + spec.maxSweepPoints - 1) /
+                  spec.maxSweepPoints;
+    report.sweepPoints =
+        (report.spaceSize + report.sweepStride - 1) / report.sweepStride;
+    report.initialTrainPoints = trainPoints.size();
+
+    const ScenarioSet &scenarioSet = scenariosOf(base);
+    std::vector<const BenchmarkProfile *> profiles;
+    profiles.reserve(spec.scenarios.size());
+    for (const auto &name : spec.scenarios)
+        profiles.push_back(&scenarioSet.at(name));
+
+    // ---- Round 0: held-out baseline error on the test points the
+    // initial campaign already simulated — the pre-refinement yard
+    // stick the later rounds are compared against.
+    {
+        auto val = scenarioObjectiveScores(bank, domains,
+                                           spec.objectives, testPoints);
+        // Aggregate exactly as the sweep does (one rule for the whole
+        // error table): FrontPoint.scores is the cross-scenario mean.
+        std::vector<FrontPoint> scored =
+            aggregatePoints(spec.objectives, testPoints, val);
+        std::vector<std::vector<double>> predicted;
+        predicted.reserve(scored.size());
+        for (const auto &fp : scored)
+            predicted.push_back(fp.scores);
+        std::vector<std::vector<std::map<Domain, std::vector<double>>>>
+            actual(testPoints.size());
+        for (std::size_t i = 0; i < testPoints.size(); ++i) {
+            actual[i].resize(bank.size());
+            for (std::size_t s = 0; s < bank.size(); ++s)
+                for (Domain d : domains)
+                    actual[i][s][d] = testTraces[s].at(d)[i];
+        }
+        ExploreRoundStats baseline;
+        baseline.round = 0;
+        baseline.simulated = testPoints.size();
+        baseline.meanAbsErrPct =
+            predictionError(spec.objectives, predicted, actual);
+        report.rounds.push_back(std::move(baseline));
+    }
+
+    // ---- Adaptive refinement loop. The held-out test points count
+    // as simulated too: their traces are already in hand (re-running
+    // them would burn budget on bit-identical results, simulate()
+    // being pure), and leaving them out of the training set keeps the
+    // round-0 baseline comparable across rounds.
+    std::set<DesignPoint> simulated(trainPoints.begin(),
+                                    trainPoints.end());
+    simulated.insert(testPoints.begin(), testPoints.end());
+    std::size_t budgetLeft = spec.budget;
+    std::size_t round = 1;
+    std::vector<FrontPoint> finalFrontier;
+    bool haveFinalFrontier = false;
+    while (budgetLeft > 0) {
+        phase("round " + std::to_string(round) + ": sweeping " +
+              std::to_string(report.sweepPoints) +
+              " configurations through the predictors");
+        std::vector<FrontPoint> front =
+            sweepFrontier(spec, space, bank, domains,
+                          report.sweepStride, report.sweepPoints);
+        addDistanceUncertainty(front, space, trainPoints);
+
+        std::size_t k = std::min(spec.perRound, budgetLeft);
+        std::vector<FrontPoint> chosen =
+            selectForRefinement(front, simulated, k);
+        if (chosen.empty()) {
+            // Nothing left to refine; the predictors are unchanged
+            // since this round's sweep, so its frontier IS the final
+            // one — re-sweeping would recompute it byte for byte.
+            phase("round " + std::to_string(round) +
+                  ": frontier fully simulated; stopping early");
+            finalFrontier = std::move(front);
+            haveFinalFrontier = true;
+            break;
+        }
+
+        phase("round " + std::to_string(round) + ": simulating " +
+              std::to_string(chosen.size()) +
+              " frontier points x " +
+              std::to_string(spec.scenarios.size()) + " scenarios");
+        std::vector<DesignPoint> pts;
+        std::vector<std::vector<double>> predicted;
+        for (const auto &fp : chosen) {
+            pts.push_back(fp.point);
+            predicted.push_back(fp.scores);
+        }
+        auto actual = simulatePoints(spec, space, profiles, pts,
+                                     domains, hooks.runProgress);
+
+        ExploreRoundStats stats;
+        stats.round = round;
+        stats.frontSize = front.size();
+        stats.simulated = pts.size();
+        stats.meanAbsErrPct =
+            predictionError(spec.objectives, predicted, actual);
+        report.rounds.push_back(std::move(stats));
+
+        // Fold the fresh runs into the training set and warm-start
+        // retrain every cell (frozen coefficient selection).
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            simulated.insert(pts[i]);
+            trainPoints.push_back(std::move(pts[i]));
+            for (std::size_t s = 0; s < bank.size(); ++s)
+                for (Domain d : domains)
+                    trainTraces[s][d].push_back(
+                        std::move(actual[i][s][d]));
+        }
+        phase("round " + std::to_string(round) +
+              ": warm-start retraining on " +
+              std::to_string(trainPoints.size()) + " points");
+        retrainBank(bank, space, trainPoints, trainTraces);
+
+        budgetLeft -= stats.simulated;
+        ++round;
+    }
+
+    // ---- Final frontier through the refined predictors.
+    if (!haveFinalFrontier) {
+        phase("final sweep: " + std::to_string(report.sweepPoints) +
+              " configurations");
+        finalFrontier = sweepFrontier(spec, space, bank, domains,
+                                      report.sweepStride,
+                                      report.sweepPoints);
+        addDistanceUncertainty(finalFrontier, space, trainPoints);
+    }
+    report.frontier = std::move(finalFrontier);
+    report.finalTrainPoints = trainPoints.size();
+    return report;
+}
+
+namespace
+{
+
+/** Table 2 levels are integers; print them without trailing zeros. */
+std::string
+fmtParam(double v)
+{
+    // 1e15 < 2^53: every integer-valued double in range is exact and
+    // fits a long long, so the cast is well defined.
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return std::to_string(static_cast<long long>(v));
+    return fmt(v, 2);
+}
+
+} // anonymous namespace
+
+std::string
+renderExploreReport(const ExploreReport &report)
+{
+    std::ostringstream os;
+    os << "== design-space exploration ==\n";
+    std::string objs;
+    for (Objective o : report.objectives)
+        objs += (objs.empty() ? "" : ", ") + objectiveName(o);
+    os << "objectives:  " << objs << "\n"
+       << "scenarios:   " << report.scenarioCount << "\n"
+       << "space:       " << report.spaceSize << " configurations ("
+       << report.paramNames.size() << " parameters)\n"
+       << "sweep:       " << report.sweepPoints
+       << " configurations per round (stride " << report.sweepStride
+       << ")\n"
+       << "train set:   " << report.initialTrainPoints
+       << " initial -> " << report.finalTrainPoints
+       << " after refinement\n\n";
+
+    TextTable rounds("predicted-vs-simulated error by round "
+                     "(mean |err| %)");
+    std::vector<std::string> head = {"round", "front", "sims"};
+    for (Objective o : report.objectives)
+        head.push_back(objectiveName(o));
+    rounds.header(head);
+    for (const auto &r : report.rounds) {
+        std::vector<std::string> row = {
+            r.round == 0 ? "0 (held-out)" : fmt(r.round),
+            r.round == 0 ? "-" : fmt(r.frontSize), fmt(r.simulated)};
+        for (double e : r.meanAbsErrPct)
+            row.push_back(fmt(e, 2));
+        rounds.row(row);
+    }
+    rounds.print(os);
+    os << "\n";
+
+    TextTable front("Pareto frontier (" +
+                    std::to_string(report.frontier.size()) +
+                    " non-dominated configurations)");
+    std::vector<std::string> fhead;
+    for (Objective o : report.objectives)
+        fhead.push_back(objectiveName(o));
+    fhead.push_back("uncert");
+    for (const auto &p : report.paramNames)
+        fhead.push_back(p);
+    front.header(fhead);
+    for (const auto &fp : report.frontier) {
+        std::vector<std::string> row;
+        for (double v : fp.values)
+            row.push_back(fmt(v, 4));
+        row.push_back(fmt(fp.uncertainty, 3));
+        for (double v : fp.point)
+            row.push_back(fmtParam(v));
+        front.row(row);
+    }
+    front.print(os);
+    return os.str();
+}
+
+} // namespace wavedyn

@@ -1,5 +1,6 @@
 #include "exec/scheduler.hh"
 
+#include <atomic>
 #include <cassert>
 #include <utility>
 
@@ -24,11 +25,19 @@ RunScheduler::run(ThreadPool &pool)
     if (fresh == 0)
         return;
     results.resize(tasks.size());
+    // The counter orders completions, not results (those are stored by
+    // task index): the hook sees monotonic counts no matter which
+    // worker finishes which run.
+    std::atomic<std::size_t> done{first};
+    std::size_t total = tasks.size();
     parallelFor(pool, fresh, [&](std::size_t k) {
         std::size_t i = first + k;
         const RunTask &t = tasks[i];
         results[i] = simulate(*t.benchmark, t.config, t.samples,
                               t.intervalInstrs, t.dvm);
+        if (progress)
+            progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
+                     total);
     });
     completed = tasks.size();
 }

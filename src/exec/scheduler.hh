@@ -24,6 +24,8 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "exec/thread_pool.hh"
@@ -31,6 +33,15 @@
 
 namespace wavedyn
 {
+
+/**
+ * Live progress callback: (completed runs, total runs enqueued).
+ * Invoked from worker threads as each run finishes — the counts are
+ * monotonic (an atomic counter orders them) but calls may interleave,
+ * so the callback must be thread-safe. jobs == 1 degenerates to
+ * in-order calls from the calling thread.
+ */
+using RunProgress = std::function<void(std::size_t, std::size_t)>;
 
 /** One simulation run of a batched campaign. */
 struct RunTask
@@ -68,13 +79,34 @@ class RunScheduler
     void run() { run(ThreadPool::global()); }
 
     /** Result of task @p i. @pre run() has covered index i and
-     *  releaseResults() has not been called since. */
+     *  neither releaseResults() nor takeResult(i) was called since. */
     const SimResult &
     result(std::size_t i) const
     {
         assert(i >= released && i < results.size());
         return results[i];
     }
+
+    /**
+     * Move task @p i's result out of the scheduler — the stored slot
+     * is left empty, so a campaign that consumes results task by task
+     * (assembleExperiment) never holds a run's traces twice. result(i)
+     * and a second takeResult(i) are invalid afterwards.
+     * @pre as result(i).
+     */
+    SimResult
+    takeResult(std::size_t i)
+    {
+        assert(i >= released && i < results.size());
+        return std::move(results[i]);
+    }
+
+    /**
+     * Install a live progress hook invoked from the workers during
+     * run() — see RunProgress for the threading contract. Pass an
+     * empty function to remove it.
+     */
+    void onProgress(RunProgress callback) { progress = std::move(callback); }
 
     /**
      * Free all stored results (full per-interval traces — the bulk of
@@ -91,6 +123,7 @@ class RunScheduler
     Rng base;
     std::vector<RunTask> tasks;
     std::vector<SimResult> results;
+    RunProgress progress; //!< optional worker-side completion hook
     std::size_t completed = 0;
     std::size_t released = 0; //!< results below this index were freed
 };

@@ -127,6 +127,33 @@ parallelMap(ThreadPool &pool, std::size_t n, Fn &&fn)
 }
 
 /**
+ * Chunked streaming over a large index space: split [0, n) into
+ * contiguous chunks of @p chunk indices and run fn(chunkIndex, begin,
+ * end) per chunk in parallel. The workhorse of design-space sweeps,
+ * where n is 10^5-10^6 and per-index dispatch overhead (and
+ * per-index result storage) would dominate: a worker materialises one
+ * chunk at a time, reduces it (e.g. to a local Pareto front), and
+ * stores the reduction by chunk index — deterministic for any worker
+ * count like every other helper here.
+ */
+template <typename Fn>
+void
+parallelChunks(ThreadPool &pool, std::size_t n, std::size_t chunk,
+               Fn &&fn)
+{
+    if (n == 0)
+        return;
+    if (chunk == 0)
+        chunk = 1;
+    std::size_t chunks = (n + chunk - 1) / chunk;
+    detail::runIndexed(pool, chunks, [&](std::size_t c) {
+        std::size_t begin = c * chunk;
+        std::size_t end = begin + chunk < n ? begin + chunk : n;
+        fn(c, begin, end);
+    });
+}
+
+/**
  * parallelFor where task i draws randomness from base.split(i). The
  * base generator is not advanced; scheduling order cannot influence
  * any task's stream.

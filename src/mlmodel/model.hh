@@ -43,16 +43,33 @@ class RegressionModel
      */
     virtual void save(std::ostream &os) const = 0;
 
-    /** Convenience: predict every row of a matrix. */
-    std::vector<double>
-    predictAll(const Matrix &x) const
+    /**
+     * Predict every row of a matrix in one call — the design-space
+     * exploration hot path, where one model scores 10^5+ points per
+     * sweep. The default loops over predict() with a reused row
+     * buffer; models whose evaluation can skip the per-row copy
+     * (RbfNetwork) override it. Overrides must return bit-identical
+     * values to the per-row path: the explorer's jobs-invariance
+     * golden tests compare batched and scalar predictions byte for
+     * byte.
+     */
+    virtual std::vector<double>
+    predictMany(const Matrix &x) const
     {
         std::vector<double> out(x.rows());
+        std::vector<double> row(x.cols());
         for (std::size_t r = 0; r < x.rows(); ++r) {
-            std::vector<double> row(x.rowPtr(r), x.rowPtr(r) + x.cols());
+            row.assign(x.rowPtr(r), x.rowPtr(r) + x.cols());
             out[r] = predict(row);
         }
         return out;
+    }
+
+    /** Convenience alias for predictMany (historical name). */
+    std::vector<double>
+    predictAll(const Matrix &x) const
+    {
+        return predictMany(x);
     }
 };
 

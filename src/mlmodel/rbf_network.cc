@@ -15,8 +15,14 @@ double
 RbfNetwork::response(const RbfUnit &unit, const std::vector<double> &input)
 {
     assert(unit.center.size() == input.size());
+    return responseAt(unit, input.data());
+}
+
+double
+RbfNetwork::responseAt(const RbfUnit &unit, const double *input)
+{
     double acc = 0.0;
-    for (std::size_t d = 0; d < input.size(); ++d) {
+    for (std::size_t d = 0; d < unit.center.size(); ++d) {
         double z = (input[d] - unit.center[d]) / unit.radius[d];
         acc += z * z;
     }
@@ -30,12 +36,12 @@ namespace
 Matrix
 responseMatrix(const Matrix &x, const std::vector<RbfUnit> &units)
 {
+    assert(units.empty() || units.front().center.size() == x.cols());
     Matrix phi(x.rows(), units.size());
-    std::vector<double> row(x.cols());
     for (std::size_t r = 0; r < x.rows(); ++r) {
-        row.assign(x.rowPtr(r), x.rowPtr(r) + x.cols());
+        const double *row = x.rowPtr(r);
         for (std::size_t j = 0; j < units.size(); ++j)
-            phi.at(r, j) = RbfNetwork::response(units[j], row);
+            phi.at(r, j) = RbfNetwork::responseAt(units[j], row);
     }
     return phi;
 }
@@ -238,6 +244,25 @@ RbfNetwork::predict(const std::vector<double> &input) const
     for (const RbfUnit &u : net)
         acc += u.weight * response(u, input);
     return acc;
+}
+
+std::vector<double>
+RbfNetwork::predictMany(const Matrix &x) const
+{
+    // The exploration hot path: evaluate rows in place instead of
+    // copying each into a fresh vector. Accumulation order matches
+    // predict() exactly, so batched sweeps are bit-identical to
+    // point-at-a-time prediction.
+    assert(net.empty() || net.front().center.size() == x.cols());
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const double *row = x.rowPtr(r);
+        double acc = w0;
+        for (const RbfUnit &u : net)
+            acc += u.weight * responseAt(u, row);
+        out[r] = acc;
+    }
+    return out;
 }
 
 } // namespace wavedyn

@@ -62,6 +62,7 @@ class RbfNetwork : public RegressionModel
 
     void fit(const Matrix &x, const std::vector<double> &y) override;
     double predict(const std::vector<double> &input) const override;
+    std::vector<double> predictMany(const Matrix &x) const override;
     std::string name() const override { return "rbf-network"; }
     void save(std::ostream &os) const override;
 
@@ -80,6 +81,14 @@ class RbfNetwork : public RegressionModel
     /** Gaussian response of one unit at an input. */
     static double response(const RbfUnit &unit,
                            const std::vector<double> &input);
+
+    /**
+     * response() from a raw row (no bounds metadata). Shared by the
+     * scalar and batched prediction paths so both accumulate in the
+     * same order and stay bit-identical.
+     * @pre input points at unit.center.size() doubles.
+     */
+    static double responseAt(const RbfUnit &unit, const double *input);
 
   private:
     void fitRidgeAll(const Matrix &x, const std::vector<double> &y,

@@ -61,6 +61,31 @@ haarInverse(const std::vector<double> &coeffs)
     return approx;
 }
 
+void
+haarInverseInto(const double *coeffs, std::size_t n, double *out,
+                double *scratch)
+{
+    assert(isPowerOfTwo(n));
+    // Ping-pong between the two buffers, starting in whichever one
+    // leaves the final doubling pass writing into out (levels swaps).
+    std::size_t levels = haarLevels(n);
+    double *a = levels % 2 == 0 ? out : scratch;
+    double *b = a == out ? scratch : out;
+    a[0] = coeffs[0];
+    std::size_t len = 1;
+    while (len < n) {
+        for (std::size_t i = 0; i < len; ++i) {
+            double avg = a[i];
+            double det = coeffs[len + i];
+            b[2 * i] = avg + det;
+            b[2 * i + 1] = avg - det;
+        }
+        std::swap(a, b);
+        len *= 2;
+    }
+    assert(a == out);
+}
+
 std::vector<double>
 resampleToPowerOfTwo(const std::vector<double> &x)
 {

@@ -45,6 +45,18 @@ std::vector<double> haarForward(const std::vector<double> &x);
 std::vector<double> haarInverse(const std::vector<double> &coeffs);
 
 /**
+ * Allocation-free haarInverse for hot loops (the exploration sweep
+ * inverts one coefficient vector per swept design point): writes the
+ * reconstruction into @p out using @p scratch as the ping-pong
+ * buffer. Bit-identical to haarInverse — same operations in the same
+ * order.
+ * @pre isPowerOfTwo(n); out and scratch hold n doubles each and do
+ *      not alias coeffs or each other.
+ */
+void haarInverseInto(const double *coeffs, std::size_t n, double *out,
+                     double *scratch);
+
+/**
  * Resample a series to a power-of-two length by averaging (shrink) or
  * linear interpolation (grow). Used to coerce odd-length traces before
  * decomposition; the simulator normally produces power-of-two traces.

@@ -19,6 +19,7 @@ allFamilies()
         WorkloadFamily::PhaseChaotic,
         WorkloadFamily::BranchyIrregular,
         WorkloadFamily::Mixed,
+        WorkloadFamily::CacheThrash,
     };
     return families;
 }
@@ -37,6 +38,8 @@ familyName(WorkloadFamily f)
         return "branchy-irregular";
       case WorkloadFamily::Mixed:
         return "mixed";
+      case WorkloadFamily::CacheThrash:
+        return "cache-thrash";
     }
     return "unknown";
 }
@@ -225,6 +228,20 @@ rangesFor(WorkloadFamily f)
              3.0, 6.0,  4.0, 10.0,  0.15, 0.35,
              0.50, 0.75,  4.0, 12.0,  0.20, 0.45,  2.0, 4.0};
         break;
+      case WorkloadFamily::CacheThrash:
+        // Adversarial cache pressure: working sets sized past every
+        // Table 2 L2 level (512 KiB .. 16 MiB), near-zero stream
+        // fraction (random / pointer-chasing access defeats both
+        // prefetch-friendly striding and LRU reuse), code footprints
+        // past il1, and short loops so little temporal locality
+        // survives. Stresses the memory-hierarchy corner of the
+        // design space hardest.
+        r = {0.30, 0.40,  0.08, 0.16,  0.06, 0.13,
+             0.08, 0.04, 0.04,
+             19.0, 24.0,  14.0, 18.0,  0.00, 0.08,
+             6.0, 14.0,  4.0, 10.0,  0.10, 0.30,
+             0.35, 0.60,  6.0, 18.0,  0.10, 0.35,  1.0, 3.0};
+        break;
       case WorkloadFamily::Mixed:
         // Unused: Mixed picks one of the concrete families per segment.
         r = rangesFor(WorkloadFamily::ComputeBound);
@@ -312,6 +329,8 @@ sampleSegmentCount(WorkloadFamily f, Rng &rng)
         return 4 + rng.below(5); // 4..8
       case WorkloadFamily::Mixed:
         return 2 + rng.below(4); // 2..5
+      case WorkloadFamily::CacheThrash:
+        return 2 + rng.below(3); // 2..4
     }
     return 2;
 }

@@ -32,6 +32,7 @@ enum class WorkloadFamily
     PhaseChaotic,    //!< many dissimilar segments, strong modulation
     BranchyIrregular,//!< short blocks, high branch entropy, poor locality
     Mixed,           //!< every segment drawn from a random family above
+    CacheThrash,     //!< adversarial: L2-exceeding random-access sets
 };
 
 /** All families, declaration order. */

@@ -106,6 +106,83 @@ TEST(Predictor, PredictsTraceOfCorrectLength)
     EXPECT_EQ(t.size(), 128u);
 }
 
+TEST(Predictor, BatchedPredictionBitIdenticalToScalar)
+{
+    // The exploration sweep scores every design point through
+    // predictTraces; its golden byte-stability rests on the batched
+    // path computing exactly what per-point predictTrace computes.
+    auto d = makeData(40, 8, 64);
+    WaveletNeuralPredictor p;
+    p.train(d.space, d.train, d.trainTraces);
+
+    // Mix of test and train points, enough to span several internal
+    // blocks of the batched path.
+    std::vector<DesignPoint> pts;
+    for (int rep = 0; rep < 40; ++rep)
+        for (const auto &q : d.test)
+            pts.push_back(q);
+    auto batch = p.predictTraces(pts);
+    ASSERT_EQ(batch.size(), pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(batch[i], p.predictTrace(pts[i])) << "point " << i;
+
+    EXPECT_TRUE(p.predictTraces({}).empty());
+}
+
+TEST(Predictor, RetrainWarmKeepsSelectionFrozen)
+{
+    auto d = makeData(30, 8, 64);
+    WaveletNeuralPredictor p;
+    p.train(d.space, d.train, d.trainTraces);
+    auto selection = p.selectedCoefficients();
+
+    // Grow the training set (fold in the test points, as the
+    // explorer's refinement loop does) and warm-start retrain: the
+    // coefficient selection must be byte-identical, the models refit.
+    auto points = d.train;
+    auto traces = d.trainTraces;
+    for (std::size_t i = 0; i < d.test.size(); ++i) {
+        points.push_back(d.test[i]);
+        traces.push_back(d.testTraces[i]);
+    }
+    p.retrain(d.space, points, traces);
+    EXPECT_EQ(p.selectedCoefficients(), selection);
+    EXPECT_EQ(p.traceLength(), 64u);
+
+    // Sanity: the warm-retrained model still predicts the family it
+    // has now fully seen (not a degenerate refit).
+    double mse = 0.0;
+    for (std::size_t i = 0; i < d.test.size(); ++i)
+        mse += msePercent(d.testTraces[i], p.predictTrace(d.test[i]));
+    EXPECT_LT(mse / static_cast<double>(d.test.size()), 20.0);
+}
+
+TEST(Predictor, RetrainUntrainedFallsBackToFullTrain)
+{
+    auto d = makeData(30, 4, 64);
+    WaveletNeuralPredictor cold;
+    cold.retrain(d.space, d.train, d.trainTraces);
+    EXPECT_TRUE(cold.trained());
+
+    WaveletNeuralPredictor fresh;
+    fresh.train(d.space, d.train, d.trainTraces);
+    // Identical outcome: retrain-from-cold is exactly train().
+    for (const auto &q : d.test)
+        EXPECT_EQ(cold.predictTrace(q), fresh.predictTrace(q));
+}
+
+TEST(Predictor, RetrainNewLengthReselects)
+{
+    auto d64 = makeData(30, 4, 64);
+    WaveletNeuralPredictor p;
+    p.train(d64.space, d64.train, d64.trainTraces);
+
+    auto d128 = makeData(30, 4, 128, 11);
+    p.retrain(d128.space, d128.train, d128.trainTraces);
+    EXPECT_EQ(p.traceLength(), 128u);
+    EXPECT_EQ(p.predictTrace(d128.test[0]).size(), 128u);
+}
+
 TEST(Predictor, AccurateOnSmoothFamily)
 {
     auto d = makeData(80, 16, 128);

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Objective definition tests: name round-trips, list parsing errors,
+ * domain requirements, and the trace-to-scalar evaluations (including
+ * the minimisation fold for maximised objectives).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dse/objectives.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Objectives, NamesRoundTrip)
+{
+    for (Objective o : allObjectives()) {
+        Objective parsed;
+        ASSERT_TRUE(parseObjective(objectiveName(o), parsed))
+            << objectiveName(o);
+        EXPECT_EQ(parsed, o);
+    }
+}
+
+TEST(Objectives, ParseListHappyPath)
+{
+    auto objs = parseObjectiveList("cpi,energy,avf");
+    ASSERT_EQ(objs.size(), 3u);
+    EXPECT_EQ(objs[0], Objective::Cpi);
+    EXPECT_EQ(objs[1], Objective::Energy);
+    EXPECT_EQ(objs[2], Objective::Avf);
+
+    auto one = parseObjectiveList("bips");
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], Objective::Bips);
+}
+
+TEST(Objectives, ParseListRejectsBadInput)
+{
+    EXPECT_THROW(parseObjectiveList(""), std::invalid_argument);
+    EXPECT_THROW(parseObjectiveList("cpi,"), std::invalid_argument);
+    EXPECT_THROW(parseObjectiveList(",cpi"), std::invalid_argument);
+    EXPECT_THROW(parseObjectiveList("cpi,watts"), std::invalid_argument);
+    EXPECT_THROW(parseObjectiveList("cpi,cpi"), std::invalid_argument);
+    EXPECT_THROW(parseObjectiveList("CPI"), std::invalid_argument);
+}
+
+TEST(Objectives, DomainRequirements)
+{
+    EXPECT_EQ(domainsOf(Objective::Cpi),
+              (std::vector<Domain>{Domain::Cpi}));
+    EXPECT_EQ(domainsOf(Objective::Energy),
+              (std::vector<Domain>{Domain::Cpi, Domain::Power}));
+    EXPECT_EQ(domainsOf(Objective::Avf),
+              (std::vector<Domain>{Domain::Avf}));
+
+    // Union is deduplicated and in allDomains() order.
+    auto domains = domainsFor({Objective::Energy, Objective::Cpi,
+                               Objective::Avf});
+    EXPECT_EQ(domains, (std::vector<Domain>{Domain::Cpi, Domain::Power,
+                                            Domain::Avf}));
+    EXPECT_EQ(domainsFor({Objective::Bips}),
+              (std::vector<Domain>{Domain::Cpi}));
+}
+
+TEST(Objectives, ValuesFromTraces)
+{
+    std::map<Domain, std::vector<double>> traces;
+    traces[Domain::Cpi] = {1.0, 2.0, 3.0};   // mean 2
+    traces[Domain::Power] = {10.0, 20.0, 30.0}; // mean 20
+    traces[Domain::Avf] = {0.1, 0.2, 0.3};   // mean 0.2
+
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Cpi, traces), 2.0);
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Power, traces), 20.0);
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Avf, traces), 0.2);
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Bips, traces), 0.5);
+    // Energy: mean of the interval-wise product, not product of means:
+    // (10*1 + 20*2 + 30*3) / 3 = 140/3.
+    EXPECT_DOUBLE_EQ(objectiveValue(Objective::Energy, traces),
+                     140.0 / 3.0);
+}
+
+TEST(Objectives, ScoreFoldsMaximisedObjectives)
+{
+    std::map<Domain, std::vector<double>> traces;
+    traces[Domain::Cpi] = {2.0, 2.0};
+    EXPECT_DOUBLE_EQ(objectiveScore(Objective::Cpi, traces), 2.0);
+    EXPECT_TRUE(maximised(Objective::Bips));
+    EXPECT_DOUBLE_EQ(objectiveScore(Objective::Bips, traces), -0.5);
+    EXPECT_FALSE(maximised(Objective::Energy));
+}
+
+} // anonymous namespace
+} // namespace wavedyn

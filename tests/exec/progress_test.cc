@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Worker-side progress hook and chunked-streaming tests: the
+ * RunScheduler's atomic completion counter reports every run exactly
+ * once with monotonic counts (serial) / a complete 1..N set
+ * (parallel), takeResult moves results out without disturbing
+ * neighbours, and parallelChunks covers the index space exactly once
+ * for any worker count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "dse/sampling.hh"
+#include "exec/scheduler.hh"
+#include "exec/thread_pool.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+RunScheduler
+scheduledRuns(const BenchmarkProfile &bench, std::size_t count)
+{
+    DesignSpace space = DesignSpace::paper();
+    Rng rng(21);
+    auto points = randomTestSample(space, count, rng);
+    RunScheduler sched(17);
+    for (const auto &p : points) {
+        RunTask task;
+        task.benchmark = &bench;
+        task.config = SimConfig::fromDesignPoint(space, p);
+        task.samples = 8;
+        task.intervalInstrs = 100;
+        sched.enqueue(task);
+    }
+    return sched;
+}
+
+TEST(RunSchedulerProgress, SerialCountsAreInOrderAndComplete)
+{
+    const BenchmarkProfile &bench = benchmarkByName("bzip2");
+    RunScheduler sched = scheduledRuns(bench, 5);
+
+    std::vector<std::size_t> dones;
+    std::vector<std::size_t> totals;
+    sched.onProgress([&](std::size_t done, std::size_t total) {
+        dones.push_back(done);
+        totals.push_back(total);
+    });
+    ThreadPool pool(1);
+    sched.run(pool);
+
+    EXPECT_EQ(dones, (std::vector<std::size_t>{1, 2, 3, 4, 5}));
+    for (std::size_t t : totals)
+        EXPECT_EQ(t, 5u);
+}
+
+TEST(RunSchedulerProgress, ParallelReportsEveryRunExactlyOnce)
+{
+    const BenchmarkProfile &bench = benchmarkByName("bzip2");
+    RunScheduler sched = scheduledRuns(bench, 8);
+
+    std::mutex mu;
+    std::vector<std::size_t> dones;
+    sched.onProgress([&](std::size_t done, std::size_t total) {
+        std::lock_guard<std::mutex> lock(mu);
+        dones.push_back(done);
+        EXPECT_EQ(total, 8u);
+    });
+    ThreadPool pool(4);
+    sched.run(pool);
+
+    // Counts may arrive interleaved but form exactly the set 1..8:
+    // the atomic counter hands each completion a distinct value.
+    std::sort(dones.begin(), dones.end());
+    EXPECT_EQ(dones, (std::vector<std::size_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(RunSchedulerProgress, IncrementalBatchContinuesCounts)
+{
+    const BenchmarkProfile &bench = benchmarkByName("bzip2");
+    RunScheduler sched = scheduledRuns(bench, 3);
+    ThreadPool pool(1);
+    sched.run(pool); // first batch, no hook
+
+    std::vector<std::size_t> dones;
+    sched.onProgress([&](std::size_t done, std::size_t) {
+        dones.push_back(done);
+    });
+    DesignSpace space = DesignSpace::paper();
+    RunTask task;
+    task.benchmark = &bench;
+    task.config = SimConfig::baseline();
+    task.samples = 8;
+    task.intervalInstrs = 100;
+    sched.enqueue(task);
+    sched.run(pool);
+    // The counter keeps campaign-wide counts: 4 of 4 total runs.
+    EXPECT_EQ(dones, (std::vector<std::size_t>{4}));
+}
+
+TEST(RunScheduler, TakeResultMovesWithoutDisturbingOthers)
+{
+    const BenchmarkProfile &bench = benchmarkByName("bzip2");
+    RunScheduler sched = scheduledRuns(bench, 3);
+    ThreadPool pool(2);
+    sched.run(pool);
+
+    auto trace1 = sched.result(1).trace(Domain::Cpi);
+    SimResult taken = sched.takeResult(0);
+    EXPECT_FALSE(taken.intervals.empty());
+    // Neighbouring results stay valid after a move-out.
+    EXPECT_EQ(sched.result(1).trace(Domain::Cpi), trace1);
+    EXPECT_FALSE(sched.result(2).intervals.empty());
+}
+
+TEST(ParallelChunks, CoversIndexSpaceExactlyOnce)
+{
+    for (std::size_t workers : {1u, 4u}) {
+        for (std::size_t n : {0u, 1u, 7u, 64u, 65u}) {
+            ThreadPool pool(workers);
+            std::vector<std::atomic<int>> seen(n);
+            for (auto &s : seen)
+                s = 0;
+            parallelChunks(pool, n, 16,
+                           [&](std::size_t c, std::size_t begin,
+                               std::size_t end) {
+                               EXPECT_EQ(begin, c * 16);
+                               EXPECT_LE(end, n);
+                               for (std::size_t i = begin; i < end; ++i)
+                                   seen[i]++;
+                           });
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_EQ(seen[i].load(), 1) << "index " << i;
+        }
+    }
+}
+
+TEST(ParallelChunks, ZeroChunkSizeIsClampedNotInfinite)
+{
+    ThreadPool pool(2);
+    std::atomic<std::size_t> count{0};
+    parallelChunks(pool, 5, 0,
+                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                       count += end - begin;
+                   });
+    EXPECT_EQ(count.load(), 5u);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -223,5 +223,33 @@ INSTANTIATE_TEST_SUITE_P(Sizes, HaarRoundTrip,
                          ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128,
                                            256, 512, 1024));
 
+// The allocation-free inverse (the exploration sweep hot path) must be
+// bit-identical to haarInverse for every size and signal — the
+// explorer's golden test depends on batched == scalar prediction.
+class HaarInverseInto : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(HaarInverseInto, BitIdenticalToHaarInverse)
+{
+    std::size_t n = GetParam();
+    Rng rng(n * 31 + 7);
+    std::vector<double> coeffs(n);
+    for (std::size_t i = 0; i < n; ++i)
+        coeffs[i] = rng.gaussian() * 3.0;
+
+    auto reference = haarInverse(coeffs);
+    std::vector<double> out(n, -1.0);
+    std::vector<double> scratch(n, -2.0);
+    haarInverseInto(coeffs.data(), n, out.data(), scratch.data());
+    ASSERT_EQ(out.size(), reference.size());
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], reference[i]) << "index " << i << " n " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HaarInverseInto,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128,
+                                           256, 512, 1024));
+
 } // anonymous namespace
 } // namespace wavedyn

@@ -236,6 +236,48 @@ TEST(GeneratedProfiles, FamiliesAreCharacteristic)
     }
 }
 
+TEST(GeneratedProfiles, CacheThrashIsAdversarial)
+{
+    // The adversarial family must combine a large working set (past
+    // the biggest Table 2 L2, 4 MiB) with a near-zero stream fraction
+    // — random-access pressure, not prefetch-friendly sweeping like
+    // memory-streaming.
+    for (std::size_t i = 0; i < kProfilesPerFamily; ++i) {
+        auto p = ScenarioGenerator(WorkloadFamily::CacheThrash, 7)
+                     .generate(i);
+        std::uint64_t maxFoot = 0;
+        for (const auto &s : p.script) {
+            maxFoot = std::max(maxFoot, s.dataFootprint);
+            EXPECT_LE(s.streamFrac, 0.08) << p.name;
+            EXPECT_GE(s.dataFootprint, 512u * 1024u) << p.name;
+        }
+        auto compute =
+            ScenarioGenerator(WorkloadFamily::ComputeBound, 7)
+                .generate(i);
+        std::uint64_t computeFoot = 0;
+        for (const auto &s : compute.script)
+            computeFoot = std::max(computeFoot, s.dataFootprint);
+        EXPECT_GT(maxFoot, computeFoot) << p.name;
+    }
+}
+
+TEST(GeneratedProfiles, MixedSelectorListIsFrozen)
+{
+    // Adding cache-thrash (or any later family) must not re-shuffle
+    // existing Mixed profiles: the Mixed selector list is frozen, so
+    // these draws are pinned forever. The shape of gen/mixed/s7/0 is
+    // hard-coded here from before cache-thrash existed — if this test
+    // fails, generated Mixed scenario names no longer denote the same
+    // workloads and every golden campaign built on them shifts.
+    auto p = ScenarioGenerator(WorkloadFamily::Mixed, 7).generate(0);
+    EXPECT_EQ(p.script.size(), 5u);
+    EXPECT_EQ(p.scriptRepeats, 5u);
+    std::uint64_t maxFoot = 0;
+    for (const auto &s : p.script)
+        maxFoot = std::max(maxFoot, s.dataFootprint);
+    EXPECT_EQ(maxFoot / 1024, 6541u);
+}
+
 TEST(GeneratedProfiles, PhaseChaoticHasManySegments)
 {
     for (std::size_t i = 0; i < kProfilesPerFamily; ++i) {

@@ -23,6 +23,17 @@
  *       `wavedyn_cli --generate 8 --family mixed --scenario-seed 7`
  *       runs a generated-scenario campaign directly.
  *
+ *   explore <bench...> | --generate N [--family F --scenario-seed S]
+ *           [--objectives cpi,energy,avf] [--budget K] [--per-round k]
+ *           [--sweep N] [--scale ...] [--train N] [--test N] ...
+ *       prediction-driven design-space exploration: train per-scenario
+ *       predictors, sweep the full Table 2 cross-product through them,
+ *       print the Pareto frontier, and adaptively spend --budget real
+ *       simulations on the most uncertain frontier points (top
+ *       --per-round per refinement round), reporting predicted-vs-
+ *       simulated error per round. The report on stdout is
+ *       byte-identical for any --jobs; progress goes to stderr.
+ *
  *   generate <N> [--family F] [--scenario-seed S]
  *       print the N generated profiles of a family without running
  *       anything (inspection aid for the determinism contract).
@@ -35,12 +46,14 @@
 #include <cstring>
 #include <initializer_list>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/serialize.hh"
 #include "core/suite.hh"
+#include "dse/explorer.hh"
 #include "dse/sampling.hh"
 #include "exec/scheduler.hh"
 #include "util/options.hh"
@@ -68,6 +81,11 @@ usage()
         "[--test N] [--interval N]\n"
         "  wavedyn_cli suite [--scale smoke|quick|full]\n"
         "              [--generate N --family F --scenario-seed S]\n"
+        "  wavedyn_cli explore <bench...> | --generate N [--family F]\n"
+        "              [--objectives cpi,bips,power,energy,avf]\n"
+        "              [--budget K] [--per-round k] [--sweep N]\n"
+        "              [--scale S] [--train N] [--test N] [--samples N]\n"
+        "              [--interval N] [--coeffs K] [--dvm T] [--jobs N]\n"
         "  wavedyn_cli generate <N> [--family F] [--scenario-seed S]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
@@ -81,7 +99,8 @@ usage()
         "                      paper twelve\n"
         "  --family F          workload family: compute-bound,\n"
         "                      memory-streaming, phase-chaotic,\n"
-        "                      branchy-irregular, mixed (default)\n"
+        "                      branchy-irregular, mixed (default),\n"
+        "                      cache-thrash\n"
         "  --scenario-seed S   generation seed (default 1); profile i of\n"
         "                      (family, seed) is always the same profile\n";
     return 2;
@@ -182,6 +201,17 @@ struct Options
     //! silently running the paper twelve.
     bool familySet = false;
     bool scenarioSeedSet = false;
+    //! whether the sweep-size flags appeared explicitly, so explore
+    //! can default them from --scale without clobbering user choices.
+    bool trainSet = false;
+    bool testSet = false;
+    bool samplesSet = false;
+    bool intervalSet = false;
+    // explore options
+    std::string objectives = "cpi,energy,avf";
+    std::size_t budget = 4;    //!< refinement simulations total
+    std::size_t perRound = 2;  //!< frontier points simulated per round
+    std::size_t sweep = 0;     //!< swept-point cap; 0 = full space
 };
 
 Options
@@ -211,14 +241,26 @@ parseOptions(int argc, char **argv, int first,
             throw std::invalid_argument("option '" + key +
                                         "' is missing its value");
         std::string val = argv[i + 1];
-        if (key == "--train")
+        if (key == "--train") {
             o.train = parseSize(val, key);
-        else if (key == "--test")
+            o.trainSet = true;
+        } else if (key == "--test") {
             o.test = parseSize(val, key);
-        else if (key == "--samples")
+            o.testSet = true;
+        } else if (key == "--samples") {
             o.samples = parseSize(val, key);
-        else if (key == "--interval")
+            o.samplesSet = true;
+        } else if (key == "--interval") {
             o.interval = parseSize(val, key);
+            o.intervalSet = true;
+        } else if (key == "--objectives")
+            o.objectives = val;
+        else if (key == "--budget")
+            o.budget = parseSize(val, key);
+        else if (key == "--per-round")
+            o.perRound = parseSize(val, key);
+        else if (key == "--sweep")
+            o.sweep = parseSize(val, key);
         else if (key == "--coeffs")
             o.coeffs = parseSize(val, key);
         else if (key == "--jobs")
@@ -394,24 +436,61 @@ cmdEvaluate(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Worker-side live progress printer: a stderr ticker updated every
+ * ~5% of the batch. Called concurrently from pool workers; the
+ * scheduler's atomic counter hands out monotonic counts, but the
+ * count fetch and the print are separate steps, so a worker holding
+ * a lower count can reach the mutex *after* the final one — the
+ * non-increasing guard below keeps a stale count from being the last
+ * line on screen. A batch with a different total resets the guard;
+ * repeated same-size batches only show their final line, which the
+ * surrounding phase banners disambiguate. stderr only — stdout
+ * reports stay byte-identical for every --jobs setting.
+ */
+RunProgress
+stderrRunProgress()
+{
+    return [](std::size_t done, std::size_t total) {
+        static std::mutex mu;
+        static std::size_t lastDone = 0;
+        static std::size_t lastTotal = 0;
+        std::size_t step = total / 20 ? total / 20 : 1;
+        if (done % step != 0 && done != total)
+            return;
+        std::lock_guard<std::mutex> lock(mu);
+        // done == total always prints: it is a fresh batch's final
+        // line whenever the guard state came from an earlier batch.
+        if (total == lastTotal && done <= lastDone && done != total)
+            return;
+        lastDone = done;
+        lastTotal = total;
+        std::cerr << "   [sim] " << done << "/" << total << " runs"
+                  << (done == total ? "\n" : "\r");
+    };
+}
+
+/** Parse a --scale value into sizes (shared by suite and explore). */
+ScaledSizes
+sizesFromScaleFlag(const std::string &scale)
+{
+    if (scale == "smoke")
+        return sizesFor(Scale::Smoke);
+    if (scale == "quick")
+        return sizesFor(Scale::Quick);
+    if (scale == "full")
+        return sizesFor(Scale::Full);
+    throw std::invalid_argument(
+        "--scale must be smoke, quick or full, got '" + scale + "'");
+}
+
 int
 cmdSuite(int argc, char **argv, int first)
 {
     Options o = parseOptions(argc, argv, first,
                              {"--scale", "--jobs", "--generate",
                               "--family", "--scenario-seed"});
-    Scale scale;
-    if (o.scale == "smoke")
-        scale = Scale::Smoke;
-    else if (o.scale == "quick")
-        scale = Scale::Quick;
-    else if (o.scale == "full")
-        scale = Scale::Full;
-    else
-        throw std::invalid_argument(
-            "--scale must be smoke, quick or full, got '" + o.scale +
-            "'");
-    auto sizes = sizesFor(scale);
+    ScaledSizes sizes = sizesFromScaleFlag(o.scale);
 
     ExperimentSpec base;
     base.trainPoints = sizes.trainPoints;
@@ -450,7 +529,8 @@ cmdSuite(int argc, char **argv, int first)
                               std::size_t t) {
                                std::cout << "  [" << d << "/" << t
                                          << "] " << b << " simulated\n";
-                           });
+                           },
+                           stderrRunProgress());
 
     TextTable t("suite accuracy (MSE%, median [q1, q3])");
     t.header({"benchmark", "CPI", "Power", "AVF"});
@@ -469,6 +549,86 @@ cmdSuite(int argc, char **argv, int first)
     for (Domain d : allDomains())
         std::cout << "overall median " << domainName(d) << ": "
                   << fmt(report.overallMedian(d)) << "%\n";
+    return 0;
+}
+
+int
+cmdExplore(int argc, char **argv)
+{
+    // Positional scenario names come first; flags after.
+    int first = 2;
+    std::vector<std::string> names;
+    while (first < argc &&
+           std::string(argv[first]).rfind("--", 0) != 0)
+        names.push_back(argv[first++]);
+    Options o = parseOptions(argc, argv, first,
+                             {"--scale", "--jobs", "--train", "--test",
+                              "--samples", "--interval", "--coeffs",
+                              "--generate", "--family",
+                              "--scenario-seed", "--objectives",
+                              "--budget", "--per-round", "--sweep",
+                              "--dvm"});
+    ScaledSizes sizes = sizesFromScaleFlag(o.scale);
+    if (o.coeffs == 0)
+        throw std::invalid_argument("--coeffs must be non-zero");
+    if (o.perRound == 0)
+        throw std::invalid_argument("--per-round must be non-zero");
+    if (!names.empty() && o.generate > 0)
+        throw std::invalid_argument(
+            "give either benchmark names or --generate N, not both");
+    if (names.empty() && o.generate == 0)
+        throw std::invalid_argument(
+            "explore needs benchmark names or --generate N "
+            "(e.g. explore --generate 3 --family mixed)");
+    if (o.generate == 0 && (o.familySet || o.scenarioSeedSet))
+        throw std::invalid_argument(
+            std::string(o.familySet ? "--family" : "--scenario-seed") +
+            " requires --generate N on explore");
+
+    // The scenario set must outlive the campaign: the spec and the
+    // schedulers hold pointers into it.
+    ScenarioSet scenarios = ScenarioSet::paperCopy();
+    if (o.generate > 0) {
+        names = scenarios.addGenerated(familyByName(o.family),
+                                       o.scenarioSeed, o.generate);
+        std::cerr << "generated " << names.size() << " '" << o.family
+                  << "' scenarios (seed " << o.scenarioSeed << ")\n";
+    } else {
+        for (const auto &n : names)
+            scenarios.resolve(n); // throws on unknown, adds gen/ names
+    }
+
+    ExploreSpec spec;
+    spec.base.trainPoints = o.trainSet ? o.train : sizes.trainPoints;
+    spec.base.testPoints = o.testSet ? o.test : sizes.testPoints;
+    spec.base.samples = o.samplesSet ? o.samples
+                                     : sizes.samplesPerTrace;
+    spec.base.intervalInstrs = o.intervalSet ? o.interval
+                                             : sizes.intervalInstrs;
+    if (o.dvmThreshold >= 0.0) {
+        spec.base.dvm.enabled = true;
+        spec.base.dvm.threshold = o.dvmThreshold;
+        spec.base.dvm.sampleCycles = 200;
+    }
+    spec.base.scenarios = &scenarios;
+    spec.scenarios = names;
+    spec.objectives = parseObjectiveList(o.objectives);
+    spec.budget = o.budget;
+    spec.perRound = o.perRound;
+    spec.maxSweepPoints = o.sweep;
+    spec.predictor.coefficients = o.coeffs;
+
+    // Progress goes to stderr: the stdout report is byte-identical
+    // for every --jobs setting and safe to diff or pin.
+    ExploreHooks hooks;
+    hooks.phase = [](const std::string &msg) {
+        std::cerr << "-- " << msg << "\n";
+    };
+    hooks.runProgress = stderrRunProgress();
+
+    std::cerr << "exploring with " << currentJobs() << " jobs\n";
+    ExploreReport report = runExplore(spec, hooks);
+    std::cout << renderExploreReport(report);
     return 0;
 }
 
@@ -561,6 +721,8 @@ main(int argc, char **argv)
             return cmdEvaluate(argc, argv);
         if (cmd == "suite")
             return cmdSuite(argc, argv, 2);
+        if (cmd == "explore")
+            return cmdExplore(argc, argv);
         if (cmd == "generate")
             return cmdGenerate(argc, argv);
         if (cmd == "info")
