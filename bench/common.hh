@@ -13,11 +13,14 @@
 #define WAVEDYN_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "util/json.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 #include "workload/profile.hh"
@@ -89,6 +92,62 @@ struct BenchContext
         return s;
     }
 };
+
+/**
+ * Parse a bench's command line: the only supported flag is
+ * `--json <path>`, requesting a machine-readable result file next to
+ * the human-readable stdout tables. Anything else prints usage and
+ * exits — benches have no other knobs (scale comes from WAVEDYN_SCALE).
+ * @return the path, or "" when --json was not given.
+ */
+inline std::string
+benchJsonPath(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--json <path>]\n"
+                      << "(scale via WAVEDYN_SCALE=smoke|quick|full, "
+                         "parallelism via WAVEDYN_JOBS)\n";
+            std::exit(2);
+        }
+    }
+    return path;
+}
+
+/**
+ * Write a bench's machine-readable result document (pretty-printed,
+ * trailing newline) so BENCH_*.json perf trajectories can accumulate
+ * across commits. Exits non-zero on I/O failure — a bench asked to
+ * record results must not silently drop them.
+ */
+inline void
+writeBenchJson(const std::string &path, const JsonValue &doc)
+{
+    if (path.empty())
+        return;
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good()) {
+        std::cerr << "error: cannot write " << path << "\n";
+        std::exit(1);
+    }
+    out << writeJson(doc) << "\n";
+    std::cout << "wrote " << path << "\n";
+}
+
+/** The scale/jobs header every bench result document starts with. */
+inline JsonValue
+benchJsonHeader(const std::string &bench, const BenchContext &ctx)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", bench);
+    doc.set("scale", scaleName(ctx.scale));
+    doc.set("jobs", std::uint64_t{ctx.jobs});
+    return doc;
+}
 
 /** Render a trace (first `width` samples) as a sparkline row. */
 inline std::string

@@ -9,12 +9,15 @@
  *
  * Reports the batched hot path (predictTraces -> predictMany per
  * coefficient model), the scalar per-point path for comparison, and a
- * small end-to-end adaptive exploration.
+ * small end-to-end adaptive exploration. `--json <path>` additionally
+ * records the numbers machine-readably (core/report JSON conventions)
+ * so BENCH_explore.json perf trajectories can accumulate.
  */
 
 #include <chrono>
 
 #include "bench/common.hh"
+#include "core/report.hh"
 #include "core/scenario.hh"
 #include "dse/explorer.hh"
 #include "exec/thread_pool.hh"
@@ -35,8 +38,9 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string jsonPath = benchJsonPath(argc, argv);
     auto ctx = BenchContext::init(
         "Design-space exploration — points predicted per second");
 
@@ -129,5 +133,28 @@ main()
               << "Shape to check: batched sweep throughput is orders "
                  "of magnitude above\nsimulation speed — that gap is "
                  "the paper's case for prediction-driven DSE.\n";
+
+    if (!jsonPath.empty()) {
+        JsonValue doc = benchJsonHeader("explore", ctx);
+        JsonValue sweep = JsonValue::object();
+        sweep.set("points", std::uint64_t{sweepPoints});
+        sweep.set("batched_seconds", batchedSec);
+        sweep.set("batched_points_per_sec",
+                  batchedSec > 0.0
+                      ? static_cast<double>(sweepPoints) / batchedSec
+                      : 0.0);
+        sweep.set("scalar_points", std::uint64_t{scalarPoints});
+        sweep.set("scalar_seconds", scalarSec);
+        sweep.set("scalar_points_per_sec",
+                  scalarSec > 0.0
+                      ? static_cast<double>(scalarPoints) / scalarSec
+                      : 0.0);
+        doc.set("sweep", std::move(sweep));
+        JsonValue e2e = JsonValue::object();
+        e2e.set("wall_seconds", exploreSec);
+        e2e.set("report", exploreToJson(report));
+        doc.set("explore", std::move(e2e));
+        writeBenchJson(jsonPath, doc);
+    }
     return 0;
 }

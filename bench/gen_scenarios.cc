@@ -5,7 +5,9 @@
  * For every family the generator can sample, run a full campaign over
  * K generated scenarios and report per-domain accuracy — how well the
  * neuro-wavelet predictor generalises beyond the paper's twelve
- * profiles, family by family.
+ * profiles, family by family. `--json <path>` additionally records
+ * every family's full suite report machine-readably so
+ * BENCH_gen_scenarios.json accuracy trajectories can accumulate.
  */
 
 #include "bench/common.hh"
@@ -16,8 +18,9 @@
 using namespace wavedyn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string jsonPath = benchJsonPath(argc, argv);
     auto ctx = BenchContext::init(
         "Generated scenarios — per-family predictor accuracy (MSE %)");
 
@@ -25,6 +28,11 @@ main()
     const std::size_t per_family = ctx.scale == Scale::Full
         ? 8
         : ctx.scale == Scale::Quick ? 3 : 2;
+
+    JsonValue doc = benchJsonHeader("gen_scenarios", ctx);
+    doc.set("scenario_seed", std::uint64_t{seed});
+    doc.set("scenarios_per_family", std::uint64_t{per_family});
+    JsonValue families = JsonValue::array();
 
     TextTable t("per-family accuracy — median of per-scenario medians");
     t.header({"family", "scenarios", "CPI", "Power", "AVF"});
@@ -41,9 +49,16 @@ main()
             row.push_back(fmt(report.overallMedian(d)));
         t.row(row);
 
+        JsonValue entry = JsonValue::object();
+        entry.set("family", familyName(f));
+        entry.set("report", suiteToJson(report));
+        families.push(std::move(entry));
+
         std::cout << renderSuiteText(report) << "\n";
     }
     t.print(std::cout);
+    doc.set("families", std::move(families));
+    writeBenchJson(jsonPath, doc);
     std::cout << "Shape to check: accuracy on generated families is in "
                  "the same few-percent\nband as the paper twelve — the "
                  "predictor is not overfit to the fixed suite.\n"

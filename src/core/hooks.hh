@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The one observation interface every campaign entry point takes.
+ *
+ * Historically each layer grew its own callback type — runSuite took a
+ * per-benchmark SuiteProgress plus a worker-side RunProgress, the
+ * explorer bundled a different pair into ExploreHooks — so a caller
+ * wiring live progress had to know which campaign it was running.
+ * CampaignHooks merges them: one struct, three optional events, passed
+ * unchanged through runCampaign, runSuite, simulateSuiteDatasets and
+ * runExplore. All members may be left empty.
+ */
+
+#ifndef WAVEDYN_CORE_HOOKS_HH
+#define WAVEDYN_CORE_HOOKS_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "exec/scheduler.hh"
+
+namespace wavedyn
+{
+
+/** Optional observation hooks shared by every campaign runner. */
+struct CampaignHooks
+{
+    /**
+     * Phase banners ("sweeping 245760 configurations (round 1)"),
+     * invoked in deterministic order from the orchestration thread.
+     */
+    std::function<void(const std::string &)> phase;
+
+    /**
+     * Per-scenario completion: (scenario name, completed, total).
+     * Invoked once per scenario, in order, from the calling thread as
+     * each scenario's dataset is assembled. Because a campaign
+     * simulates as one flattened batch, no call fires during the
+     * simulation phase itself — the price of keeping campaign output
+     * deterministic for any --jobs setting; use runProgress for live
+     * in-flight feedback.
+     */
+    std::function<void(const std::string &, std::size_t, std::size_t)>
+        scenarioDone;
+
+    /**
+     * Live per-run simulation progress, invoked from worker threads —
+     * see exec/scheduler.hh (RunProgress) for the threading contract.
+     */
+    RunProgress runProgress;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CORE_HOOKS_HH

@@ -1,8 +1,12 @@
 #include "core/report.hh"
 
+#include <cmath>
+#include <ostream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
+#include "util/stats.hh"
 #include "util/table.hh"
 
 namespace wavedyn
@@ -104,6 +108,418 @@ renderSuiteCsv(const SuiteReport &report)
                << "," << fmt(c.msePerTest[i], 6) << "\n";
         }
     }
+    return os.str();
+}
+
+namespace
+{
+
+JsonValue
+boxplotToJson(const BoxplotSummary &s)
+{
+    JsonValue v = JsonValue::object();
+    v.set("median", s.median);
+    v.set("q1", s.q1);
+    v.set("q3", s.q3);
+    v.set("whisker_low", s.whiskerLow);
+    v.set("whisker_high", s.whiskerHigh);
+    v.set("mean", s.mean);
+    v.set("min", s.min);
+    v.set("max", s.max);
+    v.set("count", std::uint64_t{s.count});
+    JsonValue outliers = JsonValue::array();
+    for (double o : s.outliers)
+        outliers.push(o);
+    v.set("outliers", std::move(outliers));
+    return v;
+}
+
+JsonValue
+doubleArray(const std::vector<double> &values)
+{
+    JsonValue v = JsonValue::array();
+    for (double x : values)
+        v.push(x);
+    return v;
+}
+
+} // anonymous namespace
+
+JsonValue
+suiteToJson(const SuiteReport &report)
+{
+    JsonValue v = JsonValue::object();
+    v.set("kind", "suite");
+    JsonValue cells = JsonValue::array();
+    for (const auto &c : report.cells) {
+        JsonValue cell = JsonValue::object();
+        cell.set("benchmark", c.benchmark);
+        cell.set("domain", domainSpecName(c.domain));
+        cell.set("mse_percent", boxplotToJson(c.mse));
+        cell.set("mse_per_test", doubleArray(c.msePerTest));
+        cell.set("asymmetry_q", doubleArray(c.asymmetryQ));
+        cells.push(std::move(cell));
+    }
+    v.set("cells", std::move(cells));
+    JsonValue overall = JsonValue::object();
+    for (Domain d : domainsOf(report))
+        overall.set(domainSpecName(d), report.overallMedian(d));
+    v.set("overall_median", std::move(overall));
+    return v;
+}
+
+JsonValue
+exploreToJson(const ExploreReport &report)
+{
+    JsonValue v = JsonValue::object();
+    v.set("kind", "explore");
+    JsonValue objectives = JsonValue::array();
+    for (Objective o : report.objectives)
+        objectives.push(objectiveName(o));
+    v.set("objectives", std::move(objectives));
+    JsonValue params = JsonValue::array();
+    for (const auto &p : report.paramNames)
+        params.push(p);
+    v.set("parameters", std::move(params));
+    v.set("space_size", std::uint64_t{report.spaceSize});
+    v.set("sweep_stride", std::uint64_t{report.sweepStride});
+    v.set("sweep_points", std::uint64_t{report.sweepPoints});
+    v.set("scenario_count", std::uint64_t{report.scenarioCount});
+    v.set("initial_train_points",
+          std::uint64_t{report.initialTrainPoints});
+    v.set("final_train_points", std::uint64_t{report.finalTrainPoints});
+
+    JsonValue rounds = JsonValue::array();
+    for (const auto &r : report.rounds) {
+        JsonValue round = JsonValue::object();
+        round.set("round", std::uint64_t{r.round});
+        round.set("front_size", std::uint64_t{r.frontSize});
+        round.set("simulated", std::uint64_t{r.simulated});
+        JsonValue err = JsonValue::object();
+        for (std::size_t k = 0;
+             k < r.meanAbsErrPct.size() && k < report.objectives.size();
+             ++k)
+            err.set(objectiveName(report.objectives[k]),
+                    r.meanAbsErrPct[k]);
+        round.set("mean_abs_err_pct", std::move(err));
+        rounds.push(std::move(round));
+    }
+    v.set("rounds", std::move(rounds));
+
+    JsonValue frontier = JsonValue::array();
+    for (const auto &fp : report.frontier) {
+        JsonValue point = JsonValue::object();
+        JsonValue values = JsonValue::object();
+        for (std::size_t k = 0;
+             k < fp.values.size() && k < report.objectives.size(); ++k)
+            values.set(objectiveName(report.objectives[k]),
+                       fp.values[k]);
+        point.set("values", std::move(values));
+        point.set("uncertainty", fp.uncertainty);
+        JsonValue coords = JsonValue::object();
+        for (std::size_t d = 0;
+             d < fp.point.size() && d < report.paramNames.size(); ++d)
+            coords.set(report.paramNames[d], fp.point[d]);
+        point.set("point", std::move(coords));
+        frontier.push(std::move(point));
+    }
+    v.set("frontier", std::move(frontier));
+    return v;
+}
+
+const std::vector<ReportFormat> &
+allReportFormats()
+{
+    static const std::vector<ReportFormat> formats = {
+        ReportFormat::Text, ReportFormat::Markdown, ReportFormat::Csv,
+        ReportFormat::Json};
+    return formats;
+}
+
+std::string
+reportFormatName(ReportFormat f)
+{
+    switch (f) {
+      case ReportFormat::Text:
+        return "text";
+      case ReportFormat::Markdown:
+        return "markdown";
+      case ReportFormat::Csv:
+        return "csv";
+      case ReportFormat::Json:
+        return "json";
+    }
+    return "?";
+}
+
+bool
+parseReportFormat(const std::string &name, ReportFormat &out)
+{
+    for (ReportFormat f : allReportFormats()) {
+        if (name == reportFormatName(f)) {
+            out = f;
+            return true;
+        }
+    }
+    return false;
+}
+
+ReportFormat
+reportFormatByName(const std::string &name)
+{
+    ReportFormat f;
+    if (!parseReportFormat(name, f))
+        throw std::invalid_argument(
+            "unknown report format '" + name +
+            "' (known: text, markdown, csv, json)");
+    return f;
+}
+
+bool
+reportFormatSupports(ReportFormat format, CampaignKind kind)
+{
+    if (format == ReportFormat::Text || format == ReportFormat::Json)
+        return true;
+    return kind == CampaignKind::Suite || kind == CampaignKind::Explore;
+}
+
+namespace
+{
+
+[[noreturn]] void
+unsupported(ReportFormat f, const CampaignResult &result)
+{
+    throw std::invalid_argument(
+        reportFormatName(f) + " output is not defined for " +
+        campaignKindName(result.kind) +
+        " results (use text or json)");
+}
+
+std::string
+trainText(const CampaignResult &r)
+{
+    return "saved " + r.modelPath + " (" +
+           std::to_string(r.coefficientModels) +
+           " coefficient models, trace length " +
+           std::to_string(r.traceLength) + ")\n";
+}
+
+std::string
+evaluateText(const CampaignResult &r)
+{
+    return "MSE(%) " + describeBoxplot(r.evaluation.summary) + "\n";
+}
+
+class TextSink : public ReportSink
+{
+  public:
+    ReportFormat format() const override { return ReportFormat::Text; }
+
+    void
+    write(const CampaignResult &result, std::ostream &os) const override
+    {
+        switch (result.kind) {
+          case CampaignKind::Suite:
+            os << renderSuiteText(result.suite);
+            return;
+          case CampaignKind::Explore:
+            os << renderExploreReport(result.explore);
+            return;
+          case CampaignKind::Train:
+            os << trainText(result);
+            return;
+          case CampaignKind::Evaluate:
+            os << evaluateText(result);
+            return;
+        }
+    }
+};
+
+class MarkdownSink : public ReportSink
+{
+  public:
+    ReportFormat
+    format() const override
+    {
+        return ReportFormat::Markdown;
+    }
+
+    void
+    write(const CampaignResult &result, std::ostream &os) const override
+    {
+        switch (result.kind) {
+          case CampaignKind::Suite:
+            os << renderSuiteMarkdown(result.suite);
+            return;
+          case CampaignKind::Explore:
+            writeExplore(result.explore, os);
+            return;
+          case CampaignKind::Train:
+          case CampaignKind::Evaluate:
+            unsupported(ReportFormat::Markdown, result);
+        }
+    }
+
+  private:
+    static void
+    writeExplore(const ExploreReport &report, std::ostream &os)
+    {
+        os << "**predicted-vs-simulated error by round (mean |err| %)**"
+           << "\n\n| round | front | sims |";
+        for (Objective o : report.objectives)
+            os << " " << objectiveName(o) << " |";
+        os << "\n|---|---|---|";
+        for (std::size_t k = 0; k < report.objectives.size(); ++k)
+            os << "---|";
+        os << "\n";
+        for (const auto &r : report.rounds) {
+            os << "| " << (r.round == 0 ? "0 (held-out)" : fmt(r.round))
+               << " | " << (r.round == 0 ? "-" : fmt(r.frontSize))
+               << " | " << fmt(r.simulated) << " |";
+            for (double e : r.meanAbsErrPct)
+                os << " " << fmt(e, 2) << " |";
+            os << "\n";
+        }
+        os << "\n**Pareto frontier ("
+           << std::to_string(report.frontier.size())
+           << " non-dominated configurations)**\n\n|";
+        for (Objective o : report.objectives)
+            os << " " << objectiveName(o) << " |";
+        os << " uncert |";
+        for (const auto &p : report.paramNames)
+            os << " " << p << " |";
+        os << "\n|";
+        for (std::size_t k = 0;
+             k < report.objectives.size() + 1 + report.paramNames.size();
+             ++k)
+            os << "---|";
+        os << "\n";
+        for (const auto &fp : report.frontier) {
+            os << "|";
+            for (double v : fp.values)
+                os << " " << fmt(v, 4) << " |";
+            os << " " << fmt(fp.uncertainty, 3) << " |";
+            for (double v : fp.point)
+                os << " " << fmtParam(v) << " |";
+            os << "\n";
+        }
+    }
+};
+
+class CsvSink : public ReportSink
+{
+  public:
+    ReportFormat format() const override { return ReportFormat::Csv; }
+
+    void
+    write(const CampaignResult &result, std::ostream &os) const override
+    {
+        switch (result.kind) {
+          case CampaignKind::Suite:
+            os << renderSuiteCsv(result.suite);
+            return;
+          case CampaignKind::Explore:
+            writeExplore(result.explore, os);
+            return;
+          case CampaignKind::Train:
+          case CampaignKind::Evaluate:
+            unsupported(ReportFormat::Csv, result);
+        }
+    }
+
+  private:
+    /** One row per frontier configuration — the result's data table. */
+    static void
+    writeExplore(const ExploreReport &report, std::ostream &os)
+    {
+        for (Objective o : report.objectives)
+            os << objectiveName(o) << ",";
+        os << "uncertainty";
+        for (const auto &p : report.paramNames)
+            os << "," << p;
+        os << "\n";
+        for (const auto &fp : report.frontier) {
+            for (double v : fp.values)
+                os << fmt(v, 6) << ",";
+            os << fmt(fp.uncertainty, 6);
+            for (double v : fp.point)
+                os << "," << fmtParam(v);
+            os << "\n";
+        }
+    }
+};
+
+class JsonSink : public ReportSink
+{
+  public:
+    ReportFormat format() const override { return ReportFormat::Json; }
+
+    void
+    write(const CampaignResult &result, std::ostream &os) const override
+    {
+        os << writeJson(toJsonDoc(result), 2) << "\n";
+    }
+
+  private:
+    static JsonValue
+    toJsonDoc(const CampaignResult &result)
+    {
+        switch (result.kind) {
+          case CampaignKind::Suite:
+            return suiteToJson(result.suite);
+          case CampaignKind::Explore:
+            return exploreToJson(result.explore);
+          case CampaignKind::Train: {
+            JsonValue v = JsonValue::object();
+            v.set("kind", "train");
+            v.set("benchmark", result.benchmark);
+            v.set("domain", domainSpecName(result.domain));
+            v.set("model_path", result.modelPath);
+            v.set("coefficient_models",
+                  std::uint64_t{result.coefficientModels});
+            v.set("trace_length", std::uint64_t{result.traceLength});
+            return v;
+          }
+          case CampaignKind::Evaluate: {
+            JsonValue v = JsonValue::object();
+            v.set("kind", "evaluate");
+            v.set("benchmark", result.benchmark);
+            v.set("domain", domainSpecName(result.domain));
+            v.set("model_path", result.modelPath);
+            v.set("mse_percent",
+                  boxplotToJson(result.evaluation.summary));
+            v.set("mse_per_test",
+                  doubleArray(result.evaluation.msePerTest));
+            return v;
+          }
+        }
+        throw std::logic_error("unhandled campaign kind in JsonSink");
+    }
+};
+
+} // anonymous namespace
+
+std::unique_ptr<ReportSink>
+makeReportSink(ReportFormat format)
+{
+    switch (format) {
+      case ReportFormat::Text:
+        return std::make_unique<TextSink>();
+      case ReportFormat::Markdown:
+        return std::make_unique<MarkdownSink>();
+      case ReportFormat::Csv:
+        return std::make_unique<CsvSink>();
+      case ReportFormat::Json:
+        return std::make_unique<JsonSink>();
+    }
+    throw std::logic_error("unhandled report format");
+}
+
+std::string
+renderReport(const CampaignResult &result, ReportFormat format)
+{
+    std::ostringstream os;
+    makeReportSink(format)->write(result, os);
     return os.str();
 }
 

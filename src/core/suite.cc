@@ -30,8 +30,7 @@ SuiteReport::overallMedian(Domain domain) const
 std::vector<ExperimentData>
 simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
                       const ExperimentSpec &base,
-                      const SuiteProgress &progress,
-                      const RunProgress &runProgress)
+                      const CampaignHooks &hooks)
 {
     // Phase 1 (serial, cheap): sample each benchmark's design points
     // and flatten every (configuration x benchmark) run into one
@@ -41,8 +40,8 @@ simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
     std::vector<ExperimentPlan> plans;
     std::vector<ScheduledExperiment> scheds;
     RunScheduler scheduler(base.seed);
-    if (runProgress)
-        scheduler.onProgress(runProgress);
+    if (hooks.runProgress)
+        scheduler.onProgress(hooks.runProgress);
     specs.reserve(benchmarks.size());
     plans.reserve(benchmarks.size());
     scheds.reserve(benchmarks.size());
@@ -68,19 +67,21 @@ simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
         datasets.push_back(assembleExperiment(specs[b],
                                               std::move(plans[b]),
                                               scheduler, scheds[b]));
-        if (progress)
-            progress(benchmarks[b], b + 1, benchmarks.size());
+        if (hooks.scenarioDone)
+            hooks.scenarioDone(benchmarks[b], b + 1, benchmarks.size());
     }
     return datasets;
 }
 
 SuiteReport
-runSuite(const std::vector<std::string> &benchmarks,
-         const ExperimentSpec &base, const PredictorOptions &opts,
-         const SuiteProgress &progress, const RunProgress &runProgress)
+runSuite(const ScenarioSet &scenarios, const ExperimentSpec &base,
+         const PredictorOptions &opts, const CampaignHooks &hooks)
 {
+    ExperimentSpec spec = base;
+    spec.scenarios = &scenarios;
+    const std::vector<std::string> benchmarks = scenarios.names();
     std::vector<ExperimentData> datasets =
-        simulateSuiteDatasets(benchmarks, base, progress, runProgress);
+        simulateSuiteDatasets(benchmarks, spec, hooks);
 
     // Phase 3 (parallel): one training/evaluation task per
     // (benchmark x domain) cell, again flattened across benchmarks.
@@ -93,7 +94,7 @@ runSuite(const std::vector<std::string> &benchmarks,
     };
     std::vector<CellRef> refs;
     for (std::size_t b = 0; b < benchmarks.size(); ++b)
-        for (Domain d : base.domains)
+        for (Domain d : spec.domains)
             refs.push_back({b, d});
 
     std::vector<SuiteCell> cells(refs.size());
@@ -123,14 +124,19 @@ runSuite(const std::vector<std::string> &benchmarks,
 }
 
 SuiteReport
-runSuite(const ScenarioSet &scenarios, const ExperimentSpec &base,
-         const PredictorOptions &opts, const SuiteProgress &progress,
-         const RunProgress &runProgress)
+runSuite(const std::vector<std::string> &benchmarks,
+         const ExperimentSpec &base, const PredictorOptions &opts,
+         const CampaignHooks &hooks)
 {
-    ExperimentSpec spec = base;
-    spec.scenarios = &scenarios;
-    return runSuite(scenarios.names(), spec, opts, progress,
-                    runProgress);
+    // Resolve the requested names into their own set — in order, with
+    // generated names re-derived — and hand the primitive exactly the
+    // profiles to run. The resolver is a mutable copy because
+    // resolve() may add re-derived gen/ profiles to it.
+    ScenarioSet resolver = scenariosOf(base);
+    ScenarioSet subset;
+    for (const auto &name : benchmarks)
+        subset.add(resolver.resolve(name));
+    return runSuite(subset, base, opts, hooks);
 }
 
 } // namespace wavedyn

@@ -2,20 +2,18 @@
  * @file
  * Suite-level campaigns: run the paper's protocol over many benchmarks
  * and domains in one call and collect a structured report — the
- * programmatic equivalent of Figure 8, used by the CLI tool and by
- * downstream automation.
+ * programmatic equivalent of Figure 8, used by the campaign facade
+ * (core/campaign.hh), the CLI tool and downstream automation.
  */
 
 #ifndef WAVEDYN_CORE_SUITE_HH
 #define WAVEDYN_CORE_SUITE_HH
 
-#include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
-#include "exec/scheduler.hh"
+#include "core/hooks.hh"
 
 namespace wavedyn
 {
@@ -44,37 +42,36 @@ struct SuiteReport
 };
 
 /**
- * Progress callback: (benchmark, completed, total). Invoked once per
- * benchmark, in order, from the calling thread as each benchmark's
- * dataset is assembled. Because the whole campaign simulates as one
- * batch (the engine's flattening removes per-benchmark barriers),
- * no callback fires during the simulation phase itself — the price
- * of keeping campaign output deterministic for any --jobs setting.
- * For live per-run progress during the simulation phase, pass a
- * RunProgress hook too: it is invoked from the workers (see
- * exec/scheduler.hh for the threading contract) and reports completed
- * runs out of the whole flattened campaign.
+ * Run the full campaign over every profile of @p scenarios (insertion
+ * order): simulate each scenario's train/test sets once — all runs
+ * flattened into one parallel batch — and evaluate a predictor per
+ * (scenario x domain) cell. This is the primitive every other suite
+ * entry point delegates to. @p scenarios must outlive the call only;
+ * base.scenarios is ignored (the set passed here wins). Degenerate
+ * sweep sizes throw before any simulation starts.
+ *
+ * @param scenarios the profiles to run, one report row each
+ * @param base spec template; benchmark/scenarios fields are overwritten
+ * @param opts predictor options shared by all cells
+ * @param hooks optional progress events (core/hooks.hh)
  */
-using SuiteProgress =
-    std::function<void(const std::string &, std::size_t, std::size_t)>;
+SuiteReport runSuite(const ScenarioSet &scenarios,
+                     const ExperimentSpec &base,
+                     const PredictorOptions &opts = {},
+                     const CampaignHooks &hooks = {});
 
 /**
- * Run the full campaign: for every benchmark, simulate the train/test
- * sets once and evaluate a predictor per domain. Benchmark names
- * resolve in base.scenarios (default: the paper twelve); unknown names
- * or degenerate sweep sizes throw before any simulation starts.
- *
- * @param benchmarks benchmark names (must exist in the scenario set)
- * @param base spec template; the benchmark field is overwritten
- * @param opts predictor options shared by all cells
- * @param progress optional per-benchmark progress callback
- * @param runProgress optional live per-run hook (worker-side)
+ * runSuite over a named subset: each name is resolved in
+ * base.scenarios (default: the paper twelve; generated
+ * "gen/<family>/s<seed>/<i>" names are re-derived on the fly) and the
+ * resolved profiles run in the given order. Unknown names throw
+ * std::out_of_range, duplicates std::invalid_argument, before any
+ * simulation starts. Delegates to the ScenarioSet primitive above.
  */
 SuiteReport runSuite(const std::vector<std::string> &benchmarks,
                      const ExperimentSpec &base,
                      const PredictorOptions &opts = {},
-                     const SuiteProgress &progress = nullptr,
-                     const RunProgress &runProgress = nullptr);
+                     const CampaignHooks &hooks = {});
 
 /**
  * The simulation phases of runSuite on their own: plan every
@@ -83,24 +80,13 @@ SuiteReport runSuite(const std::vector<std::string> &benchmarks,
  * benchmark (aligned with @p benchmarks). This is the shared front
  * half of every campaign — the accuracy suite trains and evaluates on
  * the datasets, the exploration engine (dse/explorer.hh) trains its
- * per-scenario predictors on them.
+ * per-scenario predictors on them. Fires hooks.scenarioDone per
+ * assembled dataset and hooks.runProgress from the workers.
  */
 std::vector<ExperimentData>
 simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
                       const ExperimentSpec &base,
-                      const SuiteProgress &progress = nullptr,
-                      const RunProgress &runProgress = nullptr);
-
-/**
- * runSuite over an explicit scenario set (generated scenarios ride
- * alongside the paper twelve): every profile in @p scenarios is run.
- * @p scenarios must outlive the call only.
- */
-SuiteReport runSuite(const ScenarioSet &scenarios,
-                     const ExperimentSpec &base,
-                     const PredictorOptions &opts = {},
-                     const SuiteProgress &progress = nullptr,
-                     const RunProgress &runProgress = nullptr);
+                      const CampaignHooks &hooks = {});
 
 } // namespace wavedyn
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/table.hh"
+
 namespace wavedyn
 {
 
@@ -154,16 +156,31 @@ DesignSpace::names() const
 bool
 DesignSpace::valid(const DesignPoint &point) const
 {
+    return validationError(point).empty();
+}
+
+std::string
+DesignSpace::validationError(const DesignPoint &point) const
+{
     if (point.size() != params.size())
-        return false;
+        return "design point has " + std::to_string(point.size()) +
+               " coordinates; this space has " +
+               std::to_string(params.size());
     for (std::size_t i = 0; i < point.size(); ++i) {
         bool on_level = false;
         for (double v : params[i].trainLevels)
             on_level = on_level || v == point[i];
-        if (!on_level)
-            return false;
+        if (on_level)
+            continue;
+        std::string levels;
+        for (double v : params[i].trainLevels)
+            levels += (levels.empty() ? "" : ", ") + fmtParam(v);
+        return "coordinate " + std::to_string(i + 1) + " (" +
+               params[i].name + "): " + fmtParam(point[i]) +
+               " is outside the training grid (levels: " + levels +
+               ")";
     }
-    return true;
+    return "";
 }
 
 } // namespace wavedyn

@@ -107,6 +107,15 @@ class DesignSpace
     /** Validate a point (dimension count, values on train levels). */
     bool valid(const DesignPoint &point) const;
 
+    /**
+     * Why a point is invalid: names the offending coordinate (its
+     * parameter and the allowed training levels) or the dimension
+     * mismatch. Empty string when the point is valid. The message a
+     * tool should show instead of silently extrapolating outside the
+     * trained grid.
+     */
+    std::string validationError(const DesignPoint &point) const;
+
   private:
     std::vector<Parameter> params;
 };

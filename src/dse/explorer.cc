@@ -292,7 +292,7 @@ retrainBank(PredictorBank &bank, const DesignSpace &space,
 } // anonymous namespace
 
 ExploreReport
-runExplore(const ExploreSpec &spec, const ExploreHooks &hooks)
+runExplore(const ExploreSpec &spec, const CampaignHooks &hooks)
 {
     if (spec.scenarios.empty())
         throw std::invalid_argument(
@@ -318,8 +318,7 @@ runExplore(const ExploreSpec &spec, const ExploreHooks &hooks)
           std::to_string(spec.scenarios.size()) + " scenarios x " +
           std::to_string(base.trainPoints + base.testPoints) + " runs");
     std::vector<ExperimentData> datasets =
-        simulateSuiteDatasets(spec.scenarios, base, nullptr,
-                              hooks.runProgress);
+        simulateSuiteDatasets(spec.scenarios, base, hooks);
 
     DesignSpace space = std::move(datasets[0].space);
     std::vector<DesignPoint> trainPoints =
@@ -491,22 +490,6 @@ runExplore(const ExploreSpec &spec, const ExploreHooks &hooks)
     report.finalTrainPoints = trainPoints.size();
     return report;
 }
-
-namespace
-{
-
-/** Table 2 levels are integers; print them without trailing zeros. */
-std::string
-fmtParam(double v)
-{
-    // 1e15 < 2^53: every integer-valued double in range is exact and
-    // fits a long long, so the cast is well defined.
-    if (v == std::floor(v) && std::fabs(v) < 1e15)
-        return std::to_string(static_cast<long long>(v));
-    return fmt(v, 2);
-}
-
-} // anonymous namespace
 
 std::string
 renderExploreReport(const ExploreReport &report)

@@ -29,11 +29,11 @@
 #define WAVEDYN_DSE_EXPLORER_HH
 
 #include <cstddef>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/hooks.hh"
 #include "dse/objectives.hh"
 #include "dse/pareto.hh"
 #include "exec/scheduler.hh"
@@ -111,27 +111,17 @@ struct ExploreReport
     std::vector<FrontPoint> frontier;
 };
 
-/** Optional observation hooks; both may be left empty. */
-struct ExploreHooks
-{
-    /** Live per-run simulation progress (worker-side; see
-     *  exec/scheduler.hh for the threading contract). */
-    RunProgress runProgress;
-
-    /** Phase banners ("sweeping 245760 configurations (round 1)"),
-     *  invoked in deterministic order from the orchestration thread. */
-    std::function<void(const std::string &)> phase;
-};
-
 /**
- * Run a full exploration campaign.
+ * Run a full exploration campaign. Progress is observed through the
+ * shared CampaignHooks interface (core/hooks.hh): phase banners,
+ * per-scenario dataset assembly, worker-side run completion.
  *
  * @throws std::invalid_argument on an empty scenario/objective list,
  *         perRound == 0 with a non-zero budget, or a base spec that
  *         fails validateSpec() for any scenario.
  */
 ExploreReport runExplore(const ExploreSpec &spec,
-                         const ExploreHooks &hooks = {});
+                         const CampaignHooks &hooks = {});
 
 /**
  * Render the report as deterministic ASCII: campaign summary, the

@@ -1,6 +1,7 @@
 #include "sim/simulator.hh"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "workload/stream.hh"
 
@@ -30,6 +31,49 @@ domainName(Domain d)
         return "IQ_AVF";
     }
     return "?";
+}
+
+std::string
+domainSpecName(Domain d)
+{
+    switch (d) {
+      case Domain::Cpi:
+        return "cpi";
+      case Domain::Power:
+        return "power";
+      case Domain::Avf:
+        return "avf";
+      case Domain::IqAvf:
+        return "iqavf";
+    }
+    return "?";
+}
+
+bool
+parseDomain(const std::string &name, Domain &out)
+{
+    if (name == "cpi")
+        out = Domain::Cpi;
+    else if (name == "power")
+        out = Domain::Power;
+    else if (name == "avf")
+        out = Domain::Avf;
+    else if (name == "iqavf")
+        out = Domain::IqAvf;
+    else
+        return false;
+    return true;
+}
+
+Domain
+domainByName(const std::string &name)
+{
+    Domain d;
+    if (!parseDomain(name, d))
+        throw std::invalid_argument(
+            "unknown domain '" + name +
+            "' (known: cpi, power, avf, iqavf)");
+    return d;
 }
 
 double

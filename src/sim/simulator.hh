@@ -36,8 +36,17 @@ enum class Domain
 /** All domains, evaluation order. */
 const std::vector<Domain> &allDomains();
 
-/** Short name for a domain. */
+/** Short display name for a domain ("CPI", "Power", ...). */
 std::string domainName(Domain d);
+
+/** CLI/spec name of a domain ("cpi", "power", "avf", "iqavf"). */
+std::string domainSpecName(Domain d);
+
+/** Parse a CLI/spec domain name; returns false on unknown names. */
+bool parseDomain(const std::string &name, Domain &out);
+
+/** parseDomain that throws std::invalid_argument listing the names. */
+Domain domainByName(const std::string &name);
 
 /** One sampled interval of a run. */
 struct IntervalSample

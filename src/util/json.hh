@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Dependency-free JSON value type, parser and writer — the wire format
+ * of declarative campaign specs (core/campaign.hh) and machine-readable
+ * bench/report output.
+ *
+ * Design constraints that shaped this over an off-the-shelf library:
+ *  - no new dependency: the container bakes in only the cpp toolchain;
+ *  - exact 64-bit integers: campaign seeds are uint64 and must
+ *    round-trip bit-for-bit, which IEEE doubles cannot guarantee above
+ *    2^53, so numbers remember whether they were integer literals;
+ *  - deterministic output: object members keep insertion order and
+ *    doubles are written with the shortest representation that parses
+ *    back to the same value, so writeJson(parseJson(x)) is stable and
+ *    spec files can be diffed byte-for-byte in CI;
+ *  - precise errors: the parser reports line/column, and object
+ *    members reject duplicate keys (a silently-dropped duplicate in a
+ *    campaign spec would run a different campaign than reviewed).
+ */
+
+#ifndef WAVEDYN_UTIL_JSON_HH
+#define WAVEDYN_UTIL_JSON_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /** How a Number is stored; integer literals keep exact values. */
+    enum class NumberKind { Double, Int, Uint };
+
+    JsonValue() = default; //!< null
+    JsonValue(std::nullptr_t) {}
+    JsonValue(bool v) : ty(Type::Bool), boolean(v) {}
+    JsonValue(double v) : ty(Type::Number), nk(NumberKind::Double), d(v) {}
+    JsonValue(std::int64_t v) : ty(Type::Number), nk(NumberKind::Int), i(v)
+    {}
+    JsonValue(std::uint64_t v)
+        : ty(Type::Number), nk(NumberKind::Uint), u(v)
+    {}
+    JsonValue(int v) : JsonValue(static_cast<std::int64_t>(v)) {}
+    JsonValue(std::string v) : ty(Type::String), str(std::move(v)) {}
+    JsonValue(const char *v) : ty(Type::String), str(v) {}
+
+    /** Empty array / object (distinct from null). */
+    static JsonValue array();
+    static JsonValue object();
+
+    Type type() const { return ty; }
+    bool isNull() const { return ty == Type::Null; }
+    bool isBool() const { return ty == Type::Bool; }
+    bool isNumber() const { return ty == Type::Number; }
+    bool isString() const { return ty == Type::String; }
+    bool isArray() const { return ty == Type::Array; }
+    bool isObject() const { return ty == Type::Object; }
+
+    /** Human-readable type name ("unsigned integer" for Uint etc.). */
+    std::string typeName() const;
+
+    // -- scalar accessors; throw std::logic_error on a type mismatch
+    //    (campaign parsing checks types first and reports field paths;
+    //    these guards catch programming errors, not user input).
+    bool asBool() const;
+
+    /** Numeric value as double, whatever the stored kind. */
+    double asDouble() const;
+
+    /** True when the number is integral and fits uint64 exactly. */
+    bool fitsUint64() const;
+    std::uint64_t asUint64() const; //!< @pre fitsUint64()
+
+    /** True when the number is integral and fits int64 exactly. */
+    bool fitsInt64() const;
+    std::int64_t asInt64() const; //!< @pre fitsInt64()
+
+    NumberKind numberKind() const; //!< @pre isNumber()
+
+    const std::string &asString() const;
+
+    // -- array access
+    std::size_t size() const; //!< array: elements; object: members
+    const JsonValue &at(std::size_t i) const;
+    /**
+     * Append an array element; returns the stored element. The
+     * reference is invalidated by ANY later push()/set() on this
+     * container (vector reallocation) — use it immediately, or build
+     * the child as a local and insert it once finished.
+     */
+    JsonValue &push(JsonValue v);
+
+    // -- object access (insertion-ordered; lookups are linear, which
+    //    is fine at campaign-spec sizes)
+    const JsonValue *find(const std::string &key) const;
+    const JsonValue &at(const std::string &key) const;
+    /**
+     * Insert or overwrite a member; returns the stored value. Same
+     * invalidation contract as push(): any later set()/push() on this
+     * object may dangle the reference.
+     */
+    JsonValue &set(const std::string &key, JsonValue v);
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /**
+     * Structural equality. Numbers compare by value across kinds
+     * (1, 1u and 1.0 are equal); objects compare member-by-member in
+     * order, so two documents are equal iff writeJson renders them
+     * identically (modulo numeric spellings of equal values).
+     */
+    bool operator==(const JsonValue &other) const;
+    bool operator!=(const JsonValue &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    Type ty = Type::Null;
+    bool boolean = false;
+    NumberKind nk = NumberKind::Double;
+    double d = 0.0;
+    std::int64_t i = 0;
+    std::uint64_t u = 0;
+    std::string str;
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+/** Parse failure, locating the offending character. */
+class JsonParseError : public std::runtime_error
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t line,
+                   std::size_t column);
+
+    std::size_t line() const { return ln; }
+    std::size_t column() const { return col; }
+
+  private:
+    std::size_t ln;
+    std::size_t col;
+};
+
+/**
+ * Parse one JSON document (object, array or scalar). Strict: rejects
+ * trailing content, duplicate object keys, unpaired surrogates and
+ * nesting deeper than 128 levels.
+ * @throws JsonParseError with 1-based line/column on malformed input.
+ */
+JsonValue parseJson(const std::string &text);
+
+/**
+ * Serialise a value. @p indent > 0 pretty-prints with that many spaces
+ * per level; 0 emits the compact single-line form. Deterministic:
+ * members in insertion order, integers exact, doubles in the shortest
+ * spelling that strtod parses back to the same bits. No trailing
+ * newline.
+ */
+std::string writeJson(const JsonValue &value, std::size_t indent = 2);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_JSON_HH

@@ -1,6 +1,7 @@
 #include "util/table.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -92,6 +93,16 @@ std::string
 fmt(int v)
 {
     return std::to_string(v);
+}
+
+std::string
+fmtParam(double v)
+{
+    // 1e15 < 2^53: every integer-valued double in range is exact and
+    // fits a long long, so the cast is well defined.
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return std::to_string(static_cast<long long>(v));
+    return fmt(v, 2);
 }
 
 void

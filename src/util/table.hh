@@ -54,6 +54,14 @@ std::string fmt(std::size_t v);
 /** Format an int. */
 std::string fmt(int v);
 
+/**
+ * Format a design-space parameter value: Table 2 levels are integers,
+ * so integral values print without trailing zeros ("96", not
+ * "96.000"); anything else falls back to fmt(v, 2). One definition so
+ * frontier tables, CSV rows and design-point error messages agree.
+ */
+std::string fmtParam(double v);
+
 /** Write rows as CSV to a stream (no quoting; cells must be clean). */
 void writeCsv(std::ostream &os,
               const std::vector<std::string> &header,

@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Campaign spec tests: JSON round-trips across all four kinds,
+ * field-path error messages for malformed / unknown-field /
+ * wrong-type input (no aborts, no silent defaults), semantic
+ * validation, and the small end-to-end kinds (train/evaluate) through
+ * runCampaign.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+CampaignSpec
+suiteSpec()
+{
+    CampaignSpec s;
+    s.kind = CampaignKind::Suite;
+    s.scenarios.names = {"gcc", "mcf"};
+    s.scenarios.family = WorkloadFamily::CacheThrash;
+    s.scenarios.seed = 0xfeedfacecafebeefULL; // > 2^53: exactness test
+    s.scenarios.count = 2;
+    s.experiment.trainPoints = 12;
+    s.experiment.testPoints = 5;
+    s.experiment.samples = 32;
+    s.experiment.intervalInstrs = 200;
+    s.experiment.seed = 99;
+    s.experiment.randomTraining = true;
+    s.experiment.domains = {Domain::Cpi, Domain::IqAvf};
+    s.experiment.dvm.enabled = true;
+    s.experiment.dvm.threshold = 0.4;
+    s.experiment.dvm.sampleCycles = 250;
+    s.predictor.coefficients = 8;
+    s.predictor.selection = SelectionScheme::Order;
+    s.predictor.model = CoefficientModel::Linear;
+    s.predictor.clampToTrainingRange = false;
+    return s;
+}
+
+CampaignSpec
+exploreSpec()
+{
+    CampaignSpec s;
+    s.kind = CampaignKind::Explore;
+    s.scenarios.count = 3;
+    s.scenarios.seed = 7;
+    s.objectives = {Objective::Bips, Objective::Power};
+    s.budget = 6;
+    s.perRound = 3;
+    s.chunk = 128;
+    s.maxSweepPoints = 1000;
+    return s;
+}
+
+CampaignSpec
+trainSpec()
+{
+    CampaignSpec s;
+    s.kind = CampaignKind::Train;
+    s.scenarios.names = {"gcc"};
+    s.experiment.trainPoints = 10;
+    s.experiment.testPoints = 1;
+    s.experiment.samples = 16;
+    s.experiment.intervalInstrs = 120;
+    s.experiment.domains = {Domain::Power};
+    s.domain = Domain::Power;
+    s.modelPath = "/tmp/model.txt";
+    return s;
+}
+
+CampaignSpec
+evaluateSpec()
+{
+    CampaignSpec s = trainSpec();
+    s.kind = CampaignKind::Evaluate;
+    s.experiment.testPoints = 4;
+    return s;
+}
+
+TEST(CampaignSpec, RoundTripsAllFourKinds)
+{
+    for (const CampaignSpec &s :
+         {suiteSpec(), exploreSpec(), trainSpec(), evaluateSpec()}) {
+        // Struct -> JSON -> struct -> JSON: document and spec
+        // identity both hold.
+        JsonValue doc = toJson(s);
+        CampaignSpec back = campaignSpecFromJson(doc);
+        EXPECT_EQ(back, s) << writeJson(doc);
+        EXPECT_EQ(toJson(back), doc) << writeJson(doc);
+        // And through the wire format (text).
+        CampaignSpec reparsed =
+            campaignSpecFromJson(parseJson(writeJson(doc)));
+        EXPECT_EQ(reparsed, s);
+    }
+}
+
+TEST(CampaignSpec, DocumentRoundTripIsExact)
+{
+    // toJson(fromJson(x)) == x for a canonical-form document,
+    // including a seed above 2^53 that a double would corrupt.
+    JsonValue doc = toJson(suiteSpec());
+    EXPECT_EQ(toJson(campaignSpecFromJson(doc)), doc);
+    EXPECT_EQ(doc.at("scenarios").at("generate").at("seed").asUint64(),
+              0xfeedfacecafebeefULL);
+}
+
+TEST(CampaignSpec, MinimalDocumentGetsDefaults)
+{
+    CampaignSpec s = campaignSpecFromJson(
+        parseJson(R"({"kind": "suite",
+                      "scenarios": {"names": ["gcc"]}})"));
+    EXPECT_EQ(s.kind, CampaignKind::Suite);
+    EXPECT_EQ(s.scenarios.names, std::vector<std::string>{"gcc"});
+    ExperimentSpec defaults;
+    EXPECT_EQ(s.experiment.trainPoints, defaults.trainPoints);
+    EXPECT_EQ(s.experiment.seed, defaults.seed);
+    EXPECT_EQ(s.predictor.coefficients, PredictorOptions{}.coefficients);
+    EXPECT_NO_THROW(validateCampaign(s));
+}
+
+/** The error must contain @p needle — the field path. */
+void
+expectSpecError(const std::string &json, const std::string &needle)
+{
+    try {
+        CampaignSpec s = campaignSpecFromJson(parseJson(json));
+        validateCampaign(s);
+        FAIL() << "expected an error mentioning '" << needle
+               << "' for: " << json;
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "error was: " << e.what();
+    }
+}
+
+TEST(CampaignSpec, MissingKindIsAnError)
+{
+    expectSpecError(R"({})", "campaign.kind: missing");
+}
+
+TEST(CampaignSpec, UnknownEnumValuesNameTheField)
+{
+    expectSpecError(R"({"kind": "tournament"})", "campaign.kind");
+    expectSpecError(
+        R"({"kind": "suite",
+            "scenarios": {"generate": {"family": "gpu", "count": 1}}})",
+        "campaign.scenarios.generate.family");
+    expectSpecError(
+        R"({"kind": "explore", "scenarios": {"names": ["gcc"]},
+            "explore": {"objectives": ["speed"]}})",
+        "campaign.explore.objectives[0]");
+    expectSpecError(
+        R"({"kind": "train", "scenarios": {"names": ["gcc"]},
+            "train": {"domain": "watts", "model_path": "m"}})",
+        "campaign.train.domain");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "predictor": {"model": "transformer"}})",
+        "campaign.predictor.model");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "experiment": {"domains": ["cpi", "flops"]}})",
+        "campaign.experiment.domains[1]");
+}
+
+TEST(CampaignSpec, UnknownFieldsNameTheirPath)
+{
+    expectSpecError(R"({"kind": "suite", "scnarios": {}})",
+                    "campaign.scnarios: unknown field");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "experiment": {"train_pts": 5}})",
+        "campaign.experiment.train_pts: unknown field");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "experiment": {"dvm": {"treshold": 0.5}}})",
+        "campaign.experiment.dvm.treshold: unknown field");
+}
+
+TEST(CampaignSpec, WrongTypesNameTheirPath)
+{
+    expectSpecError(R"({"kind": 3})", "campaign.kind");
+    expectSpecError(
+        R"({"kind": "suite",
+            "experiment": {"train_points": "many"}})",
+        "campaign.experiment.train_points: expected an unsigned "
+        "integer, got string");
+    expectSpecError(
+        R"({"kind": "suite",
+            "experiment": {"train_points": -4}})",
+        "campaign.experiment.train_points");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": "gcc"}})",
+        "campaign.scenarios.names: expected an array, got string");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": [1]}})",
+        "campaign.scenarios.names[0]: expected a string");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "experiment": {"random_training": "yes"}})",
+        "campaign.experiment.random_training: expected a boolean");
+    expectSpecError(R"({"kind": "suite", "scenarios": []})",
+                    "campaign.scenarios: expected an object, got array");
+}
+
+TEST(CampaignSpec, KindBlocksAreExclusive)
+{
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "explore": {"budget": 4}})",
+        "campaign.explore: only valid when kind is 'explore'");
+    expectSpecError(
+        R"({"kind": "explore", "scenarios": {"names": ["gcc"]},
+            "train": {"model_path": "m"}})",
+        "campaign.train: only valid when kind is 'train'");
+}
+
+TEST(CampaignSpec, SemanticValidationSpeaksFieldPaths)
+{
+    expectSpecError(R"({"kind": "suite"})", "campaign.scenarios");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc", "gcc"]}})",
+        "appears more than once");
+    // A generated name colliding with the generate block is the same
+    // duplicate, spelled two ways.
+    expectSpecError(
+        R"({"kind": "suite",
+            "scenarios": {"names": ["gen/mixed/s7/0"],
+                          "generate": {"family": "mixed", "seed": 7,
+                                       "count": 1}}})",
+        "appears more than once");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "experiment": {"train_points": 0}})",
+        "campaign.experiment.train_points: must be non-zero");
+    expectSpecError(
+        R"({"kind": "suite", "scenarios": {"names": ["gcc"]},
+            "predictor": {"coefficients": 0}})",
+        "campaign.predictor.coefficients");
+    expectSpecError(
+        R"({"kind": "explore", "scenarios": {"names": ["gcc"]},
+            "explore": {"objectives": []}})",
+        "campaign.explore.objectives");
+    expectSpecError(
+        R"({"kind": "explore", "scenarios": {"names": ["gcc"]},
+            "explore": {"objectives": ["cpi", "cpi"]}})",
+        "campaign.explore.objectives");
+    expectSpecError(
+        R"({"kind": "explore", "scenarios": {"names": ["gcc"]},
+            "explore": {"per_round": 0}})",
+        "campaign.explore.per_round");
+    expectSpecError(
+        R"({"kind": "train", "scenarios": {"names": ["gcc"]}})",
+        "campaign.train.model_path");
+    expectSpecError(
+        R"({"kind": "train", "scenarios": {"names": ["gcc", "mcf"]},
+            "train": {"model_path": "m"}})",
+        "exactly one scenario");
+    expectSpecError(
+        R"({"kind": "suite",
+            "scenarios": {"generate": {"count": 0}}})",
+        "campaign.scenarios.generate.count");
+}
+
+TEST(CampaignSpec, MalformedJsonThrowsParseErrorNotAbort)
+{
+    EXPECT_THROW(parseCampaignSpec("{\"kind\": \"suite\""),
+                 JsonParseError);
+    EXPECT_THROW(parseCampaignSpec(""), JsonParseError);
+    EXPECT_THROW(parseCampaignSpec("kind: suite"), JsonParseError);
+}
+
+TEST(CampaignSpec, EqualityIsSerializedIdentity)
+{
+    CampaignSpec a = suiteSpec();
+    CampaignSpec b = suiteSpec();
+    EXPECT_EQ(a, b);
+    b.experiment.seed = 100;
+    EXPECT_NE(a, b);
+    // Another kind's knobs are not part of a suite's description.
+    CampaignSpec c = suiteSpec();
+    c.budget = 999;
+    EXPECT_EQ(a, c);
+}
+
+TEST(Campaign, RunRejectsUnknownScenario)
+{
+    CampaignSpec s = suiteSpec();
+    s.scenarios.names = {"no-such-benchmark"};
+    s.scenarios.count = 0;
+    EXPECT_THROW(runCampaign(s), std::out_of_range);
+}
+
+TEST(Campaign, TrainThenEvaluateEndToEnd)
+{
+    const std::string path = "campaign_test_model.tmp";
+    CampaignSpec train = trainSpec();
+    train.modelPath = path;
+
+    CampaignResult trained = runCampaign(train);
+    EXPECT_EQ(trained.kind, CampaignKind::Train);
+    EXPECT_EQ(trained.benchmark, "gcc");
+    EXPECT_GT(trained.coefficientModels, 0u);
+    EXPECT_EQ(trained.traceLength, 16u);
+
+    CampaignSpec eval = evaluateSpec();
+    eval.modelPath = path;
+    CampaignResult evaluated = runCampaign(eval);
+    EXPECT_EQ(evaluated.kind, CampaignKind::Evaluate);
+    EXPECT_EQ(evaluated.evaluation.msePerTest.size(), 4u);
+    for (double m : evaluated.evaluation.msePerTest)
+        EXPECT_GE(m, 0.0);
+
+    // Text and JSON sinks cover train/evaluate; tables do not.
+    EXPECT_NE(renderReport(trained, ReportFormat::Text).find("saved"),
+              std::string::npos);
+    EXPECT_NE(renderReport(evaluated, ReportFormat::Json)
+                  .find("\"mse_percent\""),
+              std::string::npos);
+    EXPECT_THROW(renderReport(trained, ReportFormat::Csv),
+                 std::invalid_argument);
+    EXPECT_THROW(renderReport(evaluated, ReportFormat::Markdown),
+                 std::invalid_argument);
+
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, SuiteHooksFireThroughTheFacade)
+{
+    CampaignSpec s;
+    s.kind = CampaignKind::Suite;
+    s.scenarios.count = 2;
+    s.scenarios.seed = 7;
+    s.experiment.trainPoints = 6;
+    s.experiment.testPoints = 2;
+    s.experiment.samples = 16;
+    s.experiment.intervalInstrs = 100;
+    s.experiment.domains = {Domain::Cpi};
+
+    std::vector<std::string> phases;
+    std::vector<std::string> scenarios;
+    std::size_t lastRunsDone = 0;
+    CampaignHooks hooks;
+    hooks.phase = [&](const std::string &m) { phases.push_back(m); };
+    hooks.scenarioDone = [&](const std::string &b, std::size_t,
+                             std::size_t) { scenarios.push_back(b); };
+    hooks.runProgress = [&](std::size_t done, std::size_t) {
+        lastRunsDone = done;
+    };
+
+    CampaignResult result = runCampaign(s, hooks);
+    EXPECT_EQ(result.suite.cells.size(), 2u);
+    EXPECT_FALSE(phases.empty());
+    ASSERT_EQ(scenarios.size(), 2u);
+    EXPECT_EQ(scenarios[0], "gen/mixed/s7/0");
+    // 2 scenarios x (6 train + 2 test) runs.
+    EXPECT_EQ(lastRunsDone, 16u);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

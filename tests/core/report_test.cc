@@ -1,11 +1,14 @@
 /**
  * @file
- * Tests for suite report rendering (text / Markdown / CSV).
+ * Tests for campaign report rendering: the raw suite renderers
+ * (text / Markdown / CSV) and the ReportSink abstraction with its
+ * JSON writers.
  */
 
 #include <gtest/gtest.h>
 
 #include "core/report.hh"
+#include "util/json.hh"
 
 namespace wavedyn
 {
@@ -84,6 +87,115 @@ TEST(Report, MissingCellRendersDash)
     r.cells.erase(r.cells.begin() + 1);
     auto s = renderSuiteText(r);
     EXPECT_NE(s.find("-"), std::string::npos);
+}
+
+TEST(Report, FormatNamesRoundTrip)
+{
+    for (ReportFormat f : allReportFormats()) {
+        ReportFormat back;
+        ASSERT_TRUE(parseReportFormat(reportFormatName(f), back));
+        EXPECT_EQ(back, f);
+        EXPECT_EQ(makeReportSink(f)->format(), f);
+    }
+    EXPECT_THROW(reportFormatByName("xml"), std::invalid_argument);
+}
+
+TEST(Report, FormatSupportMatchesSinkBehaviour)
+{
+    // reportFormatSupports is the up-front gate callers use to avoid
+    // simulating a campaign whose result they cannot render; it must
+    // agree with what the sinks actually accept.
+    for (CampaignKind k :
+         {CampaignKind::Suite, CampaignKind::Explore, CampaignKind::Train,
+          CampaignKind::Evaluate}) {
+        EXPECT_TRUE(reportFormatSupports(ReportFormat::Text, k));
+        EXPECT_TRUE(reportFormatSupports(ReportFormat::Json, k));
+    }
+    EXPECT_TRUE(reportFormatSupports(ReportFormat::Csv,
+                                     CampaignKind::Suite));
+    EXPECT_TRUE(reportFormatSupports(ReportFormat::Markdown,
+                                     CampaignKind::Explore));
+    EXPECT_FALSE(reportFormatSupports(ReportFormat::Csv,
+                                      CampaignKind::Train));
+    EXPECT_FALSE(reportFormatSupports(ReportFormat::Markdown,
+                                      CampaignKind::Evaluate));
+}
+
+TEST(Report, SinksMatchTheRawSuiteRenderers)
+{
+    CampaignResult result;
+    result.kind = CampaignKind::Suite;
+    result.suite = fakeReport();
+    EXPECT_EQ(renderReport(result, ReportFormat::Text),
+              renderSuiteText(result.suite));
+    EXPECT_EQ(renderReport(result, ReportFormat::Markdown),
+              renderSuiteMarkdown(result.suite));
+    EXPECT_EQ(renderReport(result, ReportFormat::Csv),
+              renderSuiteCsv(result.suite));
+}
+
+TEST(Report, SuiteJsonIsParsableAndComplete)
+{
+    CampaignResult result;
+    result.kind = CampaignKind::Suite;
+    result.suite = fakeReport();
+    JsonValue doc = parseJson(renderReport(result, ReportFormat::Json));
+    EXPECT_EQ(doc.at("kind").asString(), "suite");
+    ASSERT_EQ(doc.at("cells").size(), 4u);
+    const JsonValue &cell = doc.at("cells").at(0);
+    EXPECT_EQ(cell.at("benchmark").asString(), "gcc");
+    EXPECT_EQ(cell.at("domain").asString(), "cpi");
+    EXPECT_DOUBLE_EQ(cell.at("mse_percent").at("median").asDouble(),
+                     2.0);
+    EXPECT_EQ(cell.at("mse_per_test").size(), 3u);
+    EXPECT_DOUBLE_EQ(doc.at("overall_median").at("cpi").asDouble(),
+                     2.0);
+}
+
+TEST(Report, ExploreJsonIsParsableAndComplete)
+{
+    CampaignResult result;
+    result.kind = CampaignKind::Explore;
+    result.explore.objectives = {Objective::Cpi, Objective::Energy};
+    result.explore.paramNames = {"Fetch_width", "ROB_size"};
+    result.explore.spaceSize = 100;
+    result.explore.sweepPoints = 100;
+    result.explore.scenarioCount = 2;
+    ExploreRoundStats round;
+    round.round = 0;
+    round.simulated = 4;
+    round.meanAbsErrPct = {1.5, 2.5};
+    result.explore.rounds.push_back(round);
+    FrontPoint fp;
+    fp.point = {4.0, 96.0};
+    fp.scores = {0.5, 1.25};
+    fp.values = {0.5, 1.25};
+    fp.uncertainty = 0.125;
+    result.explore.frontier.push_back(fp);
+
+    JsonValue doc = parseJson(renderReport(result, ReportFormat::Json));
+    EXPECT_EQ(doc.at("kind").asString(), "explore");
+    EXPECT_EQ(doc.at("objectives").at(1).asString(), "energy");
+    EXPECT_EQ(doc.at("space_size").asUint64(), 100u);
+    EXPECT_DOUBLE_EQ(doc.at("rounds")
+                         .at(0)
+                         .at("mean_abs_err_pct")
+                         .at("energy")
+                         .asDouble(),
+                     2.5);
+    const JsonValue &front = doc.at("frontier").at(0);
+    EXPECT_DOUBLE_EQ(front.at("values").at("cpi").asDouble(), 0.5);
+    EXPECT_DOUBLE_EQ(front.at("point").at("ROB_size").asDouble(), 96.0);
+    EXPECT_DOUBLE_EQ(front.at("uncertainty").asDouble(), 0.125);
+
+    // Markdown and CSV render the frontier too.
+    std::string md = renderReport(result, ReportFormat::Markdown);
+    EXPECT_NE(md.find("| round |"), std::string::npos);
+    EXPECT_NE(md.find("Pareto frontier"), std::string::npos);
+    std::string csv = renderReport(result, ReportFormat::Csv);
+    EXPECT_NE(csv.find("cpi,energy,uncertainty,Fetch_width,ROB_size"),
+              std::string::npos);
+    EXPECT_NE(csv.find("4,96"), std::string::npos);
 }
 
 } // anonymous namespace

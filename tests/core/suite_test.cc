@@ -55,18 +55,43 @@ TEST(Suite, OverallMedianAggregates)
     EXPECT_LT(med, 100.0);
 }
 
-TEST(Suite, ProgressCallbackInvoked)
+TEST(Suite, ScenarioDoneHookInvoked)
 {
     std::vector<std::string> seen;
-    runSuite({"bzip2", "eon"}, tinyBase(), {},
-             [&](const std::string &b, std::size_t done,
-                 std::size_t total) {
-                 seen.push_back(b);
-                 EXPECT_LE(done, total);
-             });
+    CampaignHooks hooks;
+    hooks.scenarioDone = [&](const std::string &b, std::size_t done,
+                             std::size_t total) {
+        seen.push_back(b);
+        EXPECT_LE(done, total);
+    };
+    runSuite({"bzip2", "eon"}, tinyBase(), {}, hooks);
     ASSERT_EQ(seen.size(), 2u);
     EXPECT_EQ(seen[0], "bzip2");
     EXPECT_EQ(seen[1], "eon");
+}
+
+TEST(Suite, NameListDelegatesToScenarioSetPrimitive)
+{
+    // The two overloads are one path: running an explicit name list
+    // equals running a set holding exactly those profiles.
+    ScenarioSet subset;
+    subset.add(ScenarioSet::paper().at("bzip2"));
+    subset.add(ScenarioSet::paper().at("eon"));
+    auto byNames = runSuite({"bzip2", "eon"}, tinyBase());
+    auto bySet = runSuite(subset, tinyBase());
+    ASSERT_EQ(byNames.cells.size(), bySet.cells.size());
+    for (std::size_t i = 0; i < byNames.cells.size(); ++i) {
+        EXPECT_EQ(byNames.cells[i].benchmark, bySet.cells[i].benchmark);
+        EXPECT_EQ(byNames.cells[i].msePerTest, bySet.cells[i].msePerTest);
+    }
+}
+
+TEST(Suite, NameListRejectsUnknownAndDuplicateNames)
+{
+    EXPECT_THROW(runSuite({"no-such-benchmark"}, tinyBase()),
+                 std::out_of_range);
+    EXPECT_THROW(runSuite({"bzip2", "bzip2"}, tinyBase()),
+                 std::invalid_argument);
 }
 
 TEST(Suite, RespectsDomainSubset)
