@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Simulator hot-path throughput: simulated instructions per second of
+ * the end-to-end simulate() loop across the six workload families
+ * (profile 0 of seed 1) plus a paper profile, and raw instruction-
+ * decode throughput with the random-access reference path (at(i))
+ * versus the streaming Cursor.
+ *
+ * This is the perf trajectory anchor for the cycle loop: `--json
+ * BENCH_sim.json` records every row so regressions in the hot path
+ * show up as a diffable number, and CI runs it as a Release smoke
+ * step at WAVEDYN_SCALE=smoke. Rows are best-of-3 wall-clock timings
+ * to damp scheduler noise; the decode rows also cross-check that both
+ * paths produce identical micro-ops over the measured range.
+ */
+
+#include <chrono>
+#include <cstdint>
+
+#include "bench/common.hh"
+#include "sim/simulator.hh"
+#include "workload/generator.hh"
+#include "workload/stream.hh"
+
+using namespace wavedyn;
+
+namespace
+{
+
+constexpr int kRepeats = 3;
+
+/** Best-of-N wall-clock seconds of a callable. */
+template <typename Fn>
+double
+bestSeconds(Fn &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < kRepeats; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        double sec = std::chrono::duration<double>(t1 - t0).count();
+        if (r == 0 || sec < best)
+            best = sec;
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string workload;
+    std::string kind; //!< "simulate", "decode-scalar", "decode-cursor"
+    std::uint64_t instructions = 0;
+    double seconds = 0.0;
+
+    double
+    perSec() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(instructions) / seconds
+                   : 0.0;
+    }
+};
+
+/** End-to-end simulate() throughput of one profile. */
+Row
+simulateRow(const BenchmarkProfile &profile, const std::string &label,
+            const BenchContext &ctx)
+{
+    SimConfig cfg = SimConfig::baseline();
+    // One untimed run warms the allocator and branch predictors of
+    // the *host*; simulate() itself is pure, so the timed runs below
+    // produce identical SimResults.
+    SimResult warm = simulate(profile, cfg, ctx.sizes.samplesPerTrace,
+                              ctx.sizes.intervalInstrs);
+    Row row;
+    row.workload = label;
+    row.kind = "simulate";
+    row.instructions = warm.totalInstructions;
+    row.seconds = bestSeconds([&] {
+        simulate(profile, cfg, ctx.sizes.samplesPerTrace,
+                 ctx.sizes.intervalInstrs);
+    });
+    return row;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string jsonPath = benchJsonPath(argc, argv);
+    auto ctx = BenchContext::init(
+        "sim_throughput — simulate() hot-path throughput");
+
+    TextTable t("simulated-instruction throughput (best of " +
+                fmt(kRepeats) + ")");
+    t.header({"workload", "kind", "instrs", "sec", "kinstr/s"});
+    std::vector<Row> rows;
+
+    // ---- End-to-end simulate(), six families + one paper profile.
+    for (WorkloadFamily f : allFamilies()) {
+        ScenarioGenerator gen(f, 1);
+        rows.push_back(simulateRow(gen.generate(0), familyName(f), ctx));
+    }
+    rows.push_back(simulateRow(benchmarkByName("gcc"), "gcc", ctx));
+
+    // ---- Raw decode: reference random access vs streaming cursor on
+    // the mixed family. The checksums must agree — the cursor is an
+    // optimisation, not a different stream.
+    {
+        ScenarioGenerator gen(WorkloadFamily::Mixed, 1);
+        BenchmarkProfile profile = gen.generate(0);
+        const std::uint64_t n = std::max<std::uint64_t>(
+            ctx.sizes.samplesPerTrace * ctx.sizes.intervalInstrs, 1);
+        InstructionStream stream(profile, n);
+
+        std::uint64_t sumScalar = 0, sumCursor = 0;
+        auto checksum = [](std::uint64_t acc, const MicroOp &op) {
+            return acc + op.pc + op.effAddr + op.dep1 + op.dep2 +
+                   static_cast<std::uint64_t>(op.cls);
+        };
+
+        Row scalar;
+        scalar.workload = "mixed";
+        scalar.kind = "decode-scalar";
+        scalar.instructions = n;
+        scalar.seconds = bestSeconds([&] {
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < n; ++i)
+                acc = checksum(acc, stream.at(i));
+            sumScalar = acc;
+        });
+        rows.push_back(scalar);
+
+        Row cursor;
+        cursor.workload = "mixed";
+        cursor.kind = "decode-cursor";
+        cursor.instructions = n;
+        cursor.seconds = bestSeconds([&] {
+            InstructionStream::Cursor c(stream);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = 0; i < n; ++i)
+                acc = checksum(acc, c.next());
+            sumCursor = acc;
+        });
+        rows.push_back(cursor);
+
+        if (sumScalar != sumCursor) {
+            std::cerr << "error: cursor decode diverged from at(i) "
+                         "(checksum "
+                      << sumCursor << " vs " << sumScalar << ")\n";
+            return 1;
+        }
+        std::cout << "decode cross-check: cursor == at(i) over " << n
+                  << " instructions\n";
+    }
+
+    for (const auto &r : rows)
+        t.row({r.workload, r.kind, fmt(r.instructions), fmt(r.seconds, 3),
+               fmt(r.perSec() / 1000.0, 1)});
+    t.print(std::cout);
+
+    if (!jsonPath.empty()) {
+        JsonValue doc = benchJsonHeader("sim_throughput", ctx);
+        doc.set("samples", std::uint64_t{ctx.sizes.samplesPerTrace});
+        doc.set("interval_instrs",
+                std::uint64_t{ctx.sizes.intervalInstrs});
+        doc.set("repeats", std::uint64_t{kRepeats});
+        JsonValue arr = JsonValue::array();
+        for (const auto &r : rows) {
+            JsonValue row = JsonValue::object();
+            row.set("workload", r.workload);
+            row.set("kind", r.kind);
+            row.set("instructions", r.instructions);
+            row.set("seconds", r.seconds);
+            row.set("instrs_per_sec", r.perSec());
+            arr.push(std::move(row));
+        }
+        doc.set("rows", std::move(arr));
+        writeBenchJson(jsonPath, doc);
+    }
+    return 0;
+}

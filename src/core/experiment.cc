@@ -110,10 +110,12 @@ assembleExperiment(const ExperimentSpec &spec, ExperimentPlan plan,
         for (std::size_t i = 0; i < points.size(); ++i, ++task) {
             // Take ownership so the run's raw per-interval record dies
             // here, as soon as its traces are extracted — the campaign
-            // never double-holds more than one run.
+            // never double-holds more than one run. All domains are
+            // pulled in one pass over the interval record.
             SimResult r = scheduler.takeResult(task);
-            for (Domain d : spec.domains)
-                out[d].push_back(r.trace(d));
+            auto traces = r.traces(spec.domains);
+            for (std::size_t d = 0; d < spec.domains.size(); ++d)
+                out[spec.domains[d]].push_back(std::move(traces[d]));
         }
     };
     collect_set(data.trainPoints, data.trainTraces);

@@ -218,9 +218,11 @@ simulatePoints(const ExploreSpec &spec, const DesignSpace &space,
     for (std::size_t i = 0; i < points.size(); ++i) {
         actual[i].resize(profiles.size());
         for (std::size_t s = 0; s < profiles.size(); ++s, ++task) {
+            // One pass over the run's interval record for all domains.
             SimResult r = scheduler.takeResult(task);
-            for (Domain d : domains)
-                actual[i][s][d] = r.trace(d);
+            auto traces = r.traces(domains);
+            for (std::size_t d = 0; d < domains.size(); ++d)
+                actual[i][s][domains[d]] = std::move(traces[d]);
         }
     }
     return actual;

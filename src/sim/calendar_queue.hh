@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Cycle-bucketed calendar queue for completion events.
+ *
+ * The pipeline schedules every event a bounded number of cycles ahead
+ * (execution latencies top out at dl1Lat + tlbMissLat + l2Lat +
+ * memLat) and visits every cycle exactly once, so a ring of per-cycle
+ * buckets replaces a binary heap: O(1) amortised schedule/drain
+ * instead of O(log n), no per-event allocation in steady state
+ * (bucket vectors keep their capacity across reuse).
+ *
+ * Drain order is the exact order the replaced std::priority_queue
+ * popped in — ascending (cycle, seq) — by sorting each (small) bucket
+ * before draining it. That ordering is bit-significant: completion
+ * handlers update floating-point AVF accumulators, and FP addition is
+ * not associative, so a different within-cycle order would change
+ * simulated results.
+ */
+
+#ifndef WAVEDYN_SIM_CALENDAR_QUEUE_HH
+#define WAVEDYN_SIM_CALENDAR_QUEUE_HH
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+
+namespace wavedyn
+{
+
+/** Calendar of (cycle, payload) events with a power-of-two horizon. */
+class CalendarQueue
+{
+  public:
+    /**
+     * @param horizon minimum schedulable distance in cycles; the
+     *        bucket ring rounds up to a power of two and grows on
+     *        demand if an event ever lands further out.
+     */
+    explicit CalendarQueue(std::uint64_t horizon)
+    {
+        std::uint64_t cap = ceilPow2(horizon + 1);
+        buckets.resize(cap);
+        mask = cap - 1;
+    }
+
+    std::size_t pending() const { return count; }
+
+    /**
+     * Schedule @p seq to fire at @p eventCycle.
+     * @pre eventCycle > now (events in the past would never drain).
+     */
+    void
+    schedule(std::uint64_t now, std::uint64_t eventCycle,
+             std::uint64_t seq)
+    {
+        assert(eventCycle > now);
+        if (eventCycle - now > mask)
+            grow(now, eventCycle);
+        buckets[eventCycle & mask].push_back({eventCycle, seq});
+        ++count;
+    }
+
+    /**
+     * Invoke fn(seq) for every event scheduled at @p cycle, in
+     * ascending seq order, then recycle the bucket (its capacity is
+     * kept, so steady-state draining never allocates). The caller must
+     * drain every cycle in order; events never fire early or late.
+     */
+    template <typename Fn>
+    void
+    drain(std::uint64_t cycle, Fn &&fn)
+    {
+        if (count == 0)
+            return;
+        std::vector<Event> &bucket = buckets[cycle & mask];
+        if (bucket.empty())
+            return;
+        if (bucket.size() > 1)
+            std::sort(bucket.begin(), bucket.end());
+        for (const Event &e : bucket) {
+            assert(e.cycle == cycle);
+            fn(e.seq);
+        }
+        count -= bucket.size();
+        bucket.clear();
+    }
+
+  private:
+    struct Event
+    {
+        std::uint64_t cycle;
+        std::uint64_t seq;
+
+        bool
+        operator<(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle < o.cycle : seq < o.seq;
+        }
+    };
+
+    /** Rehash every pending event into a ring that spans eventCycle. */
+    void
+    grow(std::uint64_t now, std::uint64_t eventCycle)
+    {
+        std::uint64_t cap =
+            std::max((mask + 1) * 2, ceilPow2(eventCycle - now + 1));
+        std::vector<std::vector<Event>> bigger(cap);
+        for (auto &bucket : buckets)
+            for (const Event &e : bucket)
+                bigger[e.cycle & (cap - 1)].push_back(e);
+        buckets = std::move(bigger);
+        mask = cap - 1;
+    }
+
+    std::vector<std::vector<Event>> buckets;
+    std::uint64_t mask = 0;
+    std::size_t count = 0;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_CALENDAR_QUEUE_HH

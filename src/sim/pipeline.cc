@@ -19,7 +19,7 @@ AvfSample::combined(const SimConfig &cfg) const
 
 Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
                    DvmConfig dvm)
-    : stream(stream), cfg(cfg),
+    : cfg(cfg),
       il1Cache(cfg.il1SizeKb, cfg.il1Assoc, cfg.il1LineBytes, "il1"),
       dl1Cache(cfg.dl1SizeKb, cfg.dl1Assoc, cfg.dl1LineBytes, "dl1"),
       l2Cache(cfg.l2SizeKb, cfg.l2Assoc, cfg.l2LineBytes, "l2"),
@@ -30,7 +30,15 @@ Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
       ras(cfg.rasEntries),
       iqAvfAcc(cfg.iqSize), robAvfAcc(cfg.robSize),
       lsqAvfAcc(cfg.lsqSize),
-      dvmCtl(dvm, cfg.iqSize)
+      dvmCtl(dvm, cfg.iqSize),
+      window(cfg.robSize),
+      fetchQueue(2 * cfg.fetchWidth),
+      // Longest schedulable latency: a load missing DTLB, DL1 and L2.
+      // Fixed execution latencies are far shorter; the queue grows on
+      // demand should a configuration ever exceed the bound.
+      completions(cfg.dl1Lat + cfg.tlbMissLat + cfg.l2Lat + cfg.memLat +
+                  16),
+      fetchCursor(stream)
 {
 }
 
@@ -46,8 +54,10 @@ Pipeline::entryFor(std::uint64_t seq)
 }
 
 bool
-Pipeline::depsReady(const InFlight &e) const
+Pipeline::depsReady(InFlight &e)
 {
+    bool ready = true;
+    std::uint64_t not_before = cycle + 1;
     for (std::uint32_t dep : {e.op.dep1, e.op.dep2}) {
         if (dep == 0)
             continue;
@@ -58,10 +68,54 @@ Pipeline::depsReady(const InFlight &e) const
         if (idx >= window.size())
             continue;
         const InFlight &p = window[idx];
-        if (!p.issued || p.completeCycle > cycle)
-            return false;
+        if (!p.issued) {
+            ready = false;
+            // The producer itself cannot issue before its own memo
+            // bound, so this entry cannot be ready before one cycle
+            // later. Bounds only ever hold cycles that were sound
+            // when written, and readiness is monotone in time, so a
+            // stale producer bound is still a valid lower bound —
+            // and the oldest-first scan refreshes producers before
+            // their consumers, collapsing whole dependence chains to
+            // near-exact bounds in a single pass.
+            if (p.notReadyBefore + 1 > not_before)
+                not_before = p.notReadyBefore + 1;
+        } else if (p.completeCycle > cycle) {
+            ready = false;
+            if (p.completeCycle > not_before)
+                not_before = p.completeCycle;
+        }
     }
-    return true;
+    if (!ready)
+        e.notReadyBefore = not_before;
+    return ready;
+}
+
+void
+Pipeline::iqListAppend(InFlight &e)
+{
+    e.iqPrev = iqTail;
+    e.iqNext = kNoSeq;
+    if (iqTail != kNoSeq)
+        liveEntry(iqTail).iqNext = e.seq;
+    else
+        iqHead = e.seq;
+    iqTail = e.seq;
+}
+
+void
+Pipeline::iqListRemove(InFlight &e)
+{
+    if (e.iqPrev != kNoSeq)
+        liveEntry(e.iqPrev).iqNext = e.iqNext;
+    else
+        iqHead = e.iqNext;
+    if (e.iqNext != kNoSeq)
+        liveEntry(e.iqNext).iqPrev = e.iqPrev;
+    else
+        iqTail = e.iqPrev;
+    e.iqNext = kNoSeq;
+    e.iqPrev = kNoSeq;
 }
 
 unsigned
@@ -94,12 +148,10 @@ Pipeline::loadLatency(std::uint64_t addr)
 void
 Pipeline::doCompletions()
 {
-    while (!completions.empty() && completions.top().first <= cycle) {
-        std::uint64_t seq = completions.top().second;
-        completions.pop();
+    completions.drain(cycle, [&](std::uint64_t seq) {
         InFlight *e = entryFor(seq);
         if (!e || e->aceCompleted)
-            continue;
+            return;
         e->aceCompleted = true;
         // ROB entry: in-flight ACE state shrinks to the pending result.
         robAvfAcc.release(ace.robInFlight(e->op.cls));
@@ -111,7 +163,7 @@ Pipeline::doCompletions()
             --lsqOcc;
             lsqAvfAcc.release(ace.lsq(InstrClass::Load));
         }
-    }
+    });
 }
 
 void
@@ -159,24 +211,43 @@ Pipeline::doIssue()
     const unsigned issue_width = cfg.fetchWidth;
     const unsigned scan_cap = std::max(32u, 3 * issue_width);
 
+    if (cycle < issueSleepUntil) {
+        // Asleep: every IQ resident is provably unready, so the scan
+        // would issue nothing and observe ready=0 and — visiting
+        // min(len, cap) entries as waiting, charging the rest to the
+        // beyond-cap remainder — a waiting count of len (len <= cap)
+        // or len - 1 (len > cap). len is frozen while asleep.
+        lastReadyCount = 0;
+        lastWaitingCount = iqOcc <= scan_cap
+                               ? iqOcc
+                               : static_cast<std::uint64_t>(iqOcc) - 1;
+        return;
+    }
+
     unsigned fu_int_alu = 0, fu_int_mul = 0;
     unsigned fu_fp_alu = 0, fu_fp_mul = 0;
     unsigned fu_mem = 0;
     unsigned issued = 0, scanned = 0;
     std::uint64_t ready_seen = 0, waiting_seen = 0;
+    std::uint64_t wake = ~0ull; //!< earliest bound among the unready
 
-    for (auto &e : window) {
-        if (issued >= issue_width)
-            break;
-        if (e.issued)
-            continue;
-        if (!e.inIq)
-            continue;
+    // Walk the unissued IQ residents oldest first. The intrusive list
+    // contains exactly the entries the historical full-window walk
+    // considered (inIq && !issued), in the same seq order, so the
+    // scan cap, FU arbitration and DVM observations are unchanged.
+    for (std::uint64_t s = iqHead;
+         s != kNoSeq && issued < issue_width;) {
+        InFlight &e = liveEntry(s);
+        s = e.iqNext; // read before a possible unlink below
         if (++scanned > scan_cap)
             break;
 
-        if (!depsReady(e)) {
+        // The memo short-circuits the producer walk for entries known
+        // to still be waiting — the common case cycle after cycle.
+        if (e.notReadyBefore > cycle || !depsReady(e)) {
             ++waiting_seen;
+            if (e.notReadyBefore < wake)
+                wake = e.notReadyBefore;
             continue;
         }
         ++ready_seen;
@@ -255,7 +326,7 @@ Pipeline::doIssue()
             lat = 1;
         e.issued = true;
         e.completeCycle = cycle + lat;
-        completions.emplace(e.completeCycle, e.seq);
+        completions.schedule(cycle, e.completeCycle, e.seq);
 
         // Operand reads / result write accounting.
         if (e.op.dep1)
@@ -267,6 +338,7 @@ Pipeline::doIssue()
 
         // Free the IQ slot.
         e.inIq = false;
+        iqListRemove(e);
         assert(iqOcc > 0);
         --iqOcc;
         iqAvfAcc.release(ace.iqWaiting(e.op.cls));
@@ -286,6 +358,12 @@ Pipeline::doIssue()
     std::uint64_t in_iq = iqOcc + issued; // occupancy at scan start
     lastWaitingCount =
         waiting_seen + (in_iq > scanned ? in_iq - scanned : 0);
+
+    // Nothing ready anywhere in the scan: sleep until the earliest
+    // bound (entries past the scan cap cannot issue or change the
+    // observations while the population is frozen).
+    if (issued == 0 && ready_seen == 0 && wake != ~0ull)
+        issueSleepUntil = wake;
 }
 
 void
@@ -320,9 +398,13 @@ Pipeline::doDispatch()
         }
         ++activity.dispatched;
         window.push_back(e);
+        iqListAppend(window.back());
         fetchQueue.pop_front();
         ++done;
     }
+    // New residents have unknown readiness: wake the issue scan.
+    if (done > 0)
+        issueSleepUntil = 0;
 }
 
 void
@@ -335,7 +417,7 @@ Pipeline::doFetch()
     unsigned fetched = 0;
     while (fetched < cfg.fetchWidth && fetchQueue.size() < fq_cap) {
         InFlight e;
-        e.op = stream.at(nextFetchSeq);
+        e.op = fetchCursor.next();
 
         // Instruction cache: one access per new line.
         std::uint64_t line = e.op.pc / cfg.il1LineBytes;
@@ -424,7 +506,6 @@ Pipeline::doFetch()
         fetchQueue.push_back(e);
         ++activity.fetched;
         ++fetched;
-        ++nextFetchSeq;
         if (stop_after)
             break;
     }

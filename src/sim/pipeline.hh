@@ -18,14 +18,43 @@
  * approximated by the front-end redirect bubbles. Store-to-load
  * forwarding conflicts and write-back traffic are not modelled; see
  * DESIGN.md for the substitution notes.
+ *
+ * Hot-path design notes
+ * ---------------------
+ * Every campaign, exploration round and figure bench bottoms out in
+ * this cycle loop, so its data structures are chosen for the per-cycle
+ * walks rather than for generality. All of the following preserve
+ * simulated results bit for bit (pinned by the golden report tests):
+ *
+ *  - The ROB and the fetch queue are fixed-capacity power-of-two
+ *    RingBuffers (ring_buffer.hh) sized from SimConfig at
+ *    construction: no per-push allocation, and depsReady()'s
+ *    producer lookups and the commit walk touch contiguous memory.
+ *  - Unissued IQ residents are additionally threaded on an intrusive
+ *    doubly-linked list (iqHead/iqNext/iqPrev, seq-keyed), so the
+ *    issue scan visits exactly the candidates the historical
+ *    whole-window walk would have considered — in the same oldest-
+ *    first order, with the same scan cap — without iterating the
+ *    issued majority of a full window every cycle.
+ *  - Completion events live in a CalendarQueue (calendar_queue.hh):
+ *    execution latencies are bounded by l2Lat + memLat + tlbMissLat,
+ *    so per-cycle buckets replace the former std::priority_queue and
+ *    schedule/drain are O(1) amortised. Buckets are sorted before
+ *    draining because within-cycle completion order feeds
+ *    floating-point AVF accumulation and is therefore bit-significant.
+ *  - Fetch decodes the instruction stream through a streaming
+ *    InstructionStream::Cursor instead of random-access at(i), which
+ *    re-derives segment constants only at phase/modulation boundaries
+ *    (see workload/stream.hh).
+ *
+ * bench/sim_throughput.cc measures the resulting simulate()
+ * instructions/second and records them in BENCH_sim.json.
  */
 
 #ifndef WAVEDYN_SIM_PIPELINE_HH
 #define WAVEDYN_SIM_PIPELINE_HH
 
 #include <cstdint>
-#include <deque>
-#include <queue>
 #include <vector>
 
 #include "avf/estimator.hh"
@@ -33,7 +62,9 @@
 #include "power/model.hh"
 #include "sim/bpred.hh"
 #include "sim/cache.hh"
+#include "sim/calendar_queue.hh"
 #include "sim/config.hh"
+#include "sim/ring_buffer.hh"
 #include "workload/stream.hh"
 
 namespace wavedyn
@@ -88,20 +119,30 @@ class Pipeline
     const BpredStats &bpredStats() const { return bpStats; }
 
   private:
+    /** Sentinel for the intrusive IQ list links. */
+    static constexpr std::uint64_t kNoSeq = ~0ull;
+
     struct InFlight
     {
         MicroOp op;
         std::uint64_t seq = 0;
         std::uint64_t completeCycle = ~0ull;
+        std::uint64_t iqNext = ~0ull; //!< next unissued IQ resident
+        std::uint64_t iqPrev = ~0ull; //!< previous unissued IQ resident
+        /**
+         * Wakeup memo: the entry cannot have ready operands before
+         * this cycle, so the issue scan skips the producer walk until
+         * then. Producers' completeCycle is immutable once issued,
+         * making the bound exact when every producer has issued; with
+         * an unissued producer it degrades to "recheck next cycle".
+         */
+        std::uint64_t notReadyBefore = 0;
         bool issued = false;
         bool inIq = false;
         bool inLsq = false;
         bool aceCompleted = false; //!< ROB ACE transition applied
         bool mispredicted = false; //!< direction mispredict at fetch
     };
-
-    /** Completion event: (cycle, seq), min-heap on cycle. */
-    using Event = std::pair<std::uint64_t, std::uint64_t>;
 
     void cycleOnce();
     void doCompletions();
@@ -113,12 +154,28 @@ class Pipeline
     /** Window entry for a sequence number, or nullptr if committed. */
     InFlight *entryFor(std::uint64_t seq);
 
-    bool depsReady(const InFlight &e) const;
+    /** Entry known to be live (IQ-list members). No bounds checks. */
+    InFlight &
+    liveEntry(std::uint64_t seq)
+    {
+        return window[seq - frontSeq];
+    }
+
+    /**
+     * Operand readiness; on false, refreshes e.notReadyBefore so
+     * later cycles skip the producer walk.
+     */
+    bool depsReady(InFlight &e);
+
+    /** Append a dispatched entry to the unissued-IQ list. */
+    void iqListAppend(InFlight &e);
+
+    /** Unlink an entry from the unissued-IQ list (at issue). */
+    void iqListRemove(InFlight &e);
 
     /** Load latency through DTLB/DL1/L2/memory; updates stats. */
     unsigned loadLatency(std::uint64_t addr);
 
-    const InstructionStream &stream;
     SimConfig cfg;
 
     Cache il1Cache, dl1Cache, l2Cache;
@@ -132,14 +189,27 @@ class Pipeline
     AvfAccumulator iqAvfAcc, robAvfAcc, lsqAvfAcc;
     DvmController dvmCtl;
 
-    std::deque<InFlight> window; //!< the ROB, oldest first
+    RingBuffer<InFlight> window; //!< the ROB, oldest first
     std::uint64_t frontSeq = 0;  //!< seq of window.front()
-    std::deque<InFlight> fetchQueue;
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        completions;
+    RingBuffer<InFlight> fetchQueue;
+    CalendarQueue completions;
+    InstructionStream::Cursor fetchCursor;
+
+    // Unissued IQ residents in dispatch (= seq) order.
+    std::uint64_t iqHead = kNoSeq;
+    std::uint64_t iqTail = kNoSeq;
+
+    /**
+     * Issue-stage sleep: when a scan finds every candidate unready,
+     * the earliest memo bound tells the first cycle anything can
+     * change, and the scan until then is pure overhead — its DVM
+     * observations are reproduced in closed form (the IQ population
+     * is frozen while asleep: only issue removes list entries and
+     * any dispatch cancels the sleep).
+     */
+    std::uint64_t issueSleepUntil = 0;
 
     std::uint64_t cycle = 0;
-    std::uint64_t nextFetchSeq = 0;
     std::uint64_t totalCommitted = 0;
     std::uint64_t committedTarget = 0;
 

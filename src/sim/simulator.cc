@@ -102,6 +102,18 @@ SimResult::trace(Domain d) const
     return out;
 }
 
+std::vector<std::vector<double>>
+SimResult::traces(const std::vector<Domain> &domains) const
+{
+    std::vector<std::vector<double>> out(domains.size());
+    for (auto &t : out)
+        t.reserve(intervals.size());
+    for (const auto &s : intervals)
+        for (std::size_t d = 0; d < domains.size(); ++d)
+            out[d].push_back(s.metric(domains[d]));
+    return out;
+}
+
 double
 SimResult::aggregate(Domain d) const
 {

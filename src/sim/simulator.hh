@@ -80,6 +80,15 @@ struct SimResult
     /** Time series of one metric across intervals. */
     std::vector<double> trace(Domain d) const;
 
+    /**
+     * Time series of several metrics in one pass over the intervals,
+     * aligned with @p domains. Campaign assembly extracts every
+     * domain of every run, so the one-pass form walks each run's
+     * interval record once instead of once per domain.
+     */
+    std::vector<std::vector<double>>
+    traces(const std::vector<Domain> &domains) const;
+
     /** Instruction-weighted aggregate of a metric. */
     double aggregate(Domain d) const;
 };

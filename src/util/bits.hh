@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared by the power-of-two-sized
+ * containers (sim/ring_buffer.hh, sim/calendar_queue.hh).
+ */
+
+#ifndef WAVEDYN_UTIL_BITS_HH
+#define WAVEDYN_UTIL_BITS_HH
+
+#include <cstdint>
+
+namespace wavedyn
+{
+
+/** Smallest power of two >= n (>= 1; saturates above 2^63). */
+constexpr std::uint64_t
+ceilPow2(std::uint64_t n)
+{
+    std::uint64_t p = 1;
+    while (p < n && p < (1ull << 63))
+        p *= 2;
+    return p;
+}
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_BITS_HH

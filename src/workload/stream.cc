@@ -26,6 +26,35 @@ enum DrawSlot : std::uint64_t
     DrawSlots,
 };
 
+// Two-level loop structure of the dynamic block walk: inner loops of
+// loopBody blocks iterate loopPeriod times, and a "function" of
+// funcInstances such loops is re-entered funcRepeats times before the
+// walk advances (medium-range temporal reuse, as real call chains
+// have; without it predictor tables never warm up).
+constexpr std::uint64_t loopBody = 4;      //!< blocks per inner loop
+constexpr std::uint64_t funcInstances = 16;
+constexpr std::uint64_t funcRepeats = 8;
+
+/** Quantisation steps of the within-segment footprint modulation. */
+constexpr double modSteps = 32.0;
+
+/**
+ * Modulated data footprint of a segment at one quantisation step (the
+ * step quantisation keeps addresses local within a chunk instead of
+ * re-wrapping them every instruction), rounded to 8 KiB.
+ */
+std::uint64_t
+footprintOf(const PhaseSegment &seg, std::uint32_t bucket)
+{
+    double local_q = static_cast<double>(bucket) / modSteps;
+    double mod = 1.0 + seg.modAmp *
+                 std::sin(2.0 * M_PI * seg.modCycles * local_q);
+    double fp = static_cast<double>(seg.dataFootprint) * mod;
+    if (fp < 8192.0)
+        fp = 8192.0;
+    return static_cast<std::uint64_t>(fp) & ~8191ull;
+}
+
 /** Geometric-ish distance from a uniform draw with the given mean. */
 std::uint32_t
 geometricDistance(double u, double mean, std::uint32_t cap)
@@ -56,6 +85,15 @@ InstructionStream::locate(std::uint64_t i, std::size_t &seg,
     prof.locate(frac, seg, local);
 }
 
+std::pair<std::size_t, std::uint32_t>
+InstructionStream::keyAt(std::uint64_t i) const
+{
+    std::size_t seg;
+    double local;
+    locate(i, seg, local);
+    return {seg, static_cast<std::uint32_t>(std::floor(local * modSteps))};
+}
+
 std::size_t
 InstructionStream::segmentAt(std::uint64_t i) const
 {
@@ -74,56 +112,30 @@ InstructionStream::blockLenOf(const PhaseSegment &s)
     return static_cast<std::uint64_t>(len);
 }
 
-std::uint64_t
-InstructionStream::dataFootprintAt(std::uint64_t i) const
+InstructionStream::DecodeContext
+InstructionStream::makeContext(std::size_t segIdx,
+                               std::uint32_t bucket) const
 {
-    std::size_t seg_idx;
-    double local;
-    locate(i, seg_idx, local);
-    const PhaseSegment &seg = prof.script[seg_idx];
+    const PhaseSegment &seg = prof.script[segIdx];
+    DecodeContext ctx;
+    ctx.seg = &seg;
+    ctx.segIdx = segIdx;
+    ctx.bucket = bucket;
 
-    // Quantise the modulation (32 steps per segment) and round the
-    // footprint to 8 KiB so addresses keep their locality within a
-    // chunk instead of being re-wrapped every instruction.
-    double local_q = std::floor(local * 32.0) / 32.0;
-    double mod = 1.0 + seg.modAmp *
-                 std::sin(2.0 * M_PI * seg.modCycles * local_q);
-    double fp = static_cast<double>(seg.dataFootprint) * mod;
-    if (fp < 8192.0)
-        fp = 8192.0;
-    return static_cast<std::uint64_t>(fp) & ~8191ull;
-}
-
-MicroOp
-InstructionStream::at(std::uint64_t i) const
-{
-    std::size_t seg_idx;
-    double local;
-    locate(i, seg_idx, local);
-    const PhaseSegment &seg = prof.script[seg_idx];
-    const std::uint64_t base_ctr = i * DrawSlots;
-
-    MicroOp op;
-
-    // ---- Block structure and PC. Blocks of length L end in a control
-    // op. The dynamic block sequence is loop structured: an inner loop
-    // body of `loopBody` blocks executes `lp` iterations before the
-    // walk advances — so branch PCs recur immediately (predictor
-    // tables train) and instruction lines are reused (IL1 locality).
-    const std::uint64_t L = blockLenOf(seg);
-    const std::uint64_t block = i / L;
-    const std::uint64_t pos = i % L;
-    const std::uint64_t block_bytes = L * 4;
-
+    // ---- Block structure. Blocks of length L end in a control op.
+    ctx.blockLen = blockLenOf(seg);
+    ctx.blockBytes = ctx.blockLen * 4;
     std::uint64_t lp =
         static_cast<std::uint64_t>(std::round(seg.loopPeriod));
     if (lp < 2)
         lp = 2;
-    constexpr std::uint64_t loopBody = 4; //!< blocks per inner loop
+    ctx.loopPeriod = lp;
+    ctx.span = loopBody * lp;
 
-    std::uint64_t static_blocks = seg.codeFootprint / block_bytes;
+    std::uint64_t static_blocks = seg.codeFootprint / ctx.blockBytes;
     if (static_blocks == 0)
         static_blocks = 1;
+    ctx.staticBlocks = static_blocks;
     // Hot code region: the walk folds onto a sixteenth of the static
     // footprint; rare jumps touch the cold remainder. IL1 behaviour
     // keys off il1_size vs hot-region size. The region size is kept a
@@ -133,47 +145,106 @@ InstructionStream::at(std::uint64_t i) const
     std::uint64_t hot_blocks = (static_blocks / 16) & ~(loopBody - 1);
     if (hot_blocks < loopBody)
         hot_blocks = loopBody;
-    // Per-segment code region so different phases run different code.
-    const std::uint64_t code_region =
-        hashCombine(prof.seed, 0xc0de0000ull + seg_idx) << 20;
+    ctx.hotBlocks = hot_blocks;
+    // Per-segment code/data regions so different phases run different
+    // code and address distinct data.
+    ctx.codeRegion =
+        hashCombine(prof.seed, 0xc0de0000ull + segIdx) << 20;
+    ctx.dataRegion =
+        0x100000000ull +
+        (hashCombine(prof.seed, 0xda7a0000ull + segIdx) << 24);
 
-    // Dynamic block -> static slot through a two-level loop structure:
-    // inner loops of loopBody blocks iterate lp times, and a "function"
-    // of funcInstances such loops is itself re-entered funcRepeats
-    // times before the walk advances. The second level gives branch
-    // PCs and code lines the medium-range temporal reuse real call
-    // chains have; without it predictor tables never warm up.
-    constexpr std::uint64_t funcInstances = 16;
-    constexpr std::uint64_t funcRepeats = 8;
-    const std::uint64_t span = loopBody * lp;
-    auto slot_of = [&](std::uint64_t b) {
-        std::uint64_t instance_raw = b / span;
-        std::uint64_t func = instance_raw / (funcInstances * funcRepeats);
-        std::uint64_t within_f =
-            instance_raw % (funcInstances * funcRepeats);
-        std::uint64_t instance_eff =
-            func * funcInstances + (within_f % funcInstances);
-        std::uint64_t inner = (b % span) % loopBody;
-        return instance_eff * loopBody + inner;
-    };
+    ctx.footprint = footprintOf(seg, bucket);
+    ctx.quarter = ctx.footprint / 4;
+    ctx.hotBytes = ctx.quarter ? ctx.quarter : ctx.footprint;
+    // Sequential streams each cycle a window of their quarter of the
+    // footprint. The window scales with the footprint (clamped to
+    // [8 KiB, 256 KiB]) so small working sets revisit and become cache
+    // resident while large ones keep streaming — giving the
+    // cache-capacity regimes the design space must distinguish.
+    std::uint64_t window = ctx.footprint / 8;
+    if (window < 8192)
+        window = 8192;
+    if (window > 262144)
+        window = 262144;
+    ctx.streamWindow = window;
+
+    // ---- Renormalise the non-control class mix over the remaining
+    // slots into cumulative thresholds.
+    double f_load = seg.fracLoad;
+    double f_store = seg.fracStore;
+    double f_fpalu = seg.fracFpAlu;
+    double f_fpmul = seg.fracFpMul;
+    double f_imul = seg.fracIntMul;
+    double sum = f_load + f_store + f_fpalu + f_fpmul + f_imul;
+    double scale = sum > 0.92 ? 0.92 / sum : 1.0;
+    double acc = f_load * scale;
+    ctx.tLoad = acc;
+    ctx.tStore = (acc += f_store * scale);
+    ctx.tFpAlu = (acc += f_fpalu * scale);
+    ctx.tFpMul = (acc += f_fpmul * scale);
+    ctx.tIntMul = (acc += f_imul * scale);
+    return ctx;
+}
+
+InstructionStream::DecodeContext
+InstructionStream::contextAt(std::uint64_t i) const
+{
+    auto key = keyAt(i);
+    return makeContext(key.first, key.second);
+}
+
+std::uint64_t
+InstructionStream::dataFootprintAt(std::uint64_t i) const
+{
+    auto key = keyAt(i);
+    return footprintOf(prof.script[key.first], key.second);
+}
+
+std::uint64_t
+InstructionStream::blockBase(const DecodeContext &ctx,
+                             std::uint64_t block) const
+{
+    // Dynamic block -> static slot through the two-level loop
+    // structure (see the constants above).
+    std::uint64_t instance_raw = block / ctx.span;
+    std::uint64_t func = instance_raw / (funcInstances * funcRepeats);
+    std::uint64_t within_f = instance_raw % (funcInstances * funcRepeats);
+    std::uint64_t instance_eff =
+        func * funcInstances + (within_f % funcInstances);
+    std::uint64_t inner = (block % ctx.span) % loopBody;
+    std::uint64_t slot = instance_eff * loopBody + inner;
     // Static slot -> code address (hot walk with rare cold jumps).
-    auto base_of_slot = [&](std::uint64_t s) {
-        std::uint64_t h = splitmix64(hashCombine(prof.seed, s));
-        std::uint64_t sb;
-        if ((h & 15) != 0) {
-            sb = s % hot_blocks;
-        } else {
-            sb = hot_blocks +
-                 (static_blocks > hot_blocks
-                      ? h % (static_blocks - hot_blocks)
-                      : 0);
-        }
-        return code_region + sb * block_bytes;
-    };
-    auto block_base = [&](std::uint64_t b) {
-        return base_of_slot(slot_of(b));
-    };
-    op.pc = block_base(block) + pos * 4;
+    std::uint64_t h = splitmix64(hashCombine(prof.seed, slot));
+    std::uint64_t sb;
+    if ((h & 15) != 0) {
+        sb = slot % ctx.hotBlocks;
+    } else {
+        sb = ctx.hotBlocks +
+             (ctx.staticBlocks > ctx.hotBlocks
+                  ? h % (ctx.staticBlocks - ctx.hotBlocks)
+                  : 0);
+    }
+    return ctx.codeRegion + sb * ctx.blockBytes;
+}
+
+MicroOp
+InstructionStream::decode(std::uint64_t i, const DecodeContext &ctx,
+                          std::uint64_t pcBase,
+                          std::uint64_t targetBase) const
+{
+    const PhaseSegment &seg = *ctx.seg;
+    const std::uint64_t base_ctr = i * DrawSlots;
+
+    MicroOp op;
+
+    // ---- Block position and PC. The dynamic block sequence is loop
+    // structured — branch PCs recur immediately (predictor tables
+    // train) and instruction lines are reused (IL1 locality).
+    const std::uint64_t L = ctx.blockLen;
+    const std::uint64_t block = i / L;
+    const std::uint64_t pos = i % L;
+    op.pc = pcBase + pos * 4;
 
     const bool is_control = pos == L - 1;
 
@@ -187,25 +258,16 @@ InstructionStream::at(std::uint64_t i) const
         else
             op.cls = InstrClass::Branch;
     } else {
-        // Renormalise the non-control mix over the remaining slots.
-        double f_load = seg.fracLoad;
-        double f_store = seg.fracStore;
-        double f_fpalu = seg.fracFpAlu;
-        double f_fpmul = seg.fracFpMul;
-        double f_imul = seg.fracIntMul;
-        double sum = f_load + f_store + f_fpalu + f_fpmul + f_imul;
-        double scale = sum > 0.92 ? 0.92 / sum : 1.0;
         double u = rng.uniformAt(base_ctr + SlotClass);
-        double acc = f_load * scale;
-        if (u < acc) {
+        if (u < ctx.tLoad) {
             op.cls = InstrClass::Load;
-        } else if (u < (acc += f_store * scale)) {
+        } else if (u < ctx.tStore) {
             op.cls = InstrClass::Store;
-        } else if (u < (acc += f_fpalu * scale)) {
+        } else if (u < ctx.tFpAlu) {
             op.cls = InstrClass::FpAlu;
-        } else if (u < (acc += f_fpmul * scale)) {
+        } else if (u < ctx.tFpMul) {
             op.cls = InstrClass::FpMul;
-        } else if (u < (acc += f_imul * scale)) {
+        } else if (u < ctx.tIntMul) {
             op.cls = InstrClass::IntMul;
         } else {
             op.cls = InstrClass::IntAlu;
@@ -239,29 +301,16 @@ InstructionStream::at(std::uint64_t i) const
 
     // ---- Memory addresses.
     if (isMem(op.cls)) {
-        const std::uint64_t fp = dataFootprintAt(i);
-        // Per-segment data region keeps phases in distinct address space.
-        const std::uint64_t data_region =
-            0x100000000ull +
-            (hashCombine(prof.seed, 0xda7a0000ull + seg_idx) << 24);
+        const std::uint64_t fp = ctx.footprint;
         bool streaming = rng.chanceAt(base_ctr + SlotAddrKind,
                                       seg.streamFrac);
         std::uint64_t offset;
         if (streaming) {
             // Four interleaved sequential streams, each cycling a
-            // window of its quarter of the footprint. The window scales
-            // with the footprint (clamped to [8 KiB, 256 KiB]) so small
-            // working sets revisit and become cache resident while
-            // large ones keep streaming — giving the cache-capacity
-            // regimes the design space must distinguish.
+            // window of its quarter of the footprint.
             std::uint64_t sid = i & 3;
-            std::uint64_t window = fp / 8;
-            if (window < 8192)
-                window = 8192;
-            if (window > 262144)
-                window = 262144;
-            std::uint64_t step = ((i >> 2) * 8) % window;
-            offset = (sid * (fp / 4) + step) % fp;
+            std::uint64_t step = ((i >> 2) * 8) % ctx.streamWindow;
+            offset = (sid * ctx.quarter + step) % fp;
         } else {
             // "Random" accesses keep temporal locality: 31/32 hit a
             // hot quarter of the footprint (so dl1/L2 capacity vs
@@ -269,26 +318,25 @@ InstructionStream::at(std::uint64_t i) const
             // structure (a trickle of compulsory misses, as pointer
             // chasing produces in practice).
             std::uint64_t draw = rng.at(base_ctr + SlotAddrValue);
-            std::uint64_t hot = fp / 4 ? fp / 4 : fp;
             if ((draw & 31) != 0)
-                offset = (draw >> 5) % hot;
+                offset = (draw >> 5) % ctx.hotBytes;
             else
                 offset = (draw >> 5) % fp;
             offset &= ~7ull;
         }
-        op.effAddr = data_region + offset;
+        op.effAddr = ctx.dataRegion + offset;
     }
 
     // ---- Control resolution.
     if (isControl(op.cls)) {
-        std::uint64_t within = block % span;
+        std::uint64_t within = block % ctx.span;
         std::uint64_t iter = within / loopBody;
         std::uint64_t inner = within % loopBody;
 
         bool taken;
         if (inner == loopBody - 1) {
             // Back edge: taken on every iteration but the last.
-            taken = iter != lp - 1;
+            taken = iter != ctx.loopPeriod - 1;
         } else {
             // Forward branch: direction is a fixed per-PC bias, which
             // a gshare predictor learns quickly. Keyed by the *code
@@ -312,9 +360,100 @@ InstructionStream::at(std::uint64_t i) const
         if (op.cls == InstrClass::Call || op.cls == InstrClass::Return)
             taken = true;
         op.branchTaken = taken;
-        op.branchTarget = block_base(block + 1);
+        op.branchTarget = targetBase;
     }
 
+    return op;
+}
+
+MicroOp
+InstructionStream::at(std::uint64_t i) const
+{
+    DecodeContext ctx = contextAt(i);
+    std::uint64_t block = i / ctx.blockLen;
+    // Only the control op at the end of a block consumes the branch
+    // target; keep the second block-address hash chain off the
+    // non-control majority. (The cursor instead computes it once per
+    // block and reuses it as the next block's base.)
+    std::uint64_t target = (i % ctx.blockLen == ctx.blockLen - 1)
+                               ? blockBase(ctx, block + 1)
+                               : 0;
+    return decode(i, ctx, blockBase(ctx, block), target);
+}
+
+// ---------------------------------------------------------------- Cursor
+
+InstructionStream::Cursor::Cursor(const InstructionStream &stream,
+                                  std::uint64_t start)
+    : src(&stream), idx(start)
+{
+}
+
+void
+InstructionStream::Cursor::seek(std::uint64_t i)
+{
+    idx = i;
+    boundary = i;      // force refresh on the next next()
+    ctxValid = false;
+    blockValid = false;
+}
+
+void
+InstructionStream::Cursor::refresh()
+{
+    auto key = src->keyAt(idx);
+    // Block-base caching keys off segment-level constants only, so it
+    // survives a quantisation-step boundary within one segment.
+    if (!(ctxValid && key.first == ctx.segIdx))
+        blockValid = false;
+    ctx = src->makeContext(key.first, key.second);
+    ctxValid = true;
+
+    // Find the first index where the (segment, step) key changes. The
+    // key is constant on a contiguous run of at most ~total/(32*reps)
+    // indices and cannot recur within total/(2*reps) of the run's
+    // start, so the predicate "keyAt == key" is monotone on
+    // (idx, idx + probe] and binary search against the reference
+    // locate() arithmetic finds the exact boundary — no floating-point
+    // inversion of the phase script is trusted.
+    std::uint64_t reps = src->prof.scriptRepeats
+                             ? src->prof.scriptRepeats
+                             : 1;
+    std::uint64_t probe = src->total / (2 * reps);
+    if (probe < 64 || src->keyAt(idx + probe) == key) {
+        // Tiny stream (runs shorter than the search is worth), or the
+        // run-length bound was somehow exceeded: fall back to
+        // re-deriving at the next index — slower, never wrong.
+        boundary = idx + 1;
+        return;
+    }
+    std::uint64_t lo = idx, hi = idx + probe;
+    while (lo + 1 < hi) {
+        std::uint64_t mid = lo + (hi - lo) / 2;
+        if (src->keyAt(mid) == key)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    boundary = hi;
+}
+
+MicroOp
+InstructionStream::Cursor::next()
+{
+    if (idx >= boundary || !ctxValid)
+        refresh();
+    std::uint64_t block = idx / ctx.blockLen;
+    if (!blockValid || block != curBlock) {
+        curBase = (blockValid && block == curBlock + 1)
+                      ? nextBase
+                      : src->blockBase(ctx, block);
+        nextBase = src->blockBase(ctx, block + 1);
+        curBlock = block;
+        blockValid = true;
+    }
+    MicroOp op = src->decode(idx, ctx, curBase, nextBase);
+    ++idx;
     return op;
 }
 

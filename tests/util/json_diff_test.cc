@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the JSON structural diff behind `wavedyn_cli diff`.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/json.hh"
+#include "util/json_diff.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+std::vector<std::string>
+diffText(const std::string &a, const std::string &b,
+         double tol = 0.0)
+{
+    JsonDiffOptions opts;
+    opts.tolerance = tol;
+    return jsonDiff(parseJson(a), parseJson(b), opts);
+}
+
+TEST(JsonDiff, EqualDocuments)
+{
+    const char *doc =
+        R"({"bench":"suite","rows":[{"mse":1.25,"n":3}],"ok":true})";
+    EXPECT_TRUE(diffText(doc, doc).empty());
+}
+
+TEST(JsonDiff, KeyOrderDoesNotMatter)
+{
+    EXPECT_TRUE(diffText(R"({"a":1,"b":2})", R"({"b":2,"a":1})").empty());
+}
+
+TEST(JsonDiff, IntegersCompareExactly)
+{
+    // A uint64 seed above 2^53 must not pass through double rounding.
+    auto d = diffText(R"({"seed":9007199254740993})",
+                      R"({"seed":9007199254740992})");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NE(d[0].find("seed"), std::string::npos);
+    // ... even when a tolerance is set: tolerance is for doubles only.
+    EXPECT_EQ(diffText(R"({"n":10})", R"({"n":11})", 0.5).size(), 1u);
+}
+
+TEST(JsonDiff, StringsAndBoolsCompareExactly)
+{
+    EXPECT_EQ(diffText(R"({"s":"a"})", R"({"s":"b"})", 1.0).size(), 1u);
+    EXPECT_EQ(diffText(R"({"f":true})", R"({"f":false})", 1.0).size(),
+              1u);
+}
+
+TEST(JsonDiff, DoublesUseTolerance)
+{
+    EXPECT_EQ(diffText(R"({"v":1.0001})", R"({"v":1.0002})").size(), 1u);
+    EXPECT_TRUE(diffText(R"({"v":1.0001})", R"({"v":1.0002})", 1e-3)
+                    .empty());
+    // Relative above 1: 1000.0 vs 1000.5 within 1e-3.
+    EXPECT_TRUE(diffText(R"({"v":1000.0})", R"({"v":1000.5})", 1e-3)
+                    .empty());
+    EXPECT_EQ(diffText(R"({"v":1000.0})", R"({"v":1002.0})", 1e-3)
+                  .size(),
+              1u);
+    // Absolute below 1: 0.0 vs 5e-4 within 1e-3.
+    EXPECT_TRUE(diffText(R"({"v":0.0})", R"({"v":0.0005})", 1e-3)
+                    .empty());
+}
+
+TEST(JsonDiff, TypeMismatch)
+{
+    auto d = diffText(R"({"v":1.5})", R"({"v":"1.5"})");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NE(d[0].find("v"), std::string::npos);
+}
+
+TEST(JsonDiff, MissingAndExtraKeys)
+{
+    auto d = diffText(R"({"a":1,"b":2})", R"({"a":1,"c":3})");
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_NE(d[0].find("'b' only in first"), std::string::npos);
+    EXPECT_NE(d[1].find("'c' only in second"), std::string::npos);
+}
+
+TEST(JsonDiff, ArrayLengthAndElementPaths)
+{
+    auto d = diffText(R"({"rows":[1,2,3]})", R"({"rows":[1,9]})");
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_NE(d[0].find("array length 3 vs 2"), std::string::npos);
+    EXPECT_NE(d[1].find("rows[1]"), std::string::npos);
+}
+
+TEST(JsonDiff, NestedPaths)
+{
+    auto d = diffText(R"({"a":{"b":[{"c":1}]}})",
+                      R"({"a":{"b":[{"c":2}]}})");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_NE(d[0].find("a.b[0].c"), std::string::npos);
+}
+
+TEST(JsonDiff, ScalarRootUsesDollarPath)
+{
+    auto d = diffText("1", "2");
+    ASSERT_EQ(d.size(), 1u);
+    EXPECT_EQ(d[0].rfind("$:", 0), 0u);
+}
+
+TEST(JsonDiff, DifferenceCapIsEnforced)
+{
+    // Two wholly different 200-element arrays: the report stops at the
+    // cap instead of growing without bound.
+    std::string a = "[", b = "[";
+    for (int i = 0; i < 200; ++i) {
+        a += std::to_string(i) + (i < 199 ? "," : "]");
+        b += std::to_string(i + 1000) + (i < 199 ? "," : "]");
+    }
+    JsonDiffOptions opts;
+    opts.maxDifferences = 10;
+    auto d = jsonDiff(parseJson(a), parseJson(b), opts);
+    ASSERT_EQ(d.size(), 11u); // cap + truncation marker
+    EXPECT_NE(d.back().find("suppressed"), std::string::npos);
+}
+
+TEST(JsonDiff, NanNeverEqual)
+{
+    // Reports never contain NaN; if one sneaks in it must be flagged,
+    // not silently accepted by a tolerant comparison.
+    JsonValue a(std::nan(""));
+    JsonValue b(std::nan(""));
+    JsonDiffOptions opts;
+    opts.tolerance = 1.0;
+    EXPECT_EQ(jsonDiff(a, b, opts).size(), 1u);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -248,8 +248,9 @@ TEST(Stream, ControlOpsCarryTargets)
     InstructionStream s(b, kTotal);
     for (std::uint64_t i = 0; i < 3000; ++i) {
         MicroOp op = s.at(i);
-        if (isControl(op.cls))
+        if (isControl(op.cls)) {
             EXPECT_NE(op.branchTarget, 0u);
+        }
     }
 }
 

@@ -41,6 +41,13 @@
  *       print the N generated profiles of a family without running
  *       anything (inspection aid for the determinism contract).
  *
+ *   diff    <a.json> <b.json> [--tol T]
+ *       machine-readable report comparison: exact for integers,
+ *       strings and booleans, --tol T for doubles (relative above 1,
+ *       absolute below). Exit 0 when equal, 1 with one difference per
+ *       line (field paths) otherwise — the merge/CI counterpart of
+ *       the JSON report sink.
+ *
  *   info    <model.txt>
  *       describe a saved predictor.
  *
@@ -68,6 +75,7 @@
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "util/json.hh"
+#include "util/json_diff.hh"
 #include "util/options.hh"
 #include "util/parse.hh"
 #include "util/table.hh"
@@ -102,6 +110,7 @@ usage()
         "[--test N] [--interval N]\n"
         "  wavedyn_cli predict <model.txt> <p1..p9>\n"
         "  wavedyn_cli generate <N> [--family F] [--scenario-seed S]\n"
+        "  wavedyn_cli diff <a.json> <b.json> [--tol T]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
         "declarative campaigns:\n"
@@ -738,6 +747,55 @@ cmdGenerate(int argc, char **argv)
 }
 
 int
+cmdDiff(int argc, char **argv)
+{
+    // Exactly two positional documents, then optional --tol.
+    if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-')
+        return usage();
+    JsonDiffOptions opts;
+    for (int i = 4; i < argc;) {
+        std::string key = argv[i];
+        if (key != "--tol")
+            throw std::invalid_argument(
+                "option '" + key + "' is unknown or does not apply to "
+                "diff");
+        if (i + 1 >= argc)
+            throw std::invalid_argument("--tol is missing its value");
+        opts.tolerance = parseDouble(argv[i + 1], key);
+        if (opts.tolerance < 0.0)
+            throw std::invalid_argument("--tol must be >= 0");
+        i += 2;
+    }
+
+    auto load = [](const char *path) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in.good())
+            throw std::runtime_error(std::string("cannot read '") +
+                                     path + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+            return parseJson(text.str());
+        } catch (const JsonParseError &e) {
+            throw std::invalid_argument(std::string(path) + ":" +
+                                        std::to_string(e.line()) + ":" +
+                                        std::to_string(e.column()) +
+                                        ": " + e.what());
+        }
+    };
+    JsonValue a = load(argv[2]);
+    JsonValue b = load(argv[3]);
+
+    std::vector<std::string> diffs = jsonDiff(a, b, opts);
+    if (diffs.empty())
+        return 0;
+    for (const auto &d : diffs)
+        std::cout << d << "\n";
+    std::cerr << argv[2] << " and " << argv[3] << " differ\n";
+    return 1;
+}
+
+int
 cmdInfo(int argc, char **argv)
 {
     if (argc != 3)
@@ -795,6 +853,8 @@ main(int argc, char **argv)
             return cmdPredict(argc, argv);
         if (cmd == "generate")
             return cmdGenerate(argc, argv);
+        if (cmd == "diff")
+            return cmdDiff(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
         // Bare generation flags ("wavedyn_cli --generate 8 --family
