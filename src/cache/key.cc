@@ -1,0 +1,82 @@
+#include "cache/key.hh"
+
+#include <cstdio>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+// Standard FNV-1a 64-bit offset basis, plus a second independent basis
+// (the FNV-1a hash of "wavedyn-cache-hi" under the standard basis,
+// precomputed) so hi and lo are two unrelated 64-bit digests of the
+// same document.
+constexpr std::uint64_t kFnvBasisLo = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvBasisHi = 0xa3c9f5e07a1b64d9ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::string &bytes, std::uint64_t basis)
+{
+    std::uint64_t h = basis;
+    for (char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::string
+CacheKey::hex() const
+{
+    char buf[33];
+    std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(lo));
+    return std::string(buf, 32);
+}
+
+bool
+operator==(const CacheKey &a, const CacheKey &b)
+{
+    return a.hi == b.hi && a.lo == b.lo;
+}
+
+bool
+operator!=(const CacheKey &a, const CacheKey &b)
+{
+    return !(a == b);
+}
+
+std::string
+cacheKeyDocument(const BenchmarkProfile &bench, const SimConfig &cfg,
+                 std::size_t samples, std::size_t intervalInstrs,
+                 const DvmConfig &dvm, const std::string &simVersion)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("sim_version", simVersion);
+    doc.set("benchmark", bench.toJson());
+    doc.set("config", cfg.toJson());
+    doc.set("samples", std::uint64_t{samples});
+    doc.set("interval_instrs", std::uint64_t{intervalInstrs});
+    doc.set("dvm", toJson(dvm));
+    return writeJson(doc, 0);
+}
+
+CacheKey
+resultCacheKey(const BenchmarkProfile &bench, const SimConfig &cfg,
+               std::size_t samples, std::size_t intervalInstrs,
+               const DvmConfig &dvm, const std::string &simVersion)
+{
+    std::string doc = cacheKeyDocument(bench, cfg, samples,
+                                       intervalInstrs, dvm, simVersion);
+    CacheKey key;
+    key.hi = fnv1a64(doc, kFnvBasisHi);
+    key.lo = fnv1a64(doc, kFnvBasisLo);
+    return key;
+}
+
+} // namespace wavedyn

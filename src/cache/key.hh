@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Content-addressed cache keys for simulation results.
+ *
+ * simulate() is a pure function of (BenchmarkProfile, SimConfig,
+ * samples, intervalInstrs, DvmConfig) at a fixed kSimVersion
+ * (sim/simulator.hh), so a run's identity is exactly those values. The
+ * key is a 128-bit FNV-1a hash of a canonical JSON document encoding
+ * all of them — canonical because the deterministic JSON writer
+ * (util/json.hh) renders equal values to identical bytes (insertion-
+ * ordered members, exact integers, shortest round-tripping doubles),
+ * which turns SimConfig::toJson / BenchmarkProfile::toJson / DvmConfig
+ * toJson into the stability contract the cache rests on: change a key
+ * spelling and every cached run re-keys (a correctness-preserving
+ * cache flush); change simulate() semantics and you must bump
+ * kSimVersion instead (also a flush, via the version member of the
+ * document).
+ *
+ * The hash is not cryptographic — FNV-1a twice with independent offset
+ * bases — but 128 bits over canonical documents makes an accidental
+ * collision between two *different* runs of the same campaign
+ * vanishingly unlikely, and a collision's worst case is a wrong
+ * (still well-formed) result for one run, caught by the byte-identity
+ * goldens in CI.
+ */
+
+#ifndef WAVEDYN_CACHE_KEY_HH
+#define WAVEDYN_CACHE_KEY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "dvm/controller.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+
+/** 128-bit content address of one simulation run. */
+struct CacheKey
+{
+    std::uint64_t hi = 0;
+    std::uint64_t lo = 0;
+
+    /** 32 lowercase hex digits (hi then lo) — the on-disk file stem. */
+    std::string hex() const;
+};
+
+bool operator==(const CacheKey &a, const CacheKey &b);
+bool operator!=(const CacheKey &a, const CacheKey &b);
+
+/** 64-bit FNV-1a over @p bytes starting from @p basis. */
+std::uint64_t fnv1a64(const std::string &bytes, std::uint64_t basis);
+
+/**
+ * The canonical key document of one run, as compact JSON text:
+ * {"sim_version":...,"benchmark":...,"config":...,"samples":...,
+ *  "interval_instrs":...,"dvm":...}. Exposed so tests (and the README)
+ * can pin the exact bytes the key hashes.
+ */
+std::string cacheKeyDocument(const BenchmarkProfile &bench,
+                             const SimConfig &cfg, std::size_t samples,
+                             std::size_t intervalInstrs,
+                             const DvmConfig &dvm,
+                             const std::string &simVersion = kSimVersion);
+
+/** Hash of cacheKeyDocument — the run's content address. */
+CacheKey resultCacheKey(const BenchmarkProfile &bench,
+                        const SimConfig &cfg, std::size_t samples,
+                        std::size_t intervalInstrs, const DvmConfig &dvm,
+                        const std::string &simVersion = kSimVersion);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_CACHE_KEY_HH

@@ -1,5 +1,6 @@
 #include "core/campaign.hh"
 
+#include <atomic>
 #include <cmath>
 #include <set>
 #include <stdexcept>
@@ -9,6 +10,7 @@
 #include "core/serialize.hh"
 #include "dse/sampling.hh"
 #include "exec/scheduler.hh"
+#include "util/json_reader.hh"
 #include "util/rng.hh"
 
 namespace wavedyn
@@ -128,177 +130,9 @@ motherByName(const std::string &name, const std::string &path)
 }
 
 // ---------------------------------------------------------------------
-// field-path JSON extraction
-
-/**
- * Typed, path-tracking reader over one JSON object. Every getter
- * records the key it consumed; finish() rejects whatever is left, so
- * a typo in a spec is an error naming the field, never a silently
- * ignored knob.
- */
-class ObjectReader
-{
-  public:
-    ObjectReader(const JsonValue &v, std::string path)
-        : obj(v), where(std::move(path))
-    {
-        if (!v.isObject())
-            throw std::invalid_argument(where +
-                                        ": expected an object, got " +
-                                        v.typeName());
-    }
-
-    std::string
-    memberPath(const std::string &key) const
-    {
-        return where + "." + key;
-    }
-
-    const JsonValue *
-    get(const std::string &key)
-    {
-        seen.insert(key);
-        return obj.find(key);
-    }
-
-    bool
-    getBool(const std::string &key, bool fallback)
-    {
-        const JsonValue *v = get(key);
-        if (!v)
-            return fallback;
-        if (!v->isBool())
-            wrongType(key, "a boolean", *v);
-        return v->asBool();
-    }
-
-    std::uint64_t
-    getUint(const std::string &key, std::uint64_t fallback)
-    {
-        const JsonValue *v = get(key);
-        if (!v)
-            return fallback;
-        if (!v->isNumber() || !v->fitsUint64())
-            wrongType(key, "an unsigned integer", *v);
-        return v->asUint64();
-    }
-
-    std::size_t
-    getSize(const std::string &key, std::size_t fallback)
-    {
-        return static_cast<std::size_t>(
-            getUint(key, static_cast<std::uint64_t>(fallback)));
-    }
-
-    double
-    getDouble(const std::string &key, double fallback)
-    {
-        const JsonValue *v = get(key);
-        if (!v)
-            return fallback;
-        if (!v->isNumber())
-            wrongType(key, "a number", *v);
-        return v->asDouble();
-    }
-
-    std::string
-    getString(const std::string &key, const std::string &fallback)
-    {
-        const JsonValue *v = get(key);
-        if (!v)
-            return fallback;
-        if (!v->isString())
-            wrongType(key, "a string", *v);
-        return v->asString();
-    }
-
-    std::string
-    requireString(const std::string &key)
-    {
-        const JsonValue *v = get(key);
-        if (!v)
-            throw std::invalid_argument(memberPath(key) +
-                                        ": missing required field");
-        if (!v->isString())
-            wrongType(key, "a string", *v);
-        return v->asString();
-    }
-
-    std::vector<std::string>
-    getStringArray(const std::string &key)
-    {
-        std::vector<std::string> out;
-        const JsonValue *v = get(key);
-        if (!v)
-            return out;
-        if (!v->isArray())
-            wrongType(key, "an array", *v);
-        for (std::size_t i = 0; i < v->size(); ++i) {
-            const JsonValue &e = v->at(i);
-            if (!e.isString())
-                throw std::invalid_argument(
-                    memberPath(key) + "[" + std::to_string(i) +
-                    "]: expected a string, got " + e.typeName());
-            out.push_back(e.asString());
-        }
-        return out;
-    }
-
-    /** Every member must have been consumed by now. */
-    void
-    finish() const
-    {
-        for (const auto &member : obj.members())
-            if (!seen.count(member.first))
-                throw std::invalid_argument(memberPath(member.first) +
-                                            ": unknown field");
-    }
-
-  private:
-    [[noreturn]] void
-    wrongType(const std::string &key, const char *wanted,
-              const JsonValue &v) const
-    {
-        throw std::invalid_argument(memberPath(key) + ": expected " +
-                                    wanted + ", got " + v.typeName());
-    }
-
-    const JsonValue &obj;
-    std::string where;
-    std::set<std::string> seen;
-};
-
-// ---------------------------------------------------------------------
-// toJson pieces
-
-JsonValue
-dvmToJson(const DvmConfig &dvm)
-{
-    JsonValue v = JsonValue::object();
-    v.set("enabled", dvm.enabled);
-    v.set("threshold", dvm.threshold);
-    v.set("sample_cycles", std::uint64_t{dvm.sampleCycles});
-    v.set("initial_wq_ratio", dvm.initialWqRatio);
-    v.set("min_wq_ratio", dvm.minWqRatio);
-    v.set("max_wq_ratio", dvm.maxWqRatio);
-    return v;
-}
-
-DvmConfig
-dvmFromJson(const JsonValue &doc, const std::string &path)
-{
-    DvmConfig dvm;
-    ObjectReader r(doc, path);
-    dvm.enabled = r.getBool("enabled", dvm.enabled);
-    dvm.threshold = r.getDouble("threshold", dvm.threshold);
-    dvm.sampleCycles = r.getUint("sample_cycles", dvm.sampleCycles);
-    dvm.initialWqRatio = r.getDouble("initial_wq_ratio",
-                                     dvm.initialWqRatio);
-    dvm.minWqRatio = r.getDouble("min_wq_ratio", dvm.minWqRatio);
-    dvm.maxWqRatio = r.getDouble("max_wq_ratio", dvm.maxWqRatio);
-    r.finish();
-    return dvm;
-}
+// toJson pieces (field-path extraction via the shared ObjectReader,
+// util/json_reader.hh; DvmConfig serialization lives with DvmConfig,
+// dvm/controller.hh, because cache keys canonicalise it too)
 
 JsonValue
 experimentToJson(const ExperimentSpec &e)
@@ -315,7 +149,7 @@ experimentToJson(const ExperimentSpec &e)
     for (Domain d : e.domains)
         domains.push(domainSpecName(d));
     v.set("domains", std::move(domains));
-    v.set("dvm", dvmToJson(e.dvm));
+    v.set("dvm", toJson(e.dvm));
     return v;
 }
 
@@ -354,7 +188,7 @@ experimentFromJson(const JsonValue &doc, const std::string &path)
         }
     }
     if (const JsonValue *dvm = r.get("dvm"))
-        e.dvm = dvmFromJson(*dvm, r.memberPath("dvm"));
+        e.dvm = dvmConfigFromJson(*dvm, r.memberPath("dvm"));
     r.finish();
     return e;
 }
@@ -720,8 +554,7 @@ runEvaluate(const CampaignSpec &spec, const std::string &benchmark,
 
     const BenchmarkProfile &profile = set.at(benchmark);
     RunScheduler sched(base.seed);
-    if (hooks.runProgress)
-        sched.onProgress(hooks.runProgress);
+    attachHooks(sched, hooks);
     for (const auto &p : points) {
         RunTask task;
         task.benchmark = &profile;
@@ -747,10 +580,8 @@ runEvaluate(const CampaignSpec &spec, const std::string &benchmark,
     return result;
 }
 
-} // anonymous namespace
-
 CampaignResult
-runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
+runCampaignDispatch(const CampaignSpec &spec, const CampaignHooks &hooks)
 {
     validateCampaign(spec);
 
@@ -795,6 +626,40 @@ runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
         return runEvaluate(spec, names.front(), base, set, hooks);
     }
     throw std::logic_error("unhandled campaign kind");
+}
+
+} // anonymous namespace
+
+CampaignResult
+runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
+{
+    // Count result-cache activity on behalf of every campaign kind
+    // while forwarding the events (and all other hooks) unchanged.
+    // runCacheStore fires from worker threads, so the counters are
+    // atomics.
+    std::atomic<std::uint64_t> hits{0}, misses{0}, stores{0};
+    CampaignHooks counting = hooks;
+    counting.runCacheHit = [&](const std::string &key) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        if (hooks.runCacheHit)
+            hooks.runCacheHit(key);
+    };
+    counting.runCacheMiss = [&](const std::string &key) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        if (hooks.runCacheMiss)
+            hooks.runCacheMiss(key);
+    };
+    counting.runCacheStore = [&](const std::string &key) {
+        stores.fetch_add(1, std::memory_order_relaxed);
+        if (hooks.runCacheStore)
+            hooks.runCacheStore(key);
+    };
+
+    CampaignResult result = runCampaignDispatch(spec, counting);
+    result.cacheHits = hits.load(std::memory_order_relaxed);
+    result.cacheMisses = misses.load(std::memory_order_relaxed);
+    result.cacheStores = stores.load(std::memory_order_relaxed);
+    return result;
 }
 
 } // namespace wavedyn

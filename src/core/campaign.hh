@@ -170,6 +170,14 @@ struct CampaignResult
     std::string benchmark;  //!< scenario evaluated (also set by Train)
     Domain domain = Domain::Cpi;
     EvalResult evaluation;
+
+    // -- all kinds: result-cache activity of this campaign (zero when
+    //    no cache is active). Deliberately NOT rendered by the report
+    //    sinks — a report must stay byte-identical between a cold and
+    //    a warm run of the same spec; the CLI surfaces these on stderr.
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t cacheStores = 0;
 };
 
 /**

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "exec/scheduler.hh"
 
@@ -49,7 +50,39 @@ struct CampaignHooks
      * see exec/scheduler.hh (RunProgress) for the threading contract.
      */
     RunProgress runProgress;
+
+    /**
+     * Result-cache events, each carrying the run's 32-hex-digit cache
+     * key; silent when no cache is active. runCacheHit/runCacheMiss
+     * fire in task order from the orchestration thread during the
+     * scheduler's probe phase; runCacheStore fires from worker threads
+     * as recomputed runs are published (must be thread-safe). See
+     * exec/scheduler.hh (CacheRunEvents).
+     */
+    std::function<void(const std::string &)> runCacheHit;
+    std::function<void(const std::string &)> runCacheMiss;
+    std::function<void(const std::string &)> runCacheStore;
 };
+
+/**
+ * Wire a scheduler's worker-side callbacks from campaign hooks — the
+ * one place the CampaignHooks-to-scheduler mapping lives, so suite,
+ * explorer and evaluate runners cannot drift apart in what they
+ * forward.
+ */
+inline void
+attachHooks(RunScheduler &scheduler, const CampaignHooks &hooks)
+{
+    if (hooks.runProgress)
+        scheduler.onProgress(hooks.runProgress);
+    if (hooks.runCacheHit || hooks.runCacheMiss || hooks.runCacheStore) {
+        CacheRunEvents events;
+        events.hit = hooks.runCacheHit;
+        events.miss = hooks.runCacheMiss;
+        events.store = hooks.runCacheStore;
+        scheduler.onCacheEvents(std::move(events));
+    }
+}
 
 } // namespace wavedyn
 

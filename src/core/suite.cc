@@ -40,8 +40,7 @@ simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
     std::vector<ExperimentPlan> plans;
     std::vector<ScheduledExperiment> scheds;
     RunScheduler scheduler(base.seed);
-    if (hooks.runProgress)
-        scheduler.onProgress(hooks.runProgress);
+    attachHooks(scheduler, hooks);
     specs.reserve(benchmarks.size());
     plans.reserve(benchmarks.size());
     scheds.reserve(benchmarks.size());

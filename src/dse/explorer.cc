@@ -194,11 +194,10 @@ simulatePoints(const ExploreSpec &spec, const DesignSpace &space,
                const std::vector<const BenchmarkProfile *> &profiles,
                const std::vector<DesignPoint> &points,
                const std::vector<Domain> &domains,
-               const RunProgress &runProgress)
+               const CampaignHooks &hooks)
 {
     RunScheduler scheduler(spec.base.seed);
-    if (runProgress)
-        scheduler.onProgress(runProgress);
+    attachHooks(scheduler, hooks);
     for (const auto &p : points) {
         for (const BenchmarkProfile *profile : profiles) {
             RunTask task;
@@ -450,7 +449,7 @@ runExplore(const ExploreSpec &spec, const CampaignHooks &hooks)
             predicted.push_back(fp.scores);
         }
         auto actual = simulatePoints(spec, space, profiles, pts,
-                                     domains, hooks.runProgress);
+                                     domains, hooks);
 
         ExploreRoundStats stats;
         stats.round = round;

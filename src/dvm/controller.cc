@@ -2,8 +2,39 @@
 
 #include <cassert>
 
+#include "util/json_reader.hh"
+
 namespace wavedyn
 {
+
+JsonValue
+toJson(const DvmConfig &dvm)
+{
+    JsonValue v = JsonValue::object();
+    v.set("enabled", dvm.enabled);
+    v.set("threshold", dvm.threshold);
+    v.set("sample_cycles", std::uint64_t{dvm.sampleCycles});
+    v.set("initial_wq_ratio", dvm.initialWqRatio);
+    v.set("min_wq_ratio", dvm.minWqRatio);
+    v.set("max_wq_ratio", dvm.maxWqRatio);
+    return v;
+}
+
+DvmConfig
+dvmConfigFromJson(const JsonValue &doc, const std::string &path)
+{
+    DvmConfig dvm;
+    ObjectReader r(doc, path);
+    dvm.enabled = r.getBool("enabled", dvm.enabled);
+    dvm.threshold = r.getDouble("threshold", dvm.threshold);
+    dvm.sampleCycles = r.getUint("sample_cycles", dvm.sampleCycles);
+    dvm.initialWqRatio = r.getDouble("initial_wq_ratio",
+                                     dvm.initialWqRatio);
+    dvm.minWqRatio = r.getDouble("min_wq_ratio", dvm.minWqRatio);
+    dvm.maxWqRatio = r.getDouble("max_wq_ratio", dvm.maxWqRatio);
+    r.finish();
+    return dvm;
+}
 
 DvmController::DvmController(DvmConfig cfg, unsigned iq_entries)
     : cfg(cfg), iqEntries(iq_entries), wq(cfg.initialWqRatio)

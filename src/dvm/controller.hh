@@ -21,6 +21,9 @@
 #define WAVEDYN_DVM_CONTROLLER_HH
 
 #include <cstdint>
+#include <string>
+
+#include "util/json.hh"
 
 namespace wavedyn
 {
@@ -35,6 +38,21 @@ struct DvmConfig
     double minWqRatio = 0.25;
     double maxWqRatio = 64.0;
 };
+
+/**
+ * Canonical JSON form (snake_case keys, insertion-ordered) — shared by
+ * campaign specs (core/campaign.hh) and result-cache keys
+ * (cache/key.hh), so the spelling is a stability contract.
+ */
+JsonValue toJson(const DvmConfig &dvm);
+
+/**
+ * Strict parse with field-path errors; absent fields keep their C++
+ * defaults, so dvmConfigFromJson(toJson(d)) == d (serialized identity).
+ * @throws std::invalid_argument with a field-path message.
+ */
+DvmConfig dvmConfigFromJson(const JsonValue &doc,
+                            const std::string &path = "dvm");
 
 /** Controller statistics for analysis. */
 struct DvmStats

@@ -4,10 +4,15 @@
 #include <cassert>
 #include <utility>
 
+#include "cache/key.hh"
+
 namespace wavedyn
 {
 
-RunScheduler::RunScheduler(std::uint64_t seed) : base(seed) {}
+RunScheduler::RunScheduler(std::uint64_t seed)
+    : base(seed), cache(activeResultCache())
+{
+}
 
 std::size_t
 RunScheduler::enqueue(RunTask task)
@@ -30,11 +35,54 @@ RunScheduler::run(ThreadPool &pool)
     // worker finishes which run.
     std::atomic<std::size_t> done{first};
     std::size_t total = tasks.size();
-    parallelFor(pool, fresh, [&](std::size_t k) {
-        std::size_t i = first + k;
+
+    // Probe phase: resolve every fresh task against the cache before
+    // any worker dispatch. Hits complete here, serially and in task
+    // order; only the misses are handed to the pool.
+    std::vector<std::size_t> pending;
+    std::vector<CacheKey> pendingKeys;
+    if (cache) {
+        pending.reserve(fresh);
+        pendingKeys.reserve(fresh);
+        for (std::size_t i = first; i < tasks.size(); ++i) {
+            const RunTask &t = tasks[i];
+            CacheKey key =
+                resultCacheKey(*t.benchmark, t.config, t.samples,
+                               t.intervalInstrs, t.dvm,
+                               cache->simVersion());
+            std::optional<SimResult> stored = cache->load(key);
+            if (stored) {
+                results[i] = std::move(*stored);
+                if (events.hit)
+                    events.hit(key.hex());
+                if (progress)
+                    progress(done.fetch_add(1,
+                                            std::memory_order_relaxed) +
+                                 1,
+                             total);
+            } else {
+                if (events.miss)
+                    events.miss(key.hex());
+                pending.push_back(i);
+                pendingKeys.push_back(key);
+            }
+        }
+    } else {
+        pending.resize(fresh);
+        for (std::size_t k = 0; k < fresh; ++k)
+            pending[k] = first + k;
+    }
+
+    parallelFor(pool, pending.size(), [&](std::size_t k) {
+        std::size_t i = pending[k];
         const RunTask &t = tasks[i];
         results[i] = simulate(*t.benchmark, t.config, t.samples,
                               t.intervalInstrs, t.dvm);
+        if (cache) {
+            cache->store(pendingKeys[k], results[i]);
+            if (events.store)
+                events.store(pendingKeys[k].hex());
+        }
         if (progress)
             progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
                      total);

@@ -16,6 +16,14 @@
  * function of its inputs — the synthetic workload uses a counter-based
  * generator — so today the child streams exist to keep that guarantee
  * when stochastic run components are added.
+ *
+ * That purity also admits a content-addressed result cache
+ * (cache/store.hh): run() probes the attached cache for every fresh
+ * task before touching the thread pool, fills hits directly into the
+ * result slots, and only the missing tasks enter parallelFor. A warm
+ * batch therefore costs zero worker dispatches, and because hits are
+ * byte-exact stored results, a campaign's output is identical whether
+ * any given run was computed or replayed.
  */
 
 #ifndef WAVEDYN_EXEC_SCHEDULER_HH
@@ -25,9 +33,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "cache/store.hh"
 #include "exec/thread_pool.hh"
 #include "sim/simulator.hh"
 
@@ -39,9 +50,25 @@ namespace wavedyn
  * Invoked from worker threads as each run finishes — the counts are
  * monotonic (an atomic counter orders them) but calls may interleave,
  * so the callback must be thread-safe. jobs == 1 degenerates to
- * in-order calls from the calling thread.
+ * in-order calls from the calling thread. Cache hits also advance the
+ * count (a hit IS the run's completion), fired in task order from the
+ * calling thread during the pre-pool probe phase.
  */
 using RunProgress = std::function<void(std::size_t, std::size_t)>;
+
+/**
+ * Result-cache event hooks of one run() batch; each receives the
+ * 32-hex-digit cache key of the run. hit/miss fire in task order from
+ * the calling thread during the probe phase; store fires from worker
+ * threads as recomputed runs are published, so it must be thread-safe.
+ * All optional.
+ */
+struct CacheRunEvents
+{
+    std::function<void(const std::string &)> hit;
+    std::function<void(const std::string &)> miss;
+    std::function<void(const std::string &)> store;
+};
 
 /** One simulation run of a batched campaign. */
 struct RunTask
@@ -63,7 +90,13 @@ struct RunTask
 class RunScheduler
 {
   public:
-    /** @p seed roots the per-task child RNG streams. */
+    /**
+     * @p seed roots the per-task child RNG streams. The scheduler
+     * captures activeResultCache() here — campaigns built after the
+     * CLI configures the cache get lookup-before-schedule for free.
+     * The seed is deliberately NOT part of the cache key: simulate()
+     * is pure and taskRng streams are unused by it.
+     */
     explicit RunScheduler(std::uint64_t seed = 0x5eed);
 
     /** Queue one run; returns its task index. */
@@ -109,6 +142,28 @@ class RunScheduler
     void onProgress(RunProgress callback) { progress = std::move(callback); }
 
     /**
+     * Install cache event hooks fired by run() — see CacheRunEvents
+     * for the threading contract. No-ops while no cache is attached.
+     */
+    void onCacheEvents(CacheRunEvents callbacks)
+    {
+        events = std::move(callbacks);
+    }
+
+    /**
+     * Replace the cache captured at construction (nullptr disables
+     * caching). Tests use this to pin a cache regardless of the
+     * process-global one.
+     */
+    void setCache(std::shared_ptr<ResultCache> c) { cache = std::move(c); }
+
+    /** The cache run() will consult, or nullptr. */
+    const std::shared_ptr<ResultCache> &resultCache() const
+    {
+        return cache;
+    }
+
+    /**
      * Free all stored results (full per-interval traces — the bulk of
      * a campaign's memory) once they have been consumed. result(i) is
      * invalid for already-run tasks afterwards; enqueue()/run() keep
@@ -124,6 +179,8 @@ class RunScheduler
     std::vector<RunTask> tasks;
     std::vector<SimResult> results;
     RunProgress progress; //!< optional worker-side completion hook
+    CacheRunEvents events;
+    std::shared_ptr<ResultCache> cache; //!< nullptr = caching off
     std::size_t completed = 0;
     std::size_t released = 0; //!< results below this index were freed
 };

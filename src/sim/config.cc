@@ -1,9 +1,74 @@
 #include "sim/config.hh"
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/json_reader.hh"
 
 namespace wavedyn
 {
+
+namespace
+{
+
+/**
+ * The one list of (canonical key, field) pairs behind toJson,
+ * simConfigFromJson and operator== — all fields are unsigned, so a
+ * generic visitor keeps the three in lockstep: a field added here is
+ * serialized, parsed and compared; one forgotten trips the sizeof
+ * check below.
+ */
+template <typename Config, typename Visit>
+void
+forEachConfigField(Config &cfg, Visit &&visit)
+{
+    visit("fetch_width", cfg.fetchWidth);
+    visit("rob_size", cfg.robSize);
+    visit("iq_size", cfg.iqSize);
+    visit("lsq_size", cfg.lsqSize);
+    visit("l2_size_kb", cfg.l2SizeKb);
+    visit("l2_lat", cfg.l2Lat);
+    visit("il1_size_kb", cfg.il1SizeKb);
+    visit("dl1_size_kb", cfg.dl1SizeKb);
+    visit("dl1_lat", cfg.dl1Lat);
+    visit("il1_assoc", cfg.il1Assoc);
+    visit("il1_line_bytes", cfg.il1LineBytes);
+    visit("il1_lat", cfg.il1Lat);
+    visit("dl1_assoc", cfg.dl1Assoc);
+    visit("dl1_line_bytes", cfg.dl1LineBytes);
+    visit("l2_assoc", cfg.l2Assoc);
+    visit("l2_line_bytes", cfg.l2LineBytes);
+    visit("mem_lat", cfg.memLat);
+    visit("itlb_entries", cfg.itlbEntries);
+    visit("itlb_assoc", cfg.itlbAssoc);
+    visit("dtlb_entries", cfg.dtlbEntries);
+    visit("dtlb_assoc", cfg.dtlbAssoc);
+    visit("tlb_miss_lat", cfg.tlbMissLat);
+    visit("page_bytes", cfg.pageBytes);
+    visit("bpred_entries", cfg.bpredEntries);
+    visit("history_bits", cfg.historyBits);
+    visit("btb_entries", cfg.btbEntries);
+    visit("btb_assoc", cfg.btbAssoc);
+    visit("ras_entries", cfg.rasEntries);
+    visit("int_alu_count", cfg.intAluCount);
+    visit("int_mul_count", cfg.intMulCount);
+    visit("fp_alu_count", cfg.fpAluCount);
+    visit("fp_mul_count", cfg.fpMulCount);
+    visit("mem_port_count", cfg.memPortCount);
+    visit("front_end_depth", cfg.frontEndDepth);
+    visit("btb_miss_penalty", cfg.btbMissPenalty);
+}
+
+// All 35 members are unsigned; a field added to SimConfig but missing
+// from forEachConfigField would silently fall out of the cache key
+// (two different machines hashing identically) — fail loudly instead.
+static_assert(sizeof(SimConfig) == 35 * sizeof(unsigned),
+              "SimConfig changed: update forEachConfigField above");
+
+} // anonymous namespace
 
 SimConfig
 SimConfig::baseline()
@@ -41,6 +106,50 @@ SimConfig::fromDesignPoint(const DesignSpace &space,
         // Unknown names (policy parameters) are deliberately ignored.
     }
     return cfg;
+}
+
+JsonValue
+SimConfig::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    forEachConfigField(*this, [&](const char *key, unsigned value) {
+        v.set(key, std::uint64_t{value});
+    });
+    return v;
+}
+
+SimConfig
+simConfigFromJson(const JsonValue &doc, const std::string &path)
+{
+    SimConfig cfg;
+    ObjectReader r(doc, path);
+    forEachConfigField(cfg, [&](const char *key, unsigned &value) {
+        std::uint64_t parsed = r.getUint(key, value);
+        if (parsed > std::numeric_limits<unsigned>::max())
+            throw std::invalid_argument(
+                r.memberPath(key) + ": value " + std::to_string(parsed) +
+                " does not fit an unsigned machine parameter");
+        value = static_cast<unsigned>(parsed);
+    });
+    r.finish();
+    return cfg;
+}
+
+bool
+operator==(const SimConfig &a, const SimConfig &b)
+{
+    // Field order is fixed, so flattening both to value lists compares
+    // every field exactly once.
+    std::vector<unsigned> va, vb;
+    forEachConfigField(a, [&](const char *, unsigned v) { va.push_back(v); });
+    forEachConfigField(b, [&](const char *, unsigned v) { vb.push_back(v); });
+    return va == vb;
+}
+
+bool
+operator!=(const SimConfig &a, const SimConfig &b)
+{
+    return !(a == b);
 }
 
 std::string

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "dse/design_space.hh"
+#include "util/json.hh"
 
 namespace wavedyn
 {
@@ -83,7 +84,32 @@ struct SimConfig
 
     /** One-line description for logs. */
     std::string describe() const;
+
+    /**
+     * Canonical JSON form: every field, insertion-ordered, snake_case
+     * keys. This is a *stability contract*, not a convenience dump —
+     * the result cache (cache/key.hh) hashes these bytes, so renaming
+     * a key, reordering members or changing a default re-keys every
+     * cached run. Field semantics changes belong to kSimVersion
+     * (sim/simulator.hh); this document only encodes values.
+     */
+    JsonValue toJson() const;
 };
+
+/**
+ * Parse a config from its canonical JSON. Strict: unknown members are
+ * rejected and every present member is type-checked, each error naming
+ * the field path ("config.rob_size: expected an unsigned integer, got
+ * string"). Absent fields keep their baseline defaults, so
+ * simConfigFromJson(cfg.toJson()) == cfg.
+ * @throws std::invalid_argument with a field-path message.
+ */
+SimConfig simConfigFromJson(const JsonValue &doc,
+                            const std::string &path = "config");
+
+/** Exact field-by-field equality (all Table 1 + Table 2 fields). */
+bool operator==(const SimConfig &a, const SimConfig &b);
+bool operator!=(const SimConfig &a, const SimConfig &b);
 
 } // namespace wavedyn
 

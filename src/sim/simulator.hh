@@ -24,6 +24,22 @@
 namespace wavedyn
 {
 
+/**
+ * Simulation semantics version tag — part of every result-cache key
+ * (cache/key.hh).
+ *
+ * simulate() is a pure function of (BenchmarkProfile, SimConfig,
+ * samples, intervalInstrs, DvmConfig) *at a fixed version of this
+ * code*; the on-disk result cache reuses stored runs on that promise.
+ * Any PR that changes what simulate() computes — pipeline model,
+ * workload decode, power/AVF accounting, DVM policy, anything that
+ * can move a byte of a SimResult — MUST bump this constant, or warm
+ * caches silently serve stale results that no longer match a fresh
+ * run. Bit-identical refactors (PR 5 style, proven by goldens) keep
+ * it. A version mismatch is treated as a cache miss, never an error.
+ */
+inline constexpr char kSimVersion[] = "sim-v5";
+
 /** Metric domains of the paper's evaluation. */
 enum class Domain
 {

@@ -1,7 +1,11 @@
 #include "util/json_diff.hh"
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <system_error>
 
 namespace wavedyn
 {
@@ -164,6 +168,58 @@ jsonDiff(const JsonValue &a, const JsonValue &b,
     Differ d{opts, {}, false};
     d.compare("", a, b);
     return std::move(d.out);
+}
+
+namespace
+{
+
+JsonValue
+loadJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        return parseJson(text.str());
+    } catch (const JsonParseError &e) {
+        throw std::invalid_argument(path + ":" +
+                                    std::to_string(e.line()) + ":" +
+                                    std::to_string(e.column()) + ": " +
+                                    e.what());
+    }
+}
+
+/** Do the two names denote one file? ("a.json" vs "./a.json" too.) */
+bool
+sameFile(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    std::error_code ec;
+    bool eq = std::filesystem::equivalent(a, b, ec);
+    return !ec && eq;
+}
+
+} // anonymous namespace
+
+JsonFileDiff
+diffJsonFiles(const std::string &pathA, const std::string &pathB,
+              const JsonDiffOptions &opts)
+{
+    JsonFileDiff result;
+    if (sameFile(pathA, pathB)) {
+        // One read, one parse, no walk — but still validate: the
+        // short-circuit must not silently bless a malformed file.
+        loadJsonFile(pathA);
+        result.samePath = true;
+        return result;
+    }
+    JsonValue a = loadJsonFile(pathA);
+    JsonValue b = loadJsonFile(pathB);
+    result.differences = jsonDiff(a, b, opts);
+    return result;
 }
 
 } // namespace wavedyn

@@ -57,6 +57,29 @@ struct JsonDiffOptions
 std::vector<std::string> jsonDiff(const JsonValue &a, const JsonValue &b,
                                   const JsonDiffOptions &opts = {});
 
+/** Outcome of diffing two files (see diffJsonFiles). */
+struct JsonFileDiff
+{
+    std::vector<std::string> differences; //!< empty = equal
+    bool samePath = false; //!< the two names are one file (short-circuit)
+};
+
+/**
+ * Load, parse and compare two JSON files — the whole of
+ * `wavedyn_cli diff` behind one testable call. When both names refer
+ * to the same file (string-identical, or resolving to one inode — "a"
+ * vs "./a"), the file is loaded and parsed ONCE and the structural
+ * walk is skipped entirely: a document always equals itself, and
+ * reparsing it was pure waste. Malformed input still errors in that
+ * case — diff reports equality of documents, not of file names.
+ *
+ * @throws std::runtime_error when a file cannot be read;
+ *         std::invalid_argument "path:line:col: ..." on a parse error.
+ */
+JsonFileDiff diffJsonFiles(const std::string &pathA,
+                           const std::string &pathB,
+                           const JsonDiffOptions &opts = {});
+
 } // namespace wavedyn
 
 #endif // WAVEDYN_UTIL_JSON_DIFF_HH

@@ -1,0 +1,130 @@
+#include "util/json_reader.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wavedyn
+{
+
+ObjectReader::ObjectReader(const JsonValue &v, std::string path)
+    : obj(v), where(std::move(path))
+{
+    if (!v.isObject())
+        throw std::invalid_argument(where + ": expected an object, got " +
+                                    v.typeName());
+}
+
+std::string
+ObjectReader::memberPath(const std::string &key) const
+{
+    return where + "." + key;
+}
+
+const JsonValue *
+ObjectReader::get(const std::string &key)
+{
+    seen.insert(key);
+    return obj.find(key);
+}
+
+bool
+ObjectReader::getBool(const std::string &key, bool fallback)
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        return fallback;
+    if (!v->isBool())
+        wrongType(key, "a boolean", *v);
+    return v->asBool();
+}
+
+std::uint64_t
+ObjectReader::getUint(const std::string &key, std::uint64_t fallback)
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        return fallback;
+    if (!v->isNumber() || !v->fitsUint64())
+        wrongType(key, "an unsigned integer", *v);
+    return v->asUint64();
+}
+
+std::size_t
+ObjectReader::getSize(const std::string &key, std::size_t fallback)
+{
+    return static_cast<std::size_t>(
+        getUint(key, static_cast<std::uint64_t>(fallback)));
+}
+
+double
+ObjectReader::getDouble(const std::string &key, double fallback)
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        return fallback;
+    if (!v->isNumber())
+        wrongType(key, "a number", *v);
+    return v->asDouble();
+}
+
+std::string
+ObjectReader::getString(const std::string &key, const std::string &fallback)
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        return fallback;
+    if (!v->isString())
+        wrongType(key, "a string", *v);
+    return v->asString();
+}
+
+std::string
+ObjectReader::requireString(const std::string &key)
+{
+    const JsonValue *v = get(key);
+    if (!v)
+        throw std::invalid_argument(memberPath(key) +
+                                    ": missing required field");
+    if (!v->isString())
+        wrongType(key, "a string", *v);
+    return v->asString();
+}
+
+std::vector<std::string>
+ObjectReader::getStringArray(const std::string &key)
+{
+    std::vector<std::string> out;
+    const JsonValue *v = get(key);
+    if (!v)
+        return out;
+    if (!v->isArray())
+        wrongType(key, "an array", *v);
+    for (std::size_t i = 0; i < v->size(); ++i) {
+        const JsonValue &e = v->at(i);
+        if (!e.isString())
+            throw std::invalid_argument(
+                memberPath(key) + "[" + std::to_string(i) +
+                "]: expected a string, got " + e.typeName());
+        out.push_back(e.asString());
+    }
+    return out;
+}
+
+void
+ObjectReader::finish() const
+{
+    for (const auto &member : obj.members())
+        if (!seen.count(member.first))
+            throw std::invalid_argument(memberPath(member.first) +
+                                        ": unknown field");
+}
+
+void
+ObjectReader::wrongType(const std::string &key, const char *wanted,
+                        const JsonValue &v) const
+{
+    throw std::invalid_argument(memberPath(key) + ": expected " + wanted +
+                                ", got " + v.typeName());
+}
+
+} // namespace wavedyn

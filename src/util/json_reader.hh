@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Typed, path-tracking reader over one JSON object — the shared
+ * extraction layer behind every fromJson in the repo (campaign specs,
+ * SimConfig, BenchmarkProfile, DvmConfig).
+ *
+ * Every getter records the key it consumed; finish() rejects whatever
+ * is left, so a typo in a document is an error naming the full field
+ * path ("campaign.experiment.train_points: expected an unsigned
+ * integer, got string"), never a silently ignored knob. Grown out of
+ * the campaign-spec parser once cache keys made SimConfig and
+ * BenchmarkProfile serializable too: one reader, one error style.
+ */
+
+#ifndef WAVEDYN_UTIL_JSON_READER_HH
+#define WAVEDYN_UTIL_JSON_READER_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace wavedyn
+{
+
+/** Field-path-reporting accessor over one JSON object node. */
+class ObjectReader
+{
+  public:
+    /**
+     * @p path names the object in error messages ("campaign.dvm").
+     * @throws std::invalid_argument when @p v is not an object.
+     */
+    ObjectReader(const JsonValue &v, std::string path);
+
+    /** Full path of a member ("<path>.<key>"), for error messages. */
+    std::string memberPath(const std::string &key) const;
+
+    /**
+     * Raw member lookup; nullptr when absent. Marks the key consumed,
+     * so callers doing custom extraction still get finish() coverage.
+     */
+    const JsonValue *get(const std::string &key);
+
+    // -- typed getters: absent -> fallback, wrong type -> error with
+    //    the member path. getUint also rejects numbers that are not
+    //    exactly representable as uint64 (negatives, fractions).
+    bool getBool(const std::string &key, bool fallback);
+    std::uint64_t getUint(const std::string &key, std::uint64_t fallback);
+    std::size_t getSize(const std::string &key, std::size_t fallback);
+    double getDouble(const std::string &key, double fallback);
+    std::string getString(const std::string &key,
+                          const std::string &fallback);
+
+    /** Absent or non-string -> error. */
+    std::string requireString(const std::string &key);
+
+    /** Absent -> empty; non-array or non-string element -> error. */
+    std::vector<std::string> getStringArray(const std::string &key);
+
+    /**
+     * Every member must have been consumed by now; an unconsumed one
+     * is an "unknown field" error naming its path.
+     */
+    void finish() const;
+
+  private:
+    [[noreturn]] void wrongType(const std::string &key,
+                                const char *wanted,
+                                const JsonValue &v) const;
+
+    const JsonValue &obj;
+    std::string where;
+    std::set<std::string> seen;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_UTIL_JSON_READER_HH

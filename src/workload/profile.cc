@@ -1,7 +1,11 @@
 #include "workload/profile.hh"
 
 #include <cassert>
+#include <stdexcept>
 #include <tuple>
+#include <type_traits>
+
+#include "util/json_reader.hh"
 
 namespace wavedyn
 {
@@ -19,6 +23,62 @@ tied(const PhaseSegment &s)
                     s.dataFootprint, s.streamFrac, s.codeFootprint,
                     s.avgBlockLen, s.loopPeriod, s.branchEntropy,
                     s.modAmp, s.modCycles);
+}
+
+/**
+ * The one (canonical key, field) list behind the segment's toJson and
+ * fromJson — fields are double or uint64, dispatched on the member
+ * type, so serialization and parsing cannot drift apart. The sizeof
+ * static_assert below tied() also guards this list.
+ */
+template <typename Seg, typename Visit>
+void
+forEachSegmentField(Seg &s, Visit &&visit)
+{
+    visit("weight", s.weight);
+    visit("frac_load", s.fracLoad);
+    visit("frac_store", s.fracStore);
+    visit("frac_branch", s.fracBranch);
+    visit("frac_fp_alu", s.fracFpAlu);
+    visit("frac_fp_mul", s.fracFpMul);
+    visit("frac_int_mul", s.fracIntMul);
+    visit("dep_near_prob", s.depNearProb);
+    visit("dep_mean_dist", s.depMeanDist);
+    visit("dep2_prob", s.dep2Prob);
+    visit("data_footprint", s.dataFootprint);
+    visit("stream_frac", s.streamFrac);
+    visit("code_footprint", s.codeFootprint);
+    visit("avg_block_len", s.avgBlockLen);
+    visit("loop_period", s.loopPeriod);
+    visit("branch_entropy", s.branchEntropy);
+    visit("mod_amp", s.modAmp);
+    visit("mod_cycles", s.modCycles);
+}
+
+JsonValue
+segmentToJson(const PhaseSegment &s)
+{
+    JsonValue v = JsonValue::object();
+    forEachSegmentField(s, [&](const char *key, const auto &value) {
+        v.set(key, value);
+    });
+    return v;
+}
+
+PhaseSegment
+segmentFromJson(const JsonValue &doc, const std::string &path)
+{
+    PhaseSegment s;
+    ObjectReader r(doc, path);
+    forEachSegmentField(s, [&](const char *key, auto &value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, double>)
+            value = r.getDouble(key, value);
+        else
+            value = r.getUint(key, value);
+    });
+    r.finish();
+    return s;
 }
 
 // All 18 members are 8-byte scalars, so a field added to PhaseSegment
@@ -52,6 +112,43 @@ bool
 operator!=(const BenchmarkProfile &a, const BenchmarkProfile &b)
 {
     return !(a == b);
+}
+
+JsonValue
+BenchmarkProfile::toJson() const
+{
+    JsonValue v = JsonValue::object();
+    v.set("name", name);
+    v.set("seed", std::uint64_t{seed});
+    v.set("script_repeats", std::uint64_t{scriptRepeats});
+    JsonValue segs = JsonValue::array();
+    for (const auto &s : script)
+        segs.push(segmentToJson(s));
+    v.set("script", std::move(segs));
+    return v;
+}
+
+BenchmarkProfile
+profileFromJson(const JsonValue &doc, const std::string &path)
+{
+    BenchmarkProfile p;
+    ObjectReader r(doc, path);
+    p.name = r.getString("name", p.name);
+    p.seed = r.getUint("seed", p.seed);
+    p.scriptRepeats = r.getSize("script_repeats", p.scriptRepeats);
+    if (const JsonValue *script = r.get("script")) {
+        if (!script->isArray())
+            throw std::invalid_argument(r.memberPath("script") +
+                                        ": expected an array, got " +
+                                        script->typeName());
+        p.script.clear();
+        for (std::size_t i = 0; i < script->size(); ++i)
+            p.script.push_back(segmentFromJson(
+                script->at(i),
+                r.memberPath("script") + "[" + std::to_string(i) + "]"));
+    }
+    r.finish();
+    return p;
 }
 
 double

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hh"
+
 namespace wavedyn
 {
 
@@ -80,7 +82,26 @@ struct BenchmarkProfile
      * global execution fraction in [0,1).
      */
     void locate(double frac, std::size_t &segment, double &local) const;
+
+    /**
+     * Canonical JSON form: name, seed, script_repeats and every
+     * segment field, insertion-ordered, snake_case keys. A stability
+     * contract like SimConfig::toJson — the result cache hashes these
+     * bytes as the run's scenario identity, so key spellings must not
+     * drift (doubles render in their shortest round-tripping form,
+     * which the deterministic JSON writer guarantees).
+     */
+    JsonValue toJson() const;
 };
+
+/**
+ * Parse a profile from its canonical JSON. Strict, field-path errors,
+ * unknown members rejected; absent fields keep their C++ defaults so
+ * profileFromJson(p.toJson()) == p.
+ * @throws std::invalid_argument with a field-path message.
+ */
+BenchmarkProfile profileFromJson(const JsonValue &doc,
+                                 const std::string &path = "profile");
 
 /** Exact equality: name, seed, repeats and every segment. */
 bool operator==(const BenchmarkProfile &a, const BenchmarkProfile &b);

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for content-addressed cache keys: determinism, sensitivity to
+ * every input (any change re-keys), and insensitivity to what is
+ * deliberately excluded (scheduler seed is not an input).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cache/key.hh"
+#include "util/json.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+const BenchmarkProfile &
+bench()
+{
+    return allBenchmarks().front();
+}
+
+CacheKey
+keyOf(const SimConfig &cfg)
+{
+    return resultCacheKey(bench(), cfg, 16, 120, DvmConfig{});
+}
+
+TEST(CacheKey, Deterministic)
+{
+    SimConfig cfg = SimConfig::baseline();
+    CacheKey a = keyOf(cfg);
+    CacheKey b = keyOf(cfg);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hex(), b.hex());
+}
+
+TEST(CacheKey, HexIs32LowercaseDigits)
+{
+    std::string hex = keyOf(SimConfig::baseline()).hex();
+    ASSERT_EQ(hex.size(), 32u);
+    for (char c : hex)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << hex;
+}
+
+TEST(CacheKey, AnyConfigFieldChangeReKeys)
+{
+    SimConfig base = SimConfig::baseline();
+    CacheKey baseKey = keyOf(base);
+    std::set<std::string> seen{baseKey.hex()};
+
+    // A sample across Table 2 and Table 1 fields, including the last
+    // one (truncated visitors break there first).
+    SimConfig c = base;
+    c.fetchWidth += 1;
+    EXPECT_TRUE(seen.insert(keyOf(c).hex()).second) << "fetchWidth";
+    c = base;
+    c.robSize += 1;
+    EXPECT_TRUE(seen.insert(keyOf(c).hex()).second) << "robSize";
+    c = base;
+    c.memLat += 1;
+    EXPECT_TRUE(seen.insert(keyOf(c).hex()).second) << "memLat";
+    c = base;
+    c.btbMissPenalty += 1;
+    EXPECT_TRUE(seen.insert(keyOf(c).hex()).second) << "btbMissPenalty";
+}
+
+TEST(CacheKey, RunShapeAndDvmReKey)
+{
+    SimConfig cfg = SimConfig::baseline();
+    CacheKey base = resultCacheKey(bench(), cfg, 16, 120, DvmConfig{});
+    EXPECT_NE(resultCacheKey(bench(), cfg, 32, 120, DvmConfig{}), base)
+        << "samples";
+    EXPECT_NE(resultCacheKey(bench(), cfg, 16, 240, DvmConfig{}), base)
+        << "intervalInstrs";
+    DvmConfig dvm;
+    dvm.enabled = true;
+    EXPECT_NE(resultCacheKey(bench(), cfg, 16, 120, dvm), base)
+        << "dvm.enabled";
+}
+
+TEST(CacheKey, ScenarioIdentityReKeys)
+{
+    SimConfig cfg = SimConfig::baseline();
+    const auto &all = allBenchmarks();
+    ASSERT_GE(all.size(), 2u);
+    EXPECT_NE(resultCacheKey(all[0], cfg, 16, 120, DvmConfig{}),
+              resultCacheKey(all[1], cfg, 16, 120, DvmConfig{}));
+
+    // Even a pure rename is a different scenario: the name is part of
+    // the identity, matching how campaigns select scenarios.
+    BenchmarkProfile renamed = all[0];
+    renamed.name += "-prime";
+    EXPECT_NE(resultCacheKey(renamed, cfg, 16, 120, DvmConfig{}),
+              resultCacheKey(all[0], cfg, 16, 120, DvmConfig{}));
+}
+
+TEST(CacheKey, SimVersionReKeys)
+{
+    SimConfig cfg = SimConfig::baseline();
+    EXPECT_NE(
+        resultCacheKey(bench(), cfg, 16, 120, DvmConfig{}, "sim-v5"),
+        resultCacheKey(bench(), cfg, 16, 120, DvmConfig{}, "sim-v6"));
+}
+
+TEST(CacheKey, DocumentIsCanonicalCompactJson)
+{
+    std::string doc = cacheKeyDocument(bench(), SimConfig::baseline(),
+                                       16, 120, DvmConfig{});
+    // Compact (hash input must not depend on pretty-printing) and
+    // carrying every identity component.
+    EXPECT_EQ(doc.find('\n'), std::string::npos);
+    JsonValue parsed = parseJson(doc);
+    ASSERT_TRUE(parsed.isObject());
+    EXPECT_EQ(parsed.at("sim_version").asString(), kSimVersion);
+    EXPECT_EQ(parsed.at("benchmark").at("name").asString(),
+              bench().name);
+    EXPECT_EQ(parsed.at("samples").asUint64(), 16u);
+    EXPECT_EQ(parsed.at("interval_instrs").asUint64(), 120u);
+    EXPECT_TRUE(parsed.at("config").isObject());
+    EXPECT_TRUE(parsed.at("dvm").isObject());
+}
+
+TEST(CacheKey, Fnv1aKnownVector)
+{
+    // FNV-1a 64 of "a" from the standard offset basis — pins the
+    // algorithm (and byte order) against accidental rewrites.
+    EXPECT_EQ(fnv1a64("a", 0xcbf29ce484222325ull),
+              0xaf63dc4c8601ec8cull);
+    // Empty input returns the basis untouched.
+    EXPECT_EQ(fnv1a64("", 0xcbf29ce484222325ull),
+              0xcbf29ce484222325ull);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

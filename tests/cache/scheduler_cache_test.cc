@@ -1,0 +1,204 @@
+/**
+ * @file
+ * RunScheduler x ResultCache: lookup-before-schedule semantics. A warm
+ * batch is served entirely from disk (hit count == run count, nothing
+ * enters the pool), results are byte-identical to the cold run, cache
+ * events fire correctly, and a poisoned entry is recomputed silently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cache/store.hh"
+#include "exec/scheduler.hh"
+#include "workload/profile.hh"
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+namespace
+{
+
+class SchedulerCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root = (fs::temp_directory_path() /
+                ("wavedyn-sched-cache-" +
+                 std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                   .string();
+        fs::remove_all(root);
+        cache = std::make_shared<ResultCache>(root);
+    }
+
+    void TearDown() override
+    {
+        setActiveResultCache(nullptr);
+        fs::remove_all(root);
+    }
+
+    /** Enqueue a small mixed batch (4 configs x 2 benchmarks). */
+    static void enqueueBatch(RunScheduler &s)
+    {
+        const auto &benchmarks = allBenchmarks();
+        for (unsigned rob : {64u, 96u, 128u, 160u})
+            for (std::size_t b = 0; b < 2; ++b) {
+                RunTask t;
+                t.benchmark = &benchmarks[b];
+                t.config = SimConfig::baseline();
+                t.config.robSize = rob;
+                t.samples = 8;
+                t.intervalInstrs = 64;
+                s.enqueue(std::move(t));
+            }
+    }
+
+    /** Run a batch against `cache` and collect results + events. */
+    struct Outcome
+    {
+        std::vector<std::string> encoded; // bit-exact result images
+        std::uint64_t hits = 0, misses = 0, stores = 0;
+        std::vector<std::size_t> progress; // done counts in call order
+    };
+
+    Outcome runBatch(std::size_t jobs)
+    {
+        RunScheduler s(0x5eed);
+        s.setCache(cache);
+        std::atomic<std::uint64_t> hits{0}, misses{0}, stores{0};
+        CacheRunEvents ev;
+        ev.hit = [&](const std::string &) { ++hits; };
+        ev.miss = [&](const std::string &) { ++misses; };
+        ev.store = [&](const std::string &) { ++stores; };
+        s.onCacheEvents(ev);
+        Outcome out;
+        std::mutex mu;
+        s.onProgress([&](std::size_t done, std::size_t) {
+            std::lock_guard<std::mutex> lock(mu);
+            out.progress.push_back(done);
+        });
+        enqueueBatch(s);
+        ThreadPool pool(jobs);
+        s.run(pool);
+        for (std::size_t i = 0; i < s.size(); ++i)
+            out.encoded.push_back(encodeSimResult(s.result(i), "x"));
+        out.hits = hits;
+        out.misses = misses;
+        out.stores = stores;
+        return out;
+    }
+
+    std::string root;
+    std::shared_ptr<ResultCache> cache;
+};
+
+TEST_F(SchedulerCacheTest, ColdThenWarmIsByteIdenticalAndAllHits)
+{
+    Outcome cold = runBatch(4);
+    EXPECT_EQ(cold.hits, 0u);
+    EXPECT_EQ(cold.misses, 8u);
+    EXPECT_EQ(cold.stores, 8u);
+
+    Outcome warm = runBatch(4);
+    EXPECT_EQ(warm.hits, 8u) << "hit count must equal run count";
+    EXPECT_EQ(warm.misses, 0u);
+    EXPECT_EQ(warm.stores, 0u);
+    EXPECT_EQ(warm.encoded, cold.encoded) << "warm results not "
+                                             "byte-identical";
+}
+
+TEST_F(SchedulerCacheTest, WarmSerialAndParallelAgree)
+{
+    Outcome cold = runBatch(1);
+    Outcome warm1 = runBatch(1);
+    Outcome warm8 = runBatch(8);
+    EXPECT_EQ(warm1.encoded, cold.encoded);
+    EXPECT_EQ(warm8.encoded, cold.encoded);
+    EXPECT_EQ(warm8.hits, 8u);
+}
+
+TEST_F(SchedulerCacheTest, WarmProgressStillCountsEveryRun)
+{
+    runBatch(1);
+    Outcome warm = runBatch(1);
+    // A hit IS a completed run: the ticker must reach the full count,
+    // monotonically, in task order (serial probe phase).
+    ASSERT_EQ(warm.progress.size(), 8u);
+    for (std::size_t i = 0; i < warm.progress.size(); ++i)
+        EXPECT_EQ(warm.progress[i], i + 1);
+}
+
+TEST_F(SchedulerCacheTest, PoisonedEntryIsRecomputedSilently)
+{
+    Outcome cold = runBatch(2);
+    // Corrupt one stored entry: flip a payload byte.
+    std::vector<std::string> entries;
+    for (auto &e : fs::recursive_directory_iterator(root))
+        if (e.is_regular_file())
+            entries.push_back(e.path().string());
+    ASSERT_EQ(entries.size(), 8u);
+    {
+        std::fstream f(entries[3],
+                       std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(40);
+        f.put('\x7f');
+    }
+    Outcome warm = runBatch(2);
+    EXPECT_EQ(warm.hits, 7u);
+    EXPECT_EQ(warm.misses, 1u);
+    EXPECT_EQ(warm.stores, 1u) << "recompute must heal the entry";
+    EXPECT_EQ(warm.encoded, cold.encoded)
+        << "a poisoned entry changed campaign output";
+    EXPECT_EQ(cache->stats().badEntries, 1u);
+}
+
+TEST_F(SchedulerCacheTest, VersionSkewMissesWithoutError)
+{
+    runBatch(2); // populate at sim-v5 paths
+    cache = std::make_shared<ResultCache>(root, "sim-v6-test");
+    Outcome skewed = runBatch(2);
+    EXPECT_EQ(skewed.hits, 0u) << "a new sim version must never hit "
+                                  "old entries";
+    EXPECT_EQ(skewed.misses, 8u);
+    EXPECT_EQ(skewed.stores, 8u);
+}
+
+TEST_F(SchedulerCacheTest, NoCacheMeansNoEvents)
+{
+    RunScheduler s(0x5eed);
+    s.setCache(nullptr);
+    std::atomic<std::uint64_t> events{0};
+    CacheRunEvents ev;
+    ev.hit = [&](const std::string &) { ++events; };
+    ev.miss = [&](const std::string &) { ++events; };
+    ev.store = [&](const std::string &) { ++events; };
+    s.onCacheEvents(ev);
+    enqueueBatch(s);
+    ThreadPool pool(2);
+    s.run(pool);
+    EXPECT_EQ(events.load(), 0u);
+    EXPECT_EQ(s.size(), 8u);
+}
+
+TEST_F(SchedulerCacheTest, SchedulerCapturesActiveCacheAtConstruction)
+{
+    setActiveResultCache(cache);
+    RunScheduler s;
+    EXPECT_EQ(s.resultCache(), cache);
+    setActiveResultCache(nullptr);
+    RunScheduler later;
+    EXPECT_EQ(later.resultCache(), nullptr);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

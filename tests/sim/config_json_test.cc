@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for SimConfig's canonical JSON form — the stability contract
+ * the result cache hashes (cache/key.hh): round-trip identity, strict
+ * parsing with field-path errors, and key spelling pins.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/config.hh"
+#include "util/json.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(ConfigJson, RoundTripIdentity)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.robSize = 128;
+    cfg.l2SizeKb = 4096;
+    cfg.btbMissPenalty = 7;
+    EXPECT_EQ(simConfigFromJson(cfg.toJson()), cfg);
+}
+
+TEST(ConfigJson, RoundTripThroughText)
+{
+    // Through the writer and parser, not just the value tree: the
+    // cache hashes writeJson bytes.
+    SimConfig cfg = SimConfig::baseline();
+    cfg.fetchWidth = 4;
+    SimConfig back =
+        simConfigFromJson(parseJson(writeJson(cfg.toJson())));
+    EXPECT_EQ(back, cfg);
+}
+
+TEST(ConfigJson, EmptyObjectYieldsBaseline)
+{
+    EXPECT_EQ(simConfigFromJson(parseJson("{}")), SimConfig::baseline());
+}
+
+TEST(ConfigJson, CanonicalKeysPinned)
+{
+    // Renaming a key silently re-keys every cached result; pin a few
+    // spellings so that shows up as a test diff, not a cache flush.
+    JsonValue doc = SimConfig::baseline().toJson();
+    for (const char *key :
+         {"fetch_width", "rob_size", "iq_size", "lsq_size", "l2_size_kb",
+          "dl1_lat", "mem_lat", "bpred_entries", "btb_miss_penalty"})
+        EXPECT_NE(doc.find(key), nullptr) << key;
+    EXPECT_EQ(doc.size(), 35u);
+}
+
+TEST(ConfigJson, UnknownFieldRejectedWithPath)
+{
+    try {
+        simConfigFromJson(parseJson(R"({"rob_siz": 64})"));
+        FAIL() << "unknown field accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("config.rob_siz"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigJson, WrongTypeNamesFieldPath)
+{
+    try {
+        simConfigFromJson(parseJson(R"({"rob_size": "big"})"),
+                          "experiment.config");
+        FAIL() << "string accepted for unsigned field";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("experiment.config.rob_size"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ConfigJson, OutOfRangeValueRejected)
+{
+    // Larger than unsigned: must error, not truncate into a different
+    // (cacheable!) configuration.
+    EXPECT_THROW(
+        simConfigFromJson(parseJson(R"({"rob_size": 4294967296})")),
+        std::invalid_argument);
+}
+
+TEST(ConfigJson, EqualityCoversEveryField)
+{
+    SimConfig a = SimConfig::baseline();
+    SimConfig b = a;
+    EXPECT_TRUE(a == b);
+    b.btbMissPenalty += 1; // last field: catches truncated comparisons
+    EXPECT_TRUE(a != b);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -6,6 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
 
 #include "util/json.hh"
 #include "util/json_diff.hh"
@@ -133,6 +138,88 @@ TEST(JsonDiff, NanNeverEqual)
     JsonDiffOptions opts;
     opts.tolerance = 1.0;
     EXPECT_EQ(jsonDiff(a, b, opts).size(), 1u);
+}
+
+// ---- diffJsonFiles: the file-level entry `wavedyn_cli diff` uses ----
+
+class JsonDiffFiles : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = (std::filesystem::temp_directory_path() /
+               ("wavedyn-jsondiff-" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                  .string();
+        std::filesystem::create_directories(dir);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir); }
+
+    std::string write(const std::string &name, const std::string &text)
+    {
+        std::string path = dir + "/" + name;
+        std::ofstream out(path, std::ios::binary);
+        out << text;
+        return path;
+    }
+
+    std::string dir;
+};
+
+TEST_F(JsonDiffFiles, DifferentFilesReportDifferences)
+{
+    std::string a = write("a.json", R"({"x": 1, "y": 2})");
+    std::string b = write("b.json", R"({"x": 1, "y": 3})");
+    JsonFileDiff d = diffJsonFiles(a, b);
+    EXPECT_FALSE(d.samePath);
+    ASSERT_EQ(d.differences.size(), 1u);
+    EXPECT_NE(d.differences[0].find("y"), std::string::npos);
+}
+
+TEST_F(JsonDiffFiles, EqualFilesReportNothing)
+{
+    std::string a = write("a.json", R"({"x": 1})");
+    std::string b = write("b.json", R"({"x": 1})");
+    JsonFileDiff d = diffJsonFiles(a, b);
+    EXPECT_FALSE(d.samePath);
+    EXPECT_TRUE(d.differences.empty());
+}
+
+TEST_F(JsonDiffFiles, IdenticalPathShortCircuits)
+{
+    std::string a = write("a.json", R"({"x": 1})");
+    JsonFileDiff d = diffJsonFiles(a, a);
+    EXPECT_TRUE(d.samePath);
+    EXPECT_TRUE(d.differences.empty());
+}
+
+TEST_F(JsonDiffFiles, EquivalentSpellingsShortCircuit)
+{
+    // "dir/a.json" and "dir/./a.json" are one inode — the file must be
+    // parsed once, not reparsed per argument.
+    std::string a = write("a.json", R"({"x": 1})");
+    std::string alias = dir + "/./a.json";
+    JsonFileDiff d = diffJsonFiles(a, alias);
+    EXPECT_TRUE(d.samePath);
+    EXPECT_TRUE(d.differences.empty());
+}
+
+TEST_F(JsonDiffFiles, SamePathStillValidates)
+{
+    // Equality of file names is not equality of documents: malformed
+    // input errors even when both arguments are the same file.
+    std::string bad = write("bad.json", "{broken");
+    EXPECT_THROW(diffJsonFiles(bad, bad), std::invalid_argument);
+}
+
+TEST_F(JsonDiffFiles, UnreadableFileThrows)
+{
+    std::string a = write("a.json", R"({"x": 1})");
+    EXPECT_THROW(diffJsonFiles(a, dir + "/missing.json"),
+                 std::runtime_error);
+    EXPECT_THROW(diffJsonFiles(dir + "/missing.json", a),
+                 std::runtime_error);
 }
 
 } // anonymous namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for BenchmarkProfile's canonical JSON form — scenario identity
+ * in result-cache keys: round-trip for every paper benchmark, strict
+ * parsing, per-element field paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/json.hh"
+#include "workload/profile.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(ProfileJson, EveryPaperBenchmarkRoundTrips)
+{
+    for (const BenchmarkProfile &b : allBenchmarks()) {
+        BenchmarkProfile back = profileFromJson(b.toJson());
+        EXPECT_EQ(back, b) << b.name;
+    }
+}
+
+TEST(ProfileJson, RoundTripThroughText)
+{
+    const BenchmarkProfile &b = allBenchmarks().front();
+    EXPECT_EQ(profileFromJson(parseJson(writeJson(b.toJson()))), b);
+}
+
+TEST(ProfileJson, CanonicalTopLevelShape)
+{
+    JsonValue doc = allBenchmarks().front().toJson();
+    ASSERT_NE(doc.find("name"), nullptr);
+    ASSERT_NE(doc.find("seed"), nullptr);
+    ASSERT_NE(doc.find("script_repeats"), nullptr);
+    ASSERT_NE(doc.find("script"), nullptr);
+    EXPECT_TRUE(doc.at("script").isArray());
+    EXPECT_EQ(doc.size(), 4u);
+}
+
+TEST(ProfileJson, SeedRoundTripsAbove2e53)
+{
+    // uint64 seeds must not pass through double rounding.
+    BenchmarkProfile p = allBenchmarks().front();
+    p.seed = 9007199254740993ull; // 2^53 + 1
+    EXPECT_EQ(profileFromJson(p.toJson()).seed, p.seed);
+}
+
+TEST(ProfileJson, UnknownSegmentFieldNamesElementPath)
+{
+    BenchmarkProfile p = allBenchmarks().front();
+    JsonValue doc = p.toJson();
+    JsonValue script = doc.at("script"); // copy, mutate, reinstall
+    JsonValue seg = script.at(1);
+    seg.set("wieght", 1.0);
+    JsonValue rebuilt = JsonValue::array();
+    for (std::size_t i = 0; i < script.size(); ++i)
+        rebuilt.push(i == 1 ? seg : script.at(i));
+    doc.set("script", rebuilt);
+    try {
+        profileFromJson(doc, "bench");
+        FAIL() << "unknown segment field accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("bench.script[1].wieght"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ProfileJson, WrongTypeNamesFieldPath)
+{
+    try {
+        profileFromJson(parseJson(R"({"name":"x","seed":"nope"})"));
+        FAIL() << "string seed accepted";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("profile.seed"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ProfileJson, MissingSegmentFieldsKeepDefaults)
+{
+    JsonValue doc = parseJson(
+        R"({"name":"tiny","seed":3,"script":[{"weight":2.5}]})");
+    BenchmarkProfile p = profileFromJson(doc);
+    ASSERT_EQ(p.script.size(), 1u);
+    EXPECT_EQ(p.script[0].weight, 2.5);
+    PhaseSegment def;
+    EXPECT_EQ(p.script[0].depMeanDist, def.depMeanDist);
+    EXPECT_EQ(p.script[0].dataFootprint, def.dataFootprint);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -46,7 +46,13 @@
  *       strings and booleans, --tol T for doubles (relative above 1,
  *       absolute below). Exit 0 when equal, 1 with one difference per
  *       line (field paths) otherwise — the merge/CI counterpart of
- *       the JSON report sink.
+ *       the JSON report sink. Two names denoting one file are loaded
+ *       and parsed once, not twice.
+ *
+ *   cache   stats|gc|verify [--cache-dir D] [--max-age-days N]
+ *           [--max-bytes N]
+ *       maintain a result-cache directory (cache/store.hh): usage
+ *       totals, garbage collection by age/size, integrity check.
  *
  *   info    <model.txt>
  *       describe a saved predictor.
@@ -58,19 +64,29 @@
  * reproduces the identical report). Campaign reports go to stdout
  * (byte-identical for every --jobs setting); progress and banners go
  * to stderr, so reports are safe to redirect, diff and pin.
+ *
+ * Result cache: every campaign entry point takes --cache-dir DIR (or
+ * the WAVEDYN_CACHE_DIR environment variable; --no-cache overrides
+ * both). With a cache directory set, previously simulated runs are
+ * replayed byte-exactly from disk instead of recomputed — reports are
+ * identical cold or warm; hit/miss counts go to stderr only.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "cache/store.hh"
 #include "core/campaign.hh"
 #include "core/report.hh"
 #include "core/serialize.hh"
@@ -111,6 +127,8 @@ usage()
         "  wavedyn_cli predict <model.txt> <p1..p9>\n"
         "  wavedyn_cli generate <N> [--family F] [--scenario-seed S]\n"
         "  wavedyn_cli diff <a.json> <b.json> [--tol T]\n"
+        "  wavedyn_cli cache stats|gc|verify [--cache-dir D]\n"
+        "              [--max-age-days N] [--max-bytes N]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
         "declarative campaigns:\n"
@@ -126,6 +144,10 @@ usage()
         "  --format F  report format: text (default), markdown, csv,\n"
         "              json\n"
         "  --out PATH  write the report to PATH instead of stdout\n"
+        "  --cache-dir D  content-addressed result cache: replay\n"
+        "              previously simulated runs byte-exactly from D\n"
+        "              (default: WAVEDYN_CACHE_DIR; unset = no cache)\n"
+        "  --no-cache  ignore --cache-dir and WAVEDYN_CACHE_DIR\n"
         "\n"
         "scenario generation (suite / explore / generate):\n"
         "  --generate N        run N generated scenarios instead of the\n"
@@ -234,36 +256,102 @@ struct Options
     std::string outPath;
     bool dumpSpec = false;     //!< print the campaign JSON and exit
     bool validateOnly = false; //!< run: parse + validate, don't run
+    // result-cache options
+    std::string cacheDir;      //!< empty => WAVEDYN_CACHE_DIR / off
+    bool noCache = false;      //!< overrides --cache-dir and the env
+    std::uint64_t maxAgeDays = 0;  //!< cache gc: 0 = no age limit
+    std::uint64_t maxBytes = 0;    //!< cache gc: 0 = no size limit
+    // diff options
+    double tolerance = 0.0;
 };
+
+/**
+ * The one registry of every flag the CLI knows: its name and whether
+ * it consumes a value. Subcommands pick subsets (see the allowed
+ * lists), but value-taking, typo rejection and the handler dispatch
+ * in parseOptions are defined here exactly once — a new flag that is
+ * missing from this table or from the handler chain fails loudly for
+ * every subcommand, not just the one it was added for.
+ */
+struct FlagDef
+{
+    const char *name;
+    bool takesValue;
+};
+
+constexpr FlagDef kFlagRegistry[] = {
+    {"--train", true},      {"--test", true},
+    {"--samples", true},    {"--interval", true},
+    {"--coeffs", true},     {"--jobs", true},
+    {"--dvm", true},        {"--scale", true},
+    {"--format", true},     {"--out", true},
+    {"--generate", true},   {"--family", true},
+    {"--scenario-seed", true}, {"--objectives", true},
+    {"--budget", true},     {"--per-round", true},
+    {"--sweep", true},      {"--tol", true},
+    {"--cache-dir", true},  {"--max-age-days", true},
+    {"--max-bytes", true},  {"--dump-spec", false},
+    {"--validate", false},  {"--no-cache", false},
+};
+
+const FlagDef *
+findFlag(const std::string &name)
+{
+    for (const FlagDef &f : kFlagRegistry)
+        if (name == f.name)
+            return &f;
+    return nullptr;
+}
+
+/**
+ * The flags every campaign entry point shares (run / suite / explore /
+ * train / evaluate), plus the subcommand's own extras. One builder so
+ * a new common flag — --cache-dir was the motivating case — reaches
+ * every entry point by construction instead of by editing five lists.
+ */
+std::vector<std::string>
+campaignFlags(std::initializer_list<const char *> extras)
+{
+    std::vector<std::string> allowed = {"--jobs", "--format", "--out",
+                                        "--cache-dir", "--no-cache"};
+    for (const char *e : extras)
+        allowed.push_back(e);
+    return allowed;
+}
 
 Options
 parseOptions(int argc, char **argv, int first,
-             std::initializer_list<const char *> allowed)
+             const std::vector<std::string> &allowed)
 {
     // Everything from `first` on must be flags drawn from this
-    // subcommand's `allowed` list — "--name value" pairs plus the
-    // boolean --dump-spec / --validate. A typo like --genrate, a
-    // value-less flag, or a flag another subcommand owns (--generate
-    // on train) must error, not be silently dropped (and, via the
-    // bare-flag suite dispatch, kick off a campaign the user never
-    // asked for).
+    // subcommand's `allowed` list. A typo like --genrate, a value-less
+    // flag, or a flag another subcommand owns (--generate on train)
+    // must error, not be silently dropped (and, via the bare-flag
+    // suite dispatch, kick off a campaign the user never asked for).
     Options o;
     for (int i = first; i < argc;) {
         std::string key = argv[i];
-        bool ok = false;
-        for (const char *a : allowed)
-            ok = ok || key == a;
+        const FlagDef *def = findFlag(key);
+        bool ok = def != nullptr;
+        if (ok) {
+            ok = false;
+            for (const std::string &a : allowed)
+                ok = ok || key == a;
+        }
         if (!ok)
             throw std::invalid_argument(
                 "option '" + key + "' is unknown or does not apply to "
                 "this command");
-        if (key == "--dump-spec") {
-            o.dumpSpec = true;
-            ++i;
-            continue;
-        }
-        if (key == "--validate") {
-            o.validateOnly = true;
+        if (!def->takesValue) {
+            if (key == "--dump-spec")
+                o.dumpSpec = true;
+            else if (key == "--validate")
+                o.validateOnly = true;
+            else if (key == "--no-cache")
+                o.noCache = true;
+            else
+                throw std::logic_error("boolean flag in registry has "
+                                       "no handler: " + key);
             ++i;
             continue;
         }
@@ -306,7 +394,23 @@ parseOptions(int argc, char **argv, int first,
             o.format = val;
         else if (key == "--out")
             o.outPath = val;
-        else if (key == "--generate")
+        else if (key == "--cache-dir")
+            o.cacheDir = val;
+        else if (key == "--max-age-days") {
+            if (!parseUint64(val, o.maxAgeDays))
+                throw std::invalid_argument(
+                    "--max-age-days must be a non-negative integer, "
+                    "got '" + val + "'");
+        } else if (key == "--max-bytes") {
+            if (!parseUint64(val, o.maxBytes))
+                throw std::invalid_argument(
+                    "--max-bytes must be a non-negative integer, got '" +
+                    val + "'");
+        } else if (key == "--tol") {
+            o.tolerance = parseDouble(val, key);
+            if (o.tolerance < 0.0)
+                throw std::invalid_argument("--tol must be >= 0");
+        } else if (key == "--generate")
             o.generate = parseCount(val, "--generate");
         else if (key == "--family") {
             o.family = val;
@@ -315,16 +419,45 @@ parseOptions(int argc, char **argv, int first,
             o.scenarioSeed = parseSeed(val);
             o.scenarioSeedSet = true;
         } else {
-            // Unreachable while every flag in an `allowed` list has a
+            // Unreachable while every value flag in the registry has a
             // branch above; user-facing unknown-flag errors come from
-            // the allowed check at the top of the loop.
-            throw std::logic_error("flag in allowed list has no "
-                                   "handler: " + key);
+            // the registry/allowed check at the top of the loop.
+            throw std::logic_error("flag in registry has no handler: " +
+                                   key);
         }
         i += 2;
     }
     setJobs(o.jobs);
     return o;
+}
+
+/**
+ * Resolve the cache directory of a command: --no-cache beats
+ * --cache-dir beats WAVEDYN_CACHE_DIR; empty = caching off.
+ */
+std::string
+resolveCacheDir(const Options &o)
+{
+    if (o.noCache)
+        return "";
+    if (!o.cacheDir.empty())
+        return o.cacheDir;
+    const char *env = std::getenv("WAVEDYN_CACHE_DIR");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+/**
+ * Install (or clear) the process-global result cache from the parsed
+ * flags — campaign schedulers pick it up at construction.
+ */
+void
+configureResultCache(const Options &o)
+{
+    std::string dir = resolveCacheDir(o);
+    if (dir.empty())
+        setActiveResultCache(nullptr);
+    else
+        setActiveResultCache(std::make_shared<ResultCache>(dir));
 }
 
 /**
@@ -340,9 +473,9 @@ parseOptions(int argc, char **argv, int first,
  * reports stay byte-identical for every --jobs setting.
  */
 RunProgress
-stderrRunProgress()
+stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns)
 {
-    return [](std::size_t done, std::size_t total) {
+    return [cachedRuns](std::size_t done, std::size_t total) {
         static std::mutex mu;
         static std::size_t lastDone = 0;
         static std::size_t lastTotal = 0;
@@ -356,15 +489,25 @@ stderrRunProgress()
             return;
         lastDone = done;
         lastTotal = total;
-        std::cerr << "   [sim] " << done << "/" << total << " runs"
-                  << (done == total ? "\n" : "\r");
+        std::uint64_t cached =
+            cachedRuns->load(std::memory_order_relaxed);
+        std::cerr << "   [sim] " << done << "/" << total << " runs";
+        if (cached > 0)
+            std::cerr << " (" << cached << " cached)";
+        std::cerr << (done == total ? "\n" : "\r");
     };
 }
 
-/** The CLI's standard hooks: all progress on stderr. */
+/**
+ * The CLI's standard hooks: all progress on stderr, with the live run
+ * ticker annotated by how many runs the result cache served so far.
+ */
 CampaignHooks
 stderrHooks()
 {
+    // Shared by the hit hook (incrementing, probe-phase thread) and
+    // the ticker (reading, worker threads).
+    auto cachedRuns = std::make_shared<std::atomic<std::uint64_t>>(0);
     CampaignHooks hooks;
     hooks.phase = [](const std::string &msg) {
         std::cerr << "-- " << msg << "\n";
@@ -374,7 +517,10 @@ stderrHooks()
         std::cerr << "  [" << done << "/" << total << "] " << bench
                   << " assembled\n";
     };
-    hooks.runProgress = stderrRunProgress();
+    hooks.runProgress = stderrRunProgress(cachedRuns);
+    hooks.runCacheHit = [cachedRuns](const std::string &) {
+        cachedRuns->fetch_add(1, std::memory_order_relaxed);
+    };
     return hooks;
 }
 
@@ -558,9 +704,21 @@ executeSpec(const CampaignSpec &spec, const Options &o)
             reportFormatName(format) + " output is not defined for " +
             campaignKindName(spec.kind) + " results (use text or json)");
 
+    configureResultCache(o);
     std::cerr << "-- " << campaignKindName(spec.kind) << " campaign, "
-              << currentJobs() << " jobs\n";
+              << currentJobs() << " jobs";
+    auto cache = activeResultCache();
+    if (cache)
+        std::cerr << ", cache " << cache->root();
+    std::cerr << "\n";
     CampaignResult result = runCampaign(spec, stderrHooks());
+
+    // stderr only: the report itself must stay byte-identical between
+    // a cold and a warm run of the same spec (CI diffs them).
+    if (cache)
+        std::cerr << "-- cache: " << result.cacheHits << " hits, "
+                  << result.cacheMisses << " misses, "
+                  << result.cacheStores << " stores\n";
 
     auto sink = makeReportSink(format);
     if (o.outPath.empty()) {
@@ -583,8 +741,7 @@ cmdRun(int argc, char **argv)
         return usage();
     std::string path = argv[2];
     Options o = parseOptions(argc, argv, 3,
-                             {"--jobs", "--format", "--out",
-                              "--validate"});
+                             campaignFlags({"--validate"}));
 
     std::ifstream in(path, std::ios::binary);
     if (!in.good())
@@ -612,12 +769,11 @@ cmdRun(int argc, char **argv)
 int
 cmdSuite(int argc, char **argv, int first)
 {
-    Options o = parseOptions(argc, argv, first,
-                             {"--scale", "--jobs", "--train", "--test",
-                              "--samples", "--interval", "--coeffs",
-                              "--dvm", "--generate", "--family",
-                              "--scenario-seed", "--format", "--out",
-                              "--dump-spec"});
+    Options o = parseOptions(
+        argc, argv, first,
+        campaignFlags({"--scale", "--train", "--test", "--samples",
+                       "--interval", "--coeffs", "--dvm", "--generate",
+                       "--family", "--scenario-seed", "--dump-spec"}));
     return executeSpec(suiteSpecFromFlags(o), o);
 }
 
@@ -630,14 +786,13 @@ cmdExplore(int argc, char **argv)
     while (first < argc &&
            std::string(argv[first]).rfind("--", 0) != 0)
         names.push_back(argv[first++]);
-    Options o = parseOptions(argc, argv, first,
-                             {"--scale", "--jobs", "--train", "--test",
-                              "--samples", "--interval", "--coeffs",
-                              "--generate", "--family",
-                              "--scenario-seed", "--objectives",
-                              "--budget", "--per-round", "--sweep",
-                              "--dvm", "--format", "--out",
-                              "--dump-spec"});
+    Options o = parseOptions(
+        argc, argv, first,
+        campaignFlags({"--scale", "--train", "--test", "--samples",
+                       "--interval", "--coeffs", "--generate",
+                       "--family", "--scenario-seed", "--objectives",
+                       "--budget", "--per-round", "--sweep", "--dvm",
+                       "--dump-spec"}));
     return executeSpec(exploreSpecFromFlags(names, o), o);
 }
 
@@ -651,10 +806,10 @@ cmdTrain(int argc, char **argv)
     if (!parseDomain(argv[3], domain))
         return usage();
     std::string path = argv[4];
-    Options o = parseOptions(argc, argv, 5,
-                             {"--train", "--samples", "--interval",
-                              "--coeffs", "--dvm", "--jobs",
-                              "--format", "--out", "--dump-spec"});
+    Options o = parseOptions(
+        argc, argv, 5,
+        campaignFlags({"--train", "--samples", "--interval", "--coeffs",
+                       "--dvm", "--dump-spec"}));
     return executeSpec(trainSpecFromFlags(bench, domain, path, o), o);
 }
 
@@ -668,9 +823,9 @@ cmdEvaluate(int argc, char **argv)
     if (!parseDomain(argv[3], domain))
         return usage();
     std::string path = argv[4];
-    Options o = parseOptions(argc, argv, 5,
-                             {"--test", "--interval", "--jobs",
-                              "--format", "--out", "--dump-spec"});
+    Options o = parseOptions(
+        argc, argv, 5,
+        campaignFlags({"--test", "--interval", "--dump-spec"}));
     // evaluate bypasses the simulated-campaign checks in
     // validateCampaign (it has no training sweep), so guard its two
     // sizes here with the historical flag-level messages.
@@ -752,47 +907,72 @@ cmdDiff(int argc, char **argv)
     // Exactly two positional documents, then optional --tol.
     if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-')
         return usage();
+    Options o = parseOptions(argc, argv, 4, {"--tol"});
     JsonDiffOptions opts;
-    for (int i = 4; i < argc;) {
-        std::string key = argv[i];
-        if (key != "--tol")
-            throw std::invalid_argument(
-                "option '" + key + "' is unknown or does not apply to "
-                "diff");
-        if (i + 1 >= argc)
-            throw std::invalid_argument("--tol is missing its value");
-        opts.tolerance = parseDouble(argv[i + 1], key);
-        if (opts.tolerance < 0.0)
-            throw std::invalid_argument("--tol must be >= 0");
-        i += 2;
-    }
+    opts.tolerance = o.tolerance;
 
-    auto load = [](const char *path) {
-        std::ifstream in(path, std::ios::binary);
-        if (!in.good())
-            throw std::runtime_error(std::string("cannot read '") +
-                                     path + "'");
-        std::ostringstream text;
-        text << in.rdbuf();
-        try {
-            return parseJson(text.str());
-        } catch (const JsonParseError &e) {
-            throw std::invalid_argument(std::string(path) + ":" +
-                                        std::to_string(e.line()) + ":" +
-                                        std::to_string(e.column()) +
-                                        ": " + e.what());
-        }
-    };
-    JsonValue a = load(argv[2]);
-    JsonValue b = load(argv[3]);
-
-    std::vector<std::string> diffs = jsonDiff(a, b, opts);
-    if (diffs.empty())
+    JsonFileDiff result = diffJsonFiles(argv[2], argv[3], opts);
+    if (result.samePath)
+        std::cerr << argv[2] << " and " << argv[3]
+                  << " are the same file\n";
+    if (result.differences.empty())
         return 0;
-    for (const auto &d : diffs)
+    for (const auto &d : result.differences)
         std::cout << d << "\n";
     std::cerr << argv[2] << " and " << argv[3] << " differ\n";
     return 1;
+}
+
+int
+cmdCache(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    std::string action = argv[2];
+    if (action != "stats" && action != "gc" && action != "verify")
+        return usage();
+    Options o = parseOptions(argc, argv, 3,
+                             {"--cache-dir", "--max-age-days",
+                              "--max-bytes"});
+    std::string dir = resolveCacheDir(o);
+    if (dir.empty())
+        throw std::invalid_argument(
+            "cache " + action + " needs --cache-dir DIR or "
+            "WAVEDYN_CACHE_DIR");
+
+    ResultCache cache(dir);
+    if (action == "stats") {
+        CacheUsage u = cache.usage();
+        std::cout << "result cache " << cache.root() << "\n"
+                  << "  sim version:     " << cache.simVersion() << "\n"
+                  << "  entries:         " << u.entries << "\n"
+                  << "  bytes:           " << u.bytes << "\n"
+                  << "  invalid:         " << u.invalidEntries << "\n"
+                  << "  other versions:  " << u.otherVersionEntries
+                  << "\n";
+        return 0;
+    }
+    if (action == "verify") {
+        std::size_t bad = 0;
+        std::vector<CacheEntryInfo> entries = cache.scan();
+        for (const CacheEntryInfo &e : entries)
+            if (!e.valid) {
+                std::cout << "corrupt: " << e.path << "\n";
+                ++bad;
+            }
+        std::cout << (entries.size() - bad) << "/" << entries.size()
+                  << " entries valid\n";
+        return bad == 0 ? 0 : 1;
+    }
+    // gc: with no limit flags only invalid entries are collected.
+    CacheGcResult r = cache.gc(o.maxAgeDays * 86400ull, o.maxBytes,
+                               cacheClockNow());
+    std::cout << "scanned " << r.scanned << " entries; removed "
+              << r.removedAge << " by age, " << r.removedSize
+              << " by size, " << r.removedInvalid << " invalid; freed "
+              << r.bytesFreed << " bytes (" << r.bytesRemaining
+              << " remain)\n";
+    return 0;
 }
 
 int
@@ -855,6 +1035,8 @@ main(int argc, char **argv)
             return cmdGenerate(argc, argv);
         if (cmd == "diff")
             return cmdDiff(argc, argv);
+        if (cmd == "cache")
+            return cmdCache(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
         // Bare generation flags ("wavedyn_cli --generate 8 --family
