@@ -1,5 +1,7 @@
 #include "cache/store.hh"
 
+#include "util/atomic_file.hh"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -317,50 +319,39 @@ ResultCache::load(const CacheKey &key)
     return result;
 }
 
-void
+bool
 ResultCache::store(const CacheKey &key, const SimResult &result)
 {
     std::string finalPath = entryPath(key);
     std::error_code ec;
     fs::create_directories(fs::path(finalPath).parent_path(), ec);
-    if (ec)
-        return;
-
-    // Unique temp name per (process, cache object, store call) in the
-    // final directory, so rename() never crosses a filesystem boundary
-    // and racing writers — threads or processes — never share a temp
-    // file.
-    char tmpName[96];
-    std::snprintf(tmpName, sizeof(tmpName), ".tmp.%llu.%llu.%llu",
-                  static_cast<unsigned long long>(getpid()),
-                  static_cast<unsigned long long>(
-                      reinterpret_cast<std::uintptr_t>(this)),
-                  static_cast<unsigned long long>(
-                      tmpSeq.fetch_add(1, std::memory_order_relaxed)));
-    std::string tmpPath =
-        (fs::path(finalPath).parent_path() / tmpName).string();
-
-    std::string bytes = encodeSimResult(result, version);
-    {
-        std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            return;
-        }
-        out.write(bytes.data(),
-                  static_cast<std::streamsize>(bytes.size()));
-        out.flush();
-        if (!out) {
-            out.close();
-            fs::remove(tmpPath, ec);
-            return;
-        }
-    }
-    fs::rename(tmpPath, finalPath, ec);
     if (ec) {
-        fs::remove(tmpPath, ec);
-        return;
+        nStoreFailures.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!writeFileAtomic(finalPath, encodeSimResult(result, version))) {
+        nStoreFailures.fetch_add(1, std::memory_order_relaxed);
+        return false;
     }
     nStores.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ResultCache::probeWritable() const
+{
+    std::error_code ec;
+    fs::create_directories(rootDir, ec);
+    if (ec)
+        return false;
+    char probeName[64];
+    std::snprintf(probeName, sizeof(probeName), ".probe.%llu",
+                  static_cast<unsigned long long>(getpid()));
+    std::string probePath = (fs::path(rootDir) / probeName).string();
+    if (!writeFileAtomic(probePath, "wavedyn"))
+        return false;
+    fs::remove(probePath, ec);
+    return true;
 }
 
 ResultCacheStats
@@ -371,6 +362,7 @@ ResultCache::stats() const
     s.misses = nMisses.load(std::memory_order_relaxed);
     s.badEntries = nBad.load(std::memory_order_relaxed);
     s.stores = nStores.load(std::memory_order_relaxed);
+    s.storeFailures = nStoreFailures.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -440,11 +432,16 @@ ResultCache::gc(std::uint64_t maxAgeSeconds, std::uint64_t maxBytes,
         if (!e.valid) {
             remove = true;
             bucket = &r.removedInvalid;
-        } else if (maxAgeSeconds != 0 &&
-                   now - e.mtime >
-                       static_cast<std::int64_t>(maxAgeSeconds)) {
+        } else if (maxAgeSeconds != 0 && e.mtime <= now &&
+                   static_cast<std::uint64_t>(now) -
+                           static_cast<std::uint64_t>(e.mtime) >
+                       maxAgeSeconds) {
             // Strictly-older-than: an entry exactly at or newer than
-            // the threshold is never deleted by the age rule.
+            // the threshold is never deleted by the age rule. Entries
+            // with future mtimes (clock skew between shard hosts
+            // sharing one cache dir) have no age at all; the unsigned
+            // subtraction is guarded so a huge maxAgeSeconds cannot
+            // wrap into a signed comparison that deletes everything.
             remove = true;
             bucket = &r.removedAge;
         }

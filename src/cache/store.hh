@@ -52,6 +52,7 @@ struct ResultCacheStats
     std::uint64_t misses = 0;   //!< absent entries
     std::uint64_t badEntries = 0; //!< present but rejected (also missed)
     std::uint64_t stores = 0;
+    std::uint64_t storeFailures = 0; //!< store() calls that published nothing
 };
 
 /**
@@ -131,9 +132,18 @@ class ResultCache
     std::optional<SimResult> load(const CacheKey &key);
 
     /** Publish a result under @p key (atomic rename; last writer
-     *  wins). Errors are swallowed — a failed store only costs a
-     *  future recomputation. Thread-safe. */
-    void store(const CacheKey &key, const SimResult &result);
+     *  wins). Returns false when nothing was published (read-only or
+     *  full cache dir) — a failed store never aborts a campaign, it
+     *  only costs a future recomputation, but it is counted
+     *  (stats().storeFailures) and reported so a cache that has
+     *  silently degraded to a permanent 0% hit rate is visible.
+     *  Thread-safe. */
+    bool store(const CacheKey &key, const SimResult &result);
+
+    /** Whether this process can publish entries under the root: probes
+     *  by writing and removing a throwaway file. A maintenance check
+     *  for `cache stats`, not a guarantee — the disk can fill later. */
+    bool probeWritable() const;
 
     /** Process-lifetime counters of this cache object. */
     ResultCacheStats stats() const;
@@ -148,7 +158,10 @@ class ResultCache
      * Remove entries older than @p maxAgeSeconds (0 = no age limit),
      * then — oldest first — until the total is within @p maxBytes
      * (0 = no size limit). Invalid entries are always removed. Entries
-     * newer than the age threshold are never deleted by the age rule.
+     * newer than the age threshold are never deleted by the age rule;
+     * in particular an entry whose mtime lies in the future (clock
+     * skew between hosts sharing one cache dir) has no age and is
+     * never removed by the age rule, for any maxAgeSeconds.
      * @p now is the reference time in cacheClockNow() units so tests
      * can pin it; the CLI passes cacheClockNow().
      */
@@ -162,7 +175,7 @@ class ResultCache
     std::atomic<std::uint64_t> nMisses{0};
     std::atomic<std::uint64_t> nBad{0};
     std::atomic<std::uint64_t> nStores{0};
-    std::atomic<std::uint64_t> tmpSeq{0};
+    std::atomic<std::uint64_t> nStoreFailures{0};
 };
 
 /**

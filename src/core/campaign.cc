@@ -397,6 +397,16 @@ operator!=(const CampaignSpec &a, const CampaignSpec &b)
 }
 
 CampaignSpec
+subsetForScenarios(const CampaignSpec &spec,
+                   std::vector<std::string> names)
+{
+    CampaignSpec sub = spec;
+    sub.scenarios.names = std::move(names);
+    sub.scenarios.count = 0; // explicit list replaces any generate block
+    return sub;
+}
+
+CampaignSpec
 parseCampaignSpec(const std::string &text)
 {
     CampaignSpec spec = campaignSpecFromJson(parseJson(text));
@@ -637,7 +647,8 @@ runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
     // while forwarding the events (and all other hooks) unchanged.
     // runCacheStore fires from worker threads, so the counters are
     // atomics.
-    std::atomic<std::uint64_t> hits{0}, misses{0}, stores{0};
+    std::atomic<std::uint64_t> hits{0}, misses{0}, stores{0},
+        storeFailures{0};
     CampaignHooks counting = hooks;
     counting.runCacheHit = [&](const std::string &key) {
         hits.fetch_add(1, std::memory_order_relaxed);
@@ -654,11 +665,18 @@ runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
         if (hooks.runCacheStore)
             hooks.runCacheStore(key);
     };
+    counting.runCacheStoreFailed = [&](const std::string &key) {
+        storeFailures.fetch_add(1, std::memory_order_relaxed);
+        if (hooks.runCacheStoreFailed)
+            hooks.runCacheStoreFailed(key);
+    };
 
     CampaignResult result = runCampaignDispatch(spec, counting);
     result.cacheHits = hits.load(std::memory_order_relaxed);
     result.cacheMisses = misses.load(std::memory_order_relaxed);
     result.cacheStores = stores.load(std::memory_order_relaxed);
+    result.cacheStoreFailures =
+        storeFailures.load(std::memory_order_relaxed);
     return result;
 }
 

@@ -178,7 +178,21 @@ struct CampaignResult
     std::uint64_t cacheHits = 0;
     std::uint64_t cacheMisses = 0;
     std::uint64_t cacheStores = 0;
+    std::uint64_t cacheStoreFailures = 0; //!< stores that published nothing
 };
+
+/**
+ * The same campaign restricted to an explicit scenario name list: the
+ * copy keeps every knob of @p spec but replaces the selection with
+ * @p names and drops any generate block (generated names like
+ * "gen/<family>/s<seed>/<i>" are re-derivable anywhere, so listing
+ * them explicitly denotes the identical scenarios). This is the shard
+ * splitter's primitive: per-benchmark experiment planning draws from a
+ * fresh Rng(seed), so a subset campaign simulates exactly the runs the
+ * full campaign would for those scenarios.
+ */
+CampaignSpec subsetForScenarios(const CampaignSpec &spec,
+                                std::vector<std::string> names);
 
 /**
  * Run any campaign: validate, materialise the scenario set (paper

@@ -55,13 +55,17 @@ struct CampaignHooks
      * Result-cache events, each carrying the run's 32-hex-digit cache
      * key; silent when no cache is active. runCacheHit/runCacheMiss
      * fire in task order from the orchestration thread during the
-     * scheduler's probe phase; runCacheStore fires from worker threads
-     * as recomputed runs are published (must be thread-safe). See
+     * scheduler's probe phase; runCacheStore and runCacheStoreFailed
+     * fire from worker threads as recomputed runs are published (must
+     * be thread-safe). runCacheStoreFailed reports a store that could
+     * not publish its entry — a read-only or full cache dir otherwise
+     * degrades to a permanent 0% hit rate with no signal. See
      * exec/scheduler.hh (CacheRunEvents).
      */
     std::function<void(const std::string &)> runCacheHit;
     std::function<void(const std::string &)> runCacheMiss;
     std::function<void(const std::string &)> runCacheStore;
+    std::function<void(const std::string &)> runCacheStoreFailed;
 };
 
 /**
@@ -75,11 +79,13 @@ attachHooks(RunScheduler &scheduler, const CampaignHooks &hooks)
 {
     if (hooks.runProgress)
         scheduler.onProgress(hooks.runProgress);
-    if (hooks.runCacheHit || hooks.runCacheMiss || hooks.runCacheStore) {
+    if (hooks.runCacheHit || hooks.runCacheMiss || hooks.runCacheStore ||
+        hooks.runCacheStoreFailed) {
         CacheRunEvents events;
         events.hit = hooks.runCacheHit;
         events.miss = hooks.runCacheMiss;
         events.store = hooks.runCacheStore;
+        events.storeFailed = hooks.runCacheStoreFailed;
         scheduler.onCacheEvents(std::move(events));
     }
 }

@@ -26,25 +26,31 @@ void
 RunScheduler::run(ThreadPool &pool)
 {
     std::size_t first = completed;
-    std::size_t fresh = tasks.size() - first;
-    if (fresh == 0)
+    if (first == tasks.size())
         return;
     results.resize(tasks.size());
+    resolved.resize(tasks.size(), 0);
+    // A retry after a throwing batch re-enters here with some tasks
+    // beyond `completed` already resolved — they are committed work
+    // and must neither re-run nor re-fire their events.
+    std::size_t already = 0;
+    for (char r : resolved)
+        already += (r != 0);
     // The counter orders completions, not results (those are stored by
     // task index): the hook sees monotonic counts no matter which
     // worker finishes which run.
-    std::atomic<std::size_t> done{first};
+    std::atomic<std::size_t> done{already};
     std::size_t total = tasks.size();
 
-    // Probe phase: resolve every fresh task against the cache before
-    // any worker dispatch. Hits complete here, serially and in task
-    // order; only the misses are handed to the pool.
+    // Probe phase: resolve every unresolved task against the cache
+    // before any worker dispatch. Hits complete here, serially and in
+    // task order; only the misses are handed to the pool.
     std::vector<std::size_t> pending;
     std::vector<CacheKey> pendingKeys;
     if (cache) {
-        pending.reserve(fresh);
-        pendingKeys.reserve(fresh);
         for (std::size_t i = first; i < tasks.size(); ++i) {
+            if (resolved[i])
+                continue;
             const RunTask &t = tasks[i];
             CacheKey key =
                 resultCacheKey(*t.benchmark, t.config, t.samples,
@@ -53,6 +59,7 @@ RunScheduler::run(ThreadPool &pool)
             std::optional<SimResult> stored = cache->load(key);
             if (stored) {
                 results[i] = std::move(*stored);
+                resolved[i] = 1;
                 if (events.hit)
                     events.hit(key.hex());
                 if (progress)
@@ -68,21 +75,32 @@ RunScheduler::run(ThreadPool &pool)
             }
         }
     } else {
-        pending.resize(fresh);
-        for (std::size_t k = 0; k < fresh; ++k)
-            pending[k] = first + k;
+        for (std::size_t i = first; i < tasks.size(); ++i)
+            if (!resolved[i])
+                pending.push_back(i);
     }
 
+    // parallelFor rethrows the lowest-index exception only after every
+    // index ran, so each non-throwing task below commits (result slot
+    // filled, resolved flag set, events fired) no matter what its
+    // siblings did — the exception just propagates past the final
+    // commit of `completed`, leaving the per-task flags as the record
+    // of what a retry may skip.
     parallelFor(pool, pending.size(), [&](std::size_t k) {
         std::size_t i = pending[k];
         const RunTask &t = tasks[i];
-        results[i] = simulate(*t.benchmark, t.config, t.samples,
-                              t.intervalInstrs, t.dvm);
+        results[i] = runner ? runner(t)
+                            : simulate(*t.benchmark, t.config, t.samples,
+                                       t.intervalInstrs, t.dvm);
         if (cache) {
-            cache->store(pendingKeys[k], results[i]);
-            if (events.store)
-                events.store(pendingKeys[k].hex());
+            if (cache->store(pendingKeys[k], results[i])) {
+                if (events.store)
+                    events.store(pendingKeys[k].hex());
+            } else if (events.storeFailed) {
+                events.storeFailed(pendingKeys[k].hex());
+            }
         }
+        resolved[i] = 1;
         if (progress)
             progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
                      total);

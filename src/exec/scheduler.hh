@@ -59,15 +59,18 @@ using RunProgress = std::function<void(std::size_t, std::size_t)>;
 /**
  * Result-cache event hooks of one run() batch; each receives the
  * 32-hex-digit cache key of the run. hit/miss fire in task order from
- * the calling thread during the probe phase; store fires from worker
- * threads as recomputed runs are published, so it must be thread-safe.
- * All optional.
+ * the calling thread during the probe phase; store and storeFailed
+ * fire from worker threads as recomputed runs are published, so they
+ * must be thread-safe. storeFailed reports a store() that could not
+ * publish its entry (read-only or full cache dir) — the run itself
+ * still succeeded, but the cache will keep missing it. All optional.
  */
 struct CacheRunEvents
 {
     std::function<void(const std::string &)> hit;
     std::function<void(const std::string &)> miss;
     std::function<void(const std::string &)> store;
+    std::function<void(const std::string &)> storeFailed;
 };
 
 /** One simulation run of a batched campaign. */
@@ -105,7 +108,20 @@ class RunScheduler
     /** Total tasks enqueued so far. */
     std::size_t size() const { return tasks.size(); }
 
-    /** Execute all not-yet-run tasks on @p pool; blocks until done. */
+    /**
+     * Execute all not-yet-resolved tasks on @p pool; blocks until
+     * done.
+     *
+     * Exception safety — commit what succeeded: if a task throws
+     * (simulate() on a defective input, or an injected task runner),
+     * the lowest-index exception propagates after every other pending
+     * task has run, and all work that completed stays committed. A
+     * later run() on the same scheduler retries only the tasks that
+     * never resolved: resolved tasks keep their results and never
+     * re-fire their progress or cache hit/store events (an unresolved
+     * task is re-probed, so its cache miss event may fire again).
+     * result(i) is only valid for resolved tasks.
+     */
     void run(ThreadPool &pool);
 
     /** Execute on the process-global pool. */
@@ -164,6 +180,21 @@ class RunScheduler
     }
 
     /**
+     * How run() computes one task's result; defaults to simulate().
+     */
+    using TaskRunner = std::function<SimResult(const RunTask &)>;
+
+    /**
+     * Replace the task computation (empty restores simulate()). This
+     * is a deliberate fault-injection seam: simulate() is pure and
+     * asserts on bad input rather than throwing, so the exception-
+     * safety contract of run() — the primitive shard retry sits on —
+     * is only testable with a runner that throws on demand. The
+     * runner is called from worker threads and must be thread-safe.
+     */
+    void setTaskRunner(TaskRunner fn) { runner = std::move(fn); }
+
+    /**
      * Free all stored results (full per-interval traces — the bulk of
      * a campaign's memory) once they have been consumed. result(i) is
      * invalid for already-run tasks afterwards; enqueue()/run() keep
@@ -178,10 +209,12 @@ class RunScheduler
     Rng base;
     std::vector<RunTask> tasks;
     std::vector<SimResult> results;
+    std::vector<char> resolved; //!< per-task: result committed
     RunProgress progress; //!< optional worker-side completion hook
     CacheRunEvents events;
     std::shared_ptr<ResultCache> cache; //!< nullptr = caching off
-    std::size_t completed = 0;
+    TaskRunner runner;        //!< empty = simulate()
+    std::size_t completed = 0; //!< tasks below this all resolved
     std::size_t released = 0; //!< results below this index were freed
 };
 

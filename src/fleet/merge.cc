@@ -1,0 +1,78 @@
+#include "fleet/merge.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/json_diff.hh"
+
+namespace wavedyn
+{
+
+namespace
+{
+
+/**
+ * Parse a shard document and prove the codecs preserve it: the
+ * reconstruction must re-render to a structurally identical document
+ * (zero tolerance — byte identity follows, since rendering is a pure
+ * function of structure).
+ */
+CampaignResult
+verifiedResult(const JsonValue &doc, const std::string &shardName)
+{
+    CampaignResult result = campaignResultFromReportJson(doc);
+    if (!jsonEquals(campaignResultToJson(result), doc))
+        throw std::runtime_error(
+            "shard '" + shardName +
+            "': report does not survive a codec round trip — refusing "
+            "to merge a document the codecs would corrupt");
+    return result;
+}
+
+} // anonymous namespace
+
+MergedReport
+mergeShardReports(const ShardPlan &plan,
+                  const std::vector<JsonValue> &shardDocs)
+{
+    if (shardDocs.size() != plan.shards.size())
+        throw std::runtime_error(
+            "merge expects " + std::to_string(plan.shards.size()) +
+            " shard reports, got " + std::to_string(shardDocs.size()));
+
+    MergedReport merged;
+    if (plan.mergeCells) {
+        merged.result.kind = CampaignKind::Suite;
+        for (std::size_t i = 0; i < shardDocs.size(); ++i) {
+            CampaignResult part =
+                verifiedResult(shardDocs[i], plan.shards[i].name);
+            if (part.kind != CampaignKind::Suite)
+                throw std::runtime_error(
+                    "shard '" + plan.shards[i].name +
+                    "': expected a suite report in a cell-merge plan");
+            for (auto &cell : part.suite.cells)
+                merged.result.suite.cells.push_back(std::move(cell));
+        }
+        merged.doc = suiteToJson(merged.result.suite);
+        return merged;
+    }
+
+    // Partition shards (cache warmers) only verify; the Assemble
+    // shard's document IS the campaign report.
+    const JsonValue *assembleDoc = nullptr;
+    for (std::size_t i = 0; i < shardDocs.size(); ++i) {
+        CampaignResult part =
+            verifiedResult(shardDocs[i], plan.shards[i].name);
+        if (plan.shards[i].role == ShardRole::Assemble) {
+            assembleDoc = &shardDocs[i];
+            merged.result = std::move(part);
+        }
+    }
+    if (!assembleDoc)
+        throw std::runtime_error(
+            "plan has no assemble shard to take the report from");
+    merged.doc = *assembleDoc;
+    return merged;
+}
+
+} // namespace wavedyn

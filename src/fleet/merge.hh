@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Merging per-shard JSON reports back into one campaign report —
+ * with proof, not hope: every shard document must survive a
+ * parse/re-render round trip through the report codecs byte-for-byte
+ * (structurally, via jsonEquals with zero tolerance) before its data
+ * is used, so a codec that silently drops or perturbs a field fails
+ * the merge instead of corrupting the result.
+ *
+ * Suite plans merge by cell concatenation in shard order: the suite
+ * runner emits cells benchmark-major in scenario order with a fixed
+ * domain order inside each benchmark, and shard planning preserves
+ * scenario order, so concatenation reproduces the exact cell sequence
+ * of the single-process run (and the derived overall medians follow).
+ * Every other plan's result is its Assemble shard's document,
+ * verbatim.
+ */
+
+#ifndef WAVEDYN_FLEET_MERGE_HH
+#define WAVEDYN_FLEET_MERGE_HH
+
+#include <vector>
+
+#include "core/report.hh"
+#include "fleet/plan.hh"
+
+namespace wavedyn
+{
+
+/** The merged campaign report, in both renderable forms. */
+struct MergedReport
+{
+    CampaignResult result; //!< for the report sinks (any format)
+    JsonValue doc;         //!< the canonical JSON document
+};
+
+/**
+ * Merge @p shardDocs (one parsed report document per shard, in
+ * plan.shards order) into the campaign's report.
+ * @throws std::runtime_error when a shard document fails codec
+ *         round-trip verification or the document set does not match
+ *         the plan; std::invalid_argument on malformed documents.
+ */
+MergedReport mergeShardReports(const ShardPlan &plan,
+                               const std::vector<JsonValue> &shardDocs);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_FLEET_MERGE_HH

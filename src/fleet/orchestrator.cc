@@ -1,0 +1,476 @@
+#include "fleet/orchestrator.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+
+#include <csignal>
+#include <sys/wait.h>
+
+#include "cache/store.hh"
+#include "fleet/queue.hh"
+#include "fleet/worker.hh"
+#include "util/atomic_file.hh"
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Per-shard supervision state that does not belong in the journal. */
+struct ShardRuntime
+{
+    std::size_t attemptBudget = 0;  //!< attempts allowed in total
+    Clock::time_point eligibleAt{}; //!< backoff gate
+    pid_t pid = -1;                 //!< in-flight worker, if any
+    std::size_t attempt = 0;        //!< attempt number of that worker
+    bool complete = false;          //!< report published
+    bool resumedComplete = false;   //!< was already done on entry
+};
+
+bool
+parseableJsonFile(const std::string &path, JsonValue *out = nullptr)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+        JsonValue doc = parseJson(text);
+        if (out)
+            *out = std::move(doc);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+/** Restore the previous process-global cache on scope exit. */
+struct ActiveCacheGuard
+{
+    std::shared_ptr<ResultCache> previous = activeResultCache();
+    ~ActiveCacheGuard() { setActiveResultCache(std::move(previous)); }
+};
+
+class Orchestrator
+{
+  public:
+    Orchestrator(FleetJobQueue &queue, const FleetOptions &opts)
+        : queue(queue), opts(opts), rt(queue.shardCount())
+    {
+    }
+
+    FleetOutcome
+    run()
+    {
+        FleetOutcome outcome;
+        outcome.shards = queue.shardCount();
+        heal(outcome);
+        if (opts.workerCommand.empty())
+            runInProcess(outcome);
+        else
+            runWithWorkers(outcome);
+        outcome.report = merge();
+        return outcome;
+    }
+
+  private:
+    void
+    log(const std::string &line) const
+    {
+        if (opts.log)
+            opts.log(line);
+    }
+
+    std::size_t
+    completedCount() const
+    {
+        std::size_t n = 0;
+        for (const ShardRuntime &s : rt)
+            n += s.complete ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * Reconcile journal state with what is actually on disk. A "done"
+     * shard keeps only if its report file is intact; a "running"
+     * shard whose report landed (the orchestrator died between the
+     * rename and the journal append) heals to done; everything else
+     * re-runs. Failed shards get a fresh attempt budget on top of
+     * what the journal already counted.
+     */
+    void
+    heal(FleetOutcome &outcome)
+    {
+        const auto &statuses = queue.statuses();
+        for (std::size_t i = 0; i < rt.size(); ++i) {
+            rt[i].attemptBudget =
+                statuses[i].attempts + opts.maxAttempts;
+            bool reportIntact =
+                parseableJsonFile(queue.shardReportPath(i));
+            switch (statuses[i].state) {
+              case ShardState::Done:
+                if (reportIntact) {
+                    rt[i].complete = true;
+                    rt[i].resumedComplete = true;
+                    ++outcome.resumed;
+                } else {
+                    log(queue.plan().shards[i].name +
+                        " recorded done but its report is missing — "
+                        "re-running");
+                }
+                break;
+              case ShardState::Running:
+                if (reportIntact) {
+                    queue.markDone(i);
+                    rt[i].complete = true;
+                    rt[i].resumedComplete = true;
+                    ++outcome.resumed;
+                    log(queue.plan().shards[i].name +
+                        " healed to done from a published report");
+                }
+                break;
+              case ShardState::Pending:
+              case ShardState::Failed:
+                break;
+            }
+        }
+    }
+
+    bool
+    partitionsComplete() const
+    {
+        for (std::size_t i = 0; i < rt.size(); ++i)
+            if (queue.plan().shards[i].role == ShardRole::Partition &&
+                !rt[i].complete)
+                return false;
+        return true;
+    }
+
+    /**
+     * Lowest-index shard that may start now: not complete, not
+     * running, attempts left, past its backoff gate, and — for
+     * Assemble shards — all partitions already complete.
+     */
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+    std::size_t
+    nextEligible(Clock::time_point now) const
+    {
+        bool partsDone = partitionsComplete();
+        for (std::size_t i = 0; i < rt.size(); ++i) {
+            const ShardRuntime &s = rt[i];
+            if (s.complete || s.pid >= 0)
+                continue;
+            if (queue.statuses()[i].attempts >= s.attemptBudget)
+                continue;
+            if (s.eligibleAt > now)
+                continue;
+            if (queue.plan().shards[i].role == ShardRole::Assemble &&
+                !partsDone)
+                continue;
+            return i;
+        }
+        return kNone;
+    }
+
+    /** Whether any incomplete shard could still run (now or later). */
+    bool
+    anyRunnable() const
+    {
+        for (std::size_t i = 0; i < rt.size(); ++i)
+            if (!rt[i].complete &&
+                queue.statuses()[i].attempts < rt[i].attemptBudget)
+                return true;
+        return false;
+    }
+
+    [[noreturn]] void
+    abortExhausted(std::size_t shard)
+    {
+        killRunningWorkers();
+        const auto &st = queue.statuses()[shard];
+        throw std::runtime_error(
+            "shard '" + queue.plan().shards[shard].name + "' failed " +
+            std::to_string(st.attempts) + " attempts (last: " +
+            st.detail + "); see " + queue.shardLogPath(shard));
+    }
+
+    void
+    applyFailure(std::size_t shard, const std::string &detail,
+                 FleetOutcome &outcome)
+    {
+        queue.markFailed(shard, detail);
+        const auto &st = queue.statuses()[shard];
+        std::error_code ec;
+        fs::remove(queue.shardAttemptPath(shard, st.attempts), ec);
+        if (st.attempts >= rt[shard].attemptBudget)
+            abortExhausted(shard);
+        ++outcome.retries;
+        // Exponential backoff keyed on this run's failure count, so a
+        // flaky environment is probed gently instead of hammered.
+        std::size_t waves = st.attempts >
+                                    rt[shard].attemptBudget -
+                                        opts.maxAttempts
+                                ? st.attempts -
+                                      (rt[shard].attemptBudget -
+                                       opts.maxAttempts)
+                                : 1;
+        auto delay = std::chrono::milliseconds(
+            opts.backoffMs << std::min<std::size_t>(waves - 1, 10));
+        rt[shard].eligibleAt = Clock::now() + delay;
+        log(queue.plan().shards[shard].name + " failed (" + detail +
+            "), retrying");
+    }
+
+    void
+    publish(std::size_t shard, const std::string &attemptFile,
+            FleetOutcome &outcome)
+    {
+        std::error_code ec;
+        fs::rename(attemptFile, queue.shardReportPath(shard), ec);
+        if (ec) {
+            applyFailure(shard,
+                         "cannot publish report: " + ec.message(),
+                         outcome);
+            return;
+        }
+        queue.markDone(shard);
+        rt[shard].complete = true;
+        ++outcome.executed;
+        log(queue.plan().shards[shard].name + " done (" +
+            std::to_string(completedCount()) + "/" +
+            std::to_string(rt.size()) + ")");
+    }
+
+    // -- in-process execution (tests; sequential by design: the
+    //    process-global thread pool and active cache are shared)
+
+    void
+    runInProcess(FleetOutcome &outcome)
+    {
+        ActiveCacheGuard guard;
+        if (!opts.cacheDir.empty())
+            setActiveResultCache(
+                std::make_shared<ResultCache>(opts.cacheDir));
+        else
+            setActiveResultCache(nullptr);
+
+        // Backoff gates are ignored in-process: a failed shard is
+        // retried immediately (deterministic, no sleeping in tests)
+        // until its attempt budget runs out.
+        std::size_t shard;
+        while ((shard = nextEligible(Clock::time_point::max())) !=
+               kNone) {
+            queue.markRunning(shard);
+            std::size_t attempt = queue.statuses()[shard].attempts;
+            std::string attemptFile =
+                queue.shardAttemptPath(shard, attempt);
+            try {
+                CampaignSpec sub = parseCampaignSpec(
+                    readFileOrThrow(queue.shardSpecPath(shard)));
+                CampaignResult result = runCampaign(sub);
+                if (!writeFileAtomic(attemptFile,
+                                     renderReport(result,
+                                                  ReportFormat::Json)))
+                    throw std::runtime_error("cannot write '" +
+                                             attemptFile + "'");
+            } catch (const std::exception &e) {
+                applyFailure(shard, e.what(), outcome);
+                continue;
+            }
+            publish(shard, attemptFile, outcome);
+        }
+        if (completedCount() != rt.size())
+            throw std::runtime_error(
+                "in-process fleet run stalled before completing");
+    }
+
+    static std::string
+    readFileOrThrow(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("cannot read '" + path + "'");
+        return std::string((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    }
+
+    // -- worker-process execution
+
+    std::vector<std::string>
+    workerArgv(std::size_t shard, std::size_t attempt) const
+    {
+        std::vector<std::string> argv = opts.workerCommand;
+        argv.push_back("run");
+        argv.push_back(queue.shardSpecPath(shard));
+        argv.push_back("--format");
+        argv.push_back("json");
+        argv.push_back("--out");
+        argv.push_back(queue.shardAttemptPath(shard, attempt));
+        if (opts.jobsPerWorker > 0) {
+            argv.push_back("--jobs");
+            argv.push_back(std::to_string(opts.jobsPerWorker));
+        }
+        if (!opts.cacheDir.empty()) {
+            argv.push_back("--cache-dir");
+            argv.push_back(opts.cacheDir);
+        } else {
+            // Explicit: a WAVEDYN_CACHE_DIR in the environment must
+            // not silently give workers a cache the orchestrator does
+            // not know about.
+            argv.push_back("--no-cache");
+        }
+        return argv;
+    }
+
+    std::size_t
+    runningCount() const
+    {
+        std::size_t n = 0;
+        for (const ShardRuntime &s : rt)
+            n += s.pid >= 0 ? 1 : 0;
+        return n;
+    }
+
+    void
+    killRunningWorkers()
+    {
+        for (ShardRuntime &s : rt) {
+            if (s.pid < 0)
+                continue;
+            ::kill(s.pid, SIGKILL);
+            int status = 0;
+            ::waitpid(s.pid, &status, 0);
+            s.pid = -1;
+        }
+    }
+
+    void
+    runWithWorkers(FleetOutcome &outcome)
+    {
+        std::size_t cap = std::max<std::size_t>(1, opts.workers);
+        try {
+            while (completedCount() < rt.size()) {
+                // Fill the worker slots with eligible shards.
+                std::size_t shard;
+                while (runningCount() < cap &&
+                       (shard = nextEligible(Clock::now())) != kNone) {
+                    queue.markRunning(shard);
+                    std::size_t attempt =
+                        queue.statuses()[shard].attempts;
+                    rt[shard].attempt = attempt;
+                    rt[shard].pid = spawnWorker(
+                        workerArgv(shard, attempt),
+                        queue.shardLogPath(shard));
+                    log(queue.plan().shards[shard].name +
+                        " started (attempt " +
+                        std::to_string(attempt) + ")");
+                }
+
+                if (runningCount() > 0) {
+                    WorkerExit we = waitAnyWorker();
+                    std::size_t i = shardOfPid(we.pid);
+                    if (i == kNone)
+                        continue; // not one of ours
+                    rt[i].pid = -1;
+                    std::string attemptFile =
+                        queue.shardAttemptPath(i, rt[i].attempt);
+                    if (we.exited && we.code == 0 &&
+                        parseableJsonFile(attemptFile))
+                        publish(i, attemptFile, outcome);
+                    else
+                        applyFailure(
+                            i,
+                            we.exited && we.code == 0
+                                ? "worker wrote no parseable report"
+                                : describeWorkerExit(we),
+                            outcome);
+                    continue;
+                }
+
+                // Nothing running, nothing eligible right now.
+                if (!anyRunnable())
+                    throw std::runtime_error(
+                        "fleet run stalled: no shard can make "
+                        "progress");
+                // Everything pending sits behind a backoff gate;
+                // sleep to the earliest one.
+                Clock::time_point earliest = Clock::time_point::max();
+                for (std::size_t i = 0; i < rt.size(); ++i)
+                    if (!rt[i].complete)
+                        earliest =
+                            std::min(earliest, rt[i].eligibleAt);
+                std::this_thread::sleep_until(earliest);
+            }
+        } catch (...) {
+            killRunningWorkers();
+            throw;
+        }
+    }
+
+    std::size_t
+    shardOfPid(pid_t pid) const
+    {
+        for (std::size_t i = 0; i < rt.size(); ++i)
+            if (rt[i].pid == pid)
+                return i;
+        return kNone;
+    }
+
+    // -- merge
+
+    MergedReport
+    merge()
+    {
+        std::vector<JsonValue> docs(queue.shardCount());
+        for (std::size_t i = 0; i < queue.shardCount(); ++i) {
+            if (!parseableJsonFile(queue.shardReportPath(i), &docs[i]))
+                throw std::runtime_error(
+                    "shard report '" + queue.shardReportPath(i) +
+                    "' is missing or unparseable");
+        }
+        MergedReport merged = mergeShardReports(queue.plan(), docs);
+        if (!writeFileAtomic(queue.mergedReportPath(),
+                             writeJson(merged.doc, 2) + "\n"))
+            throw std::runtime_error("cannot write '" +
+                                     queue.mergedReportPath() + "'");
+        return merged;
+    }
+
+    FleetJobQueue &queue;
+    const FleetOptions &opts;
+    std::vector<ShardRuntime> rt;
+};
+
+} // anonymous namespace
+
+FleetOutcome
+runShardedCampaign(const CampaignSpec &spec, const std::string &jobDir,
+                   const FleetOptions &opts)
+{
+    ShardPlan plan = planShards(spec, opts.maxShards);
+    FleetJobQueue queue = FleetJobQueue::create(jobDir, plan);
+    Orchestrator orch(queue, opts);
+    return orch.run();
+}
+
+FleetOutcome
+resumeShardedCampaign(const std::string &jobDir,
+                      const FleetOptions &opts)
+{
+    FleetJobQueue queue = FleetJobQueue::open(jobDir);
+    Orchestrator orch(queue, opts);
+    return orch.run();
+}
+
+} // namespace wavedyn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The fleet orchestrator: drive one sharded campaign from plan to
+ * merged report, across worker processes sharing one result cache.
+ *
+ * Control flow is a single supervision loop over the durable job
+ * queue (fleet/queue.hh): spawn workers for eligible shards up to the
+ * worker cap, wait for any completion, publish or retry, repeat. All
+ * state that matters survives in the job directory — the orchestrator
+ * itself can be SIGKILLed at any instant and resumeShardedCampaign()
+ * continues from the journal, losing at most the shards that were
+ * in flight (their reports publish atomically, so a re-run is
+ * idempotent). Failed shards are retried with exponential backoff up
+ * to a bounded attempt budget; exhausting it aborts the campaign with
+ * the shard's log path in the error.
+ *
+ * Workers are `wavedyn_cli run <shard.json> --format json --out
+ * <attempt file>` invocations — the ordinary single-process campaign
+ * path, which is what makes the merged report provably equal to the
+ * single-process run: every shard IS a single-process run.
+ */
+
+#ifndef WAVEDYN_FLEET_ORCHESTRATOR_HH
+#define WAVEDYN_FLEET_ORCHESTRATOR_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/merge.hh"
+#include "fleet/plan.hh"
+
+namespace wavedyn
+{
+
+/** Orchestration knobs. */
+struct FleetOptions
+{
+    std::size_t workers = 2;       //!< concurrent worker processes
+    std::size_t jobsPerWorker = 0; //!< worker --jobs (0 = its default)
+    std::size_t maxAttempts = 3;   //!< per shard, per orchestration run
+    std::size_t backoffMs = 200;   //!< doubles with each failed attempt
+    std::size_t maxShards = 0;     //!< planShards cap (0 = per-scenario)
+
+    /** Shared --cache-dir for every worker; empty runs them
+     *  --no-cache (correct but pointless for explore plans). */
+    std::string cacheDir;
+
+    /**
+     * The worker command prefix, e.g. {"/path/to/wavedyn_cli"}; the
+     * orchestrator appends the run arguments. Empty = run shards
+     * in-process (sequentially — the process-global thread pool and
+     * active cache are not re-entrant), which is what unit tests use;
+     * the CLI always passes its own binary.
+     */
+    std::vector<std::string> workerCommand;
+
+    /** Progress lines ("shard-002 done (3/5)"); empty = silent. */
+    std::function<void(const std::string &)> log;
+};
+
+/** What one orchestration run did. */
+struct FleetOutcome
+{
+    std::size_t shards = 0;   //!< total in the plan
+    std::size_t executed = 0; //!< completed by this run
+    std::size_t resumed = 0;  //!< already complete when it started
+    std::size_t retries = 0;  //!< failed attempts that were re-queued
+    MergedReport report;      //!< the merged campaign report
+};
+
+/**
+ * Shard @p spec into @p jobDir and run it to the merged report.
+ * @throws std::runtime_error when @p jobDir already holds a journal,
+ *         when a shard exhausts its attempt budget (the message names
+ *         the shard log), or on merge verification failure.
+ */
+FleetOutcome runShardedCampaign(const CampaignSpec &spec,
+                                const std::string &jobDir,
+                                const FleetOptions &opts = {});
+
+/**
+ * Continue a previous (crashed or aborted) run from its journal:
+ * shards with published reports are kept, the rest re-run — a shard
+ * whose "running" record has no "done" is re-executed unless its
+ * report landed (then it is healed to done). Failed shards get a
+ * fresh attempt budget.
+ */
+FleetOutcome resumeShardedCampaign(const std::string &jobDir,
+                                   const FleetOptions &opts = {});
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_FLEET_ORCHESTRATOR_HH

@@ -1,0 +1,99 @@
+#include "fleet/plan.hh"
+
+#include <cstdio>
+
+namespace wavedyn
+{
+
+namespace
+{
+
+std::string
+shardName(std::size_t index)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "shard-%03zu", index);
+    return buf;
+}
+
+/** Contiguous chunks of @p names, sizes differing by at most one. */
+std::vector<std::vector<std::string>>
+chunkNames(const std::vector<std::string> &names, std::size_t chunks)
+{
+    std::vector<std::vector<std::string>> out;
+    std::size_t n = names.size();
+    if (chunks == 0 || chunks > n)
+        chunks = n;
+    std::size_t base = n / chunks, extra = n % chunks;
+    std::size_t at = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        std::size_t len = base + (c < extra ? 1 : 0);
+        out.emplace_back(names.begin() + at, names.begin() + at + len);
+        at += len;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+ShardPlan
+planShards(const CampaignSpec &spec, std::size_t maxShards)
+{
+    validateCampaign(spec);
+
+    ShardPlan plan;
+    plan.campaign = spec;
+    plan.maxShards = maxShards;
+    const std::vector<std::string> names =
+        spec.scenarios.scenarioNames();
+
+    switch (spec.kind) {
+      case CampaignKind::Suite: {
+        plan.mergeCells = true;
+        for (const auto &chunk : chunkNames(names, maxShards)) {
+            ShardSpec s;
+            s.name = shardName(plan.shards.size());
+            s.role = ShardRole::Partition;
+            s.spec = subsetForScenarios(spec, chunk);
+            plan.shards.push_back(std::move(s));
+        }
+        break;
+      }
+      case CampaignKind::Explore: {
+        plan.needsSharedCache = true;
+        // Warm shards: suite-kind sub-campaigns simulate the same
+        // configurations the explorer's initial sample needs and
+        // publish them under the same cache keys (the key ignores
+        // domains and predictor settings). One domain suffices — the
+        // cached SimResult holds every domain's trace.
+        for (const auto &chunk : chunkNames(names, maxShards)) {
+            ShardSpec s;
+            s.name = shardName(plan.shards.size());
+            s.role = ShardRole::Partition;
+            s.spec = subsetForScenarios(spec, chunk);
+            s.spec.kind = CampaignKind::Suite;
+            s.spec.experiment.domains = {Domain::Cpi};
+            plan.shards.push_back(std::move(s));
+        }
+        ShardSpec assemble;
+        assemble.name = shardName(plan.shards.size());
+        assemble.role = ShardRole::Assemble;
+        assemble.spec = spec;
+        plan.shards.push_back(std::move(assemble));
+        break;
+      }
+      case CampaignKind::Train:
+      case CampaignKind::Evaluate: {
+        // Single-scenario by validation: nothing to split.
+        ShardSpec s;
+        s.name = shardName(0);
+        s.role = ShardRole::Assemble;
+        s.spec = spec;
+        plan.shards.push_back(std::move(s));
+        break;
+      }
+    }
+    return plan;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shard planning: split one CampaignSpec into sub-campaigns that
+ * worker processes can run independently, such that the merged result
+ * is byte-identical to the single-process run.
+ *
+ * What makes a campaign separable is the repo's determinism contract:
+ * per-benchmark experiment planning draws from a fresh Rng(seed), so
+ * a suite over scenarios {A, B, C} simulates exactly the union of the
+ * runs of suites over {A} + {B} + {C}, and its report cells are the
+ * per-scenario cells concatenated in scenario order (benchmark-major,
+ * domain order within). Suite campaigns therefore shard into
+ * per-scenario (or contiguous per-chunk) Partition sub-specs whose
+ * reports merge by cell concatenation.
+ *
+ * Explore campaigns are NOT separable — each refinement round picks
+ * design points from the model the previous rounds trained, which is
+ * global state. They shard through the content-addressed result cache
+ * instead: one Partition "warm" shard per scenario (a suite-kind
+ * sub-campaign over the same experiment block, which simulates the
+ * same training/test configurations and publishes them to the shared
+ * cache — the cache key ignores domains and predictor settings), then
+ * a single Assemble shard running the full explore spec, whose
+ * initial-sample simulations all hit warm. The merged report is the
+ * Assemble shard's report, verbatim. Correctness never depends on the
+ * cache: a cold assemble shard just recomputes.
+ *
+ * Train and evaluate campaigns are single-scenario by validation and
+ * pass through as one Assemble shard.
+ */
+
+#ifndef WAVEDYN_FLEET_PLAN_HH
+#define WAVEDYN_FLEET_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+
+namespace wavedyn
+{
+
+/** How a shard's report participates in the merge. */
+enum class ShardRole
+{
+    Partition, //!< owns a slice of the result (or warms the cache)
+    Assemble,  //!< produces the whole result document
+};
+
+/** One shard: a self-contained sub-campaign. */
+struct ShardSpec
+{
+    std::string name; //!< stable id ("shard-003"), also the file stem
+    ShardRole role = ShardRole::Partition;
+    CampaignSpec spec;
+};
+
+/** The full decomposition of one campaign. */
+struct ShardPlan
+{
+    CampaignSpec campaign; //!< the original, for provenance/resume
+    std::vector<ShardSpec> shards; //!< partitions first, assemble last
+    /** Suite: merged report = partition cells concatenated in shard
+     *  order. Otherwise the Assemble shard's report is the result. */
+    bool mergeCells = false;
+    /** Explore: partition shards only help via a shared result cache;
+     *  without one they are wasted (but harmless) work. */
+    bool needsSharedCache = false;
+    /** The cap this plan was computed with — recorded in the job
+     *  journal so resume re-derives the identical decomposition. */
+    std::size_t maxShards = 0;
+};
+
+/**
+ * Decompose @p spec. @p maxShards caps the number of Partition shards
+ * (0 = one per scenario); suite scenarios are grouped into contiguous
+ * chunks whose sizes differ by at most one, preserving order. The
+ * spec is validated first — planning an invalid campaign throws
+ * before any file or process exists.
+ * @throws std::invalid_argument via validateCampaign.
+ */
+ShardPlan planShards(const CampaignSpec &spec, std::size_t maxShards = 0);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_FLEET_PLAN_HH

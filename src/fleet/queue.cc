@@ -1,0 +1,358 @@
+#include "fleet/queue.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include "util/atomic_file.hh"
+#include "util/json.hh"
+#include "util/json_reader.hh"
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+
+std::string
+shardStateName(ShardState s)
+{
+    switch (s) {
+      case ShardState::Pending:
+        return "pending";
+      case ShardState::Running:
+        return "running";
+      case ShardState::Done:
+        return "done";
+      case ShardState::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr std::uint64_t kJournalFormat = 1;
+
+[[noreturn]] void
+fail(const std::string &what)
+{
+    throw std::runtime_error(what);
+}
+
+/**
+ * Open the journal for appending and take the orchestrator lock.
+ * O_CLOEXEC keeps worker children from inheriting the open file
+ * description: flock belongs to the description, not the process, so
+ * an inherited fd would keep the lock alive long after the
+ * orchestrator died.
+ */
+int
+openLockedJournal(const std::string &path, bool create)
+{
+    int flags = O_WRONLY | O_APPEND | O_CLOEXEC;
+    if (create)
+        flags |= O_CREAT | O_EXCL;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0)
+        fail("cannot open journal '" + path +
+             "': " + std::strerror(errno));
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+        int err = errno;
+        ::close(fd);
+        if (err == EWOULDBLOCK || err == EAGAIN)
+            fail("another orchestrator holds '" + path + "'");
+        fail("cannot lock journal '" + path +
+             "': " + std::strerror(err));
+    }
+    return fd;
+}
+
+void
+appendLine(int fd, const std::string &path, const JsonValue &record)
+{
+    std::string line = writeJson(record, 0);
+    line.push_back('\n');
+    // One write(2) on an O_APPEND fd: the record lands whole or — if
+    // the process dies mid-call — as a torn final line that replay
+    // ignores. Never interleaved with another record of this fd.
+    ssize_t n = ::write(fd, line.data(), line.size());
+    if (n != static_cast<ssize_t>(line.size()))
+        fail("short write on journal '" + path + "'");
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fail("cannot read '" + path + "'");
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::size_t at = 0;
+    while (at < text.size()) {
+        std::size_t nl = text.find('\n', at);
+        if (nl == std::string::npos) {
+            lines.push_back(text.substr(at)); // unterminated tail
+            break;
+        }
+        lines.push_back(text.substr(at, nl - at));
+        at = nl + 1;
+    }
+    return lines;
+}
+
+} // anonymous namespace
+
+FleetJobQueue::FleetJobQueue(std::string dir, ShardPlan plan,
+                             int journalFd,
+                             std::vector<ShardStatus> replayed)
+    : jobDir(std::move(dir)), shardPlan(std::move(plan)), fd(journalFd),
+      state(std::move(replayed))
+{
+    if (state.empty())
+        state.resize(shardPlan.shards.size());
+}
+
+FleetJobQueue::FleetJobQueue(FleetJobQueue &&other) noexcept
+    : jobDir(std::move(other.jobDir)),
+      shardPlan(std::move(other.shardPlan)), fd(other.fd),
+      state(std::move(other.state))
+{
+    other.fd = -1;
+}
+
+FleetJobQueue::~FleetJobQueue()
+{
+    if (fd >= 0)
+        ::close(fd); // releases the flock
+}
+
+FleetJobQueue
+FleetJobQueue::create(const std::string &dir, const ShardPlan &plan)
+{
+    std::error_code ec;
+    fs::create_directories(dir + "/shards", ec);
+    if (ec)
+        fail("cannot create job directory '" + dir +
+             "': " + ec.message());
+    std::string journal = dir + "/journal.ndjson";
+    if (fs::exists(journal))
+        fail("'" + dir + "' already holds a fleet journal — resume it "
+                         "or choose a fresh job directory");
+
+    if (!writeFileAtomic(dir + "/campaign.json",
+                         writeJson(toJson(plan.campaign), 2) + "\n"))
+        fail("cannot write '" + dir + "/campaign.json'");
+    for (std::size_t i = 0; i < plan.shards.size(); ++i) {
+        std::string path =
+            dir + "/shards/" + plan.shards[i].name + ".json";
+        if (!writeFileAtomic(path,
+                             writeJson(toJson(plan.shards[i].spec), 2) +
+                                 "\n"))
+            fail("cannot write '" + path + "'");
+    }
+
+    int fd = openLockedJournal(journal, /*create=*/true);
+    JsonValue header = JsonValue::object();
+    header.set("wavedyn_fleet_journal", kJournalFormat);
+    header.set("shards", std::uint64_t{plan.shards.size()});
+    header.set("max_shards", std::uint64_t{plan.maxShards});
+    appendLine(fd, journal, header);
+    return FleetJobQueue(dir, plan, fd, {});
+}
+
+FleetJobQueue
+FleetJobQueue::open(const std::string &dir)
+{
+    std::string journal = dir + "/journal.ndjson";
+    if (!fs::exists(journal))
+        fail("'" + dir + "' holds no fleet journal");
+    // Lock before reading: no orchestrator can append once we hold it.
+    int fd = openLockedJournal(journal, /*create=*/false);
+
+    std::vector<std::string> lines;
+    ShardPlan plan;
+    std::vector<ShardStatus> replayed;
+    try {
+        lines = splitLines(readWholeFile(journal));
+        if (lines.empty())
+            fail("journal '" + journal + "' is empty");
+
+        JsonValue headerDoc;
+        try {
+            headerDoc = parseJson(lines.front());
+        } catch (const std::exception &e) {
+            fail("journal '" + journal +
+                 "' header is corrupt: " + e.what());
+        }
+        ObjectReader header(headerDoc, "journal header");
+        if (header.getUint("wavedyn_fleet_journal", 0) != kJournalFormat)
+            fail("journal '" + journal +
+                 "' has an unknown format version");
+        std::uint64_t shardCount = header.getUint("shards", 0);
+        std::uint64_t maxShards = header.getUint("max_shards", 0);
+        header.finish();
+
+        CampaignSpec campaign;
+        try {
+            campaign =
+                campaignSpecFromJson(parseJson(readWholeFile(
+                    dir + "/campaign.json")));
+        } catch (const std::exception &e) {
+            fail("cannot restore campaign from '" + dir +
+                 "/campaign.json': " + e.what());
+        }
+        plan = planShards(campaign,
+                          static_cast<std::size_t>(maxShards));
+        if (plan.shards.size() != shardCount)
+            fail("journal '" + journal + "' records " +
+                 std::to_string(shardCount) + " shards but the " +
+                 "campaign plans " +
+                 std::to_string(plan.shards.size()));
+
+        replayed.resize(plan.shards.size());
+        for (std::size_t li = 1; li < lines.size(); ++li) {
+            if (lines[li].empty())
+                continue;
+            JsonValue rec;
+            try {
+                rec = parseJson(lines[li]);
+            } catch (const std::exception &e) {
+                if (li + 1 == lines.size())
+                    break; // torn final record: the crash artifact
+                fail("journal '" + journal + "' line " +
+                     std::to_string(li + 1) +
+                     " is corrupt: " + e.what());
+            }
+            ObjectReader r(rec, "journal record");
+            std::uint64_t shard = r.getUint("shard", shardCount);
+            std::string stateName = r.requireString("state");
+            std::uint64_t attempt = r.getUint("attempt", 0);
+            std::string detail = r.getString("detail", "");
+            r.finish();
+            if (shard >= shardCount)
+                fail("journal '" + journal + "' line " +
+                     std::to_string(li + 1) +
+                     " names an out-of-range shard");
+            ShardStatus &st = replayed[static_cast<std::size_t>(shard)];
+            if (stateName == "running") {
+                st.state = ShardState::Running;
+                st.attempts =
+                    std::max(st.attempts,
+                             static_cast<std::size_t>(attempt));
+            } else if (stateName == "done") {
+                st.state = ShardState::Done;
+            } else if (stateName == "failed") {
+                st.state = ShardState::Failed;
+                st.detail = detail;
+            } else {
+                fail("journal '" + journal + "' line " +
+                     std::to_string(li + 1) +
+                     " has unknown state '" + stateName + "'");
+            }
+        }
+    } catch (...) {
+        ::close(fd);
+        throw;
+    }
+    return FleetJobQueue(dir, std::move(plan), fd, std::move(replayed));
+}
+
+void
+FleetJobQueue::append(std::size_t shard, ShardState to,
+                      const std::string &detail)
+{
+    JsonValue rec = JsonValue::object();
+    rec.set("shard", std::uint64_t{shard});
+    rec.set("state", shardStateName(to));
+    if (to == ShardState::Running)
+        rec.set("attempt", std::uint64_t{state[shard].attempts});
+    if (!detail.empty())
+        rec.set("detail", detail);
+    appendLine(fd, journalPath(), rec);
+}
+
+void
+FleetJobQueue::markRunning(std::size_t shard)
+{
+    state[shard].attempts += 1;
+    state[shard].state = ShardState::Running;
+    append(shard, ShardState::Running, "");
+}
+
+void
+FleetJobQueue::markDone(std::size_t shard)
+{
+    state[shard].state = ShardState::Done;
+    append(shard, ShardState::Done, "");
+}
+
+void
+FleetJobQueue::markFailed(std::size_t shard, const std::string &detail)
+{
+    state[shard].state = ShardState::Failed;
+    state[shard].detail = detail;
+    append(shard, ShardState::Failed, detail);
+}
+
+std::string
+FleetJobQueue::campaignPath() const
+{
+    return jobDir + "/campaign.json";
+}
+
+std::string
+FleetJobQueue::journalPath() const
+{
+    return jobDir + "/journal.ndjson";
+}
+
+std::string
+FleetJobQueue::mergedReportPath() const
+{
+    return jobDir + "/merged.json";
+}
+
+std::string
+FleetJobQueue::shardSpecPath(std::size_t shard) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name + ".json";
+}
+
+std::string
+FleetJobQueue::shardReportPath(std::size_t shard) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name +
+           ".report.json";
+}
+
+std::string
+FleetJobQueue::shardLogPath(std::size_t shard) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name + ".log";
+}
+
+std::string
+FleetJobQueue::shardAttemptPath(std::size_t shard,
+                                std::size_t attempt) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name +
+           ".attempt-" + std::to_string(attempt) + ".json";
+}
+
+} // namespace wavedyn

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Crash-safe on-disk job queue for one sharded campaign.
+ *
+ * A job directory is the whole durable state of a fleet run:
+ *
+ *   <dir>/campaign.json          the original CampaignSpec
+ *   <dir>/shards/shard-NNN.json  one sub-spec per shard (worker input)
+ *   <dir>/shards/shard-NNN.report.json   published shard report
+ *   <dir>/shards/shard-NNN.attempt-K.json  in-flight worker output
+ *   <dir>/shards/shard-NNN.log   worker stderr/stdout of all attempts
+ *   <dir>/journal.ndjson         append-only state journal
+ *   <dir>/merged.json            the merged report (written last)
+ *
+ * Specs and reports are published with the same atomic temp+rename
+ * discipline as the result cache (util/atomic_file.hh), so a reader
+ * never observes a torn file. The journal is different: it is
+ * append-only NDJSON — one compact JSON record per line, written with
+ * a single O_APPEND write(2) — because state transitions must be
+ * durable without rewriting history. A crash can tear at most the
+ * final record; open() ignores an unparseable last line and recovers
+ * from the last complete record (mid-file corruption, by contrast, is
+ * real damage and throws). A shard whose "running" record survived
+ * but whose "done" never landed is simply re-run — report publication
+ * is atomic and idempotent, so the orchestrator loses at most the
+ * in-flight shard.
+ *
+ * The journal file descriptor doubles as the orchestrator mutex: the
+ * queue holds flock(LOCK_EX) on it for its lifetime, so two
+ * orchestrators can never interleave appends on one job directory.
+ * The fd is opened O_CLOEXEC — worker processes must not inherit the
+ * lock, or a SIGKILLed orchestrator's orphaned workers would block
+ * --resume.
+ */
+
+#ifndef WAVEDYN_FLEET_QUEUE_HH
+#define WAVEDYN_FLEET_QUEUE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fleet/plan.hh"
+
+namespace wavedyn
+{
+
+/** Lifecycle of one shard, as recorded in the journal. */
+enum class ShardState
+{
+    Pending, //!< never started (or healed back after a crash)
+    Running, //!< a "running" record is the latest for this shard
+    Done,    //!< report published and recorded
+    Failed,  //!< latest attempt failed; may still be retried
+};
+
+/** Journal name of a state ("pending" is the absence of records). */
+std::string shardStateName(ShardState s);
+
+/** Replayed state of one shard. */
+struct ShardStatus
+{
+    ShardState state = ShardState::Pending;
+    std::size_t attempts = 0;  //!< "running" records seen
+    std::string detail;        //!< last failure detail, if any
+};
+
+/**
+ * The durable queue over one job directory. Move-only; the journal
+ * lock is held from construction to destruction.
+ */
+class FleetJobQueue
+{
+  public:
+    /**
+     * Initialise @p dir for @p plan: create the directory tree, write
+     * campaign.json and every shard spec, then start the journal.
+     * @throws std::runtime_error if @p dir already holds a journal
+     *         (resume instead) or on any I/O failure.
+     */
+    static FleetJobQueue create(const std::string &dir,
+                                const ShardPlan &plan);
+
+    /**
+     * Reopen an existing job directory and replay its journal,
+     * re-deriving the plan from campaign.json (planning is
+     * deterministic, so the shard set is identical). Tolerates a torn
+     * final journal record; throws std::runtime_error on a missing or
+     * corrupt journal, or when the journal disagrees with the
+     * re-derived plan.
+     */
+    static FleetJobQueue open(const std::string &dir);
+
+    FleetJobQueue(FleetJobQueue &&other) noexcept;
+    FleetJobQueue &operator=(FleetJobQueue &&) = delete;
+    FleetJobQueue(const FleetJobQueue &) = delete;
+    ~FleetJobQueue();
+
+    const std::string &dir() const { return jobDir; }
+    const ShardPlan &plan() const { return shardPlan; }
+    std::size_t shardCount() const { return shardPlan.shards.size(); }
+
+    /** Replayed journal state, indexed like plan().shards. */
+    const std::vector<ShardStatus> &statuses() const { return state; }
+
+    // -- state transitions; each appends one journal record durably
+    //    before returning. markRunning increments the attempt count.
+    void markRunning(std::size_t shard);
+    void markDone(std::size_t shard);
+    void markFailed(std::size_t shard, const std::string &detail);
+
+    // -- file layout
+    std::string campaignPath() const;
+    std::string journalPath() const;
+    std::string mergedReportPath() const;
+    std::string shardSpecPath(std::size_t shard) const;
+    std::string shardReportPath(std::size_t shard) const;
+    std::string shardLogPath(std::size_t shard) const;
+    /** Worker output of one attempt; unique per attempt so an orphaned
+     *  worker of a dead orchestrator cannot clobber a live one's. */
+    std::string shardAttemptPath(std::size_t shard,
+                                 std::size_t attempt) const;
+
+  private:
+    FleetJobQueue(std::string dir, ShardPlan plan, int journalFd,
+                  std::vector<ShardStatus> replayed);
+
+    void append(std::size_t shard, ShardState to,
+                const std::string &detail);
+
+    std::string jobDir;
+    ShardPlan shardPlan;
+    int fd = -1; //!< journal, O_APPEND | O_CLOEXEC, flock-ed
+    std::vector<ShardStatus> state;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_FLEET_QUEUE_HH

@@ -1,0 +1,74 @@
+#include "fleet/worker.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace wavedyn
+{
+
+std::string
+describeWorkerExit(const WorkerExit &we)
+{
+    if (we.exited)
+        return "exit " + std::to_string(we.code);
+    std::string name = strsignal(we.signal) ? strsignal(we.signal) : "?";
+    return "signal " + std::to_string(we.signal) + " (" + name + ")";
+}
+
+pid_t
+spawnWorker(const std::vector<std::string> &argv,
+            const std::string &logPath)
+{
+    pid_t pid = ::fork();
+    if (pid < 0)
+        throw std::runtime_error(std::string("fork failed: ") +
+                                 std::strerror(errno));
+    if (pid > 0)
+        return pid;
+
+    // Child. Only async-signal-safe calls until exec; any failure is
+    // _exit, never a throw into a forked copy of the orchestrator.
+    int log = ::open(logPath.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (log >= 0) {
+        ::dup2(log, STDOUT_FILENO);
+        ::dup2(log, STDERR_FILENO);
+        ::close(log);
+    }
+    std::vector<char *> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string &a : argv)
+        args.push_back(const_cast<char *>(a.c_str()));
+    args.push_back(nullptr);
+    ::execvp(args[0], args.data());
+    _exit(127);
+}
+
+WorkerExit
+waitAnyWorker()
+{
+    int status = 0;
+    pid_t pid;
+    do {
+        pid = ::waitpid(-1, &status, 0);
+    } while (pid < 0 && errno == EINTR);
+    if (pid < 0)
+        throw std::runtime_error(std::string("waitpid failed: ") +
+                                 std::strerror(errno));
+    WorkerExit we;
+    we.pid = pid;
+    if (WIFEXITED(status)) {
+        we.exited = true;
+        we.code = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+        we.signal = WTERMSIG(status);
+    }
+    return we;
+}
+
+} // namespace wavedyn

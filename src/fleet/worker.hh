@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Worker process launching for the fleet orchestrator: fork/exec one
+ * CLI invocation per shard, with stdout+stderr appended to the
+ * shard's log file, and multiplexed waiting on completions.
+ *
+ * Process isolation is the point — a worker that SIGSEGVs, leaks, or
+ * is SIGKILLed costs exactly its shard attempt; the orchestrator's
+ * journal and the other workers are untouched.
+ */
+
+#ifndef WAVEDYN_FLEET_WORKER_HH
+#define WAVEDYN_FLEET_WORKER_HH
+
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace wavedyn
+{
+
+/** How one worker process ended. */
+struct WorkerExit
+{
+    pid_t pid = -1;
+    bool exited = false; //!< normal exit (code valid) vs signal
+    int code = 0;        //!< exit status when exited
+    int signal = 0;      //!< terminating signal when !exited
+};
+
+/** "exit 3" / "signal 9 (Killed)" — for journal failure details. */
+std::string describeWorkerExit(const WorkerExit &we);
+
+/**
+ * Fork and exec @p argv (argv[0] resolved via PATH), appending the
+ * child's stdout and stderr to @p logPath. Returns the child pid.
+ * The child calls _exit(127) if exec fails.
+ * @throws std::runtime_error when fork fails.
+ */
+pid_t spawnWorker(const std::vector<std::string> &argv,
+                  const std::string &logPath);
+
+/**
+ * Block until any child of this process exits and report it.
+ * @throws std::runtime_error when there are no children to wait for.
+ */
+WorkerExit waitAnyWorker();
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_FLEET_WORKER_HH

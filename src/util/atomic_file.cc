@@ -1,0 +1,56 @@
+#include "util/atomic_file.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    // Unique per (process, call): the pid separates processes sharing
+    // a directory, the counter separates threads within one.
+    static std::atomic<std::uint64_t> seq{0};
+    char tmpName[64];
+    std::snprintf(tmpName, sizeof(tmpName), ".tmp.%llu.%llu",
+                  static_cast<unsigned long long>(getpid()),
+                  static_cast<unsigned long long>(
+                      seq.fetch_add(1, std::memory_order_relaxed)));
+    fs::path dest(path);
+    std::string tmpPath = (dest.parent_path() / tmpName).string();
+
+    std::error_code ec;
+    {
+        std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.flush();
+        if (!out) {
+            out.close();
+            fs::remove(tmpPath, ec);
+            return false;
+        }
+    }
+    fs::rename(tmpPath, path, ec);
+    if (ec) {
+        fs::remove(tmpPath, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace wavedyn

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -278,6 +279,68 @@ TEST_F(ResultCacheTest, GcAlwaysCollectsInvalidEntries)
     CacheGcResult g = cache.gc(0, 0, cacheClockNow());
     EXPECT_EQ(g.removedInvalid, 1u);
     EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(ResultCacheTest, StoreFailureIsCountedNotSwallowed)
+{
+    // A cache root whose path is occupied by a regular file can never
+    // materialise entry directories — every store must fail loudly in
+    // the stats (chmod tricks don't work under root, a file does).
+    {
+        std::ofstream blocker(root, std::ios::binary);
+        blocker << "not a directory";
+    }
+    ResultCache cache(root);
+    EXPECT_FALSE(cache.store(CacheKey{1, 2}, sampleResult()));
+    ResultCacheStats s = cache.stats();
+    EXPECT_EQ(s.stores, 0u);
+    EXPECT_EQ(s.storeFailures, 1u);
+    EXPECT_FALSE(cache.probeWritable());
+    fs::remove(root);
+}
+
+TEST_F(ResultCacheTest, SuccessfulStoreReportsNoFailures)
+{
+    ResultCache cache(root);
+    EXPECT_TRUE(cache.store(CacheKey{1, 2}, sampleResult()));
+    EXPECT_EQ(cache.stats().storeFailures, 0u);
+    EXPECT_TRUE(cache.probeWritable());
+}
+
+TEST_F(ResultCacheTest, GcNeverRemovesEntriesWithFutureMtimes)
+{
+    // Clock skew (NFS, a fixed system clock, a restored backup) can
+    // leave entries dated in the future. Signed age math would make
+    // their age a huge unsigned number and collect the freshest
+    // entries first; they must be kept instead.
+    ResultCache cache(root);
+    SimResult r = sampleResult();
+    cache.store(CacheKey{1, 1}, r);
+    cache.store(CacheKey{2, 2}, r);
+
+    std::int64_t now = cacheClockNow();
+    fs::last_write_time(
+        cache.entryPath(CacheKey{1, 1}),
+        fs::file_time_type(std::chrono::seconds(now + 500000)));
+
+    CacheGcResult g = cache.gc(3600, 0, now);
+    EXPECT_EQ(g.scanned, 2u);
+    EXPECT_EQ(g.removedAge, 0u);
+    EXPECT_TRUE(cache.load(CacheKey{1, 1}).has_value());
+    EXPECT_TRUE(cache.load(CacheKey{2, 2}).has_value());
+}
+
+TEST_F(ResultCacheTest, GcHugeMaxAgeKeepsEverything)
+{
+    // The other face of the skew bug: a u64 age limit near the max
+    // must behave as "no limit", not wrap into "collect everything".
+    ResultCache cache(root);
+    cache.store(CacheKey{3, 3}, sampleResult());
+    CacheGcResult g =
+        cache.gc(std::numeric_limits<std::uint64_t>::max(), 0,
+                 cacheClockNow());
+    EXPECT_EQ(g.removedAge, 0u);
+    EXPECT_TRUE(cache.load(CacheKey{3, 3}).has_value());
 }
 
 TEST_F(ResultCacheTest, ActiveCacheInstallAndClear)

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Merge-proof tests, in process: per-shard suite reports concatenate
+ * to the byte-exact single-process report, explore plans pass the
+ * Assemble shard's document through verbatim, and a shard document
+ * whose derived statistics disagree with its cells (or that doesn't
+ * match the plan) is refused rather than merged.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "core/report.hh"
+#include "fleet/merge.hh"
+#include "fleet/plan.hh"
+#include "util/json.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+CampaignSpec
+smokeSuite(std::size_t scenarios)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Suite;
+    spec.experiment.trainPoints = 10;
+    spec.experiment.testPoints = 4;
+    spec.experiment.samples = 16;
+    spec.experiment.intervalInstrs = 120;
+    spec.scenarios.seed = 7;
+    spec.scenarios.count = scenarios;
+    return spec;
+}
+
+/** Run every shard of @p plan in this process; return parsed docs. */
+std::vector<JsonValue>
+runShards(const ShardPlan &plan)
+{
+    std::vector<JsonValue> docs;
+    for (const ShardSpec &s : plan.shards) {
+        CampaignResult r = runCampaign(s.spec);
+        docs.push_back(parseJson(renderReport(r, ReportFormat::Json)));
+    }
+    return docs;
+}
+
+TEST(MergeShards, SuiteCellsConcatenateToSingleProcessBytes)
+{
+    CampaignSpec spec = smokeSuite(3);
+    std::string golden =
+        renderReport(runCampaign(spec), ReportFormat::Json);
+
+    ShardPlan plan = planShards(spec);
+    ASSERT_EQ(plan.shards.size(), 3u);
+    MergedReport merged = mergeShardReports(plan, runShards(plan));
+
+    // Byte identity twice over: the canonical document and a fresh
+    // render of the reconstructed result both equal the golden bytes.
+    EXPECT_EQ(writeJson(merged.doc) + "\n", golden);
+    EXPECT_EQ(renderReport(merged.result, ReportFormat::Json), golden);
+}
+
+TEST(MergeShards, ChunkedSuiteMergesIdentically)
+{
+    CampaignSpec spec = smokeSuite(3);
+    std::string golden =
+        renderReport(runCampaign(spec), ReportFormat::Json);
+
+    // 2 shards over 3 scenarios: one chunk of 2, one of 1.
+    ShardPlan plan = planShards(spec, 2);
+    ASSERT_EQ(plan.shards.size(), 2u);
+    MergedReport merged = mergeShardReports(plan, runShards(plan));
+    EXPECT_EQ(renderReport(merged.result, ReportFormat::Json), golden);
+}
+
+TEST(MergeShards, ExploreAssembleDocPassesThroughVerbatim)
+{
+    CampaignSpec spec = smokeSuite(2);
+    spec.kind = CampaignKind::Explore;
+    spec.budget = 2;
+    spec.perRound = 1;
+    spec.maxSweepPoints = 6;
+    std::string golden =
+        renderReport(runCampaign(spec), ReportFormat::Json);
+
+    // No shared cache here: the warm shards are wasted work, but the
+    // merged result must still be the Assemble shard's document —
+    // correctness never depends on the cache.
+    ShardPlan plan = planShards(spec);
+    ASSERT_EQ(plan.shards.back().role, ShardRole::Assemble);
+    MergedReport merged = mergeShardReports(plan, runShards(plan));
+    EXPECT_EQ(writeJson(merged.doc) + "\n", golden);
+    EXPECT_EQ(renderReport(merged.result, ReportFormat::Json), golden);
+}
+
+TEST(MergeShards, RefusesDocWhoseDerivedStatsDisagreeWithCells)
+{
+    CampaignSpec spec = smokeSuite(2);
+    ShardPlan plan = planShards(spec);
+    std::vector<JsonValue> docs = runShards(plan);
+
+    // Perturb a derived field the codec recomputes from the cells:
+    // the re-rendered document can no longer equal the input, so the
+    // round-trip proof must refuse the shard instead of silently
+    // publishing a report whose summary contradicts its own data.
+    ASSERT_NE(docs[0].find("overall_median"), nullptr);
+    docs[0].set("overall_median", parseJson("{}"));
+    EXPECT_THROW(mergeShardReports(plan, docs), std::runtime_error);
+}
+
+TEST(MergeShards, RefusesWrongShardCount)
+{
+    CampaignSpec spec = smokeSuite(2);
+    ShardPlan plan = planShards(spec);
+    std::vector<JsonValue> docs = runShards(plan);
+    docs.pop_back();
+    EXPECT_THROW(mergeShardReports(plan, docs), std::runtime_error);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

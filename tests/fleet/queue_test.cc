@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Durable job-queue tests: create/open round-trips the journal,
+ * a torn final record (the only tear a single-append crash can
+ * produce) recovers to the last complete record without error, mid-
+ * file corruption is real damage and throws, a second orchestrator on
+ * the same directory is locked out, and create() refuses to clobber
+ * an existing journal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "core/campaign.hh"
+#include "fleet/plan.hh"
+#include "fleet/queue.hh"
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+namespace
+{
+
+CampaignSpec
+smokeSuite(std::size_t scenarios)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Suite;
+    spec.experiment.trainPoints = 10;
+    spec.experiment.testPoints = 4;
+    spec.experiment.samples = 16;
+    spec.experiment.intervalInstrs = 120;
+    spec.scenarios.seed = 7;
+    spec.scenarios.count = scenarios;
+    return spec;
+}
+
+class FleetQueueTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir = (fs::temp_directory_path() /
+               ("wavedyn-fleet-queue-test-" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                  .string();
+        fs::remove_all(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string readJournal(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        return std::string(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+    }
+
+    void writeJournal(const std::string &path, const std::string &text)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out << text;
+    }
+
+    std::string dir;
+};
+
+TEST_F(FleetQueueTest, CreateThenOpenReplaysStateAndPlan)
+{
+    ShardPlan plan = planShards(smokeSuite(3));
+    std::string journal;
+    {
+        FleetJobQueue q = FleetJobQueue::create(dir, plan);
+        EXPECT_EQ(q.shardCount(), 3u);
+        EXPECT_TRUE(fs::exists(q.campaignPath()));
+        for (std::size_t i = 0; i < 3; ++i)
+            EXPECT_TRUE(fs::exists(q.shardSpecPath(i)));
+
+        q.markRunning(0);
+        q.markDone(0);
+        q.markRunning(1);
+        q.markFailed(1, "worker exit 3");
+        journal = q.journalPath();
+    } // lock released
+
+    FleetJobQueue q = FleetJobQueue::open(dir);
+    ASSERT_EQ(q.shardCount(), 3u);
+    EXPECT_TRUE(q.plan().campaign == plan.campaign);
+    const auto &st = q.statuses();
+    EXPECT_EQ(st[0].state, ShardState::Done);
+    EXPECT_EQ(st[0].attempts, 1u);
+    EXPECT_EQ(st[1].state, ShardState::Failed);
+    EXPECT_EQ(st[1].detail, "worker exit 3");
+    EXPECT_EQ(st[2].state, ShardState::Pending);
+    EXPECT_EQ(st[2].attempts, 0u);
+}
+
+TEST_F(FleetQueueTest, TornFinalRecordRecoversFromLastCompleteRecord)
+{
+    ShardPlan plan = planShards(smokeSuite(3));
+    std::string journal;
+    {
+        FleetJobQueue q = FleetJobQueue::create(dir, plan);
+        q.markRunning(0);
+        q.markDone(0);
+        q.markRunning(1);
+        journal = q.journalPath();
+    }
+    // Tear the tail mid-record, as a crash during the final append
+    // would: the shard-1 "running" record loses its closing bytes.
+    std::string text = readJournal(journal);
+    ASSERT_GT(text.size(), 6u);
+    writeJournal(journal, text.substr(0, text.size() - 6));
+
+    FleetJobQueue q = FleetJobQueue::open(dir);
+    // The complete prefix survives — shard 0 is still Done, so an
+    // orchestrator resuming here will never re-run (double-run) it.
+    EXPECT_EQ(q.statuses()[0].state, ShardState::Done);
+    // The torn record is gone entirely: shard 1 reads Pending again,
+    // which re-runs it — the safe direction (report publication is
+    // atomic and idempotent).
+    EXPECT_EQ(q.statuses()[1].state, ShardState::Pending);
+    EXPECT_EQ(q.statuses()[1].attempts, 0u);
+
+    // The queue stays appendable after recovery.
+    q.markRunning(1);
+    q.markDone(1);
+    EXPECT_EQ(q.statuses()[1].state, ShardState::Done);
+}
+
+TEST_F(FleetQueueTest, MidFileCorruptionThrowsInsteadOfGuessing)
+{
+    ShardPlan plan = planShards(smokeSuite(2));
+    std::string journal;
+    {
+        FleetJobQueue q = FleetJobQueue::create(dir, plan);
+        q.markRunning(0);
+        q.markDone(0);
+        journal = q.journalPath();
+    }
+    // Corrupt the first state record while keeping later lines: this
+    // cannot be a crash tear (appends only ever damage the tail), so
+    // it must be treated as real damage.
+    std::string text = readJournal(journal);
+    std::size_t first = text.find('\n');
+    std::size_t second = text.find('\n', first + 1);
+    ASSERT_NE(second, std::string::npos);
+    text.replace(first + 1, second - first - 1,
+                 std::string(second - first - 1, '#'));
+    writeJournal(journal, text);
+
+    EXPECT_THROW(FleetJobQueue::open(dir), std::runtime_error);
+}
+
+TEST_F(FleetQueueTest, SecondOrchestratorIsLockedOut)
+{
+    ShardPlan plan = planShards(smokeSuite(2));
+    FleetJobQueue held = FleetJobQueue::create(dir, plan);
+    // flock is held per open file description, so even a same-process
+    // second open must bounce.
+    EXPECT_THROW(FleetJobQueue::open(dir), std::runtime_error);
+}
+
+TEST_F(FleetQueueTest, CreateRefusesAnExistingJournal)
+{
+    ShardPlan plan = planShards(smokeSuite(2));
+    { FleetJobQueue q = FleetJobQueue::create(dir, plan); }
+    EXPECT_THROW(FleetJobQueue::create(dir, plan), std::runtime_error);
+}
+
+TEST_F(FleetQueueTest, AttemptPathsAreUniquePerAttempt)
+{
+    ShardPlan plan = planShards(smokeSuite(2));
+    FleetJobQueue q = FleetJobQueue::create(dir, plan);
+    EXPECT_NE(q.shardAttemptPath(0, 1), q.shardAttemptPath(0, 2));
+    EXPECT_NE(q.shardAttemptPath(0, 1), q.shardAttemptPath(1, 1));
+    EXPECT_NE(q.shardAttemptPath(0, 1), q.shardReportPath(0));
+}
+
+} // anonymous namespace
+} // namespace wavedyn

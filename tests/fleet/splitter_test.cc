@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Shard-planning tests: suites split into per-scenario (or chunked)
+ * Partition shards that exactly cover the scenario list in order,
+ * explore campaigns become cache-warming suite shards plus one
+ * Assemble shard carrying the original spec, train/evaluate pass
+ * through whole, and invalid specs are rejected before any shard
+ * exists.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hh"
+#include "fleet/plan.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+CampaignSpec
+smokeSuite(std::size_t scenarios)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Suite;
+    spec.experiment.trainPoints = 10;
+    spec.experiment.testPoints = 4;
+    spec.experiment.samples = 16;
+    spec.experiment.intervalInstrs = 120;
+    spec.scenarios.seed = 7;
+    spec.scenarios.count = scenarios;
+    return spec;
+}
+
+CampaignSpec
+smokeExplore(std::size_t scenarios)
+{
+    CampaignSpec spec = smokeSuite(scenarios);
+    spec.kind = CampaignKind::Explore;
+    spec.budget = 2;
+    spec.perRound = 1;
+    spec.maxSweepPoints = 6;
+    return spec;
+}
+
+/** Flatten a plan's Partition-shard scenario lists, in shard order. */
+std::vector<std::string>
+partitionScenarios(const ShardPlan &plan)
+{
+    std::vector<std::string> all;
+    for (const ShardSpec &s : plan.shards)
+        if (s.role == ShardRole::Partition)
+            for (const std::string &n :
+                 s.spec.scenarios.scenarioNames())
+                all.push_back(n);
+    return all;
+}
+
+TEST(ShardPlan, SuiteShardsPerScenarioByDefault)
+{
+    CampaignSpec spec = smokeSuite(4);
+    ShardPlan plan = planShards(spec);
+
+    ASSERT_EQ(plan.shards.size(), 4u);
+    EXPECT_TRUE(plan.mergeCells);
+    EXPECT_FALSE(plan.needsSharedCache);
+    EXPECT_EQ(plan.shards[0].name, "shard-000");
+    EXPECT_EQ(plan.shards[3].name, "shard-003");
+    for (const ShardSpec &s : plan.shards) {
+        EXPECT_EQ(s.role, ShardRole::Partition);
+        EXPECT_EQ(s.spec.kind, CampaignKind::Suite);
+        // Sub-specs carry explicit names, not a generate block: a
+        // worker re-deriving scenarios must get exactly its slice.
+        EXPECT_EQ(s.spec.scenarios.count, 0u);
+        EXPECT_EQ(s.spec.scenarios.names.size(), 1u);
+    }
+    // The shards cover the campaign's scenario list exactly, in order.
+    EXPECT_EQ(partitionScenarios(plan),
+              spec.scenarios.scenarioNames());
+}
+
+TEST(ShardPlan, MaxShardsChunksContiguouslyAndEvenly)
+{
+    CampaignSpec spec = smokeSuite(5);
+    ShardPlan plan = planShards(spec, 2);
+
+    ASSERT_EQ(plan.shards.size(), 2u);
+    EXPECT_EQ(plan.maxShards, 2u);
+    std::size_t a = plan.shards[0].spec.scenarios.names.size();
+    std::size_t b = plan.shards[1].spec.scenarios.names.size();
+    EXPECT_EQ(a + b, 5u);
+    EXPECT_LE(a > b ? a - b : b - a, 1u);
+    EXPECT_EQ(partitionScenarios(plan),
+              spec.scenarios.scenarioNames());
+}
+
+TEST(ShardPlan, ExplorePlanWarmsPerScenarioThenAssembles)
+{
+    CampaignSpec spec = smokeExplore(2);
+    ShardPlan plan = planShards(spec);
+
+    ASSERT_EQ(plan.shards.size(), 3u);
+    EXPECT_FALSE(plan.mergeCells);
+    EXPECT_TRUE(plan.needsSharedCache);
+
+    // Warm shards are suite-kind sub-campaigns over one scenario each:
+    // they simulate the same configurations (the cache key ignores
+    // domains and predictor settings) and publish them to the cache.
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(plan.shards[i].role, ShardRole::Partition);
+        EXPECT_EQ(plan.shards[i].spec.kind, CampaignKind::Suite);
+        EXPECT_EQ(plan.shards[i].spec.scenarios.names.size(), 1u);
+        EXPECT_EQ(plan.shards[i].spec.experiment.domains.size(), 1u);
+    }
+    // The Assemble shard is the original campaign, verbatim.
+    EXPECT_EQ(plan.shards[2].role, ShardRole::Assemble);
+    EXPECT_TRUE(plan.shards[2].spec == spec);
+}
+
+TEST(ShardPlan, TrainAndEvaluateAreSingleAssembleShards)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Train;
+    spec.experiment.trainPoints = 10;
+    spec.experiment.testPoints = 1;
+    spec.experiment.samples = 16;
+    spec.experiment.intervalInstrs = 120;
+    spec.experiment.domains = {Domain::Cpi};
+    spec.scenarios.names = {"bzip2"};
+    spec.domain = Domain::Cpi;
+    spec.modelPath = "/tmp/wavedyn-splitter-test-model.txt";
+
+    ShardPlan plan = planShards(spec);
+    ASSERT_EQ(plan.shards.size(), 1u);
+    EXPECT_EQ(plan.shards[0].role, ShardRole::Assemble);
+    EXPECT_TRUE(plan.shards[0].spec == spec);
+    EXPECT_FALSE(plan.mergeCells);
+    EXPECT_FALSE(plan.needsSharedCache);
+}
+
+TEST(ShardPlan, InvalidSpecThrowsBeforeAnyShardExists)
+{
+    CampaignSpec spec = smokeSuite(0); // no scenarios at all
+    EXPECT_THROW(planShards(spec), std::invalid_argument);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Sharded-campaign golden tests against the real CLI binary (path in
+ * WAVEDYN_CLI, set by CTest): `wavedyn_cli shard` must produce a
+ * merged report byte-identical to the single-process `run` of the
+ * same spec — for suite and explore plans, at --workers 1 and 4 —
+ * and a job whose every worker attempt fails must resume to the
+ * identical bytes once the workers are healthy, without re-running
+ * shards that already published.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/wait.h>
+
+#include "core/campaign.hh"
+#include "fleet/orchestrator.hh"
+#include "util/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace wavedyn
+{
+namespace
+{
+
+std::string
+cliPath()
+{
+    const char *env = std::getenv("WAVEDYN_CLI");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
+/** Run a shell command, discarding its stderr; returns exit code. */
+int
+shell(const std::string &cmd)
+{
+    int rc = std::system((cmd + " 2>/dev/null").c_str());
+    return rc < 0 ? rc : WEXITSTATUS(rc);
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+CampaignSpec
+smokeSuite(std::size_t scenarios)
+{
+    CampaignSpec spec;
+    spec.kind = CampaignKind::Suite;
+    spec.experiment.trainPoints = 10;
+    spec.experiment.testPoints = 4;
+    spec.experiment.samples = 16;
+    spec.experiment.intervalInstrs = 120;
+    spec.scenarios.seed = 7;
+    spec.scenarios.count = scenarios;
+    return spec;
+}
+
+class ShardGoldenTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (cliPath().empty())
+            GTEST_SKIP() << "WAVEDYN_CLI not set";
+        dir = (fs::temp_directory_path() /
+               ("wavedyn-shard-golden-" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this))))
+                  .string();
+        fs::remove_all(dir);
+        fs::create_directories(dir);
+    }
+
+    void TearDown() override { fs::remove_all(dir); }
+
+    std::string writeSpec(const CampaignSpec &spec,
+                          const std::string &name)
+    {
+        std::string path = dir + "/" + name;
+        std::ofstream out(path, std::ios::binary);
+        out << writeJson(toJson(spec)) << "\n";
+        return path;
+    }
+
+    /** Golden single-process JSON report of @p specPath. */
+    std::string golden(const std::string &specPath)
+    {
+        std::string out = specPath + ".golden.json";
+        EXPECT_EQ(shell("'" + cliPath() + "' run '" + specPath +
+                        "' --no-cache --format json --out '" + out +
+                        "'"),
+                  0);
+        return slurp(out);
+    }
+
+    std::string dir;
+};
+
+TEST_F(ShardGoldenTest, SuiteMergedReportMatchesGoldenAtOneAndFour)
+{
+    std::string spec = writeSpec(smokeSuite(3), "suite.json");
+    std::string want = golden(spec);
+    for (int workers : {1, 4}) {
+        std::string out =
+            dir + "/merged-w" + std::to_string(workers) + ".json";
+        std::string job =
+            dir + "/job-w" + std::to_string(workers);
+        ASSERT_EQ(shell("'" + cliPath() + "' shard '" + spec +
+                        "' --workers " + std::to_string(workers) +
+                        " --job-dir '" + job + "' --format json "
+                        "--out '" + out + "'"),
+                  0)
+            << "workers=" << workers;
+        EXPECT_EQ(slurp(out), want) << "workers=" << workers;
+        // The job directory also keeps the merged document.
+        EXPECT_EQ(slurp(job + "/merged.json"), want);
+    }
+}
+
+TEST_F(ShardGoldenTest, ExploreMergedReportMatchesGolden)
+{
+    CampaignSpec explore = smokeSuite(2);
+    explore.kind = CampaignKind::Explore;
+    explore.budget = 2;
+    explore.perRound = 1;
+    explore.maxSweepPoints = 6;
+    std::string spec = writeSpec(explore, "explore.json");
+    std::string want = golden(spec);
+
+    std::string out = dir + "/merged-x.json";
+    ASSERT_EQ(shell("'" + cliPath() + "' shard '" + spec +
+                    "' --workers 4 --job-dir '" + dir + "/job-x'"
+                    " --format json --out '" + out + "'"),
+              0);
+    EXPECT_EQ(slurp(out), want);
+}
+
+TEST_F(ShardGoldenTest, FailedFleetResumesToIdenticalBytes)
+{
+    std::string spec = writeSpec(smokeSuite(3), "suite.json");
+    std::string want = golden(spec);
+    std::string job = dir + "/job-resume";
+
+    // First run with workers that can never produce a report: every
+    // shard burns its attempt budget and the run aborts — the
+    // deterministic stand-in for "the machine died mid-campaign".
+    FleetOptions broken;
+    broken.workers = 2;
+    broken.maxAttempts = 2;
+    broken.backoffMs = 1;
+    broken.workerCommand = {"/bin/false"};
+    CampaignSpec parsed = smokeSuite(3);
+    EXPECT_THROW(runShardedCampaign(parsed, job, broken),
+                 std::runtime_error);
+
+    // Resume with the real CLI: failed shards get a fresh budget and
+    // the campaign completes to the golden bytes.
+    FleetOptions healthy;
+    healthy.workers = 2;
+    healthy.workerCommand = {cliPath()};
+    FleetOutcome outcome = resumeShardedCampaign(job, healthy);
+    EXPECT_EQ(outcome.shards, 3u);
+    EXPECT_EQ(outcome.executed, 3u);
+    EXPECT_EQ(outcome.resumed, 0u);
+    EXPECT_EQ(slurp(job + "/merged.json"), want);
+}
+
+TEST_F(ShardGoldenTest, ResumeOfCompleteJobRerunsNothing)
+{
+    std::string spec = writeSpec(smokeSuite(2), "suite.json");
+    std::string want = golden(spec);
+    std::string job = dir + "/job-done";
+
+    FleetOptions opts;
+    opts.workers = 2;
+    opts.workerCommand = {cliPath()};
+    CampaignSpec parsed = smokeSuite(2);
+    FleetOutcome first = runShardedCampaign(parsed, job, opts);
+    EXPECT_EQ(first.executed, 2u);
+
+    FleetOutcome again = resumeShardedCampaign(job, opts);
+    EXPECT_EQ(again.executed, 0u);
+    EXPECT_EQ(again.resumed, 2u);
+    EXPECT_EQ(slurp(job + "/merged.json"), want);
+}
+
+} // anonymous namespace
+} // namespace wavedyn

@@ -54,6 +54,16 @@
  *       maintain a result-cache directory (cache/store.hh): usage
  *       totals, garbage collection by age/size, integrity check.
  *
+ *   shard   <campaign.json> [--workers N] [--job-dir D] [--retries R]
+ *           | --resume <jobdir> [--workers N] [--retries R]
+ *       run a campaign sharded across worker processes sharing one
+ *       result cache (fleet/orchestrator.hh). The job directory is
+ *       durable: SIGKILL the orchestrator (or its workers) at any
+ *       point and `shard --resume <jobdir>` completes the campaign,
+ *       re-running at most the shards that were in flight. The merged
+ *       report on stdout is byte-identical to the single-process
+ *       `run` of the same spec.
+ *
  *   info    <model.txt>
  *       describe a saved predictor.
  *
@@ -72,6 +82,7 @@
  * identical cold or warm; hit/miss counts go to stderr only.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
@@ -79,6 +90,7 @@
 #include <fstream>
 #include <initializer_list>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -86,10 +98,13 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "cache/store.hh"
 #include "core/campaign.hh"
 #include "core/report.hh"
 #include "core/serialize.hh"
+#include "fleet/orchestrator.hh"
 #include "util/json.hh"
 #include "util/json_diff.hh"
 #include "util/options.hh"
@@ -129,6 +144,11 @@ usage()
         "  wavedyn_cli diff <a.json> <b.json> [--tol T]\n"
         "  wavedyn_cli cache stats|gc|verify [--cache-dir D]\n"
         "              [--max-age-days N] [--max-bytes N]\n"
+        "  wavedyn_cli shard <campaign.json> [--workers N] [--job-dir D]\n"
+        "              [--retries R] [--jobs N] [--format F] [--out P]\n"
+        "              [--cache-dir D] [--no-cache]\n"
+        "  wavedyn_cli shard --resume <jobdir> [--workers N] "
+        "[--retries R]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
         "declarative campaigns:\n"
@@ -263,6 +283,11 @@ struct Options
     std::uint64_t maxBytes = 0;    //!< cache gc: 0 = no size limit
     // diff options
     double tolerance = 0.0;
+    // shard options
+    std::size_t workers = 2;   //!< concurrent worker processes
+    std::size_t retries = 3;   //!< per-shard attempt budget
+    std::string jobDir;        //!< empty => <spec>.fleet
+    std::string resumeDir;     //!< non-empty => resume that job dir
 };
 
 /**
@@ -290,7 +315,9 @@ constexpr FlagDef kFlagRegistry[] = {
     {"--budget", true},     {"--per-round", true},
     {"--sweep", true},      {"--tol", true},
     {"--cache-dir", true},  {"--max-age-days", true},
-    {"--max-bytes", true},  {"--dump-spec", false},
+    {"--max-bytes", true},  {"--workers", true},
+    {"--job-dir", true},    {"--resume", true},
+    {"--retries", true},    {"--dump-spec", false},
     {"--validate", false},  {"--no-cache", false},
 };
 
@@ -410,7 +437,15 @@ parseOptions(int argc, char **argv, int first,
             o.tolerance = parseDouble(val, key);
             if (o.tolerance < 0.0)
                 throw std::invalid_argument("--tol must be >= 0");
-        } else if (key == "--generate")
+        } else if (key == "--workers")
+            o.workers = parseSize(val, key);
+        else if (key == "--retries")
+            o.retries = parseSize(val, key);
+        else if (key == "--job-dir")
+            o.jobDir = val;
+        else if (key == "--resume")
+            o.resumeDir = val;
+        else if (key == "--generate")
             o.generate = parseCount(val, "--generate");
         else if (key == "--family") {
             o.family = val;
@@ -473,9 +508,11 @@ configureResultCache(const Options &o)
  * reports stay byte-identical for every --jobs setting.
  */
 RunProgress
-stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns)
+stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns,
+                  std::shared_ptr<std::atomic<std::uint64_t>> storeFails)
 {
-    return [cachedRuns](std::size_t done, std::size_t total) {
+    return [cachedRuns, storeFails](std::size_t done,
+                                    std::size_t total) {
         static std::mutex mu;
         static std::size_t lastDone = 0;
         static std::size_t lastTotal = 0;
@@ -491,9 +528,16 @@ stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns)
         lastTotal = total;
         std::uint64_t cached =
             cachedRuns->load(std::memory_order_relaxed);
+        std::uint64_t failed =
+            storeFails->load(std::memory_order_relaxed);
         std::cerr << "   [sim] " << done << "/" << total << " runs";
         if (cached > 0)
             std::cerr << " (" << cached << " cached)";
+        // A failing cache store degrades the cache, not the result —
+        // but silently eating it would hide a dead disk until the next
+        // "cold" run takes hours. Keep it on the live ticker.
+        if (failed > 0)
+            std::cerr << " (" << failed << " store-fail)";
         std::cerr << (done == total ? "\n" : "\r");
     };
 }
@@ -505,9 +549,10 @@ stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns)
 CampaignHooks
 stderrHooks()
 {
-    // Shared by the hit hook (incrementing, probe-phase thread) and
-    // the ticker (reading, worker threads).
+    // Shared by the hit/store-failed hooks (incrementing) and the
+    // ticker (reading, worker threads).
     auto cachedRuns = std::make_shared<std::atomic<std::uint64_t>>(0);
+    auto storeFails = std::make_shared<std::atomic<std::uint64_t>>(0);
     CampaignHooks hooks;
     hooks.phase = [](const std::string &msg) {
         std::cerr << "-- " << msg << "\n";
@@ -517,9 +562,12 @@ stderrHooks()
         std::cerr << "  [" << done << "/" << total << "] " << bench
                   << " assembled\n";
     };
-    hooks.runProgress = stderrRunProgress(cachedRuns);
+    hooks.runProgress = stderrRunProgress(cachedRuns, storeFails);
     hooks.runCacheHit = [cachedRuns](const std::string &) {
         cachedRuns->fetch_add(1, std::memory_order_relaxed);
+    };
+    hooks.runCacheStoreFailed = [storeFails](const std::string &) {
+        storeFails->fetch_add(1, std::memory_order_relaxed);
     };
     return hooks;
 }
@@ -714,11 +762,18 @@ executeSpec(const CampaignSpec &spec, const Options &o)
     CampaignResult result = runCampaign(spec, stderrHooks());
 
     // stderr only: the report itself must stay byte-identical between
-    // a cold and a warm run of the same spec (CI diffs them).
-    if (cache)
+    // a cold and a warm run of the same spec (CI diffs them). Store
+    // failures only appear when non-zero so the common line stays
+    // grep-stable.
+    if (cache) {
         std::cerr << "-- cache: " << result.cacheHits << " hits, "
                   << result.cacheMisses << " misses, "
-                  << result.cacheStores << " stores\n";
+                  << result.cacheStores << " stores";
+        if (result.cacheStoreFailures > 0)
+            std::cerr << ", " << result.cacheStoreFailures
+                      << " store failures";
+        std::cerr << "\n";
+    }
 
     auto sink = makeReportSink(format);
     if (o.outPath.empty()) {
@@ -949,7 +1004,12 @@ cmdCache(int argc, char **argv)
                   << "  bytes:           " << u.bytes << "\n"
                   << "  invalid:         " << u.invalidEntries << "\n"
                   << "  other versions:  " << u.otherVersionEntries
-                  << "\n";
+                  << "\n"
+                  // An unwritable root means every campaign against
+                  // this cache silently degrades to store failures —
+                  // the first place to look when "warm" runs stay cold.
+                  << "  writable:        "
+                  << (cache.probeWritable() ? "yes" : "no") << "\n";
         return 0;
     }
     if (action == "verify") {
@@ -965,13 +1025,142 @@ cmdCache(int argc, char **argv)
         return bad == 0 ? 0 : 1;
     }
     // gc: with no limit flags only invalid entries are collected.
-    CacheGcResult r = cache.gc(o.maxAgeDays * 86400ull, o.maxBytes,
-                               cacheClockNow());
+    // Clamp the day->second conversion: an absurd --max-age-days must
+    // saturate to "keep everything", not wrap around to a tiny limit
+    // that silently empties the cache.
+    std::uint64_t maxAge =
+        o.maxAgeDays > std::numeric_limits<std::uint64_t>::max() / 86400
+            ? std::numeric_limits<std::uint64_t>::max()
+            : o.maxAgeDays * 86400ull;
+    CacheGcResult r = cache.gc(maxAge, o.maxBytes, cacheClockNow());
     std::cout << "scanned " << r.scanned << " entries; removed "
               << r.removedAge << " by age, " << r.removedSize
               << " by size, " << r.removedInvalid << " invalid; freed "
               << r.bytesFreed << " bytes (" << r.bytesRemaining
               << " remain)\n";
+    return 0;
+}
+
+/**
+ * Absolute path of this binary, for re-invoking it as a shard worker.
+ * /proc/self/exe survives PATH games and relative argv[0]; when it is
+ * unavailable (non-Linux), argv[0] is what exec gave us and execvp
+ * resolves it the same way the parent was resolved.
+ */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return std::string(buf);
+    }
+    return std::string(argv0);
+}
+
+int
+cmdShard(int argc, char **argv)
+{
+    // `shard --resume <jobdir>` has no positional spec; `shard
+    // <spec.json>` requires one.
+    bool resuming =
+        argc >= 3 && std::strcmp(argv[2], "--resume") == 0;
+    int first = resuming ? 2 : 3;
+    if (!resuming &&
+        (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0))
+        return usage();
+    Options o = parseOptions(
+        argc, argv, first,
+        campaignFlags({"--workers", "--job-dir", "--retries",
+                       "--resume"}));
+    if (resuming && !o.jobDir.empty())
+        throw std::invalid_argument(
+            "--job-dir does not apply to --resume (the job dir is the "
+            "--resume argument)");
+    // Reject a bad --format before a fleet's worth of simulation; the
+    // format/kind pairing is re-checked after the run (resume does not
+    // know the campaign kind until the journal is opened).
+    ReportFormat format = reportFormatByName(o.format);
+
+    FleetOptions fleet;
+    fleet.workers = std::max<std::size_t>(1, o.workers);
+    // Split the thread budget across workers instead of letting every
+    // worker grab full hardware concurrency and oversubscribe the host
+    // workers^2-fold.
+    fleet.jobsPerWorker =
+        std::max<std::size_t>(1, currentJobs() / fleet.workers);
+    fleet.maxAttempts = std::max<std::size_t>(1, o.retries);
+    fleet.workerCommand = {selfExePath(argv[0])};
+    fleet.log = [](const std::string &msg) {
+        std::cerr << "-- [fleet] " << msg << "\n";
+    };
+
+    FleetOutcome outcome;
+    if (resuming) {
+        // Resume re-derives everything else (spec, cache dir, shard
+        // specs) from the job directory itself.
+        std::string jobDir = o.resumeDir;
+        fleet.cacheDir = resolveCacheDir(o);
+        if (fleet.cacheDir.empty() && !o.noCache)
+            fleet.cacheDir = jobDir + "/cache";
+        outcome = resumeShardedCampaign(jobDir, fleet);
+    } else {
+        std::string path = argv[2];
+        std::ifstream in(path, std::ios::binary);
+        if (!in.good())
+            throw std::runtime_error("cannot read campaign spec '" +
+                                     path + "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        CampaignSpec spec;
+        try {
+            spec = parseCampaignSpec(text.str());
+        } catch (const std::exception &e) {
+            throw std::invalid_argument(path + ": " + e.what());
+        }
+        if (!reportFormatSupports(format, spec.kind))
+            throw std::invalid_argument(
+                reportFormatName(format) + " output is not defined "
+                "for " + campaignKindName(spec.kind) +
+                " results (use text or json)");
+        std::string jobDir = o.jobDir.empty() ? path + ".fleet"
+                                              : o.jobDir;
+        // Default to a cache inside the job dir: explore plans need a
+        // shared cache for their warm shards to matter, and suite
+        // plans get crash/resume reuse for free. --no-cache opts out.
+        fleet.cacheDir = resolveCacheDir(o);
+        if (fleet.cacheDir.empty() && !o.noCache)
+            fleet.cacheDir = jobDir + "/cache";
+        outcome = runShardedCampaign(spec, jobDir, fleet);
+    }
+
+    std::cerr << "-- fleet: " << outcome.shards << " shards, "
+              << outcome.executed << " executed, " << outcome.resumed
+              << " resumed, " << outcome.retries << " retries\n";
+
+    if (!reportFormatSupports(format, outcome.report.result.kind))
+        throw std::invalid_argument(
+            reportFormatName(format) + " output is not defined for " +
+            campaignKindName(outcome.report.result.kind) +
+            " results (use text or json; the job dir keeps the merged "
+            "JSON)");
+
+    // Render through the ordinary report sink: the merged result
+    // re-renders to exactly outcome.report.doc (merge verified the
+    // codec round trip), so stdout here is byte-identical to the
+    // single-process `run` output.
+    auto sink = makeReportSink(format);
+    if (o.outPath.empty()) {
+        sink->write(outcome.report.result, std::cout);
+    } else {
+        std::ofstream out(o.outPath, std::ios::binary);
+        if (!out.good())
+            throw std::runtime_error("cannot write report to '" +
+                                     o.outPath + "'");
+        sink->write(outcome.report.result, out);
+        std::cerr << "wrote " << o.outPath << "\n";
+    }
     return 0;
 }
 
@@ -1037,6 +1226,8 @@ main(int argc, char **argv)
             return cmdDiff(argc, argv);
         if (cmd == "cache")
             return cmdCache(argc, argv);
+        if (cmd == "shard")
+            return cmdShard(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
         // Bare generation flags ("wavedyn_cli --generate 8 --family
