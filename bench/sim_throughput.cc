@@ -16,8 +16,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+
+#include <unistd.h>
 
 #include "bench/common.hh"
+#include "cache/store.hh"
+#include "exec/scheduler.hh"
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
 #include "workload/stream.hh"
@@ -156,6 +161,93 @@ main(int argc, char **argv)
                   << " instructions\n";
     }
 
+    // ---- Result-cache cold/warm round trip: the same batch scheduled
+    // twice against a fresh cache directory. The cold pass computes and
+    // stores every run; the warm pass must replay all of them — its
+    // hit rate is a correctness signal (anything below 1.0 means cache
+    // keys drifted) and the cold/warm second pair is the perf
+    // trajectory of the decode path vs the simulate path.
+    ResultCacheStats coldStats, warmStats;
+    double coldSec = 0.0, warmSec = 0.0;
+    {
+        std::string dir =
+            (std::filesystem::temp_directory_path() /
+             ("wavedyn_bench_cache_" + std::to_string(::getpid())))
+                .string();
+        std::filesystem::remove_all(dir);
+
+        ScenarioGenerator gen(WorkloadFamily::Mixed, 1);
+        std::vector<BenchmarkProfile> profiles;
+        for (std::size_t i = 0; i < 6; ++i)
+            profiles.push_back(gen.generate(i));
+        auto schedule = [&](RunScheduler &s) {
+            for (const BenchmarkProfile &p : profiles) {
+                RunTask task;
+                task.benchmark = &p;
+                task.config = SimConfig::baseline();
+                task.samples = ctx.sizes.samplesPerTrace;
+                task.intervalInstrs = ctx.sizes.intervalInstrs;
+                s.enqueue(task);
+            }
+        };
+        auto timedRun = [](RunScheduler &s) {
+            auto t0 = std::chrono::steady_clock::now();
+            s.run();
+            auto t1 = std::chrono::steady_clock::now();
+            return std::chrono::duration<double>(t1 - t0).count();
+        };
+
+        std::uint64_t instrs = 0;
+        {
+            auto cache = std::make_shared<ResultCache>(dir);
+            RunScheduler s;
+            s.setCache(cache);
+            schedule(s);
+            coldSec = timedRun(s);
+            for (std::size_t i = 0; i < s.size(); ++i)
+                instrs += s.result(i).totalInstructions;
+            coldStats = cache->stats();
+        }
+        {
+            // A fresh cache handle and scheduler: the warm pass must
+            // find every entry on disk, not in any in-process state.
+            auto cache = std::make_shared<ResultCache>(dir);
+            RunScheduler s;
+            s.setCache(cache);
+            schedule(s);
+            warmSec = timedRun(s);
+            warmStats = cache->stats();
+        }
+        std::filesystem::remove_all(dir);
+
+        Row cold;
+        cold.workload = "mixed-batch";
+        cold.kind = "sched-cold";
+        cold.instructions = instrs;
+        cold.seconds = coldSec;
+        rows.push_back(cold);
+        Row warm = cold;
+        warm.kind = "sched-warm";
+        warm.seconds = warmSec;
+        rows.push_back(warm);
+
+        std::uint64_t looked = warmStats.hits + warmStats.misses;
+        double hitRate =
+            looked > 0 ? static_cast<double>(warmStats.hits) /
+                             static_cast<double>(looked)
+                       : 0.0;
+        std::cout << "cache round trip: " << coldStats.stores
+                  << " stored cold, " << warmStats.hits << "/" << looked
+                  << " replayed warm (" << fmt(hitRate * 100.0, 1)
+                  << "% hit rate)\n";
+        if (warmStats.hits != looked) {
+            std::cerr << "error: warm pass missed "
+                      << warmStats.misses
+                      << " runs — cache keys are not stable\n";
+            return 1;
+        }
+    }
+
     for (const auto &r : rows)
         t.row({r.workload, r.kind, fmt(r.instructions), fmt(r.seconds, 3),
                fmt(r.perSec() / 1000.0, 1)});
@@ -178,6 +270,19 @@ main(int argc, char **argv)
             arr.push(std::move(row));
         }
         doc.set("rows", std::move(arr));
+        JsonValue cacheDoc = JsonValue::object();
+        cacheDoc.set("cold_seconds", coldSec);
+        cacheDoc.set("warm_seconds", warmSec);
+        cacheDoc.set("cold_stores", coldStats.stores);
+        cacheDoc.set("warm_hits", warmStats.hits);
+        cacheDoc.set("warm_misses", warmStats.misses);
+        std::uint64_t looked = warmStats.hits + warmStats.misses;
+        cacheDoc.set("warm_hit_rate",
+                     looked > 0
+                         ? static_cast<double>(warmStats.hits) /
+                               static_cast<double>(looked)
+                         : 0.0);
+        doc.set("cache", std::move(cacheDoc));
         writeBenchJson(jsonPath, doc);
     }
     return 0;

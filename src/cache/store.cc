@@ -1,5 +1,6 @@
 #include "cache/store.hh"
 
+#include "telemetry/telemetry.hh"
 #include "util/atomic_file.hh"
 
 #include <algorithm>
@@ -301,15 +302,51 @@ ResultCache::entryPath(const CacheKey &key) const
            "/" + hex + kEntrySuffix;
 }
 
+namespace
+{
+
+/** Interned once; recording is relaxed atomic adds (telemetry
+ *  observes the cache, it never participates in it). */
+struct CacheIoMetrics
+{
+    MetricId loadUs;   //!< whole load: read + decode
+    MetricId decodeUs; //!< decode alone, to split I/O from codec cost
+    MetricId writeUs;  //!< whole store: encode + atomic publish
+
+    static const CacheIoMetrics &
+    get()
+    {
+        static CacheIoMetrics m = [] {
+            auto &reg = metricsRegistry();
+            CacheIoMetrics c;
+            c.loadUs = reg.histogram("cache.load_us");
+            c.decodeUs = reg.histogram("cache.decode_us");
+            c.writeUs = reg.histogram("cache.write_us");
+            return c;
+        }();
+        return m;
+    }
+};
+
+} // namespace
+
 std::optional<SimResult>
 ResultCache::load(const CacheKey &key)
 {
+    const CacheIoMetrics &tm = CacheIoMetrics::get();
+    std::uint64_t loadStart = telemetryNowUs();
     std::string bytes;
     if (!readFile(entryPath(key), bytes)) {
         nMisses.fetch_add(1, std::memory_order_relaxed);
+        metricsRegistry().observe(tm.loadUs,
+                                  telemetryNowUs() - loadStart);
         return std::nullopt;
     }
+    std::uint64_t decodeStart = telemetryNowUs();
     std::optional<SimResult> result = decodeSimResult(bytes, version);
+    std::uint64_t decodeEnd = telemetryNowUs();
+    metricsRegistry().observe(tm.decodeUs, decodeEnd - decodeStart);
+    metricsRegistry().observe(tm.loadUs, decodeEnd - loadStart);
     if (!result) {
         nBad.fetch_add(1, std::memory_order_relaxed);
         nMisses.fetch_add(1, std::memory_order_relaxed);
@@ -322,6 +359,8 @@ ResultCache::load(const CacheKey &key)
 bool
 ResultCache::store(const CacheKey &key, const SimResult &result)
 {
+    const CacheIoMetrics &tm = CacheIoMetrics::get();
+    std::uint64_t storeStart = telemetryNowUs();
     std::string finalPath = entryPath(key);
     std::error_code ec;
     fs::create_directories(fs::path(finalPath).parent_path(), ec);
@@ -331,9 +370,13 @@ ResultCache::store(const CacheKey &key, const SimResult &result)
     }
     if (!writeFileAtomic(finalPath, encodeSimResult(result, version))) {
         nStoreFailures.fetch_add(1, std::memory_order_relaxed);
+        metricsRegistry().observe(tm.writeUs,
+                                  telemetryNowUs() - storeStart);
         return false;
     }
     nStores.fetch_add(1, std::memory_order_relaxed);
+    metricsRegistry().observe(tm.writeUs,
+                              telemetryNowUs() - storeStart);
     return true;
 }
 

@@ -10,6 +10,7 @@
 #include "core/serialize.hh"
 #include "dse/sampling.hh"
 #include "exec/scheduler.hh"
+#include "telemetry/telemetry.hh"
 #include "util/json_reader.hh"
 #include "util/rng.hh"
 
@@ -671,6 +672,11 @@ runCampaign(const CampaignSpec &spec, const CampaignHooks &hooks)
             hooks.runCacheStoreFailed(key);
     };
 
+    // One top-level span per campaign (cat "campaign"); phase spans
+    // nest inside it. The span is observation only — nothing from the
+    // tracer flows back into `result`.
+    ScopedSpan span = spanTracer().span(
+        "campaign:" + campaignKindName(spec.kind), "campaign");
     CampaignResult result = runCampaignDispatch(spec, counting);
     result.cacheHits = hits.load(std::memory_order_relaxed);
     result.cacheMisses = misses.load(std::memory_order_relaxed);

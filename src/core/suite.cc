@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exec/scheduler.hh"
+#include "telemetry/telemetry.hh"
 
 namespace wavedyn
 {
@@ -44,22 +45,29 @@ simulateSuiteDatasets(const std::vector<std::string> &benchmarks,
     specs.reserve(benchmarks.size());
     plans.reserve(benchmarks.size());
     scheds.reserve(benchmarks.size());
-    for (const auto &bench : benchmarks) {
-        ExperimentSpec spec = base;
-        spec.benchmark = bench;
-        plans.push_back(planExperiment(spec));
-        scheds.push_back(scheduleExperiment(spec, plans.back(),
-                                            scheduler));
-        specs.push_back(std::move(spec));
+    {
+        ScopedPhase phase("plan");
+        for (const auto &bench : benchmarks) {
+            ExperimentSpec spec = base;
+            spec.benchmark = bench;
+            plans.push_back(planExperiment(spec));
+            scheds.push_back(scheduleExperiment(spec, plans.back(),
+                                                scheduler));
+            specs.push_back(std::move(spec));
+        }
     }
 
     // Phase 2 (parallel): all simulations of the whole campaign.
-    scheduler.run();
+    {
+        ScopedPhase phase("simulate");
+        scheduler.run();
+    }
 
     // Assembly moves each run's result out of the scheduler as its
     // traces are extracted (takeResult), so peak memory holds one
     // run's raw per-interval record at a time — never the whole
     // campaign's raw results next to the copied-out traces.
+    ScopedPhase phase("assemble");
     std::vector<ExperimentData> datasets;
     datasets.reserve(benchmarks.size());
     for (std::size_t b = 0; b < benchmarks.size(); ++b) {
@@ -96,6 +104,7 @@ runSuite(const ScenarioSet &scenarios, const ExperimentSpec &base,
         for (Domain d : spec.domains)
             refs.push_back({b, d});
 
+    ScopedPhase phase("train");
     std::vector<SuiteCell> cells(refs.size());
     parallelFor(ThreadPool::global(), refs.size(), [&](std::size_t i) {
         const CellRef &ref = refs[i];

@@ -11,6 +11,7 @@
 
 #include "core/suite.hh"
 #include "exec/thread_pool.hh"
+#include "telemetry/telemetry.hh"
 #include "util/table.hh"
 
 namespace wavedyn
@@ -113,19 +114,23 @@ sweepFrontier(const ExploreSpec &spec, const DesignSpace &space,
     std::size_t chunk = spec.chunk ? spec.chunk : 1024;
     std::size_t shardCount = (sweepPoints + chunk - 1) / chunk;
     std::vector<std::vector<FrontPoint>> shards(shardCount);
-    parallelChunks(
-        ThreadPool::global(), sweepPoints, chunk,
-        [&](std::size_t c, std::size_t begin, std::size_t end) {
-            std::vector<DesignPoint> pts;
-            pts.reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i)
-                pts.push_back(
-                    space.pointFromFlatTrainIndex(i * stride));
-            auto val = scenarioObjectiveScores(bank, domains,
-                                               spec.objectives, pts);
-            shards[c] = paretoFront(aggregatePoints(
-                spec.objectives, std::move(pts), val));
-        });
+    {
+        ScopedPhase phase("sweep");
+        parallelChunks(
+            ThreadPool::global(), sweepPoints, chunk,
+            [&](std::size_t c, std::size_t begin, std::size_t end) {
+                std::vector<DesignPoint> pts;
+                pts.reserve(end - begin);
+                for (std::size_t i = begin; i < end; ++i)
+                    pts.push_back(
+                        space.pointFromFlatTrainIndex(i * stride));
+                auto val = scenarioObjectiveScores(bank, domains,
+                                                   spec.objectives, pts);
+                shards[c] = paretoFront(aggregatePoints(
+                    spec.objectives, std::move(pts), val));
+            });
+    }
+    ScopedPhase phase("pareto");
     return mergeFronts(std::move(shards));
 }
 
@@ -196,6 +201,7 @@ simulatePoints(const ExploreSpec &spec, const DesignSpace &space,
                const std::vector<Domain> &domains,
                const CampaignHooks &hooks)
 {
+    ScopedPhase phase("refine");
     RunScheduler scheduler(spec.base.seed);
     attachHooks(scheduler, hooks);
     for (const auto &p : points) {
@@ -283,6 +289,7 @@ retrainBank(PredictorBank &bank, const DesignSpace &space,
     for (std::size_t s = 0; s < bank.size(); ++s)
         for (const auto &entry : bank[s])
             cells.push_back({s, entry.first});
+    ScopedPhase phase("train");
     parallelFor(ThreadPool::global(), cells.size(), [&](std::size_t i) {
         const CellRef &c = cells[i];
         bank[c.scenario].at(c.domain).retrain(

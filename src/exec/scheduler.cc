@@ -5,6 +5,48 @@
 #include <utility>
 
 #include "cache/key.hh"
+#include "telemetry/telemetry.hh"
+
+namespace
+{
+
+/** Interned once; hot-path writes are relaxed atomic adds only. */
+struct SchedulerMetrics
+{
+    wavedyn::MetricId runs;     //!< tasks resolved (hits + computed)
+    wavedyn::MetricId computed; //!< tasks that actually simulated
+    wavedyn::MetricId hits;
+    wavedyn::MetricId misses;
+    wavedyn::MetricId stores;
+    wavedyn::MetricId storeFailures;
+    wavedyn::MetricId runUs;   //!< per-run simulate duration
+    wavedyn::MetricId probeUs; //!< whole probe phase duration
+    wavedyn::MetricId storeUs; //!< per-store publish duration
+    std::size_t hitRate;       //!< gauge index
+
+    static const SchedulerMetrics &
+    get()
+    {
+        static SchedulerMetrics m = [] {
+            auto &reg = wavedyn::metricsRegistry();
+            SchedulerMetrics s;
+            s.runs = reg.counter("scheduler.runs");
+            s.computed = reg.counter("scheduler.computed");
+            s.hits = reg.counter("cache.hits");
+            s.misses = reg.counter("cache.misses");
+            s.stores = reg.counter("cache.stores");
+            s.storeFailures = reg.counter("cache.store_failures");
+            s.runUs = reg.histogram("sim.run_us");
+            s.probeUs = reg.histogram("cache.probe_us");
+            s.storeUs = reg.histogram("cache.store_us");
+            s.hitRate = reg.gauge("cache.hit_rate");
+            return s;
+        }();
+        return m;
+    }
+};
+
+} // namespace
 
 namespace wavedyn
 {
@@ -42,12 +84,21 @@ RunScheduler::run(ThreadPool &pool)
     std::atomic<std::size_t> done{already};
     std::size_t total = tasks.size();
 
+    // Telemetry observes, never participates: every record below is a
+    // relaxed atomic add (metrics) or an owner-thread buffer append
+    // (spans), so counts are jobs-invariant and reports untouched.
+    const SchedulerMetrics &tm = SchedulerMetrics::get();
+    auto &reg = metricsRegistry();
+    SpanTracer &tracer = spanTracer();
+
     // Probe phase: resolve every unresolved task against the cache
     // before any worker dispatch. Hits complete here, serially and in
     // task order; only the misses are handed to the pool.
     std::vector<std::size_t> pending;
     std::vector<CacheKey> pendingKeys;
     if (cache) {
+        std::uint64_t probeStart = telemetryNowUs();
+        ScopedSpan probeSpan = tracer.span("cache-probe", "cache");
         for (std::size_t i = first; i < tasks.size(); ++i) {
             if (resolved[i])
                 continue;
@@ -60,6 +111,9 @@ RunScheduler::run(ThreadPool &pool)
             if (stored) {
                 results[i] = std::move(*stored);
                 resolved[i] = 1;
+                reg.add(tm.hits, 1);
+                reg.add(tm.runs, 1);
+                tracer.instant("cache-hit", "cache", "key", key.hex());
                 if (events.hit)
                     events.hit(key.hex());
                 if (progress)
@@ -68,12 +122,15 @@ RunScheduler::run(ThreadPool &pool)
                                  1,
                              total);
             } else {
+                reg.add(tm.misses, 1);
+                tracer.instant("cache-miss", "cache", "key", key.hex());
                 if (events.miss)
                     events.miss(key.hex());
                 pending.push_back(i);
                 pendingKeys.push_back(key);
             }
         }
+        reg.observe(tm.probeUs, telemetryNowUs() - probeStart);
     } else {
         for (std::size_t i = first; i < tasks.size(); ++i)
             if (!resolved[i])
@@ -89,23 +146,52 @@ RunScheduler::run(ThreadPool &pool)
     parallelFor(pool, pending.size(), [&](std::size_t k) {
         std::size_t i = pending[k];
         const RunTask &t = tasks[i];
+        std::uint64_t runStart = telemetryNowUs();
         results[i] = runner ? runner(t)
                             : simulate(*t.benchmark, t.config, t.samples,
                                        t.intervalInstrs, t.dvm);
+        std::uint64_t runEnd = telemetryNowUs();
+        reg.observe(tm.runUs, runEnd - runStart);
+        reg.add(tm.computed, 1);
+        // One "run" span per executed simulation, whatever --jobs is:
+        // the trace's span multiset is pinned jobs-invariant by tests.
+        tracer.complete("run", "sim", runStart, runEnd - runStart,
+                        "task", std::to_string(i));
         if (cache) {
-            if (cache->store(pendingKeys[k], results[i])) {
+            std::uint64_t storeStart = telemetryNowUs();
+            bool storedOk = cache->store(pendingKeys[k], results[i]);
+            reg.observe(tm.storeUs, telemetryNowUs() - storeStart);
+            if (storedOk) {
+                reg.add(tm.stores, 1);
+                tracer.instant("cache-store", "cache", "key",
+                               pendingKeys[k].hex());
                 if (events.store)
                     events.store(pendingKeys[k].hex());
-            } else if (events.storeFailed) {
-                events.storeFailed(pendingKeys[k].hex());
+            } else {
+                reg.add(tm.storeFailures, 1);
+                tracer.instant("cache-store-failed", "cache", "key",
+                               pendingKeys[k].hex());
+                if (events.storeFailed)
+                    events.storeFailed(pendingKeys[k].hex());
             }
         }
         resolved[i] = 1;
+        reg.add(tm.runs, 1);
         if (progress)
             progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
                      total);
     });
     completed = tasks.size();
+
+    // The hit-rate gauge tracks the cache's own lifetime counters —
+    // the trajectory a long campaign sees, not just this batch.
+    if (cache) {
+        ResultCacheStats stats = cache->stats();
+        std::uint64_t looked = stats.hits + stats.misses;
+        if (looked > 0)
+            reg.setGauge(tm.hitRate, static_cast<double>(stats.hits) /
+                                         static_cast<double>(looked));
+    }
 }
 
 void

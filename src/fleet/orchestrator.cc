@@ -13,6 +13,8 @@
 #include "cache/store.hh"
 #include "fleet/queue.hh"
 #include "fleet/worker.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/timeline.hh"
 #include "util/atomic_file.hh"
 
 namespace fs = std::filesystem;
@@ -34,6 +36,29 @@ struct ShardRuntime
     std::size_t attempt = 0;        //!< attempt number of that worker
     bool complete = false;          //!< report published
     bool resumedComplete = false;   //!< was already done on entry
+    std::uint64_t spanStartUs = 0;  //!< open lifecycle span, if any
+};
+
+/** Interned fleet counters (see telemetry/metrics.hh). */
+struct FleetMetrics
+{
+    MetricId spawns;
+    MetricId retries;
+    MetricId publishes;
+
+    static const FleetMetrics &
+    get()
+    {
+        static FleetMetrics m = [] {
+            auto &reg = metricsRegistry();
+            FleetMetrics f;
+            f.spawns = reg.counter("fleet.spawns");
+            f.retries = reg.counter("fleet.retries");
+            f.publishes = reg.counter("fleet.publishes");
+            return f;
+        }();
+        return m;
+    }
 };
 
 bool
@@ -80,6 +105,7 @@ class Orchestrator
         else
             runWithWorkers(outcome);
         outcome.report = merge();
+        writeFleetTelemetry();
         return outcome;
     }
 
@@ -205,10 +231,37 @@ class Orchestrator
             st.detail + "); see " + queue.shardLogPath(shard));
     }
 
+    /** Start a shard's lifecycle span (spawn instant + open span). */
+    void
+    openShardSpan(std::size_t shard, std::size_t attempt)
+    {
+        metricsRegistry().add(FleetMetrics::get().spawns, 1);
+        rt[shard].spanStartUs = telemetryNowUs();
+        spanTracer().instant("spawn", "fleet", "shard",
+                             queue.plan().shards[shard].name +
+                                 " attempt " + std::to_string(attempt));
+    }
+
+    /** Close the open lifecycle span with its outcome, if one is
+     *  open (resumed shards never opened one). */
+    void
+    closeShardSpan(std::size_t shard, const std::string &outcomeTag)
+    {
+        if (rt[shard].spanStartUs == 0)
+            return;
+        std::uint64_t now = telemetryNowUs();
+        spanTracer().complete(queue.plan().shards[shard].name, "fleet",
+                              rt[shard].spanStartUs,
+                              now - rt[shard].spanStartUs, "outcome",
+                              outcomeTag);
+        rt[shard].spanStartUs = 0;
+    }
+
     void
     applyFailure(std::size_t shard, const std::string &detail,
                  FleetOutcome &outcome)
     {
+        closeShardSpan(shard, "failed");
         queue.markFailed(shard, detail);
         const auto &st = queue.statuses()[shard];
         std::error_code ec;
@@ -216,6 +269,9 @@ class Orchestrator
         if (st.attempts >= rt[shard].attemptBudget)
             abortExhausted(shard);
         ++outcome.retries;
+        metricsRegistry().add(FleetMetrics::get().retries, 1);
+        spanTracer().instant("retry", "fleet", "shard",
+                             queue.plan().shards[shard].name);
         // Exponential backoff keyed on this run's failure count, so a
         // flaky environment is probed gently instead of hammered.
         std::size_t waves = st.attempts >
@@ -244,6 +300,10 @@ class Orchestrator
                          outcome);
             return;
         }
+        closeShardSpan(shard, "published");
+        metricsRegistry().add(FleetMetrics::get().publishes, 1);
+        spanTracer().instant("publish", "fleet", "shard",
+                             queue.plan().shards[shard].name);
         queue.markDone(shard);
         rt[shard].complete = true;
         ++outcome.executed;
@@ -273,6 +333,7 @@ class Orchestrator
                kNone) {
             queue.markRunning(shard);
             std::size_t attempt = queue.statuses()[shard].attempts;
+            openShardSpan(shard, attempt);
             std::string attemptFile =
                 queue.shardAttemptPath(shard, attempt);
             try {
@@ -330,6 +391,18 @@ class Orchestrator
             // not know about.
             argv.push_back("--no-cache");
         }
+        if (!opts.traceOut.empty()) {
+            argv.push_back("--trace-out");
+            argv.push_back(queue.shardTracePath(shard));
+        }
+        if (!opts.metricsOut.empty()) {
+            argv.push_back("--metrics-out");
+            argv.push_back(queue.shardMetricsPath(shard));
+        }
+        if (opts.stampLogs) {
+            argv.push_back("--log-stamp");
+            argv.push_back(queue.plan().shards[shard].name);
+        }
         return argv;
     }
 
@@ -369,6 +442,7 @@ class Orchestrator
                     std::size_t attempt =
                         queue.statuses()[shard].attempts;
                     rt[shard].attempt = attempt;
+                    openShardSpan(shard, attempt);
                     rt[shard].pid = spawnWorker(
                         workerArgv(shard, attempt),
                         queue.shardLogPath(shard));
@@ -432,6 +506,7 @@ class Orchestrator
     MergedReport
     merge()
     {
+        ScopedPhase phase("merge");
         std::vector<JsonValue> docs(queue.shardCount());
         for (std::size_t i = 0; i < queue.shardCount(); ++i) {
             if (!parseableJsonFile(queue.shardReportPath(i), &docs[i]))
@@ -445,6 +520,51 @@ class Orchestrator
             throw std::runtime_error("cannot write '" +
                                      queue.mergedReportPath() + "'");
         return merged;
+    }
+
+    /**
+     * Fold per-shard telemetry files into the fleet-wide outputs.
+     * Best-effort by design: a shard whose worker crashed before
+     * writing its trace is reported and skipped — telemetry must
+     * never fail a campaign that produced a correct report.
+     */
+    void
+    writeFleetTelemetry()
+    {
+        if (opts.traceOut.empty() && opts.metricsOut.empty())
+            return;
+        std::vector<ShardTelemetrySource> sources;
+        sources.reserve(queue.shardCount());
+        for (std::size_t i = 0; i < queue.shardCount(); ++i)
+            sources.push_back({queue.plan().shards[i].name,
+                               queue.shardTracePath(i),
+                               queue.shardMetricsPath(i)});
+
+        if (!opts.traceOut.empty()) {
+            std::vector<std::string> skipped;
+            JsonValue timeline = mergeFleetTimeline(
+                spanTracer().toJson(0, "orchestrator"), sources,
+                &skipped);
+            if (!writeFileAtomic(opts.traceOut,
+                                 writeJson(timeline, 2) + "\n"))
+                throw std::runtime_error("cannot write '" +
+                                         opts.traceOut + "'");
+            for (const std::string &name : skipped)
+                log(name + " has no trace file; skipped in the "
+                           "merged timeline");
+        }
+        if (!opts.metricsOut.empty()) {
+            std::vector<std::string> skipped;
+            JsonValue merged = mergeFleetMetrics(
+                metricsRegistry().snapshot(), sources, &skipped);
+            if (!writeFileAtomic(opts.metricsOut,
+                                 writeJson(merged, 2) + "\n"))
+                throw std::runtime_error("cannot write '" +
+                                         opts.metricsOut + "'");
+            for (const std::string &name : skipped)
+                log(name + " has no metrics file; skipped in the "
+                           "merged metrics");
+        }
     }
 
     FleetJobQueue &queue;

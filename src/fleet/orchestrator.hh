@@ -48,6 +48,22 @@ struct FleetOptions
     std::string cacheDir;
 
     /**
+     * Fleet telemetry outputs. When set, every worker is launched
+     * with per-shard --trace-out/--metrics-out files in the job dir,
+     * and after the merge the per-shard documents are folded into one
+     * cross-shard timeline (traceOut) / one summed metrics document
+     * (metricsOut) — see telemetry/timeline.hh. Observation only:
+     * the merged *report* is byte-identical with or without these.
+     */
+    std::string traceOut;
+    std::string metricsOut;
+
+    /** Prefix every worker log line with an ISO-8601 stamp and the
+     *  shard id (--log-stamp); on by default so shard-NNN.log can be
+     *  ordered against the journal post-mortem. */
+    bool stampLogs = true;
+
+    /**
      * The worker command prefix, e.g. {"/path/to/wavedyn_cli"}; the
      * orchestrator appends the run arguments. Empty = run shards
      * in-process (sequentially — the process-global thread pool and

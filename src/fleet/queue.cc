@@ -355,4 +355,18 @@ FleetJobQueue::shardAttemptPath(std::size_t shard,
            ".attempt-" + std::to_string(attempt) + ".json";
 }
 
+std::string
+FleetJobQueue::shardTracePath(std::size_t shard) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name +
+           ".trace.json";
+}
+
+std::string
+FleetJobQueue::shardMetricsPath(std::size_t shard) const
+{
+    return jobDir + "/shards/" + shardPlan.shards[shard].name +
+           ".metrics.json";
+}
+
 } // namespace wavedyn

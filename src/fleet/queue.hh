@@ -9,6 +9,8 @@
  *   <dir>/shards/shard-NNN.report.json   published shard report
  *   <dir>/shards/shard-NNN.attempt-K.json  in-flight worker output
  *   <dir>/shards/shard-NNN.log   worker stderr/stdout of all attempts
+ *   <dir>/shards/shard-NNN.trace.json    worker span trace (telemetry)
+ *   <dir>/shards/shard-NNN.metrics.json  worker metrics (telemetry)
  *   <dir>/journal.ndjson         append-only state journal
  *   <dir>/merged.json            the merged report (written last)
  *
@@ -120,6 +122,10 @@ class FleetJobQueue
      *  worker of a dead orchestrator cannot clobber a live one's. */
     std::string shardAttemptPath(std::size_t shard,
                                  std::size_t attempt) const;
+    /** Per-shard telemetry side files (--trace-out/--metrics-out of
+     *  the worker); read at merge time into the fleet timeline. */
+    std::string shardTracePath(std::size_t shard) const;
+    std::string shardMetricsPath(std::size_t shard) const;
 
   private:
     FleetJobQueue(std::string dir, ShardPlan plan, int journalFd,

@@ -1,0 +1,87 @@
+#include "telemetry/logsink.hh"
+
+#include <iostream>
+
+#include "telemetry/telemetry.hh"
+
+namespace wavedyn
+{
+
+SerializedLog &
+SerializedLog::stderrLog()
+{
+    static SerializedLog *log = new SerializedLog(std::cerr);
+    return *log;
+}
+
+void
+SerializedLog::line(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (tickerOpen) {
+        out_ << '\n';
+        tickerOpen = false;
+    }
+    out_ << text << '\n';
+    out_.flush();
+}
+
+bool
+SerializedLog::ticker(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t now = telemetryNowUs();
+    if (lastTickUs != 0 && now - lastTickUs < kTickerIntervalUs)
+        return false;
+    lastTickUs = now;
+    out_ << '\r' << text;
+    out_.flush();
+    tickerOpen = true;
+    return true;
+}
+
+void
+SerializedLog::tickerFinal(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    lastTickUs = 0;
+    out_ << '\r' << text << '\n';
+    out_.flush();
+    tickerOpen = false;
+}
+
+std::streambuf::int_type
+LineStampBuf::overflow(int_type ch)
+{
+    if (traits_type::eq_int_type(ch, traits_type::eof()))
+        return sync() == 0 ? traits_type::not_eof(ch)
+                           : traits_type::eof();
+    if (atLineStart_) {
+        atLineStart_ = false;
+        std::string stamp = "[" + isoTimestampNow() + " " + tag_ + "] ";
+        dst_->sputn(stamp.data(),
+                    static_cast<std::streamsize>(stamp.size()));
+    }
+    if (traits_type::to_char_type(ch) == '\n')
+        atLineStart_ = true;
+    return dst_->sputc(traits_type::to_char_type(ch));
+}
+
+int
+LineStampBuf::sync()
+{
+    return dst_->pubsync();
+}
+
+void
+stampStderrLines(const std::string &tag)
+{
+    static bool installed = false;
+    if (installed)
+        return;
+    installed = true;
+    // Leak by design: std::cerr may be used during static destruction.
+    std::cerr.rdbuf(new LineStampBuf(std::cerr.rdbuf(), tag));
+}
+
+} // namespace wavedyn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Serialized stderr writing: one mutex-guarded writer shared by
+ * orchestration-thread phase banners and worker-thread progress
+ * tickers, plus a line-stamping streambuf for fleet shard logs.
+ *
+ * Two log producers used to write to std::cerr independently — the
+ * phase banner from the orchestration thread and the `\r` run ticker
+ * from whichever worker finished a run — which interleaves mid-line
+ * at high --jobs. SerializedLog routes both through one mutex and
+ * rate-limits the ticker (at most ~10 repaints/sec; the final
+ * done == total repaint always lands) so logs stay readable.
+ *
+ * These are stderr-only facilities: nothing here may ever write to
+ * stdout, where reports must stay byte-identical (see telemetry.hh).
+ */
+
+#ifndef WAVEDYN_TELEMETRY_LOGSINK_HH
+#define WAVEDYN_TELEMETRY_LOGSINK_HH
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <streambuf>
+#include <string>
+
+namespace wavedyn
+{
+
+class SerializedLog
+{
+  public:
+    /** Minimum microseconds between ticker repaints (~10/sec). */
+    static constexpr std::uint64_t kTickerIntervalUs = 100000;
+
+    explicit SerializedLog(std::ostream &out) : out_(out) {}
+
+    /** The process-wide writer over std::cerr. */
+    static SerializedLog &stderrLog();
+
+    /** Write one complete line immediately (no rate limit). A ticker
+     *  repaint in progress is terminated with '\n' first so the line
+     *  never lands mid-ticker. */
+    void line(const std::string &text);
+
+    /**
+     * Repaint a single-line ticker ("\r" + text, no newline).
+     * Dropped when the previous repaint was under kTickerIntervalUs
+     * ago — callers just call it per event and let the writer decide.
+     * Returns true when the repaint was written.
+     */
+    bool ticker(const std::string &text);
+
+    /** Final ticker state: always written, terminated with '\n'. */
+    void tickerFinal(const std::string &text);
+
+  private:
+    std::mutex mu;
+    std::ostream &out_;
+    std::uint64_t lastTickUs = 0;
+    bool tickerOpen = false; //!< a '\r' line is on screen, no '\n' yet
+};
+
+/**
+ * Streambuf decorator that prefixes every line with
+ * "[<ISO-8601 UTC> <tag>] " — installed over std::cerr by shard
+ * workers (--log-stamp) so each shard-NNN.log line can be ordered
+ * against the fleet journal post-mortem. The '\r' ticker never
+ * starts a new line, so repaints are not re-stamped.
+ */
+class LineStampBuf : public std::streambuf
+{
+  public:
+    LineStampBuf(std::streambuf *dst, std::string tag)
+        : dst_(dst), tag_(std::move(tag))
+    {
+    }
+
+  protected:
+    int_type overflow(int_type ch) override;
+    int sync() override;
+
+  private:
+    std::streambuf *dst_;
+    std::string tag_;
+    bool atLineStart_ = true;
+};
+
+/**
+ * Install a LineStampBuf over std::cerr (idempotent per process; the
+ * buf intentionally lives until exit). Used by `--log-stamp <tag>`.
+ */
+void stampStderrLines(const std::string &tag);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_TELEMETRY_LOGSINK_HH

@@ -1,0 +1,149 @@
+#include "telemetry/timeline.hh"
+
+#include <fstream>
+#include <iterator>
+
+#include "util/json.hh"
+
+namespace wavedyn
+{
+
+namespace
+{
+
+bool
+readJsonFile(const std::string &path, JsonValue *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+        *out = parseJson(text);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+void
+noteSkipped(std::vector<std::string> *skipped, const std::string &name)
+{
+    if (skipped != nullptr)
+        skipped->push_back(name);
+}
+
+} // namespace
+
+JsonValue
+mergeFleetTimeline(const JsonValue &orchestratorTrace,
+                   const std::vector<ShardTelemetrySource> &shards,
+                   std::vector<std::string> *skipped)
+{
+    JsonValue merged = JsonValue::array();
+    if (orchestratorTrace.isObject() &&
+        orchestratorTrace.find("traceEvents") != nullptr) {
+        const JsonValue &evs = orchestratorTrace.at("traceEvents");
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            JsonValue ev = evs.at(i);
+            // Shard lifecycle spans (cat "fleet", named after the
+            // shard) overlap freely on the orchestrator's one thread —
+            // concurrent workers are the whole point — which would
+            // break the per-track nesting invariant. Re-home each onto
+            // its shard's process lane, where it encloses that
+            // worker's own spans (the span opens before spawn and
+            // closes after exit) and nests by construction.
+            const JsonValue *ph =
+                ev.isObject() ? ev.find("ph") : nullptr;
+            const JsonValue *cat =
+                ev.isObject() ? ev.find("cat") : nullptr;
+            const JsonValue *name =
+                ev.isObject() ? ev.find("name") : nullptr;
+            if (ph != nullptr && ph->isString() &&
+                ph->asString() == "X" && cat != nullptr &&
+                cat->isString() && cat->asString() == "fleet" &&
+                name != nullptr && name->isString()) {
+                for (std::size_t s = 0; s < shards.size(); ++s)
+                    if (shards[s].name == name->asString()) {
+                        ev.set("pid",
+                               static_cast<std::uint64_t>(s + 1));
+                        break;
+                    }
+            }
+            merged.push(std::move(ev));
+        }
+    }
+
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        JsonValue doc;
+        if (!readJsonFile(shards[s].tracePath, &doc) ||
+            !doc.isObject() || doc.find("traceEvents") == nullptr ||
+            !doc.at("traceEvents").isArray()) {
+            noteSkipped(skipped, shards[s].name);
+            continue;
+        }
+        const JsonValue &evs = doc.at("traceEvents");
+        for (std::size_t i = 0; i < evs.size(); ++i) {
+            if (!evs.at(i).isObject())
+                continue;
+            JsonValue ev = evs.at(i);
+            // Re-home: shard s becomes process s + 1 (the
+            // orchestrator is process 0), whatever pid the worker
+            // wrote locally.
+            ev.set("pid", static_cast<std::uint64_t>(s + 1));
+            const JsonValue *ph = ev.find("ph");
+            const JsonValue *name = ev.find("name");
+            if (ph != nullptr && ph->isString() &&
+                ph->asString() == "M" && name != nullptr &&
+                name->isString() &&
+                name->asString() == "process_name") {
+                JsonValue args = JsonValue::object();
+                args.set("name", shards[s].name);
+                ev.set("args", std::move(args));
+            }
+            merged.push(std::move(ev));
+        }
+    }
+
+    JsonValue doc = JsonValue::object();
+    doc.set("traceEvents", std::move(merged));
+    return doc;
+}
+
+JsonValue
+mergeFleetMetrics(const MetricsSnapshot &orchestratorSnap,
+                  const std::vector<ShardTelemetrySource> &shards,
+                  std::vector<std::string> *skipped)
+{
+    std::vector<JsonValue> docs;
+    docs.push_back(metricsToJson(orchestratorSnap));
+    for (const ShardTelemetrySource &s : shards) {
+        JsonValue doc;
+        if (readJsonFile(s.metricsPath, &doc))
+            docs.push_back(std::move(doc));
+        else
+            noteSkipped(skipped, s.name);
+    }
+    JsonValue merged = mergeMetricsDocs(docs);
+
+    // Per-shard hit-rate gauges are last-writer-wins noise at fleet
+    // scope; recompute from the fleet-wide counters.
+    const JsonValue &counters = merged.at("counters");
+    const JsonValue *hits = counters.find("cache.hits");
+    const JsonValue *misses = counters.find("cache.misses");
+    if (hits != nullptr && misses != nullptr) {
+        std::uint64_t h = hits->asUint64();
+        std::uint64_t m = misses->asUint64();
+        if (h + m > 0) {
+            JsonValue gauges = merged.at("gauges");
+            gauges.set("cache.hit_rate",
+                       static_cast<double>(h) /
+                           static_cast<double>(h + m));
+            merged.set("gauges", std::move(gauges));
+        }
+    }
+    return merged;
+}
+
+} // namespace wavedyn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fleet-wide timeline reconstruction: fold per-shard trace and
+ * metrics files into one cross-shard Chrome trace / one merged
+ * metrics document.
+ *
+ * Every worker records against the same monotonic clock (see
+ * trace.hh), so shard events need no time translation — the merge
+ * only re-homes them: shard i's events become process (i + 1) of the
+ * merged document (the orchestrator is process 0) and its
+ * process_name metadata is rewritten to the shard name. A shard with
+ * no trace file (crashed attempt, telemetry-less worker) is skipped
+ * and reported, never fatal — a post-mortem is exactly when files go
+ * missing.
+ */
+
+#ifndef WAVEDYN_TELEMETRY_TIMELINE_HH
+#define WAVEDYN_TELEMETRY_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+
+namespace wavedyn
+{
+
+class JsonValue;
+
+/** One shard's telemetry files, as the orchestrator knows them. */
+struct ShardTelemetrySource
+{
+    std::string name;        //!< e.g. "shard-003"
+    std::string tracePath;   //!< per-shard trace file (may not exist)
+    std::string metricsPath; //!< per-shard metrics file (may not exist)
+};
+
+/**
+ * Merge the orchestrator's own trace document (process 0) with every
+ * readable shard trace. @p skipped collects names of shards whose
+ * trace file was missing or unparseable.
+ */
+JsonValue mergeFleetTimeline(const JsonValue &orchestratorTrace,
+                             const std::vector<ShardTelemetrySource> &shards,
+                             std::vector<std::string> *skipped = nullptr);
+
+/**
+ * Merge the orchestrator snapshot with every readable shard metrics
+ * file (counters and histograms sum across shards); the cache
+ * hit-rate gauge is recomputed from the merged counters so it
+ * reflects the whole fleet rather than the last shard.
+ */
+JsonValue mergeFleetMetrics(const MetricsSnapshot &orchestratorSnap,
+                            const std::vector<ShardTelemetrySource> &shards,
+                            std::vector<std::string> *skipped = nullptr);
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_TELEMETRY_TIMELINE_HH

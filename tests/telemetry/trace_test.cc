@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the span tracer: disabled-by-default recording, scoped
+ * spans and instants, the Chrome trace-event JSON rendering (metadata,
+ * ordering, round-trip through the JSON codec), and the nesting
+ * validator the `wavedyn_cli trace` subcommand and CI rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "telemetry/trace.hh"
+#include "util/json.hh"
+
+namespace wavedyn
+{
+namespace
+{
+
+TEST(Trace, DisabledTracerRecordsNothing)
+{
+    SpanTracer tracer;
+    EXPECT_FALSE(tracer.enabled());
+    {
+        ScopedSpan s = tracer.span("work", "test");
+        tracer.instant("tick", "test");
+    }
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Trace, ScopedSpanRecordsCompleteEvent)
+{
+    SpanTracer tracer;
+    tracer.setEnabled(true);
+    {
+        ScopedSpan s = tracer.span("work", "test");
+        s.arg("key", "value");
+    }
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "work");
+    EXPECT_EQ(events[0].cat, "test");
+    EXPECT_EQ(events[0].ph, 'X');
+    EXPECT_EQ(events[0].argKey, "key");
+    EXPECT_EQ(events[0].argVal, "value");
+}
+
+TEST(Trace, SpanOpenedWhileDisabledStaysSilent)
+{
+    // Enabling mid-span must not emit a half-observed span.
+    SpanTracer tracer;
+    {
+        ScopedSpan s = tracer.span("early", "test");
+        tracer.setEnabled(true);
+    }
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Trace, ThreadsGetDistinctTids)
+{
+    SpanTracer tracer;
+    tracer.setEnabled(true);
+    tracer.instant("main", "test");
+    std::thread worker([&tracer] { tracer.instant("worker", "test"); });
+    worker.join();
+    std::vector<TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Trace, ClearDropsEvents)
+{
+    SpanTracer tracer;
+    tracer.setEnabled(true);
+    tracer.instant("x", "test");
+    tracer.clear();
+    EXPECT_TRUE(tracer.events().empty());
+    // Recording still works afterwards.
+    tracer.instant("y", "test");
+    EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(Trace, ToJsonRoundTripsAndValidates)
+{
+    SpanTracer tracer;
+    tracer.setEnabled(true);
+    {
+        ScopedSpan outer = tracer.span("outer", "phase");
+        {
+            ScopedSpan inner = tracer.span("inner", "phase");
+            tracer.instant("hit", "cache", "key", "abc123");
+        }
+    }
+
+    JsonValue doc = tracer.toJson(0, "test-process");
+    // The document survives its own codec byte-for-byte.
+    EXPECT_EQ(parseJson(writeJson(doc)), doc);
+    EXPECT_TRUE(validateTraceDoc(doc).empty());
+
+    const JsonValue &events = doc.at("traceEvents");
+    std::size_t spans = 0, instants = 0, meta = 0;
+    bool sawProcessName = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const std::string &ph = events.at(i).at("ph").asString();
+        if (ph == "X")
+            ++spans;
+        else if (ph == "i")
+            ++instants;
+        else if (ph == "M") {
+            ++meta;
+            if (events.at(i).at("name").asString() == "process_name")
+                sawProcessName = true;
+        }
+    }
+    EXPECT_EQ(spans, 2u);
+    EXPECT_EQ(instants, 1u);
+    EXPECT_GE(meta, 2u); // process_name + at least one thread_name
+    EXPECT_TRUE(sawProcessName);
+}
+
+TEST(Trace, SpanMultisetIsThreadAssignmentInvariant)
+{
+    // The same logical spans recorded from one thread or from four
+    // must produce the same (name, ph) multiset — the tentpole's
+    // jobs-invariance contract at tracer level.
+    auto record = [](SpanTracer &tracer, int threads) {
+        tracer.setEnabled(true);
+        std::vector<std::thread> pool;
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back([&tracer, t, threads] {
+                for (int i = t; i < 12; i += threads) {
+                    ScopedSpan s =
+                        tracer.span("run", "sim");
+                    tracer.instant("probe", "cache");
+                }
+            });
+        for (auto &th : pool)
+            th.join();
+    };
+    SpanTracer one, four;
+    record(one, 1);
+    record(four, 4);
+
+    auto multiset = [](const SpanTracer &tracer) {
+        std::vector<std::pair<std::string, char>> keys;
+        for (const TraceEvent &e : tracer.events())
+            keys.emplace_back(e.name, e.ph);
+        std::sort(keys.begin(), keys.end());
+        return keys;
+    };
+    EXPECT_EQ(multiset(one), multiset(four));
+}
+
+/** Hand-built trace document with the given complete events. */
+JsonValue
+traceDocOf(const std::vector<std::tuple<std::string, std::uint64_t,
+                                        std::uint64_t>> &spans)
+{
+    JsonValue events = JsonValue::array();
+    for (const auto &[name, ts, dur] : spans) {
+        JsonValue e = JsonValue::object();
+        e.set("name", name);
+        e.set("cat", "test");
+        e.set("ph", "X");
+        e.set("ts", ts);
+        e.set("dur", dur);
+        e.set("pid", std::uint64_t{0});
+        e.set("tid", std::uint64_t{0});
+        events.push(std::move(e));
+    }
+    JsonValue doc = JsonValue::object();
+    doc.set("traceEvents", std::move(events));
+    return doc;
+}
+
+TEST(Trace, ValidatorAcceptsProperNesting)
+{
+    EXPECT_TRUE(validateTraceDoc(
+                    traceDocOf({{"outer", 0, 100},
+                                {"inner", 10, 20},
+                                {"later", 40, 50}}))
+                    .empty());
+}
+
+TEST(Trace, ValidatorFlagsOverlappingSpans)
+{
+    std::vector<std::string> problems = validateTraceDoc(
+        traceDocOf({{"a", 0, 100}, {"b", 50, 100}}));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_NE(problems[0].find("overlaps"), std::string::npos)
+        << problems[0];
+}
+
+TEST(Trace, ValidatorFlagsMissingFields)
+{
+    JsonValue e = JsonValue::object();
+    e.set("name", "x");
+    e.set("ph", "X"); // no ts/dur/pid/tid
+    JsonValue events = JsonValue::array();
+    events.push(std::move(e));
+    JsonValue doc = JsonValue::object();
+    doc.set("traceEvents", std::move(events));
+    EXPECT_FALSE(validateTraceDoc(doc).empty());
+}
+
+TEST(Trace, ValidatorChecksTracksIndependently)
+{
+    // Overlap across different tids (or pids) is fine — only spans on
+    // one track must nest.
+    JsonValue doc = traceDocOf({{"a", 0, 100}});
+    JsonValue b = JsonValue::object();
+    b.set("name", "b");
+    b.set("cat", "test");
+    b.set("ph", "X");
+    b.set("ts", std::uint64_t{50});
+    b.set("dur", std::uint64_t{100});
+    b.set("pid", std::uint64_t{0});
+    b.set("tid", std::uint64_t{1});
+    JsonValue events = doc.at("traceEvents");
+    events.push(std::move(b));
+    doc.set("traceEvents", std::move(events));
+    EXPECT_TRUE(validateTraceDoc(doc).empty());
+}
+
+} // namespace
+} // namespace wavedyn

@@ -64,6 +64,15 @@
  *       report on stdout is byte-identical to the single-process
  *       `run` of the same spec.
  *
+ *   trace   <file> [--summarize]
+ *       inspect and validate a telemetry side file — either a Chrome
+ *       trace-event document (--trace-out) or a wavedyn-metrics-v1
+ *       document (--metrics-out). Checks structural invariants (span
+ *       nesting per thread; cache hits + misses == scheduler runs;
+ *       histogram counts match their buckets) and exits 1 on any
+ *       violation. --summarize adds the top span names by total
+ *       duration (traces) or the full counter table (metrics).
+ *
  *   info    <model.txt>
  *       describe a saved predictor.
  *
@@ -80,6 +89,14 @@
  * both). With a cache directory set, previously simulated runs are
  * replayed byte-exactly from disk instead of recomputed — reports are
  * identical cold or warm; hit/miss counts go to stderr only.
+ *
+ * Telemetry: every campaign entry point takes --trace-out FILE (or the
+ * WAVEDYN_TRACE environment variable) to write a Chrome trace-event
+ * span timeline, --metrics-out FILE for the merged counters/histograms
+ * document, and prints a final `-- telemetry:` summary on stderr.
+ * Telemetry observes and never participates: stdout reports are
+ * byte-identical with telemetry on or off, at any --jobs
+ * (tests/integration/telemetry_golden_test.cc pins this).
  */
 
 #include <algorithm>
@@ -91,6 +108,7 @@
 #include <initializer_list>
 #include <iostream>
 #include <limits>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -105,6 +123,8 @@
 #include "core/report.hh"
 #include "core/serialize.hh"
 #include "fleet/orchestrator.hh"
+#include "telemetry/logsink.hh"
+#include "telemetry/telemetry.hh"
 #include "util/json.hh"
 #include "util/json_diff.hh"
 #include "util/options.hh"
@@ -149,6 +169,7 @@ usage()
         "              [--cache-dir D] [--no-cache]\n"
         "  wavedyn_cli shard --resume <jobdir> [--workers N] "
         "[--retries R]\n"
+        "  wavedyn_cli trace <file> [--summarize]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
         "declarative campaigns:\n"
@@ -168,6 +189,12 @@ usage()
         "              previously simulated runs byte-exactly from D\n"
         "              (default: WAVEDYN_CACHE_DIR; unset = no cache)\n"
         "  --no-cache  ignore --cache-dir and WAVEDYN_CACHE_DIR\n"
+        "  --trace-out F  write a Chrome trace-event span timeline to F\n"
+        "              (default: WAVEDYN_TRACE; Perfetto-loadable;\n"
+        "              reports stay byte-identical with or without it)\n"
+        "  --metrics-out F  write merged counters/histograms JSON to F\n"
+        "  --log-stamp TAG  prefix every stderr line with an ISO-8601\n"
+        "              timestamp and TAG (fleet workers use this)\n"
         "\n"
         "scenario generation (suite / explore / generate):\n"
         "  --generate N        run N generated scenarios instead of the\n"
@@ -288,6 +315,11 @@ struct Options
     std::size_t retries = 3;   //!< per-shard attempt budget
     std::string jobDir;        //!< empty => <spec>.fleet
     std::string resumeDir;     //!< non-empty => resume that job dir
+    // telemetry options
+    std::string traceOut;      //!< empty => WAVEDYN_TRACE / no trace
+    std::string metricsOut;    //!< empty => no metrics file
+    std::string logStamp;      //!< non-empty => stamp stderr lines
+    bool summarize = false;    //!< trace: print the duration summary
 };
 
 /**
@@ -319,6 +351,8 @@ constexpr FlagDef kFlagRegistry[] = {
     {"--job-dir", true},    {"--resume", true},
     {"--retries", true},    {"--dump-spec", false},
     {"--validate", false},  {"--no-cache", false},
+    {"--trace-out", true},  {"--metrics-out", true},
+    {"--log-stamp", true},  {"--summarize", false},
 };
 
 const FlagDef *
@@ -340,7 +374,9 @@ std::vector<std::string>
 campaignFlags(std::initializer_list<const char *> extras)
 {
     std::vector<std::string> allowed = {"--jobs", "--format", "--out",
-                                        "--cache-dir", "--no-cache"};
+                                        "--cache-dir", "--no-cache",
+                                        "--trace-out", "--metrics-out",
+                                        "--log-stamp"};
     for (const char *e : extras)
         allowed.push_back(e);
     return allowed;
@@ -376,6 +412,8 @@ parseOptions(int argc, char **argv, int first,
                 o.validateOnly = true;
             else if (key == "--no-cache")
                 o.noCache = true;
+            else if (key == "--summarize")
+                o.summarize = true;
             else
                 throw std::logic_error("boolean flag in registry has "
                                        "no handler: " + key);
@@ -445,6 +483,12 @@ parseOptions(int argc, char **argv, int first,
             o.jobDir = val;
         else if (key == "--resume")
             o.resumeDir = val;
+        else if (key == "--trace-out")
+            o.traceOut = val;
+        else if (key == "--metrics-out")
+            o.metricsOut = val;
+        else if (key == "--log-stamp")
+            o.logStamp = val;
         else if (key == "--generate")
             o.generate = parseCount(val, "--generate");
         else if (key == "--family") {
@@ -495,16 +539,68 @@ configureResultCache(const Options &o)
         setActiveResultCache(std::make_shared<ResultCache>(dir));
 }
 
+/** Resolve the trace output: --trace-out beats WAVEDYN_TRACE; empty =
+ *  no trace (metrics are always recorded, they cost almost nothing). */
+std::string
+resolveTracePath(const Options &o)
+{
+    if (!o.traceOut.empty())
+        return o.traceOut;
+    const char *env = std::getenv("WAVEDYN_TRACE");
+    return env != nullptr ? std::string(env) : std::string();
+}
+
 /**
- * Worker-side live progress printer: a stderr ticker updated every
- * ~5% of the batch. Called concurrently from pool workers; the
- * scheduler's atomic counter hands out monotonic counts, but the
- * count fetch and the print are separate steps, so a worker holding
- * a lower count can reach the mutex *after* the final one — the
- * non-increasing guard below keeps a stale count from being the last
- * line on screen. A batch with a different total resets the guard;
- * repeated same-size batches only show their final line, which the
- * surrounding phase banners disambiguate. stderr only — stdout
+ * Per-command telemetry setup: install the stderr line stamp when
+ * asked, and turn span recording on when any trace output is wanted.
+ * Returns the resolved trace path.
+ */
+std::string
+configureTelemetry(const Options &o)
+{
+    if (!o.logStamp.empty())
+        stampStderrLines(o.logStamp);
+    std::string tracePath = resolveTracePath(o);
+    if (!tracePath.empty())
+        setTracingEnabled(true);
+    return tracePath;
+}
+
+/**
+ * End-of-command telemetry: write the side files the user asked for
+ * and print the `-- telemetry:` summary. stderr + side files only —
+ * never stdout, where the report must stay byte-identical.
+ */
+void
+emitTelemetry(const std::string &tracePath, const Options &o,
+              std::uint64_t wallUs)
+{
+    if (!tracePath.empty()) {
+        writeTraceFile(tracePath, 0, "wavedyn");
+        SerializedLog::stderrLog().line(
+            "-- telemetry: wrote " + tracePath + " (" +
+            std::to_string(spanTracer().events().size()) + " events)");
+    }
+    if (!o.metricsOut.empty()) {
+        writeMetricsFile(o.metricsOut);
+        SerializedLog::stderrLog().line("-- telemetry: wrote " +
+                                        o.metricsOut);
+    }
+    std::cerr << renderTelemetrySummary(metricsRegistry().snapshot(),
+                                        wallUs, currentJobs());
+}
+
+/**
+ * Worker-side live progress printer, routed through the serialized
+ * stderr writer: one mutex, at most ~10 repaints/sec, and the final
+ * done == total repaint always lands. Called concurrently from pool
+ * workers; the scheduler's atomic counter hands out monotonic counts,
+ * but the count fetch and the print are separate steps, so a worker
+ * holding a lower count can reach the writer *after* the final one —
+ * the non-increasing guard below keeps a stale count from being the
+ * last line on screen. A batch with a different total resets the
+ * guard; repeated same-size batches only show their final line, which
+ * the surrounding phase banners disambiguate. stderr only — stdout
  * reports stay byte-identical for every --jobs setting.
  */
 RunProgress
@@ -516,29 +612,33 @@ stderrRunProgress(std::shared_ptr<std::atomic<std::uint64_t>> cachedRuns,
         static std::mutex mu;
         static std::size_t lastDone = 0;
         static std::size_t lastTotal = 0;
-        std::size_t step = total / 20 ? total / 20 : 1;
-        if (done % step != 0 && done != total)
-            return;
-        std::lock_guard<std::mutex> lock(mu);
-        // done == total always prints: it is a fresh batch's final
-        // line whenever the guard state came from an earlier batch.
-        if (total == lastTotal && done <= lastDone && done != total)
-            return;
-        lastDone = done;
-        lastTotal = total;
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            // done == total always prints: it is a fresh batch's final
+            // line whenever the guard state came from an earlier batch.
+            if (total == lastTotal && done <= lastDone && done != total)
+                return;
+            lastDone = done;
+            lastTotal = total;
+        }
         std::uint64_t cached =
             cachedRuns->load(std::memory_order_relaxed);
         std::uint64_t failed =
             storeFails->load(std::memory_order_relaxed);
-        std::cerr << "   [sim] " << done << "/" << total << " runs";
+        std::string text = "   [sim] " + std::to_string(done) + "/" +
+                           std::to_string(total) + " runs";
         if (cached > 0)
-            std::cerr << " (" << cached << " cached)";
+            text += " (" + std::to_string(cached) + " cached)";
         // A failing cache store degrades the cache, not the result —
         // but silently eating it would hide a dead disk until the next
         // "cold" run takes hours. Keep it on the live ticker.
         if (failed > 0)
-            std::cerr << " (" << failed << " store-fail)";
-        std::cerr << (done == total ? "\n" : "\r");
+            text += " (" + std::to_string(failed) + " store-fail)";
+        SerializedLog &log = SerializedLog::stderrLog();
+        if (done == total)
+            log.tickerFinal(text);
+        else
+            log.ticker(text);
     };
 }
 
@@ -554,13 +654,16 @@ stderrHooks()
     auto cachedRuns = std::make_shared<std::atomic<std::uint64_t>>(0);
     auto storeFails = std::make_shared<std::atomic<std::uint64_t>>(0);
     CampaignHooks hooks;
+    // Banner lines share the serialized writer with the run ticker so
+    // a banner never lands in the middle of a '\r' repaint.
     hooks.phase = [](const std::string &msg) {
-        std::cerr << "-- " << msg << "\n";
+        SerializedLog::stderrLog().line("-- " + msg);
     };
     hooks.scenarioDone = [](const std::string &bench, std::size_t done,
                             std::size_t total) {
-        std::cerr << "  [" << done << "/" << total << "] " << bench
-                  << " assembled\n";
+        SerializedLog::stderrLog().line(
+            "  [" + std::to_string(done) + "/" + std::to_string(total) +
+            "] " + bench + " assembled");
     };
     hooks.runProgress = stderrRunProgress(cachedRuns, storeFails);
     hooks.runCacheHit = [cachedRuns](const std::string &) {
@@ -753,13 +856,16 @@ executeSpec(const CampaignSpec &spec, const Options &o)
             campaignKindName(spec.kind) + " results (use text or json)");
 
     configureResultCache(o);
+    std::string tracePath = configureTelemetry(o);
     std::cerr << "-- " << campaignKindName(spec.kind) << " campaign, "
               << currentJobs() << " jobs";
     auto cache = activeResultCache();
     if (cache)
         std::cerr << ", cache " << cache->root();
     std::cerr << "\n";
+    std::uint64_t wallStart = telemetryNowUs();
     CampaignResult result = runCampaign(spec, stderrHooks());
+    std::uint64_t wallUs = telemetryNowUs() - wallStart;
 
     // stderr only: the report itself must stay byte-identical between
     // a cold and a warm run of the same spec (CI diffs them). Store
@@ -774,6 +880,7 @@ executeSpec(const CampaignSpec &spec, const Options &o)
                       << " store failures";
         std::cerr << "\n";
     }
+    emitTelemetry(tracePath, o, wallUs);
 
     auto sink = makeReportSink(format);
     if (o.outPath.empty()) {
@@ -1083,7 +1190,15 @@ cmdShard(int argc, char **argv)
     // know the campaign kind until the journal is opened).
     ReportFormat format = reportFormatByName(o.format);
 
+    // Enable local span recording when a fleet timeline was asked for:
+    // the orchestrator's own shard-lifecycle spans anchor the merged
+    // trace, and the per-shard files re-home under it (timeline.hh).
+    std::string tracePath = configureTelemetry(o);
+    std::uint64_t wallStart = telemetryNowUs();
+
     FleetOptions fleet;
+    fleet.traceOut = tracePath;
+    fleet.metricsOut = o.metricsOut;
     fleet.workers = std::max<std::size_t>(1, o.workers);
     // Split the thread budget across workers instead of letting every
     // worker grab full hardware concurrency and oversubscribe the host
@@ -1139,6 +1254,19 @@ cmdShard(int argc, char **argv)
               << outcome.executed << " executed, " << outcome.resumed
               << " resumed, " << outcome.retries << " retries\n";
 
+    // The orchestrator already wrote the merged timeline/metrics files
+    // (fleet/orchestrator.cc); here we only report and summarize. The
+    // summary covers the orchestrator process — per-worker detail lives
+    // in the merged metrics document.
+    if (!tracePath.empty())
+        std::cerr << "-- telemetry: wrote " << tracePath
+                  << " (merged fleet timeline)\n";
+    if (!o.metricsOut.empty())
+        std::cerr << "-- telemetry: wrote " << o.metricsOut << "\n";
+    std::cerr << renderTelemetrySummary(metricsRegistry().snapshot(),
+                                        telemetryNowUs() - wallStart,
+                                        currentJobs());
+
     if (!reportFormatSupports(format, outcome.report.result.kind))
         throw std::invalid_argument(
             reportFormatName(format) + " output is not defined for " +
@@ -1162,6 +1290,200 @@ cmdShard(int argc, char **argv)
         std::cerr << "wrote " << o.outPath << "\n";
     }
     return 0;
+}
+
+/** Read an entire file into a string, or throw. */
+std::string
+slurpFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in.good())
+        throw std::runtime_error("cannot read '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Counter value from a metrics document, 0 when absent. */
+std::uint64_t
+metricsCounter(const JsonValue &doc, const std::string &name)
+{
+    const JsonValue *counters = doc.find("counters");
+    if (counters == nullptr || !counters->isObject())
+        return 0;
+    const JsonValue *v = counters->find(name);
+    return v != nullptr && v->isNumber() && v->fitsUint64()
+               ? v->asUint64()
+               : 0;
+}
+
+/**
+ * Validate + summarize a wavedyn-metrics-v1 document: structure,
+ * per-histogram count == bucket sum, and the campaign invariant
+ * cache.hits + cache.misses == scheduler.runs (every scheduled run is
+ * exactly one probe outcome; only checked when a cache was in play).
+ */
+int
+traceMetricsDoc(const std::string &path, const JsonValue &doc,
+                bool summarize)
+{
+    std::vector<std::string> problems;
+    if (doc.at("schema").asString() != "wavedyn-metrics-v1")
+        problems.push_back("unknown schema '" +
+                           doc.at("schema").asString() + "'");
+    for (const char *key : {"counters", "gauges", "histograms"}) {
+        const JsonValue *v = doc.find(key);
+        if (v == nullptr || !v->isObject())
+            problems.push_back(std::string(key) +
+                               " member missing or not an object");
+    }
+    if (problems.empty()) {
+        for (const auto &m : doc.at("histograms").members()) {
+            const JsonValue *count = m.second.find("count");
+            const JsonValue *buckets = m.second.find("buckets");
+            if (count == nullptr || buckets == nullptr ||
+                !buckets->isArray()) {
+                problems.push_back("histogram '" + m.first +
+                                   "' is malformed");
+                continue;
+            }
+            if (buckets->size() != HistogramLayout::kBuckets) {
+                problems.push_back(
+                    "histogram '" + m.first + "' has " +
+                    std::to_string(buckets->size()) + " buckets, want " +
+                    std::to_string(HistogramLayout::kBuckets));
+                continue;
+            }
+            std::uint64_t sum = 0;
+            for (std::size_t i = 0; i < buckets->size(); ++i)
+                sum += buckets->at(i).asUint64();
+            if (sum != count->asUint64())
+                problems.push_back(
+                    "histogram '" + m.first + "': count " +
+                    std::to_string(count->asUint64()) +
+                    " != bucket sum " + std::to_string(sum));
+        }
+        std::uint64_t hits = metricsCounter(doc, "cache.hits");
+        std::uint64_t misses = metricsCounter(doc, "cache.misses");
+        std::uint64_t runs = metricsCounter(doc, "scheduler.runs");
+        if (hits + misses > 0 && hits + misses != runs)
+            problems.push_back(
+                "cache.hits + cache.misses = " +
+                std::to_string(hits + misses) +
+                " but scheduler.runs = " + std::to_string(runs));
+    }
+    for (const std::string &p : problems)
+        std::cout << "invalid: " << p << "\n";
+    if (!problems.empty())
+        return 1;
+
+    std::cout << "metrics " << path << ": "
+              << doc.at("counters").size() << " counters, "
+              << doc.at("gauges").size() << " gauges, "
+              << doc.at("histograms").size()
+              << " histograms; invariants OK\n";
+    if (summarize) {
+        for (const auto &m : doc.at("counters").members())
+            std::cout << "  counter   " << m.first << " = "
+                      << m.second.asUint64() << "\n";
+        for (const auto &m : doc.at("gauges").members())
+            std::cout << "  gauge     " << m.first << " = "
+                      << fmt(m.second.asDouble(), 4) << "\n";
+        for (const auto &m : doc.at("histograms").members()) {
+            std::uint64_t count = m.second.at("count").asUint64();
+            std::uint64_t sum = m.second.at("sum_us").asUint64();
+            std::cout << "  histogram " << m.first << ": " << count
+                      << " obs, " << fmt(sum / 1e6, 3) << " s total";
+            if (count > 0)
+                std::cout << ", "
+                          << fmt(static_cast<double>(sum) /
+                                     static_cast<double>(count),
+                                 1)
+                          << " us mean";
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
+
+/** Validate + summarize a Chrome trace-event document. */
+int
+traceTraceDoc(const std::string &path, const JsonValue &doc,
+              bool summarize)
+{
+    std::vector<std::string> problems = validateTraceDoc(doc);
+    for (const std::string &p : problems)
+        std::cout << "invalid: " << p << "\n";
+    if (!problems.empty())
+        return 1;
+
+    // validateTraceDoc established the shape, so at() is safe here.
+    const JsonValue &events = doc.at("traceEvents");
+    std::size_t spans = 0;
+    std::size_t instants = 0;
+    std::map<std::uint64_t, std::size_t> perPid;
+    std::map<std::string, std::uint64_t> durByName;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const JsonValue &e = events.at(i);
+        std::string ph = e.at("ph").asString();
+        if (ph == "M")
+            continue;
+        ++perPid[e.at("pid").asUint64()];
+        if (ph == "X") {
+            ++spans;
+            durByName[e.at("name").asString()] +=
+                e.at("dur").asUint64();
+        } else {
+            ++instants;
+        }
+    }
+    std::cout << "trace " << path << ": " << spans << " spans, "
+              << instants << " instants, " << perPid.size()
+              << " process(es); nesting OK\n";
+    if (summarize) {
+        std::vector<std::pair<std::string, std::uint64_t>> rows(
+            durByName.begin(), durByName.end());
+        std::sort(rows.begin(), rows.end(),
+                  [](const std::pair<std::string, std::uint64_t> &a,
+                     const std::pair<std::string, std::uint64_t> &b) {
+                      if (a.second != b.second)
+                          return a.second > b.second;
+                      return a.first < b.first;
+                  });
+        std::size_t shown = std::min<std::size_t>(rows.size(), 10);
+        for (std::size_t i = 0; i < shown; ++i)
+            std::cout << "  " << rows[i].first << ": "
+                      << fmt(rows[i].second / 1e6, 3) << " s total\n";
+        if (rows.size() > shown)
+            std::cout << "  (" << (rows.size() - shown)
+                      << " more span names)\n";
+    }
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-')
+        return usage();
+    std::string path = argv[2];
+    Options o = parseOptions(argc, argv, 3, {"--summarize"});
+
+    JsonValue doc;
+    try {
+        doc = parseJson(slurpFile(path));
+    } catch (const std::exception &e) {
+        throw std::invalid_argument(path + ": " + e.what());
+    }
+    // Dispatch on the document's own markers, so one subcommand
+    // handles both side files a traced campaign writes.
+    if (doc.isObject() && doc.find("schema") != nullptr)
+        return traceMetricsDoc(path, doc, o.summarize);
+    if (doc.isObject() && doc.find("traceEvents") != nullptr)
+        return traceTraceDoc(path, doc, o.summarize);
+    std::cerr << "error: " << path << " is neither a trace document "
+                 "(traceEvents) nor a metrics document (schema)\n";
+    return 1;
 }
 
 int
@@ -1228,6 +1550,8 @@ main(int argc, char **argv)
             return cmdCache(argc, argv);
         if (cmd == "shard")
             return cmdShard(argc, argv);
+        if (cmd == "trace")
+            return cmdTrace(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
         // Bare generation flags ("wavedyn_cli --generate 8 --family
