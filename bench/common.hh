@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/experiment.hh"
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/options.hh"
 #include "util/table.hh"
@@ -129,12 +130,12 @@ writeBenchJson(const std::string &path, const JsonValue &doc)
 {
     if (path.empty())
         return;
-    std::ofstream out(path, std::ios::binary);
-    if (!out.good()) {
+    // Atomic publication: BENCH_*.json is a perf trajectory readers
+    // diff across commits; a torn document would read as a regression.
+    if (!writeFileAtomic(path, writeJson(doc) + "\n")) {
         std::cerr << "error: cannot write " << path << "\n";
         std::exit(1);
     }
-    out << writeJson(doc) << "\n";
     std::cout << "wrote " << path << "\n";
 }
 

@@ -17,7 +17,7 @@
 #include <chrono>
 
 #include "bench/common.hh"
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "core/scenario.hh"
 #include "dse/explorer.hh"
 #include "exec/thread_pool.hh"

@@ -7,7 +7,7 @@
  */
 
 #include "bench/common.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "sim/simulator.hh"
 #include "util/rng.hh"
 #include "wavelet/haar.hh"

@@ -11,7 +11,7 @@
  */
 
 #include "bench/common.hh"
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "core/scenario.hh"
 #include "core/suite.hh"
 

@@ -9,7 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/experiment.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 #include "wavelet/dwt.hh"
 #include "wavelet/haar.hh"

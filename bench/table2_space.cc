@@ -6,7 +6,7 @@
  */
 
 #include "bench/common.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 
 using namespace wavedyn;

@@ -11,7 +11,7 @@
 #include <iostream>
 
 #include "core/experiment.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 #include "util/table.hh"
 

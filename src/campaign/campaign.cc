@@ -1,4 +1,4 @@
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 
 #include <atomic>
 #include <cmath>
@@ -8,7 +8,7 @@
 
 #include "core/scenario.hh"
 #include "core/serialize.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "exec/scheduler.hh"
 #include "telemetry/telemetry.hh"
 #include "util/json_reader.hh"

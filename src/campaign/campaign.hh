@@ -21,7 +21,7 @@
  * set, validates everything up front (field-path error messages, no
  * partial simulation on a bad spec) and dispatches to the suite /
  * explore / train / evaluate engines, returning a uniform
- * CampaignResult that the report sinks (core/report.hh) can render as
+ * CampaignResult that the report sinks (campaign/report.hh) can render as
  * text, markdown, CSV or JSON.
  *
  * Because a spec is a plain JSON document, campaigns can be checked
@@ -30,8 +30,8 @@
  * or hosts for sharded execution.
  */
 
-#ifndef WAVEDYN_CORE_CAMPAIGN_HH
-#define WAVEDYN_CORE_CAMPAIGN_HH
+#ifndef WAVEDYN_CAMPAIGN_CAMPAIGN_HH
+#define WAVEDYN_CAMPAIGN_CAMPAIGN_HH
 
 #include <cstddef>
 #include <cstdint>
@@ -209,4 +209,4 @@ CampaignResult runCampaign(const CampaignSpec &spec,
 
 } // namespace wavedyn
 
-#endif // WAVEDYN_CORE_CAMPAIGN_HH
+#endif // WAVEDYN_CAMPAIGN_CAMPAIGN_HH

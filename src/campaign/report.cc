@@ -1,4 +1,4 @@
-#include "core/report.hh"
+#include "campaign/report.hh"
 
 #include <cmath>
 #include <ostream>

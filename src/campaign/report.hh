@@ -14,15 +14,15 @@
  *    format sharded sweeps will exchange.
  */
 
-#ifndef WAVEDYN_CORE_REPORT_HH
-#define WAVEDYN_CORE_REPORT_HH
+#ifndef WAVEDYN_CAMPAIGN_REPORT_HH
+#define WAVEDYN_CAMPAIGN_REPORT_HH
 
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 #include "core/suite.hh"
 #include "util/json.hh"
 
@@ -139,4 +139,4 @@ std::string renderReport(const CampaignResult &result,
 
 } // namespace wavedyn
 
-#endif // WAVEDYN_CORE_REPORT_HH
+#endif // WAVEDYN_CAMPAIGN_REPORT_HH

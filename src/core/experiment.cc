@@ -4,7 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "exec/scheduler.hh"
 #include "workload/profile.hh"
 

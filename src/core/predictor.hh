@@ -26,7 +26,7 @@
 #include <memory>
 #include <vector>
 
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 #include "mlmodel/linear_model.hh"
 #include "mlmodel/rbf_network.hh"
 #include "wavelet/dwt.hh"

@@ -1,4 +1,4 @@
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 
 #include <algorithm>
 #include <cassert>

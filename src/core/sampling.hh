@@ -10,13 +10,13 @@
  *  - Random test sampling over the Table 2 test levels.
  */
 
-#ifndef WAVEDYN_DSE_SAMPLING_HH
-#define WAVEDYN_DSE_SAMPLING_HH
+#ifndef WAVEDYN_CORE_SAMPLING_HH
+#define WAVEDYN_CORE_SAMPLING_HH
 
 #include <cstddef>
 #include <vector>
 
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 #include "util/rng.hh"
 
 namespace wavedyn
@@ -58,4 +58,4 @@ normalizeAll(const DesignSpace &space, const std::vector<DesignPoint> &pts);
 
 } // namespace wavedyn
 
-#endif // WAVEDYN_DSE_SAMPLING_HH
+#endif // WAVEDYN_CORE_SAMPLING_HH

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/atomic_file.hh"
+
 namespace wavedyn
 {
 
@@ -149,11 +151,13 @@ bool
 savePredictorFile(const WaveletNeuralPredictor &pred,
                   const std::string &path)
 {
-    std::ofstream os(path);
+    // Serialize in memory and publish atomically: a crash mid-save
+    // must never leave a torn model file where a loadable one stood.
+    std::ostringstream os;
+    savePredictor(pred, os);
     if (!os)
         return false;
-    savePredictor(pred, os);
-    return static_cast<bool>(os);
+    return writeFileAtomic(path, os.str());
 }
 
 WaveletNeuralPredictor

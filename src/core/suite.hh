@@ -3,7 +3,7 @@
  * Suite-level campaigns: run the paper's protocol over many benchmarks
  * and domains in one call and collect a structured report — the
  * programmatic equivalent of Figure 8, used by the campaign facade
- * (core/campaign.hh), the CLI tool and downstream automation.
+ * (campaign/campaign.hh), the CLI tool and downstream automation.
  */
 
 #ifndef WAVEDYN_CORE_SUITE_HH

@@ -23,7 +23,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 
 namespace wavedyn
 {

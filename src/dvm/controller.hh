@@ -41,7 +41,7 @@ struct DvmConfig
 
 /**
  * Canonical JSON form (snake_case keys, insertion-ordered) — shared by
- * campaign specs (core/campaign.hh) and result-cache keys
+ * campaign specs (campaign/campaign.hh) and result-cache keys
  * (cache/key.hh), so the spelling is a stability contract.
  */
 JsonValue toJson(const DvmConfig &dvm);

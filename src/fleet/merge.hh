@@ -21,7 +21,7 @@
 
 #include <vector>
 
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "fleet/plan.hh"
 
 namespace wavedyn

@@ -36,7 +36,7 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 
 namespace wavedyn
 {

@@ -1,0 +1,207 @@
+#include "lint/config.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "lint/rules.hh"
+
+namespace wavedyn::lint
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &name, std::size_t line, const std::string &msg)
+{
+    throw std::invalid_argument(name + ":" + std::to_string(line) + ": " +
+                                msg);
+}
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    std::size_t e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** Remove a '#' comment not inside a quoted string. */
+std::string
+stripComment(const std::string &s)
+{
+    bool inStr = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '"')
+            inStr = !inStr;
+        else if (s[i] == '#' && !inStr)
+            return s.substr(0, i);
+    }
+    return s;
+}
+
+} // namespace
+
+const RuleScope &
+LintConfig::scopeFor(const std::string &ruleId) const
+{
+    static const RuleScope kEmpty;
+    auto it = rules.find(ruleId);
+    return it == rules.end() ? kEmpty : it->second;
+}
+
+bool
+matchesPrefix(const std::vector<std::string> &prefixes,
+              const std::string &path)
+{
+    return std::any_of(prefixes.begin(), prefixes.end(),
+                       [&](const std::string &p) {
+                           return !p.empty() &&
+                                  path.compare(0, p.size(), p) == 0;
+                       });
+}
+
+bool
+LintConfig::applies(const std::string &ruleId,
+                    const std::string &path) const
+{
+    const RuleScope &scope = scopeFor(ruleId);
+    if (!scope.paths.empty() && !matchesPrefix(scope.paths, path))
+        return false;
+    return !matchesPrefix(scope.allow, path);
+}
+
+LintConfig
+parseLintConfig(const std::string &text, const std::string &name)
+{
+    LintConfig cfg;
+    std::istringstream in(text);
+    std::string line;
+    std::string section;
+    std::size_t lineNo = 0;
+
+    // Parse one value: "string" or ["a", "b", ...]; arrays may span
+    // lines, continued by reading more input until ']'.
+    auto parseValue = [&](std::string value,
+                          std::size_t keyLine) -> std::vector<std::string> {
+        value = strip(value);
+        if (!value.empty() && value[0] == '"') {
+            if (value.size() < 2 || value.back() != '"')
+                fail(name, keyLine, "unterminated string value");
+            return {value.substr(1, value.size() - 2)};
+        }
+        if (value.empty() || value[0] != '[')
+            fail(name, keyLine,
+                 "expected \"string\" or [\"array\"], got '" + value + "'");
+        while (value.find(']') == std::string::npos) {
+            std::string more;
+            if (!std::getline(in, more))
+                fail(name, keyLine, "unterminated array value");
+            ++lineNo;
+            value += ' ' + stripComment(more);
+        }
+        std::vector<std::string> items;
+        std::size_t i = 1; // past '['
+        while (true) {
+            while (i < value.size() &&
+                   (std::isspace(static_cast<unsigned char>(value[i])) ||
+                    value[i] == ','))
+                ++i;
+            if (i >= value.size())
+                fail(name, keyLine, "unterminated array value");
+            if (value[i] == ']')
+                break;
+            if (value[i] != '"')
+                fail(name, keyLine, "array elements must be strings");
+            std::size_t end = value.find('"', i + 1);
+            if (end == std::string::npos)
+                fail(name, keyLine, "unterminated string in array");
+            items.push_back(value.substr(i + 1, end - i - 1));
+            i = end + 1;
+        }
+        std::string tail = strip(value.substr(value.find(']') + 1));
+        if (!tail.empty())
+            fail(name, keyLine, "trailing content after array: '" + tail +
+                                    "'");
+        return items;
+    };
+
+    bool sawLayering = false;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        std::string t = strip(stripComment(line));
+        if (t.empty())
+            continue;
+        if (t[0] == '[') {
+            if (t.back() != ']')
+                fail(name, lineNo, "malformed section header: " + t);
+            section = strip(t.substr(1, t.size() - 2));
+            const auto &ids = allRuleIds();
+            bool isRule = std::find(ids.begin(), ids.end(), section) !=
+                          ids.end();
+            if (section != "scan" && section != "layering" &&
+                section != "telemetry" && !isRule)
+                fail(name, lineNo, "unknown section [" + section + "]");
+            if (section == "layering")
+                sawLayering = true;
+            continue;
+        }
+        std::size_t eq = t.find('=');
+        if (eq == std::string::npos)
+            fail(name, lineNo, "expected 'key = value', got '" + t + "'");
+        std::string key = strip(t.substr(0, eq));
+        std::size_t keyLine = lineNo;
+        std::vector<std::string> values = parseValue(t.substr(eq + 1),
+                                                     keyLine);
+
+        if (section.empty()) {
+            fail(name, keyLine, "key '" + key + "' outside any section");
+        } else if (section == "scan") {
+            if (key == "roots")
+                cfg.roots = values;
+            else if (key == "exclude")
+                cfg.exclude = values;
+            else
+                fail(name, keyLine, "unknown [scan] key '" + key + "'");
+        } else if (section == "layering") {
+            if (key.compare(0, 5, "layer") != 0 || key.size() == 5 ||
+                key.find_first_not_of("0123456789", 5) != std::string::npos)
+                fail(name, keyLine,
+                     "[layering] keys must be layerN, got '" + key + "'");
+            int rank = std::stoi(key.substr(5));
+            for (const std::string &mod : values) {
+                if (cfg.moduleRank.count(mod))
+                    fail(name, keyLine,
+                         "module '" + mod + "' listed in two layers");
+                cfg.moduleRank[mod] = rank;
+            }
+        } else if (section == "telemetry") {
+            if (key == "may-include")
+                cfg.telemetryMayInclude = values;
+            else
+                fail(name, keyLine, "unknown [telemetry] key '" + key +
+                                        "'");
+        } else {
+            RuleScope &scope = cfg.rules[section];
+            if (key == "paths")
+                scope.paths = values;
+            else if (key == "allow")
+                scope.allow = values;
+            else
+                fail(name, keyLine, "unknown [" + section + "] key '" +
+                                        key + "'");
+        }
+    }
+
+    if (cfg.roots.empty())
+        fail(name, lineNo, "[scan] roots must list at least one directory");
+    if (!sawLayering)
+        fail(name, lineNo, "missing [layering] section");
+    return cfg;
+}
+
+} // namespace wavedyn::lint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * wavedyn-lint configuration: the checked-in lint.toml.
+ *
+ * The file is the reviewable record of every exemption: rule scopes
+ * (`paths`), allowlists (`allow`), the module layering table, and the
+ * telemetry observe-only include set all live here, so loosening a
+ * rule is a diff in one obvious place rather than a scattered inline
+ * suppression. The syntax is a strict TOML subset — `[section]`
+ * headers, `key = "string"` / `key = ["array", "of", "strings"]`
+ * (arrays may span lines), `#` comments — parsed dependency-free in
+ * the same spirit as util/json. Unknown sections, unknown keys and
+ * malformed values are hard errors naming the line: a typo in the
+ * config must never silently disable a rule.
+ */
+
+#ifndef WAVEDYN_LINT_CONFIG_HH
+#define WAVEDYN_LINT_CONFIG_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wavedyn::lint
+{
+
+/** Per-rule scope: where it runs and which paths are exempt. */
+struct RuleScope
+{
+    /**
+     * Repo-relative path prefixes the rule applies to. Empty = every
+     * scanned file. "src/" scopes a rule to the library; a file
+     * prefix like "src/core/serialize" covers both .hh and .cc.
+     */
+    std::vector<std::string> paths;
+    /** Path prefixes exempt from the rule (the reviewable allowlist). */
+    std::vector<std::string> allow;
+};
+
+/** Parsed lint.toml. */
+struct LintConfig
+{
+    /** Directories to scan, repo-relative. */
+    std::vector<std::string> roots;
+    /** Path prefixes excluded from scanning entirely (fixtures). */
+    std::vector<std::string> exclude;
+    /** src/ module -> layer rank; lower is more fundamental. */
+    std::map<std::string, int> moduleRank;
+    /** Modules telemetry may include besides itself (observe-only). */
+    std::vector<std::string> telemetryMayInclude;
+    /** Scope per rule-id; rules absent from the map run everywhere. */
+    std::map<std::string, RuleScope> rules;
+
+    /** Scope for @p ruleId (empty default when unconfigured). */
+    const RuleScope &scopeFor(const std::string &ruleId) const;
+
+    /**
+     * True when the rule applies to @p path: the path is inside the
+     * rule's `paths` scope and not under any `allow` prefix.
+     */
+    bool applies(const std::string &ruleId, const std::string &path) const;
+};
+
+/** True when @p path starts with any prefix in @p prefixes. */
+bool matchesPrefix(const std::vector<std::string> &prefixes,
+                   const std::string &path);
+
+/**
+ * Parse lint.toml text. @p name is used in error messages.
+ * @throws std::invalid_argument with "name:line: message" on any
+ * syntax error, unknown section, unknown key or schema violation.
+ */
+LintConfig parseLintConfig(const std::string &text,
+                           const std::string &name = "lint.toml");
+
+} // namespace wavedyn::lint
+
+#endif // WAVEDYN_LINT_CONFIG_HH

@@ -1,0 +1,142 @@
+#include "lint/driver.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fs = std::filesystem;
+
+namespace wavedyn::lint
+{
+
+namespace
+{
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("wavedyn-lint: cannot read " +
+                                 p.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** Repo-relative, '/'-separated form of @p p under @p root. */
+std::string
+relPath(const fs::path &root, const fs::path &p)
+{
+    return fs::relative(p, root).generic_string();
+}
+
+void
+collectDir(const fs::path &root, const fs::path &dir,
+           const LintConfig &cfg, std::vector<std::string> *out)
+{
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string rel = relPath(root, entry.path());
+        if (!isSourceFile(rel) || matchesPrefix(cfg.exclude, rel))
+            continue;
+        out->push_back(rel);
+    }
+}
+
+LintResult
+lintFiles(const LintConfig &cfg, const fs::path &root,
+          std::vector<std::string> files)
+{
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    LintResult result;
+    for (const std::string &rel : files) {
+        SourceFile f = lexFile(rel, slurp(root / rel));
+        lintFile(f, cfg, &result.violations);
+        ++result.filesScanned;
+    }
+    std::sort(result.violations.begin(), result.violations.end());
+    return result;
+}
+
+} // namespace
+
+bool
+isSourceFile(const std::string &path)
+{
+    auto ends = [&](const char *suf) {
+        std::size_t n = std::string(suf).size();
+        return path.size() >= n &&
+               path.compare(path.size() - n, n, suf) == 0;
+    };
+    return ends(".cc") || ends(".cpp") || ends(".hh") || ends(".h") ||
+           ends(".hpp");
+}
+
+LintResult
+lintTree(const LintConfig &cfg, const std::string &repoRoot)
+{
+    fs::path root(repoRoot);
+    std::vector<std::string> files;
+    for (const std::string &r : cfg.roots) {
+        fs::path dir = root / r;
+        if (!fs::is_directory(dir))
+            throw std::runtime_error("wavedyn-lint: scan root '" + r +
+                                     "' is not a directory under " +
+                                     root.string());
+        collectDir(root, dir, cfg, &files);
+    }
+    return lintFiles(cfg, root, std::move(files));
+}
+
+LintResult
+lintPaths(const LintConfig &cfg, const std::string &repoRoot,
+          const std::vector<std::string> &paths)
+{
+    fs::path root(repoRoot);
+    std::vector<std::string> files;
+    for (const std::string &p : paths) {
+        fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+        if (fs::is_directory(abs)) {
+            collectDir(root, abs, cfg, &files);
+        } else if (fs::is_regular_file(abs)) {
+            std::string rel = relPath(root, abs);
+            if (isSourceFile(rel) && !matchesPrefix(cfg.exclude, rel))
+                files.push_back(rel);
+        } else {
+            throw std::runtime_error("wavedyn-lint: no such path: " + p);
+        }
+    }
+    return lintFiles(cfg, root, std::move(files));
+}
+
+std::string
+findRepoRoot(const std::string &startDir, const std::string &marker)
+{
+    fs::path dir = fs::absolute(startDir);
+    while (true) {
+        if (fs::exists(dir / marker))
+            return dir.string();
+        fs::path parent = dir.parent_path();
+        if (parent == dir)
+            return "";
+        dir = parent;
+    }
+}
+
+LintConfig
+loadRepoConfig(const std::string &repoRoot)
+{
+    fs::path path = fs::path(repoRoot) / "lint.toml";
+    if (!fs::is_regular_file(path))
+        throw std::runtime_error("wavedyn-lint: missing " +
+                                 path.string());
+    return parseLintConfig(slurp(path), path.string());
+}
+
+} // namespace wavedyn::lint

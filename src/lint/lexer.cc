@@ -1,0 +1,265 @@
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace wavedyn::lint
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Recognise the start of a raw string literal at contents[i] (the
+ * 'R'). Returns true and fills @p delim with the d-char sequence when
+ * contents[i..] begins R"delim( and the preceding character does not
+ * extend an identifier (so kRatio, FILTER" etc. never match).
+ */
+bool
+rawStringStart(const std::string &s, std::size_t i, std::size_t lineStart,
+               std::string *delim)
+{
+    if (s[i] != 'R' || i + 1 >= s.size() || s[i + 1] != '"')
+        return false;
+    if (i > lineStart && isIdentChar(s[i - 1]))
+        return false;
+    std::size_t j = i + 2;
+    std::string d;
+    while (j < s.size() && s[j] != '(' && s[j] != ')' && s[j] != '"' &&
+           s[j] != '\\' && d.size() <= 16)
+        d += s[j++];
+    if (j >= s.size() || s[j] != '(')
+        return false;
+    *delim = d;
+    return true;
+}
+
+} // namespace
+
+SourceFile
+lexFile(const std::string &path, const std::string &contents)
+{
+    SourceFile file;
+    file.path = path;
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString,
+    };
+
+    State state = State::Code;
+    std::string rawDelim;     // raw-string d-char sequence
+    bool preprocessor = false; // current logical line is a # directive
+    bool lineHasCode = false;  // non-ws code seen on this line yet
+
+    SourceLine cur;
+    auto flushLine = [&]() {
+        file.lines.push_back(cur);
+        cur = SourceLine{};
+        if (state == State::LineComment)
+            state = State::Code;
+        lineHasCode = false;
+    };
+
+    const std::size_t n = contents.size();
+    std::size_t lineStart = 0; // offset of current line's first char
+    for (std::size_t i = 0; i < n; ++i) {
+        char c = contents[i];
+        if (c == '\n') {
+            // A backslash-continued preprocessor line stays "the same
+            // directive" for include extraction purposes, but include
+            // operands never span lines in practice; just reset.
+            if (state != State::RawString)
+                preprocessor = false;
+            flushLine();
+            lineStart = i + 1;
+            continue;
+        }
+
+        cur.raw += c;
+        switch (state) {
+        case State::Code: {
+            if (c == '/' && i + 1 < n && contents[i + 1] == '/') {
+                state = State::LineComment;
+                cur.code += "  ";
+                cur.raw += contents[++i];
+                break;
+            }
+            if (c == '/' && i + 1 < n && contents[i + 1] == '*') {
+                state = State::BlockComment;
+                cur.code += "  ";
+                cur.raw += contents[++i];
+                break;
+            }
+            std::string delim;
+            if (rawStringStart(contents, i, lineStart, &delim)) {
+                state = State::RawString;
+                rawDelim = delim;
+                // Emit R" then skip to just past the opening '('.
+                cur.code += "R\"";
+                std::size_t stop = i + 2 + delim.size(); // the '('
+                for (std::size_t j = i + 1; j <= stop && j < n; ++j) {
+                    if (j > i)
+                        cur.raw += contents[j];
+                    if (j > i + 1)
+                        cur.code += ' ';
+                }
+                i = stop;
+                lineHasCode = true;
+                break;
+            }
+            if (!lineHasCode && !std::isspace(static_cast<unsigned char>(c)))
+                lineHasCode = true, preprocessor = (c == '#');
+            if (c == '"' && preprocessor &&
+                containsToken(cur.code, "include")) {
+                // Quoted include operand: keep it visible in the code
+                // view and record it structurally.
+                cur.code += c;
+                std::size_t j = i + 1;
+                std::string p;
+                while (j < n && contents[j] != '"' && contents[j] != '\n')
+                    p += contents[j++];
+                if (j < n && contents[j] == '"') {
+                    for (std::size_t k = i + 1; k <= j; ++k) {
+                        cur.raw += contents[k];
+                        cur.code += contents[k];
+                    }
+                    file.includes.push_back(
+                        {file.lines.size() + 1, p, true});
+                    i = j;
+                } // else: unterminated — leave as-is, next chars lex as code
+                break;
+            }
+            if (c == '<' && preprocessor &&
+                containsToken(cur.code + " ", "include")) {
+                cur.code += c;
+                std::size_t j = i + 1;
+                std::string p;
+                while (j < n && contents[j] != '>' && contents[j] != '\n')
+                    p += contents[j++];
+                if (j < n && contents[j] == '>') {
+                    for (std::size_t k = i + 1; k <= j; ++k) {
+                        cur.raw += contents[k];
+                        cur.code += contents[k];
+                    }
+                    file.includes.push_back(
+                        {file.lines.size() + 1, p, false});
+                    i = j;
+                }
+                break;
+            }
+            if (c == '"') {
+                state = State::String;
+                cur.code += c;
+                break;
+            }
+            if (c == '\'') {
+                state = State::Char;
+                cur.code += c;
+                break;
+            }
+            cur.code += c;
+            break;
+        }
+        case State::LineComment:
+            cur.code += ' ';
+            cur.comment += c;
+            break;
+        case State::BlockComment:
+            if (c == '*' && i + 1 < n && contents[i + 1] == '/') {
+                state = State::Code;
+                cur.code += "  ";
+                cur.raw += contents[++i];
+            } else {
+                cur.code += ' ';
+                cur.comment += c;
+            }
+            break;
+        case State::String:
+        case State::Char: {
+            char quote = (state == State::String) ? '"' : '\'';
+            if (c == '\\' && i + 1 < n && contents[i + 1] != '\n') {
+                cur.code += "  ";
+                cur.raw += contents[++i];
+            } else if (c == quote) {
+                state = State::Code;
+                cur.code += c;
+            } else {
+                cur.code += ' ';
+            }
+            break;
+        }
+        case State::RawString:
+            if (c == ')' && contents.compare(i + 1, rawDelim.size(),
+                                             rawDelim) == 0 &&
+                i + 1 + rawDelim.size() < n &&
+                contents[i + 1 + rawDelim.size()] == '"') {
+                std::size_t stop = i + 1 + rawDelim.size();
+                for (std::size_t j = i + 1; j <= stop; ++j) {
+                    cur.raw += contents[j];
+                    cur.code += ' ';
+                }
+                cur.code.back() = '"';
+                i = stop;
+                state = State::Code;
+            } else {
+                cur.code += ' ';
+            }
+            break;
+        }
+    }
+    if (!cur.raw.empty() || !cur.code.empty() || !cur.comment.empty())
+        flushLine();
+    return file;
+}
+
+std::size_t
+findToken(const std::string &code, const std::string &token,
+          std::size_t from)
+{
+    if (token.empty())
+        return std::string::npos;
+    std::size_t pos = from;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        bool leftOk = pos == 0 || !isIdentChar(code[pos - 1]);
+        std::size_t end = pos + token.size();
+        bool rightOk = end >= code.size() || !isIdentChar(code[end]);
+        if (leftOk && rightOk)
+            return pos;
+        pos += 1;
+    }
+    return std::string::npos;
+}
+
+bool
+containsToken(const std::string &code, const std::string &token)
+{
+    return findToken(code, token) != std::string::npos;
+}
+
+bool
+containsCall(const std::string &code, const std::string &token)
+{
+    std::size_t pos = 0;
+    while ((pos = findToken(code, token, pos)) != std::string::npos) {
+        std::size_t j = pos + token.size();
+        while (j < code.size() && code[j] == ' ')
+            ++j;
+        if (j < code.size() && code[j] == '(')
+            return true;
+        pos += token.size();
+    }
+    return false;
+}
+
+} // namespace wavedyn::lint

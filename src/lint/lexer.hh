@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Token-aware source model for wavedyn-lint.
+ *
+ * The scanner needs to see *code*, not comments or string literals: a
+ * mention of rand() in a doc comment is not a determinism violation,
+ * and an include path lives inside a string literal on its #include
+ * line. lexFile() walks a translation unit once with a small state
+ * machine (line comments, block comments, ordinary/char/raw-string
+ * literals, preprocessor lines) and produces, per line,
+ *
+ *  - a "code view" where comment text and literal *contents* are
+ *    blanked to spaces (the quotes themselves survive, so token
+ *    boundaries are preserved) — every rule matches against this;
+ *  - the comment text, where inline suppression directives live
+ *    (syntax in rules.hh);
+ *  - the raw text, for diagnostics.
+ *
+ * Include directives are extracted structurally (path, quoted vs
+ * angled) because their operand is a string the code view would
+ * otherwise blank. No external dependencies, same spirit as
+ * util/json: the linter must lint the repo that builds it.
+ */
+
+#ifndef WAVEDYN_LINT_LEXER_HH
+#define WAVEDYN_LINT_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wavedyn::lint
+{
+
+/** One physical source line, split into the three views rules need. */
+struct SourceLine
+{
+    std::string raw;     //!< verbatim text (no trailing newline)
+    std::string code;    //!< comments + literal contents blanked
+    std::string comment; //!< concatenated comment text on this line
+};
+
+/** One #include directive. */
+struct IncludeDirective
+{
+    std::size_t line = 0; //!< 1-based
+    std::string path;     //!< include operand, e.g. "sim/config.hh"
+    bool quoted = false;  //!< "path" (project) vs <path> (system)
+};
+
+/** A lexed translation unit. */
+struct SourceFile
+{
+    std::string path;                       //!< repo-relative, '/'-separated
+    std::vector<SourceLine> lines;          //!< index i = line i+1
+    std::vector<IncludeDirective> includes; //!< in file order
+};
+
+/** Lex @p contents (the full text of @p path) into a SourceFile. */
+SourceFile lexFile(const std::string &path, const std::string &contents);
+
+/**
+ * True when @p code contains @p token as a whole identifier (both
+ * neighbours are not [A-Za-z0-9_]). Matches the code view only.
+ */
+bool containsToken(const std::string &code, const std::string &token);
+
+/**
+ * Byte offset of the first whole-identifier occurrence of @p token in
+ * @p code, or std::string::npos.
+ */
+std::size_t findToken(const std::string &code, const std::string &token,
+                      std::size_t from = 0);
+
+/**
+ * True when @p token occurs as an identifier immediately followed by
+ * '(' (optionally separated by spaces) — a call expression, which is
+ * how the clock rules tell `time(...)` from a variable named time.
+ */
+bool containsCall(const std::string &code, const std::string &token);
+
+} // namespace wavedyn::lint
+
+#endif // WAVEDYN_LINT_LEXER_HH

@@ -14,7 +14,7 @@
 #include <cstdint>
 #include <string>
 
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 #include "util/json.hh"
 
 namespace wavedyn

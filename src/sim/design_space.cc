@@ -1,4 +1,4 @@
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 
 #include <cassert>
 #include <cmath>

@@ -10,8 +10,8 @@
  * are comparable inside distance-based models.
  */
 
-#ifndef WAVEDYN_DSE_DESIGN_SPACE_HH
-#define WAVEDYN_DSE_DESIGN_SPACE_HH
+#ifndef WAVEDYN_SIM_DESIGN_SPACE_HH
+#define WAVEDYN_SIM_DESIGN_SPACE_HH
 
 #include <cstddef>
 #include <string>
@@ -122,4 +122,4 @@ class DesignSpace
 
 } // namespace wavedyn
 
-#endif // WAVEDYN_DSE_DESIGN_SPACE_HH
+#endif // WAVEDYN_SIM_DESIGN_SPACE_HH

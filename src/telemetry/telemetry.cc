@@ -10,6 +10,7 @@
 
 #include <sys/time.h>
 
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 
 namespace wavedyn
@@ -80,9 +81,9 @@ namespace
 void
 writeTextFile(const std::string &path, const std::string &text)
 {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    out << text << '\n';
-    if (!out.good())
+    // Atomic publication: a consumer (or a crash) must never observe
+    // a half-written trace/metrics document.
+    if (!writeFileAtomic(path, text + '\n'))
         throw std::runtime_error("cannot write '" + path + "'");
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * Dependency-free JSON value type, parser and writer — the wire format
- * of declarative campaign specs (core/campaign.hh) and machine-readable
+ * of declarative campaign specs (campaign/campaign.hh) and machine-readable
  * bench/report output.
  *
  * Design constraints that shaped this over an off-the-shelf library:

@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <string>
 
-#include "core/campaign.hh"
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/report.hh"
 
 namespace wavedyn
 {

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "util/json.hh"
 
 namespace wavedyn

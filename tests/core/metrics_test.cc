@@ -8,7 +8,7 @@
 #include <cmath>
 
 #include "core/metrics.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 
 namespace wavedyn

@@ -10,7 +10,7 @@
 #include <cmath>
 
 #include "core/predictor.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 

@@ -9,8 +9,8 @@
 #include <cmath>
 #include <set>
 
-#include "dse/design_space.hh"
-#include "dse/sampling.hh"
+#include "sim/design_space.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 
 namespace wavedyn

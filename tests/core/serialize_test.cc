@@ -10,7 +10,7 @@
 #include <sstream>
 
 #include "core/serialize.hh"
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "util/rng.hh"
 
 namespace wavedyn

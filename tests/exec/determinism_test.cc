@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "core/suite.hh"
 #include "util/options.hh"
 

@@ -15,7 +15,7 @@
 #include <mutex>
 #include <vector>
 
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "exec/scheduler.hh"
 #include "exec/thread_pool.hh"
 #include "workload/profile.hh"

@@ -14,7 +14,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "dse/sampling.hh"
+#include "core/sampling.hh"
 #include "exec/scheduler.hh"
 #include "exec/thread_pool.hh"
 #include "util/options.hh"

@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/report.hh"
 #include "fleet/merge.hh"
 #include "fleet/plan.hh"
 #include "util/json.hh"

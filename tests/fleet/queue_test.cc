@@ -16,7 +16,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 #include "fleet/plan.hh"
 #include "fleet/queue.hh"
 

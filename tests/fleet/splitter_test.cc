@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 #include "fleet/plan.hh"
 
 namespace wavedyn

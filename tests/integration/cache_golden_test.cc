@@ -19,8 +19,8 @@
 #include <vector>
 
 #include "cache/store.hh"
-#include "core/campaign.hh"
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/report.hh"
 #include "util/options.hh"
 
 namespace fs = std::filesystem;

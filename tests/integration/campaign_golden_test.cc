@@ -22,8 +22,8 @@
 #include <sstream>
 #include <string>
 
-#include "core/campaign.hh"
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/report.hh"
 #include "util/options.hh"
 
 #ifndef WAVEDYN_TEST_DATA_DIR

@@ -25,7 +25,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/report.hh"
+#include "campaign/report.hh"
 #include "core/scenario.hh"
 #include "core/suite.hh"
 #include "util/options.hh"

@@ -19,7 +19,7 @@
 
 #include <sys/wait.h>
 
-#include "core/campaign.hh"
+#include "campaign/campaign.hh"
 #include "fleet/orchestrator.hh"
 #include "util/json.hh"
 

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the lint.toml parser. The config is the single reviewable
+ * record of every exemption, so the parser must be strict: typos that
+ * would silently disable a rule have to be hard errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "lint/config.hh"
+
+namespace wavedyn::lint
+{
+namespace
+{
+
+const char *kMinimal = "[scan]\n"
+                       "roots = [\"src\"]\n"
+                       "[layering]\n"
+                       "layer0 = [\"util\"]\n";
+
+TEST(LintConfig, ParsesFullDocument)
+{
+    std::string text = "# top comment\n"
+                       "[scan]\n"
+                       "roots = [\"src\", \"tools\"]\n"
+                       "exclude = [\"tests/lint/fixtures/\"]\n"
+                       "\n"
+                       "[layering]\n"
+                       "layer0 = [\"util\"]\n"
+                       "layer1 = [\n"
+                       "    \"linalg\", # peers on one layer\n"
+                       "    \"wavelet\",\n"
+                       "]\n"
+                       "layer2 = [\"sim\"]\n"
+                       "\n"
+                       "[telemetry]\n"
+                       "may-include = [\"util\"]\n"
+                       "\n"
+                       "[determinism-clock]\n"
+                       "paths = [\"src/\"]\n"
+                       "allow = [\"src/telemetry/\"]\n";
+    LintConfig cfg = parseLintConfig(text, "t");
+    EXPECT_EQ(cfg.roots.size(), 2u);
+    EXPECT_EQ(cfg.exclude.size(), 1u);
+    EXPECT_EQ(cfg.moduleRank.at("util"), 0);
+    EXPECT_EQ(cfg.moduleRank.at("linalg"), 1);
+    EXPECT_EQ(cfg.moduleRank.at("wavelet"), 1);
+    EXPECT_EQ(cfg.moduleRank.at("sim"), 2);
+    ASSERT_EQ(cfg.telemetryMayInclude.size(), 1u);
+    EXPECT_EQ(cfg.telemetryMayInclude[0], "util");
+    EXPECT_TRUE(cfg.applies("determinism-clock", "src/core/a.cc"));
+    EXPECT_FALSE(cfg.applies("determinism-clock", "src/telemetry/a.cc"));
+    EXPECT_FALSE(cfg.applies("determinism-clock", "tools_not_in_scope.cc"));
+    // Unconfigured rules apply everywhere.
+    EXPECT_TRUE(cfg.applies("determinism-rand", "anything/at/all.cc"));
+}
+
+TEST(LintConfig, UnknownSectionIsAnError)
+{
+    EXPECT_THROW(
+        parseLintConfig(std::string(kMinimal) + "[determinsm-rand]\n", "t"),
+        std::invalid_argument);
+}
+
+TEST(LintConfig, UnknownKeyIsAnError)
+{
+    EXPECT_THROW(
+        parseLintConfig(std::string(kMinimal) + "[telemetry]\nmay = [\"u\"]\n",
+                        "t"),
+        std::invalid_argument);
+    EXPECT_THROW(parseLintConfig("[scan]\nroot = [\"src\"]\n"
+                                 "[layering]\nlayer0 = [\"util\"]\n",
+                                 "t"),
+                 std::invalid_argument);
+}
+
+TEST(LintConfig, ModuleInTwoLayersIsAnError)
+{
+    EXPECT_THROW(parseLintConfig("[scan]\nroots = [\"src\"]\n"
+                                 "[layering]\nlayer0 = [\"util\"]\n"
+                                 "layer1 = [\"util\"]\n",
+                                 "t"),
+                 std::invalid_argument);
+}
+
+TEST(LintConfig, MissingLayeringIsAnError)
+{
+    EXPECT_THROW(parseLintConfig("[scan]\nroots = [\"src\"]\n", "t"),
+                 std::invalid_argument);
+}
+
+TEST(LintConfig, EmptyRootsIsAnError)
+{
+    EXPECT_THROW(parseLintConfig("[layering]\nlayer0 = [\"util\"]\n", "t"),
+                 std::invalid_argument);
+}
+
+TEST(LintConfig, UnterminatedArrayIsAnError)
+{
+    EXPECT_THROW(parseLintConfig("[scan]\nroots = [\"src\"\n", "t"),
+                 std::invalid_argument);
+}
+
+TEST(LintConfig, ErrorNamesFileAndLine)
+{
+    try {
+        parseLintConfig(std::string(kMinimal) + "[nope]\n", "my.toml");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_EQ(std::string(e.what()).rfind("my.toml:5:", 0), 0u)
+            << e.what();
+    }
+}
+
+TEST(LintConfig, MatchesPrefixIsPrefixNotSubstring)
+{
+    EXPECT_TRUE(matchesPrefix({"src/telemetry/"}, "src/telemetry/trace.cc"));
+    EXPECT_FALSE(matchesPrefix({"src/telemetry/"}, "x/src/telemetry/t.cc"));
+    EXPECT_TRUE(matchesPrefix({"src/core/serialize"},
+                              "src/core/serialize.hh"));
+}
+
+} // namespace
+} // namespace wavedyn::lint

@@ -1,0 +1,19 @@
+// Known-bad fixture: must trip crash-safety-cloexec — O_* flags
+// without O_CLOEXEC. The second call spreads its arguments across
+// lines to prove the scanner joins them, and the flock()/close()
+// calls must not confuse the open-call matcher.
+#include <fcntl.h>
+#include <unistd.h>
+
+int
+leakyOpen(const char *path)
+{
+    int fd = ::open(path, O_WRONLY | O_APPEND, 0644);
+    if (fd < 0)
+        fd = ::open(path,
+                    O_WRONLY | O_CREAT,
+                    0644);
+    if (fd >= 0)
+        close(fd);
+    return fd;
+}

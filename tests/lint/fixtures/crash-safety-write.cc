@@ -1,0 +1,14 @@
+// Known-bad fixture: must trip crash-safety-write twice — once for
+// the ofstream, once for the fopen.
+#include <cstdio>
+#include <fstream>
+
+void
+tornWrites(const char *path)
+{
+    std::ofstream out(path);
+    out << "half a";
+    std::FILE *f = fopen(path, "w");
+    if (f)
+        std::fclose(f);
+}

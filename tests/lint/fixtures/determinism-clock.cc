@@ -1,0 +1,9 @@
+// Known-bad fixture: must trip determinism-clock (and nothing else).
+#include <chrono>
+
+long
+now()
+{
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}

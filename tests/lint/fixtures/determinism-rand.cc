@@ -1,0 +1,9 @@
+// Known-bad fixture: must trip determinism-rand (and nothing else).
+// "rand()" in this comment must NOT trip it — rules see code only.
+#include <cstdlib>
+
+int
+entropy()
+{
+    return rand(); // seed-addressable determinism forbids libc rand
+}

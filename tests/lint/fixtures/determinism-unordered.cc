@@ -1,0 +1,13 @@
+// Known-bad fixture: must trip determinism-unordered when placed in
+// byte-stable output code (serialization/report/merge paths).
+#include <string>
+#include <unordered_map>
+
+int
+count(const std::unordered_map<std::string, int> &m)
+{
+    int total = 0;
+    for (const auto &kv : m)
+        total += kv.second; // iteration order feeds output bytes
+    return total;
+}

@@ -1,0 +1,8 @@
+// Known-bad fixture: a header with no include guard and no pragma
+// once — must trip hygiene-header-guard.
+
+inline int
+unguarded()
+{
+    return 1;
+}

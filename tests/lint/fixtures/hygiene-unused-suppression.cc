@@ -1,0 +1,8 @@
+// Known-bad fixture: an inline allow() that suppresses nothing must
+// itself be flagged — stale exemptions must not accumulate.
+
+int
+clean() // wavedyn-lint: allow(determinism-rand)
+{
+    return 4; // chosen by fair dice roll, but at compile time
+}

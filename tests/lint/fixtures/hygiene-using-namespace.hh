@@ -1,0 +1,9 @@
+// Known-bad fixture: properly guarded, but `using namespace std` at
+// header scope poisons every includer — must trip
+// hygiene-using-namespace (and only that).
+#ifndef WAVEDYN_TESTS_LINT_FIXTURES_HYGIENE_USING_NAMESPACE_HH
+#define WAVEDYN_TESTS_LINT_FIXTURES_HYGIENE_USING_NAMESPACE_HH
+
+using namespace std;
+
+#endif

@@ -1,0 +1,9 @@
+// Known-bad fixture: placed as a telemetry/ file, the core include
+// breaks observe-only and must trip layering-telemetry.
+#include "core/experiment.hh"
+
+int
+participating()
+{
+    return 1;
+}

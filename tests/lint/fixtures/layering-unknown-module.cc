@@ -1,0 +1,8 @@
+// Known-bad fixture: placed under a src/ module that is missing from
+// lint.toml's [layering] table — must trip layering-unknown-module.
+
+int
+unclassified()
+{
+    return 1;
+}

@@ -1,0 +1,9 @@
+// Known-bad fixture: placed as a util/ file, the fleet include points
+// *up* the DAG and must trip layering.
+#include "fleet/orchestrator.hh"
+
+int
+upwardInclude()
+{
+    return 1;
+}

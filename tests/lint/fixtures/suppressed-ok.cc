@@ -1,0 +1,12 @@
+// Known-good fixture: real violations covered by inline suppressions
+// — same-line and line-above forms — must lint clean.
+#include <cstdlib>
+#include <fstream>
+
+int
+sanctioned(const char *path)
+{
+    // wavedyn-lint: allow(crash-safety-write)
+    std::ofstream out(path);
+    return rand(); // wavedyn-lint: allow(determinism-rand)
+}

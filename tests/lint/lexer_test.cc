@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the wavedyn-lint lexer: the code/comment split is what
+ * every rule's precision rests on, so each literal and comment form
+ * gets an adversarial case — including raw strings, whose contents
+ * may legally hold comment closers and unbalanced quotes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lint/lexer.hh"
+
+namespace wavedyn::lint
+{
+namespace
+{
+
+TEST(LintLexer, LineCommentIsBlankedFromCodeView)
+{
+    auto f = lexFile("a.cc", "int x = 1; // call rand() here\n");
+    ASSERT_EQ(f.lines.size(), 1u);
+    EXPECT_FALSE(containsToken(f.lines[0].code, "rand"));
+    EXPECT_TRUE(containsToken(f.lines[0].code, "x"));
+    EXPECT_NE(f.lines[0].comment.find("rand"), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentSpansLines)
+{
+    auto f = lexFile("a.cc", "int a;/* rand()\n rand() */int b;\n");
+    ASSERT_EQ(f.lines.size(), 2u);
+    EXPECT_FALSE(containsToken(f.lines[0].code, "rand"));
+    EXPECT_FALSE(containsToken(f.lines[1].code, "rand"));
+    EXPECT_TRUE(containsToken(f.lines[0].code, "a"));
+    EXPECT_TRUE(containsToken(f.lines[1].code, "b"));
+}
+
+TEST(LintLexer, StringContentsBlankedButQuotesKept)
+{
+    auto f = lexFile("a.cc", "auto s = \"rand() // not a comment\"; int y;\n");
+    ASSERT_EQ(f.lines.size(), 1u);
+    const std::string &code = f.lines[0].code;
+    EXPECT_FALSE(containsToken(code, "rand"));
+    // The '//' inside the literal must not start a comment: y is code.
+    EXPECT_TRUE(containsToken(code, "y"));
+    // Quotes survive so token boundaries around the literal hold.
+    EXPECT_NE(code.find('"'), std::string::npos);
+}
+
+TEST(LintLexer, EscapedQuoteDoesNotEndString)
+{
+    auto f = lexFile("a.cc", "auto s = \"a\\\"rand()\"; int z;\n");
+    ASSERT_EQ(f.lines.size(), 1u);
+    EXPECT_FALSE(containsToken(f.lines[0].code, "rand"));
+    EXPECT_TRUE(containsToken(f.lines[0].code, "z"));
+}
+
+TEST(LintLexer, CharLiteralBlanked)
+{
+    auto f = lexFile("a.cc", "char c = '\"'; int w;\n");
+    ASSERT_EQ(f.lines.size(), 1u);
+    // The quote character inside the char literal must not open a
+    // string that swallows the rest of the line.
+    EXPECT_TRUE(containsToken(f.lines[0].code, "w"));
+}
+
+TEST(LintLexer, RawStringWithHostileContents)
+{
+    // Raw string containing a fake comment close and a quote: only
+    // the )x" delimiter ends it.
+    auto f = lexFile("a.cc",
+                     "auto s = R\"x(rand() */ \" )notyet)x\"; int k;\n");
+    ASSERT_EQ(f.lines.size(), 1u);
+    EXPECT_FALSE(containsToken(f.lines[0].code, "rand"));
+    EXPECT_TRUE(containsToken(f.lines[0].code, "k"));
+}
+
+TEST(LintLexer, IncludesExtractedStructurally)
+{
+    auto f = lexFile("a.cc",
+                     "#include \"sim/config.hh\"\n"
+                     "#include <vector>\n"
+                     "// #include \"commented/out.hh\"\n");
+    ASSERT_EQ(f.includes.size(), 2u);
+    EXPECT_EQ(f.includes[0].path, "sim/config.hh");
+    EXPECT_TRUE(f.includes[0].quoted);
+    EXPECT_EQ(f.includes[0].line, 1u);
+    EXPECT_EQ(f.includes[1].path, "vector");
+    EXPECT_FALSE(f.includes[1].quoted);
+}
+
+TEST(LintLexer, TokenMatchingRespectsIdentifierBoundaries)
+{
+    EXPECT_TRUE(containsToken("rand()", "rand"));
+    EXPECT_FALSE(containsToken("srand()", "rand"));
+    EXPECT_FALSE(containsToken("rand_r()", "rand"));
+    EXPECT_FALSE(containsToken("myrand", "rand"));
+    EXPECT_EQ(findToken("a rand b rand", "rand"), 2u);
+    EXPECT_EQ(findToken("a rand b rand", "rand", 3), 9u);
+}
+
+TEST(LintLexer, CallDetectionRequiresParen)
+{
+    EXPECT_TRUE(containsCall("time(nullptr)", "time"));
+    EXPECT_TRUE(containsCall("x = time (0)", "time"));
+    EXPECT_FALSE(containsCall("double time = 3;", "time"));
+    EXPECT_FALSE(containsCall("job.time(", "wall"));
+}
+
+} // namespace
+} // namespace wavedyn::lint

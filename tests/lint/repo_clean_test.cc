@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The enforcement test: lint the whole checked-in repo with the
+ * checked-in lint.toml and pin it at zero violations. This is what
+ * makes wavedyn-lint a gate rather than advice — any PR that breaks
+ * determinism, the layering DAG, observe-only telemetry or atomic
+ * publication fails `ctest` with a clickable file:line message.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "lint/driver.hh"
+
+namespace wavedyn::lint
+{
+namespace
+{
+
+const char *kRepoRoot = WAVEDYN_SOURCE_DIR;
+
+TEST(RepoLint, WholeTreeIsViolationFree)
+{
+    LintConfig cfg = loadRepoConfig(kRepoRoot);
+    LintResult r = lintTree(cfg, kRepoRoot);
+    for (const Violation &v : r.violations)
+        ADD_FAILURE() << formatViolation(v);
+    // The scan must actually have covered the tree: an accidentally
+    // empty root list or over-broad exclude would pass vacuously.
+    EXPECT_GT(r.filesScanned, 150u);
+}
+
+TEST(RepoLint, ConfigClassifiesEverySrcModule)
+{
+    // Every directory directly under src/ must appear in [layering];
+    // lintTree reports unclassified ones, but check directly so the
+    // failure message names the missing module even if that module is
+    // empty of source files.
+    LintConfig cfg = loadRepoConfig(kRepoRoot);
+    namespace fs = std::filesystem;
+    for (const auto &entry :
+         fs::directory_iterator(std::string(kRepoRoot) + "/src")) {
+        if (!entry.is_directory())
+            continue;
+        std::string mod = entry.path().filename().string();
+        EXPECT_TRUE(cfg.moduleRank.count(mod))
+            << "src/" << mod << " missing from lint.toml [layering]";
+    }
+}
+
+TEST(RepoLint, FixturesAreExcludedFromTheTreeScan)
+{
+    // The known-bad fixtures must never count against the repo scan —
+    // and the exclusion is an explicit lint.toml entry, not luck.
+    LintConfig cfg = loadRepoConfig(kRepoRoot);
+    EXPECT_TRUE(matchesPrefix(cfg.exclude,
+                              "tests/lint/fixtures/determinism-rand.cc"));
+}
+
+} // namespace
+} // namespace wavedyn::lint

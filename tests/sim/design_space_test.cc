@@ -5,7 +5,7 @@
 
 #include <gtest/gtest.h>
 
-#include "dse/design_space.hh"
+#include "sim/design_space.hh"
 
 namespace wavedyn
 {

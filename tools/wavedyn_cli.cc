@@ -1,7 +1,7 @@
 /**
  * @file
  * wavedyn command-line tool — a thin shell over the declarative
- * campaign API (core/campaign.hh).
+ * campaign API (campaign/campaign.hh).
  *
  * Subcommands:
  *   run     <campaign.json> [--jobs N] [--format F] [--out PATH]
@@ -119,12 +119,14 @@
 #include <unistd.h>
 
 #include "cache/store.hh"
-#include "core/campaign.hh"
-#include "core/report.hh"
+#include "campaign/campaign.hh"
+#include "campaign/report.hh"
 #include "core/serialize.hh"
 #include "fleet/orchestrator.hh"
+#include "lint/driver.hh"
 #include "telemetry/logsink.hh"
 #include "telemetry/telemetry.hh"
+#include "util/atomic_file.hh"
 #include "util/json.hh"
 #include "util/json_diff.hh"
 #include "util/options.hh"
@@ -170,6 +172,7 @@ usage()
         "  wavedyn_cli shard --resume <jobdir> [--workers N] "
         "[--retries R]\n"
         "  wavedyn_cli trace <file> [--summarize]\n"
+        "  wavedyn_cli lint [paths...] [--root DIR]\n"
         "  wavedyn_cli info <model.txt>\n"
         "\n"
         "declarative campaigns:\n"
@@ -591,6 +594,28 @@ emitTelemetry(const std::string &tracePath, const Options &o,
 }
 
 /**
+ * Render a campaign report through @p sink to stdout, or — with
+ * --out — publish it to @p outPath atomically (render in memory,
+ * write temp + rename via util/atomic_file), so a crash or full disk
+ * never leaves a torn report where a complete one stood.
+ */
+void
+emitReport(ReportSink &sink, const CampaignResult &result,
+           const std::string &outPath)
+{
+    if (outPath.empty()) {
+        sink.write(result, std::cout);
+        return;
+    }
+    std::ostringstream rendered;
+    sink.write(result, rendered);
+    if (!writeFileAtomic(outPath, rendered.str()))
+        throw std::runtime_error("cannot write report to '" + outPath +
+                                 "'");
+    std::cerr << "wrote " << outPath << "\n";
+}
+
+/**
  * Worker-side live progress printer, routed through the serialized
  * stderr writer: one mutex, at most ~10 repaints/sec, and the final
  * done == total repaint always lands. Called concurrently from pool
@@ -883,16 +908,7 @@ executeSpec(const CampaignSpec &spec, const Options &o)
     emitTelemetry(tracePath, o, wallUs);
 
     auto sink = makeReportSink(format);
-    if (o.outPath.empty()) {
-        sink->write(result, std::cout);
-    } else {
-        std::ofstream out(o.outPath, std::ios::binary);
-        if (!out.good())
-            throw std::runtime_error("cannot write report to '" +
-                                     o.outPath + "'");
-        sink->write(result, out);
-        std::cerr << "wrote " << o.outPath << "\n";
-    }
+    emitReport(*sink, result, o.outPath);
     return 0;
 }
 
@@ -1279,16 +1295,7 @@ cmdShard(int argc, char **argv)
     // codec round trip), so stdout here is byte-identical to the
     // single-process `run` output.
     auto sink = makeReportSink(format);
-    if (o.outPath.empty()) {
-        sink->write(outcome.report.result, std::cout);
-    } else {
-        std::ofstream out(o.outPath, std::ios::binary);
-        if (!out.good())
-            throw std::runtime_error("cannot write report to '" +
-                                     o.outPath + "'");
-        sink->write(outcome.report.result, out);
-        std::cerr << "wrote " << o.outPath << "\n";
-    }
+    emitReport(*sink, outcome.report.result, o.outPath);
     return 0;
 }
 
@@ -1486,6 +1493,47 @@ cmdTrace(int argc, char **argv)
     return 1;
 }
 
+/**
+ * `wavedyn_cli lint [paths...]` — run the repo's static-analysis
+ * pass (src/lint/) from wherever the CLI is invoked: the repo root is
+ * found by walking up to the nearest lint.toml. Same rules, config
+ * and output as the standalone wavedyn_lint binary and the
+ * tests/lint/ CTest entry.
+ */
+int
+cmdLint(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    std::string root;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            if (++i >= argc)
+                return usage();
+            root = argv[i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw std::invalid_argument("lint: unknown flag " + arg);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (root.empty())
+        root = lint::findRepoRoot(".");
+    if (root.empty())
+        throw std::invalid_argument(
+            "lint: no lint.toml found above the current directory "
+            "(use --root DIR)");
+    lint::LintConfig cfg = lint::loadRepoConfig(root);
+    lint::LintResult result = paths.empty()
+                                  ? lint::lintTree(cfg, root)
+                                  : lint::lintPaths(cfg, root, paths);
+    for (const lint::Violation &v : result.violations)
+        std::cout << lint::formatViolation(v) << "\n";
+    std::cerr << "wavedyn-lint: " << result.filesScanned << " files, "
+              << result.violations.size() << " violation(s)\n";
+    return result.violations.empty() ? 0 : 1;
+}
+
 int
 cmdInfo(int argc, char **argv)
 {
@@ -1552,6 +1600,8 @@ main(int argc, char **argv)
             return cmdShard(argc, argv);
         if (cmd == "trace")
             return cmdTrace(argc, argv);
+        if (cmd == "lint")
+            return cmdLint(argc, argv);
         if (cmd == "info")
             return cmdInfo(argc, argv);
         // Bare generation flags ("wavedyn_cli --generate 8 --family

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * wavedyn-lint — the repo's own static-analysis pass.
+ *
+ * Enforces the invariants every PR leans on (byte-identical reports
+ * for any --jobs N, observe-only telemetry, atomic file publication,
+ * the module layering DAG) at the source level, before a runtime
+ * golden test could ever see the violation. See src/lint/rules.hh for
+ * the rule catalog and lint.toml for scopes, layering and allowlists.
+ *
+ *   wavedyn_lint [paths...] [--root DIR] [--list-rules]
+ *
+ * With no paths the whole configured tree is scanned. Exit 0 when
+ * clean, 1 on violations, 2 on usage/config errors.
+ */
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/driver.hh"
+
+using namespace wavedyn::lint;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: wavedyn_lint [paths...] [--root DIR] [--list-rules]\n"
+           "\n"
+           "  paths         files or directories to lint (default: the\n"
+           "                [scan] roots in lint.toml)\n"
+           "  --root DIR    repo root (default: nearest ancestor of the\n"
+           "                current directory containing lint.toml)\n"
+           "  --list-rules  print the rule catalog and exit\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> paths;
+    std::string root;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--list-rules") {
+                for (const std::string &id : allRuleIds())
+                    std::cout << id << "\n";
+                return 0;
+            }
+            if (arg == "--root") {
+                if (++i >= argc)
+                    return usage();
+                root = argv[i];
+            } else if (arg == "--help" || arg == "-h") {
+                return usage();
+            } else if (!arg.empty() && arg[0] == '-') {
+                std::cerr << "wavedyn_lint: unknown flag " << arg
+                          << "\n";
+                return usage();
+            } else {
+                paths.push_back(arg);
+            }
+        }
+
+        if (root.empty())
+            root = findRepoRoot(".");
+        if (root.empty()) {
+            std::cerr << "wavedyn_lint: no lint.toml found above the "
+                         "current directory (use --root)\n";
+            return 2;
+        }
+
+        LintConfig cfg = loadRepoConfig(root);
+        LintResult result = paths.empty()
+                                ? lintTree(cfg, root)
+                                : lintPaths(cfg, root, paths);
+        for (const Violation &v : result.violations)
+            std::cout << formatViolation(v) << "\n";
+        std::cerr << "wavedyn-lint: " << result.filesScanned
+                  << " files, " << result.violations.size()
+                  << " violation(s)\n";
+        return result.violations.empty() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "wavedyn_lint: " << e.what() << "\n";
+        return 2;
+    }
+}
