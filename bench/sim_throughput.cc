@@ -2,9 +2,10 @@
  * @file
  * Simulator hot-path throughput: simulated instructions per second of
  * the end-to-end simulate() loop across the six workload families
- * (profile 0 of seed 1) plus a paper profile, and raw instruction-
- * decode throughput with the random-access reference path (at(i))
- * versus the streaming Cursor.
+ * (profile 0 of seed 1) plus a paper profile, the config-batched
+ * simulateBatch() kernel at batch widths 1/4/16/64 on the same
+ * workloads, and raw instruction-decode throughput with the
+ * random-access reference path (at(i)) versus the streaming Cursor.
  *
  * This is the perf trajectory anchor for the cycle loop: `--json
  * BENCH_sim.json` records every row so regressions in the hot path
@@ -23,6 +24,7 @@
 #include "bench/common.hh"
 #include "cache/store.hh"
 #include "exec/scheduler.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
 #include "workload/stream.hh"
@@ -54,7 +56,8 @@ bestSeconds(Fn &&fn)
 struct Row
 {
     std::string workload;
-    std::string kind; //!< "simulate", "decode-scalar", "decode-cursor"
+    std::string kind; //!< "simulate", "simulate-batched", "decode-*"
+    unsigned batchWidth = 0; //!< lanes per simulateBatch() call, or 0
     std::uint64_t instructions = 0;
     double seconds = 0.0;
 
@@ -64,6 +67,14 @@ struct Row
         return seconds > 0.0
                    ? static_cast<double>(instructions) / seconds
                    : 0.0;
+    }
+
+    std::string
+    kindLabel() const
+    {
+        return batchWidth != 0
+                   ? kind + "(w" + std::to_string(batchWidth) + ")"
+                   : kind;
     }
 };
 
@@ -89,6 +100,34 @@ simulateRow(const BenchmarkProfile &profile, const std::string &label,
     return row;
 }
 
+/**
+ * Config-batched throughput of one profile at one batch width: the
+ * aggregate simulated-instruction rate of a simulateBatch() call with
+ * @p width baseline lanes. Against the scalar "simulate" row this is
+ * the per-lane speedup of batching — every lane does exactly the
+ * scalar row's work (bit-identical results, pinned by tests), so rate
+ * ratios compare like for like.
+ */
+Row
+batchedRow(const BenchmarkProfile &profile, const std::string &label,
+           unsigned width, const BenchContext &ctx)
+{
+    std::vector<SimConfig> cfgs(width, SimConfig::baseline());
+    auto runBatch = [&] {
+        return simulateBatch(profile, cfgs, ctx.sizes.samplesPerTrace,
+                             ctx.sizes.intervalInstrs);
+    };
+    std::vector<SimResult> warm = runBatch();
+    Row row;
+    row.workload = label;
+    row.kind = "simulate-batched";
+    row.batchWidth = width;
+    for (const SimResult &r : warm)
+        row.instructions += r.totalInstructions;
+    row.seconds = bestSeconds([&] { runBatch(); });
+    return row;
+}
+
 } // anonymous namespace
 
 int
@@ -109,6 +148,37 @@ main(int argc, char **argv)
         rows.push_back(simulateRow(gen.generate(0), familyName(f), ctx));
     }
     rows.push_back(simulateRow(benchmarkByName("gcc"), "gcc", ctx));
+
+    // ---- Config-batched kernel (sim/batch.hh) across batch widths:
+    // per-lane speedup over the scalar rows above, from shared decode,
+    // idle-cycle fast-forward, and cross-lane op-window reuse.
+    {
+        const unsigned widths[] = {1, 4, 16, 64};
+        for (WorkloadFamily f : allFamilies()) {
+            ScenarioGenerator gen(f, 1);
+            BenchmarkProfile profile = gen.generate(0);
+            for (unsigned w : widths)
+                rows.push_back(batchedRow(profile, familyName(f), w, ctx));
+        }
+        BenchmarkProfile gcc = benchmarkByName("gcc");
+        for (unsigned w : widths)
+            rows.push_back(batchedRow(gcc, "gcc", w, ctx));
+
+        // Per-workload speedup summary: batched aggregate rate over
+        // the scalar rate, at the widest batch.
+        for (const Row &s : rows) {
+            if (s.kind != "simulate")
+                continue;
+            for (const Row &b : rows)
+                if (b.kind == "simulate-batched" &&
+                    b.workload == s.workload &&
+                    b.batchWidth == widths[3] && s.perSec() > 0.0)
+                    std::cout << "batched speedup " << s.workload
+                              << " (w" << b.batchWidth
+                              << "): " << fmt(b.perSec() / s.perSec(), 2)
+                              << "x\n";
+        }
+    }
 
     // ---- Raw decode: reference random access vs streaming cursor on
     // the mixed family. The checksums must agree — the cursor is an
@@ -249,8 +319,8 @@ main(int argc, char **argv)
     }
 
     for (const auto &r : rows)
-        t.row({r.workload, r.kind, fmt(r.instructions), fmt(r.seconds, 3),
-               fmt(r.perSec() / 1000.0, 1)});
+        t.row({r.workload, r.kindLabel(), fmt(r.instructions),
+               fmt(r.seconds, 3), fmt(r.perSec() / 1000.0, 1)});
     t.print(std::cout);
 
     if (!jsonPath.empty()) {
@@ -264,6 +334,8 @@ main(int argc, char **argv)
             JsonValue row = JsonValue::object();
             row.set("workload", r.workload);
             row.set("kind", r.kind);
+            if (r.batchWidth != 0)
+                row.set("batch_width", std::uint64_t{r.batchWidth});
             row.set("instructions", r.instructions);
             row.set("seconds", r.seconds);
             row.set("instrs_per_sec", r.perSec());

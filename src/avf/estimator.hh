@@ -72,6 +72,62 @@ class AvfAccumulator
         ++cycles;
     }
 
+    /**
+     * Account @p k cycles at the current occupancy, bit-identically
+     * to k successive tick() calls. FP accumulation is not
+     * associative — aceCycles + k * current generally differs from k
+     * repeated adds in the last ulp — so the adds are replayed, with
+     * an early exit once the sum reaches its fixed point (when one
+     * more add no longer changes the value, every further add is the
+     * same bitwise no-op). current is non-negative by construction
+     * (occupy adds non-negative ACE weights, release clamps at zero),
+     * so a zero occupancy leaves the accumulated sum — which is never
+     * -0.0 for the same reason — bitwise untouched.
+     */
+    void
+    tickMany(std::uint64_t k)
+    {
+        cycles += k;
+        if (current == 0.0)
+            return;
+        for (std::uint64_t i = 0; i < k; ++i) {
+            double next = aceCycles + current;
+            if (next == aceCycles)
+                return;
+            aceCycles = next;
+        }
+    }
+
+    /**
+     * tickMany(k) on three accumulators at once. Each accumulator's
+     * add sequence is its own independent dependence chain; replaying
+     * them in one interleaved loop overlaps the three FP-add latency
+     * chains instead of serialising them, which is what makes batch
+     * idle-cycle skipping cheap (sim/pipeline.cc skipCycles). The
+     * plain unconditional add is bitwise the reference semantics —
+     * scalar tick() adds every cycle with no early exit.
+     */
+    static void
+    tickMany(AvfAccumulator &a, AvfAccumulator &b, AvfAccumulator &c,
+             std::uint64_t k)
+    {
+        a.cycles += k;
+        b.cycles += k;
+        c.cycles += k;
+        double av = a.current, bv = b.current, cv = c.current;
+        if (av == 0.0 && bv == 0.0 && cv == 0.0)
+            return;
+        double as = a.aceCycles, bs = b.aceCycles, cs = c.aceCycles;
+        for (std::uint64_t i = 0; i < k; ++i) {
+            as += av;
+            bs += bv;
+            cs += cv;
+        }
+        a.aceCycles = as;
+        b.aceCycles = bs;
+        c.aceCycles = cs;
+    }
+
     /** AVF over the accumulated window, in [0, 1]. */
     double value() const;
 

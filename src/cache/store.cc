@@ -312,6 +312,7 @@ struct CacheIoMetrics
     MetricId loadUs;   //!< whole load: read + decode
     MetricId decodeUs; //!< decode alone, to split I/O from codec cost
     MetricId writeUs;  //!< whole store: encode + atomic publish
+    MetricId memHits;  //!< loads served by the in-memory LRU layer
 
     static const CacheIoMetrics &
     get()
@@ -322,6 +323,7 @@ struct CacheIoMetrics
             c.loadUs = reg.histogram("cache.load_us");
             c.decodeUs = reg.histogram("cache.decode_us");
             c.writeUs = reg.histogram("cache.write_us");
+            c.memHits = reg.counter("cache.mem_hits");
             return c;
         }();
         return m;
@@ -335,6 +337,22 @@ ResultCache::load(const CacheKey &key)
 {
     const CacheIoMetrics &tm = CacheIoMetrics::get();
     std::uint64_t loadStart = telemetryNowUs();
+    {
+        std::lock_guard<std::mutex> lock(memMu);
+        if (memCap != 0) {
+            auto it = memIndex.find(key.hex());
+            if (it != memIndex.end()) {
+                memList.splice(memList.begin(), memList, it->second);
+                SimResult result = it->second->second;
+                nHits.fetch_add(1, std::memory_order_relaxed);
+                nMemHits.fetch_add(1, std::memory_order_relaxed);
+                metricsRegistry().add(tm.memHits, 1);
+                metricsRegistry().observe(tm.loadUs,
+                                          telemetryNowUs() - loadStart);
+                return result;
+            }
+        }
+    }
     std::string bytes;
     if (!readFile(entryPath(key), bytes)) {
         nMisses.fetch_add(1, std::memory_order_relaxed);
@@ -353,6 +371,7 @@ ResultCache::load(const CacheKey &key)
         return std::nullopt;
     }
     nHits.fetch_add(1, std::memory_order_relaxed);
+    memoryPut(key.hex(), *result);
     return result;
 }
 
@@ -377,7 +396,46 @@ ResultCache::store(const CacheKey &key, const SimResult &result)
     nStores.fetch_add(1, std::memory_order_relaxed);
     metricsRegistry().observe(tm.writeUs,
                               telemetryNowUs() - storeStart);
+    memoryPut(key.hex(), result);
     return true;
+}
+
+void
+ResultCache::memoryPut(const std::string &keyHex, const SimResult &result)
+{
+    std::lock_guard<std::mutex> lock(memMu);
+    if (memCap == 0)
+        return;
+    auto it = memIndex.find(keyHex);
+    if (it != memIndex.end()) {
+        it->second->second = result;
+        memList.splice(memList.begin(), memList, it->second);
+        return;
+    }
+    memList.emplace_front(keyHex, result);
+    memIndex.emplace(keyHex, memList.begin());
+    while (memList.size() > memCap) {
+        memIndex.erase(memList.back().first);
+        memList.pop_back();
+    }
+}
+
+void
+ResultCache::setMemoryCapacity(std::size_t maxEntries)
+{
+    std::lock_guard<std::mutex> lock(memMu);
+    memCap = maxEntries;
+    while (memList.size() > memCap) {
+        memIndex.erase(memList.back().first);
+        memList.pop_back();
+    }
+}
+
+std::size_t
+ResultCache::memoryCapacity() const
+{
+    std::lock_guard<std::mutex> lock(memMu);
+    return memCap;
 }
 
 bool
@@ -402,6 +460,7 @@ ResultCache::stats() const
 {
     ResultCacheStats s;
     s.hits = nHits.load(std::memory_order_relaxed);
+    s.memHits = nMemHits.load(std::memory_order_relaxed);
     s.misses = nMisses.load(std::memory_order_relaxed);
     s.badEntries = nBad.load(std::memory_order_relaxed);
     s.stores = nStores.load(std::memory_order_relaxed);

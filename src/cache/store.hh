@@ -22,6 +22,12 @@
  * concurrent writers racing one key both succeed and readers only ever
  * observe complete records.
  *
+ * An optional process-local in-memory LRU layer (setMemoryCapacity)
+ * fronts the disk store: a bounded number of recently loaded or
+ * stored entries are served without file I/O or decode. The layer
+ * holds exact decoded results keyed by the same content address, so
+ * it can never change what a load returns — only how fast.
+ *
  * Thread safety: load()/store() and the counters are safe to call from
  * scheduler worker threads concurrently. gc()/verify()/usage() are
  * maintenance operations for the CLI; running them while a campaign
@@ -34,9 +40,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/key.hh"
@@ -48,7 +58,8 @@ namespace wavedyn
 /** Counters of one ResultCache's activity in this process. */
 struct ResultCacheStats
 {
-    std::uint64_t hits = 0;
+    std::uint64_t hits = 0;     //!< all hits, memory or disk
+    std::uint64_t memHits = 0;  //!< subset of hits served from memory
     std::uint64_t misses = 0;   //!< absent entries
     std::uint64_t badEntries = 0; //!< present but rejected (also missed)
     std::uint64_t stores = 0;
@@ -128,7 +139,9 @@ class ResultCache
     std::string entryPath(const CacheKey &key) const;
 
     /** Fetch a result; any absent/defective/version-skewed entry is a
-     *  miss. Thread-safe. */
+     *  miss. With a memory capacity set, recently loaded/stored
+     *  entries are served from the in-memory layer without touching
+     *  the disk record. Thread-safe. */
     std::optional<SimResult> load(const CacheKey &key);
 
     /** Publish a result under @p key (atomic rename; last writer
@@ -147,6 +160,26 @@ class ResultCache
 
     /** Process-lifetime counters of this cache object. */
     ResultCacheStats stats() const;
+
+    /**
+     * Bound of the process-local in-memory LRU layer in entries; 0
+     * (the default) disables it. The layer fronts the disk store:
+     * load() consults it first (a memory hit skips file I/O and
+     * decode entirely, counted in stats().memHits and the
+     * cache.mem_hits telemetry counter), and both disk hits and
+     * successful store() calls populate it, evicting least-recently
+     * used entries beyond the bound.
+     *
+     * Deliberately opt-in: with the layer off, every load() re-reads
+     * and re-verifies the disk record, which is the behaviour the
+     * corruption-recovery contract ("any defect reads as a miss")
+     * is tested against. The CLI enables a small bound for campaign
+     * commands — within one process a re-probed key is then a memory
+     * hit — while tests and maintenance commands see the disk truth.
+     * Shrinking the capacity evicts immediately; thread-safe.
+     */
+    void setMemoryCapacity(std::size_t maxEntries);
+    std::size_t memoryCapacity() const;
 
     /** Scan every entry under the root. */
     std::vector<CacheEntryInfo> scan() const;
@@ -169,13 +202,27 @@ class ResultCache
                      std::int64_t now);
 
   private:
+    /** Insert/refresh @p key in the LRU layer (no-op when off). */
+    void memoryPut(const std::string &keyHex, const SimResult &result);
+
     std::string rootDir;
     std::string version;
     std::atomic<std::uint64_t> nHits{0};
+    std::atomic<std::uint64_t> nMemHits{0};
     std::atomic<std::uint64_t> nMisses{0};
     std::atomic<std::uint64_t> nBad{0};
     std::atomic<std::uint64_t> nStores{0};
     std::atomic<std::uint64_t> nStoreFailures{0};
+
+    /** In-memory LRU front (see setMemoryCapacity): recency list of
+     *  (key, result) with an index into it; all guarded by memMu. */
+    mutable std::mutex memMu;
+    std::size_t memCap = 0;
+    std::list<std::pair<std::string, SimResult>> memList;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, SimResult>>::iterator>
+        memIndex;
 };
 
 /**

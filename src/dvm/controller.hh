@@ -91,6 +91,11 @@ class DvmController
     const DvmStats &stats() const { return stat; }
     const DvmConfig &config() const { return cfg; }
 
+    /** Inline fast-path guard: lets the per-cycle caller skip the
+     *  shouldStallDispatch call entirely when the mechanism is off
+     *  (the call would return false without touching state). */
+    bool enabled() const { return cfg.enabled; }
+
     /** Online IQ AVF estimate of the last completed window. */
     double lastOnlineAvf() const { return lastAvf; }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cache/key.hh"
+#include "sim/batch.hh"
 #include "telemetry/telemetry.hh"
 
 namespace
@@ -137,26 +138,69 @@ RunScheduler::run(ThreadPool &pool)
                 pending.push_back(i);
     }
 
-    // parallelFor rethrows the lowest-index exception only after every
-    // index ran, so each non-throwing task below commits (result slot
-    // filled, resolved flag set, events fired) no matter what its
-    // siblings did — the exception just propagates past the final
-    // commit of `completed`, leaving the per-task flags as the record
-    // of what a retry may skip.
-    parallelFor(pool, pending.size(), [&](std::size_t k) {
+    // Batch grouping: missing tasks that share a run shape
+    // (benchmark, samples, intervalInstrs, DVM policy) fold into one
+    // simulateBatch() call of at most globalBatchWidth() lanes —
+    // decode once, simulate many. Chunks are formed in task order
+    // from the task list and the width alone, never from --jobs, and
+    // simulateBatch() is bit-identical to per-task simulate()
+    // (sim/batch.hh), so results — and therefore reports — are
+    // byte-identical whether and however tasks were batched. A custom
+    // task runner computes per task by contract, so it bypasses
+    // grouping entirely.
+    auto sameShape = [](const RunTask &a, const RunTask &b) {
+        return a.benchmark == b.benchmark && a.samples == b.samples &&
+               a.intervalInstrs == b.intervalInstrs &&
+               a.dvm.enabled == b.dvm.enabled &&
+               a.dvm.threshold == b.dvm.threshold &&
+               a.dvm.sampleCycles == b.dvm.sampleCycles &&
+               a.dvm.initialWqRatio == b.dvm.initialWqRatio &&
+               a.dvm.minWqRatio == b.dvm.minWqRatio &&
+               a.dvm.maxWqRatio == b.dvm.maxWqRatio;
+    };
+    const std::size_t width = runner ? 1 : globalBatchWidth();
+    std::vector<std::vector<std::size_t>> chunks; // indices into pending
+    if (width <= 1) {
+        chunks.reserve(pending.size());
+        for (std::size_t k = 0; k < pending.size(); ++k)
+            chunks.push_back({k});
+    } else {
+        // One open (not yet full) chunk per distinct run shape;
+        // chunks appear in first-task order and fill in task order.
+        std::vector<std::size_t> open;
+        for (std::size_t k = 0; k < pending.size(); ++k) {
+            const RunTask &t = tasks[pending[k]];
+            std::size_t c = open.size();
+            for (std::size_t o = 0; o < open.size(); ++o)
+                if (sameShape(tasks[pending[chunks[open[o]][0]]], t)) {
+                    c = o;
+                    break;
+                }
+            if (c == open.size()) {
+                open.push_back(chunks.size());
+                chunks.push_back({});
+            }
+            std::vector<std::size_t> &chunk = chunks[open[c]];
+            chunk.push_back(k);
+            if (chunk.size() >= width)
+                open.erase(open.begin() +
+                           static_cast<std::ptrdiff_t>(c));
+        }
+    }
+
+    // Publish one computed task: store to cache, mark resolved, fire
+    // telemetry and progress. spanStart/spanUs are the task's share of
+    // its chunk's wall time — one "run" span and one sim.run_us sample
+    // per logical run, whatever the batch width or --jobs setting: the
+    // trace's span multiset is pinned jobs- and batch-invariant by
+    // tests.
+    auto publish = [&](std::size_t k, std::uint64_t spanStart,
+                       std::uint64_t spanUs) {
         std::size_t i = pending[k];
-        const RunTask &t = tasks[i];
-        std::uint64_t runStart = telemetryNowUs();
-        results[i] = runner ? runner(t)
-                            : simulate(*t.benchmark, t.config, t.samples,
-                                       t.intervalInstrs, t.dvm);
-        std::uint64_t runEnd = telemetryNowUs();
-        reg.observe(tm.runUs, runEnd - runStart);
+        reg.observe(tm.runUs, spanUs);
         reg.add(tm.computed, 1);
-        // One "run" span per executed simulation, whatever --jobs is:
-        // the trace's span multiset is pinned jobs-invariant by tests.
-        tracer.complete("run", "sim", runStart, runEnd - runStart,
-                        "task", std::to_string(i));
+        tracer.complete("run", "sim", spanStart, spanUs, "task",
+                        std::to_string(i));
         if (cache) {
             std::uint64_t storeStart = telemetryNowUs();
             bool storedOk = cache->store(pendingKeys[k], results[i]);
@@ -180,6 +224,44 @@ RunScheduler::run(ThreadPool &pool)
         if (progress)
             progress(done.fetch_add(1, std::memory_order_relaxed) + 1,
                      total);
+    };
+
+    // parallelFor rethrows the lowest-index exception only after every
+    // index ran, so each non-throwing chunk below commits (result
+    // slots filled, resolved flags set, events fired) no matter what
+    // its siblings did — the exception just propagates past the final
+    // commit of `completed`, leaving the per-task flags as the record
+    // of what a retry may skip. A chunk is all-or-nothing: a throwing
+    // batch commits none of its tasks, and a retry re-groups and
+    // re-runs exactly the tasks that never resolved.
+    parallelFor(pool, chunks.size(), [&](std::size_t ci) {
+        const std::vector<std::size_t> &chunk = chunks[ci];
+        if (chunk.size() == 1) {
+            std::size_t i = pending[chunk[0]];
+            const RunTask &t = tasks[i];
+            std::uint64_t runStart = telemetryNowUs();
+            results[i] = runner ? runner(t)
+                                : simulate(*t.benchmark, t.config,
+                                           t.samples, t.intervalInstrs,
+                                           t.dvm);
+            publish(chunk[0], runStart, telemetryNowUs() - runStart);
+            return;
+        }
+        const RunTask &t0 = tasks[pending[chunk[0]]];
+        std::vector<SimConfig> cfgs;
+        cfgs.reserve(chunk.size());
+        for (std::size_t k : chunk)
+            cfgs.push_back(tasks[pending[k]].config);
+        std::uint64_t batchStart = telemetryNowUs();
+        std::vector<SimResult> rs =
+            simulateBatch(*t0.benchmark, cfgs, t0.samples,
+                          t0.intervalInstrs, t0.dvm);
+        std::uint64_t share =
+            (telemetryNowUs() - batchStart) / chunk.size();
+        for (std::size_t l = 0; l < chunk.size(); ++l) {
+            results[pending[chunk[l]]] = std::move(rs[l]);
+            publish(chunk[l], batchStart + l * share, share);
+        }
     });
     completed = tasks.size();
 

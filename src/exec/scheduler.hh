@@ -24,6 +24,16 @@
  * batch therefore costs zero worker dispatches, and because hits are
  * byte-exact stored results, a campaign's output is identical whether
  * any given run was computed or replayed.
+ *
+ * Missing tasks that share a run shape — same benchmark, samples,
+ * intervalInstrs, and DVM policy, differing only in machine config —
+ * are additionally folded into config-batched simulateBatch() calls
+ * of at most globalBatchWidth() lanes (sim/batch.hh): the decode is
+ * paid once per chunk instead of once per run. Chunking is derived
+ * from the task list and the width alone, and the batched kernel is
+ * bit-identical to scalar simulate(), so every report stays
+ * byte-identical for any --jobs and any --batch-width. Progress,
+ * cache, and telemetry events still fire once per logical run.
  */
 
 #ifndef WAVEDYN_EXEC_SCHEDULER_HH
@@ -115,12 +125,13 @@ class RunScheduler
      * Exception safety — commit what succeeded: if a task throws
      * (simulate() on a defective input, or an injected task runner),
      * the lowest-index exception propagates after every other pending
-     * task has run, and all work that completed stays committed. A
-     * later run() on the same scheduler retries only the tasks that
-     * never resolved: resolved tasks keep their results and never
-     * re-fire their progress or cache hit/store events (an unresolved
-     * task is re-probed, so its cache miss event may fire again).
-     * result(i) is only valid for resolved tasks.
+     * chunk has run, and all work that completed stays committed. A
+     * batched chunk is all-or-nothing: a throw commits none of its
+     * tasks. A later run() on the same scheduler retries only the
+     * tasks that never resolved: resolved tasks keep their results
+     * and never re-fire their progress or cache hit/store events (an
+     * unresolved task is re-probed, so its cache miss event may fire
+     * again). result(i) is only valid for resolved tasks.
      */
     void run(ThreadPool &pool);
 

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Monotonic slab allocator for per-run pipeline state.
+ *
+ * A batched simulation (sim/batch.hh) constructs N pipelines at once,
+ * and each pipeline's fixed-capacity structures — the ROB and fetch
+ * rings, the calendar-queue node pool — are sized exactly by SimConfig
+ * at construction and live for exactly the run. Carving them from one
+ * batch-owned slab replaces N sets of small heap allocations with one,
+ * keeps each lane's hot state contiguous, and makes teardown free (the
+ * slab is released whole; nothing is destroyed element by element,
+ * which is why only trivially-destructible element types are
+ * accepted).
+ *
+ * The arena is deliberately not an upper bound: a request that does
+ * not fit the slab is served from an owned overflow block instead of
+ * failing, so a mis-estimated capacity costs a heap allocation, never
+ * correctness. allocate() value-initialises, matching what the
+ * replaced std::vector storage did.
+ */
+
+#ifndef WAVEDYN_SIM_BATCH_ARENA_HH
+#define WAVEDYN_SIM_BATCH_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace wavedyn
+{
+
+/** One-shot bump allocator; everything freed when the arena dies. */
+class BatchArena
+{
+  public:
+    /** @param bytes slab size; requests beyond it overflow to heap. */
+    explicit BatchArena(std::size_t bytes)
+        : slab(new unsigned char[bytes]), cap(bytes)
+    {
+    }
+
+    BatchArena(const BatchArena &) = delete;
+    BatchArena &operator=(const BatchArena &) = delete;
+
+    /** Value-initialised array of @p n Ts, aligned for T. */
+    template <typename T>
+    T *
+    allocate(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory is reclaimed without destructors");
+        std::size_t bytes = n * sizeof(T);
+        unsigned char *p = take(bytes, alignof(T));
+        return new (p) T[n]();
+    }
+
+    std::size_t usedBytes() const { return off + overflowBytes; }
+    std::size_t slabBytes() const { return cap; }
+    std::size_t overflowAllocations() const { return overflow.size(); }
+
+  private:
+    unsigned char *
+    take(std::size_t bytes, std::size_t align)
+    {
+        std::size_t aligned = (off + align - 1) & ~(align - 1);
+        if (aligned + bytes <= cap) {
+            off = aligned + bytes;
+            return slab.get() + aligned;
+        }
+        // Overflow: never fail, just lose the locality win.
+        overflow.emplace_back(new unsigned char[bytes + align]);
+        overflowBytes += bytes;
+        unsigned char *raw = overflow.back().get();
+        auto addr = reinterpret_cast<std::uintptr_t>(raw);
+        std::uintptr_t shift = (align - addr % align) % align;
+        return raw + shift;
+    }
+
+    std::unique_ptr<unsigned char[]> slab;
+    std::size_t cap = 0;
+    std::size_t off = 0;
+    std::vector<std::unique_ptr<unsigned char[]>> overflow;
+    std::size_t overflowBytes = 0;
+};
+
+} // namespace wavedyn
+
+#endif // WAVEDYN_SIM_BATCH_ARENA_HH

@@ -7,7 +7,7 @@ namespace wavedyn
 
 GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
     : pht(entries, 1), // weakly not-taken
-      historyMask((1ull << history_bits) - 1)
+      historyMask((1ull << history_bits) - 1), idxMask(entries - 1)
 {
     assert(entries > 0);
     assert((entries & (entries - 1)) == 0 && "PHT size must be 2^n");
@@ -16,7 +16,10 @@ GsharePredictor::GsharePredictor(unsigned entries, unsigned history_bits)
 std::uint64_t
 GsharePredictor::index(std::uint64_t pc) const
 {
-    return ((pc >> 2) ^ (history & historyMask)) % pht.size();
+    // The constructor asserts a power-of-two table, so the modulo is
+    // a mask (two of these per resolved branch — keep it off the
+    // divider).
+    return ((pc >> 2) ^ (history & historyMask)) & idxMask;
 }
 
 bool
@@ -36,21 +39,37 @@ GsharePredictor::update(std::uint64_t pc, bool taken)
     history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
 }
 
+bool
+GsharePredictor::predictThenUpdate(std::uint64_t pc, bool taken)
+{
+    std::uint8_t &ctr = pht[index(pc)];
+    bool predicted = ctr >= 2;
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+    return predicted;
+}
+
 Btb::Btb(unsigned entries, unsigned assoc)
     : sets(entries / assoc ? entries / assoc : 1), assoc(assoc),
-      table(static_cast<std::size_t>(sets) * assoc)
+      pcA(static_cast<std::size_t>(sets) * assoc, 0),
+      targetA(static_cast<std::size_t>(sets) * assoc, 0),
+      lastUseA(static_cast<std::size_t>(sets) * assoc, 0)
 {
+    if ((sets & (sets - 1)) == 0)
+        setMask = sets - 1;
 }
 
 bool
 Btb::lookup(std::uint64_t pc, std::uint64_t &target)
 {
-    std::uint64_t set = (pc >> 2) % sets;
-    Entry *row = &table[set * assoc];
+    std::size_t base = static_cast<std::size_t>(setOf(pc)) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        if (row[w].valid && row[w].pc == pc) {
-            target = row[w].target;
-            row[w].lastUse = ++useClock;
+        if (pcA[base + w] == pc && lastUseA[base + w] != 0) {
+            target = targetA[base + w];
+            lastUseA[base + w] = ++useClock;
             return true;
         }
     }
@@ -61,29 +80,28 @@ void
 Btb::update(std::uint64_t pc, std::uint64_t target)
 {
     ++useClock;
-    std::uint64_t set = (pc >> 2) % sets;
-    Entry *row = &table[set * assoc];
+    std::size_t base = static_cast<std::size_t>(setOf(pc)) * assoc;
     unsigned victim = 0;
     std::uint64_t oldest = ~0ull;
     for (unsigned w = 0; w < assoc; ++w) {
-        if (row[w].valid && row[w].pc == pc) {
+        std::uint64_t use = lastUseA[base + w];
+        if (use != 0 && pcA[base + w] == pc) {
             victim = w;
             break;
         }
-        if (!row[w].valid) {
+        if (use == 0) {
             victim = w;
             oldest = 0;
             continue;
         }
-        if (row[w].lastUse < oldest) {
-            oldest = row[w].lastUse;
+        if (use < oldest) {
+            oldest = use;
             victim = w;
         }
     }
-    row[victim].valid = true;
-    row[victim].pc = pc;
-    row[victim].target = target;
-    row[victim].lastUse = useClock;
+    pcA[base + victim] = pc;
+    targetA[base + victim] = target;
+    lastUseA[base + victim] = useClock;
 }
 
 ReturnAddressStack::ReturnAddressStack(unsigned entries)
@@ -95,7 +113,8 @@ void
 ReturnAddressStack::push(std::uint64_t return_pc)
 {
     stack[top] = return_pc;
-    top = (top + 1) % stack.size();
+    if (++top == stack.size())
+        top = 0;
     if (count < stack.size())
         ++count;
 }
@@ -105,7 +124,7 @@ ReturnAddressStack::pop(std::uint64_t &target)
 {
     if (count == 0)
         return false;
-    top = (top + stack.size() - 1) % stack.size();
+    top = top == 0 ? stack.size() - 1 : top - 1;
     target = stack[top];
     --count;
     return true;

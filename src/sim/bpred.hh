@@ -46,6 +46,13 @@ class GsharePredictor
     /** Update counters and history with the resolved direction. */
     void update(std::uint64_t pc, bool taken);
 
+    /**
+     * predict(pc) followed by update(pc, taken), fused so the PHT
+     * index — a function of pc and the pre-update history — is
+     * computed once. Identical observable behaviour.
+     */
+    bool predictThenUpdate(std::uint64_t pc, bool taken);
+
     unsigned tableSize() const
     {
         return static_cast<unsigned>(pht.size());
@@ -57,6 +64,7 @@ class GsharePredictor
     std::vector<std::uint8_t> pht;
     std::uint64_t history = 0;
     std::uint64_t historyMask;
+    std::uint64_t idxMask; //!< pht.size() - 1 (size is 2^n)
 };
 
 /** Branch target buffer: set-associative pc -> target map. */
@@ -72,18 +80,28 @@ class Btb
     void update(std::uint64_t pc, std::uint64_t target);
 
   private:
-    struct Entry
+    /** pc -> set index: mask when sets is a power of two (identical
+     *  result by definition), divide otherwise. */
+    std::uint64_t
+    setOf(std::uint64_t pc) const
     {
-        std::uint64_t pc = 0;
-        std::uint64_t target = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
+        std::uint64_t idx = pc >> 2;
+        return setMask != 0 || sets == 1 ? idx & setMask : idx % sets;
+    }
 
     unsigned sets;
     unsigned assoc;
+    std::uint64_t setMask = 0; //!< sets - 1 when sets is 2^n
     std::uint64_t useClock = 0;
-    std::vector<Entry> table;
+    /**
+     * Entry state as parallel arrays (sets x assoc, row major): the
+     * lookup scan reads only the pc lane. lastUseA doubles as the
+     * valid bit — useClock is pre-incremented before any install or
+     * refresh, so 0 means "never installed".
+     */
+    std::vector<std::uint64_t> pcA;
+    std::vector<std::uint64_t> targetA;
+    std::vector<std::uint64_t> lastUseA;
 };
 
 /** Return address stack with overflow wrap. */

@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
 #include <cassert>
 
 namespace wavedyn
@@ -32,7 +33,13 @@ Cache::Cache(unsigned size_kb, unsigned assoc, unsigned line_bytes,
     if (numSets == 0)
         numSets = 1;
     indexShift = log2u(lineSize);
-    lines.assign(static_cast<std::size_t>(numSets) * assoc, Line{});
+    if ((numSets & (numSets - 1)) == 0) {
+        setMask = numSets - 1;
+        setShift = log2u(numSets);
+    }
+    std::size_t n = static_cast<std::size_t>(numSets) * assoc;
+    tagA.assign(n, 0);
+    lastUseA.assign(n, 0); // 0 = never filled
 }
 
 bool
@@ -41,14 +48,16 @@ Cache::access(std::uint64_t addr)
     ++stat.accesses;
     ++useClock;
     std::uint64_t block = addr >> indexShift;
-    std::uint64_t set = block % numSets;
-    std::uint64_t tag = block / numSets;
-    Line *row = &lines[set * assoc];
+    std::uint64_t set, tag;
+    splitBlock(block, set, tag);
+    std::size_t base = static_cast<std::size_t>(set) * assoc;
+    std::uint64_t *tags = &tagA[base];
+    std::uint64_t *uses = &lastUseA[base];
 
-    // Hit path.
+    // Hit path: scan only the tag lane.
     for (unsigned w = 0; w < assoc; ++w) {
-        if (row[w].valid && row[w].tag == tag) {
-            row[w].lastUse = useClock;
+        if (tags[w] == tag && uses[w] != 0) {
+            uses[w] = useClock;
             return true;
         }
     }
@@ -58,18 +67,17 @@ Cache::access(std::uint64_t addr)
     unsigned victim = 0;
     std::uint64_t oldest = ~0ull;
     for (unsigned w = 0; w < assoc; ++w) {
-        if (!row[w].valid) {
+        if (uses[w] == 0) {
             victim = w;
             break;
         }
-        if (row[w].lastUse < oldest) {
-            oldest = row[w].lastUse;
+        if (uses[w] < oldest) {
+            oldest = uses[w];
             victim = w;
         }
     }
-    row[victim].valid = true;
-    row[victim].tag = tag;
-    row[victim].lastUse = useClock;
+    tags[victim] = tag;
+    uses[victim] = useClock;
     return false;
 }
 
@@ -77,11 +85,11 @@ bool
 Cache::probe(std::uint64_t addr) const
 {
     std::uint64_t block = addr >> indexShift;
-    std::uint64_t set = block % numSets;
-    std::uint64_t tag = block / numSets;
-    const Line *row = &lines[set * assoc];
+    std::uint64_t set, tag;
+    splitBlock(block, set, tag);
+    std::size_t base = static_cast<std::size_t>(set) * assoc;
     for (unsigned w = 0; w < assoc; ++w)
-        if (row[w].valid && row[w].tag == tag)
+        if (tagA[base + w] == tag && lastUseA[base + w] != 0)
             return true;
     return false;
 }
@@ -89,8 +97,8 @@ Cache::probe(std::uint64_t addr) const
 void
 Cache::reset()
 {
-    for (auto &l : lines)
-        l = Line{};
+    std::fill(tagA.begin(), tagA.end(), 0);
+    std::fill(lastUseA.begin(), lastUseA.end(), 0);
     useClock = 0;
     stat.reset();
 }

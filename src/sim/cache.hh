@@ -79,19 +79,42 @@ class Cache
     const std::string &name() const { return label; }
 
   private:
-    struct Line
+    /** Split a block number into (set, tag). When numSets is a power
+     *  of two — every stock geometry — mask/shift replaces the two
+     *  integer divisions on the access fast path; the results are
+     *  identical by definition of power-of-two modulus. */
+    void
+    splitBlock(std::uint64_t block, std::uint64_t &set,
+               std::uint64_t &tag) const
     {
-        std::uint64_t tag = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-    };
+        if (setMask != 0 || numSets == 1) {
+            set = block & setMask;
+            tag = block >> setShift;
+        } else {
+            set = block % numSets;
+            tag = block / numSets;
+        }
+    }
 
     unsigned numSets;
     unsigned assoc;
     unsigned lineSize;
     unsigned indexShift;
+    unsigned setShift = 0;    //!< log2(numSets) when power of two
+    std::uint64_t setMask = 0; //!< numSets - 1 when power of two
     std::string label;
-    std::vector<Line> lines; //!< numSets x assoc, row major
+    /**
+     * Line state as parallel arrays (numSets x assoc, row major)
+     * rather than an array of structs: the hit scan reads only the
+     * tag lane — 8 bytes per way, sequential — and touches the LRU
+     * lane for a single way, which matters because the modeled L2
+     * alone is hundreds of KiB of line state per pipeline and a
+     * batch runs many pipelines. lastUseA doubles as the valid bit:
+     * useClock is pre-incremented before any use, so every filled
+     * line has lastUse >= 1 and 0 means "never filled".
+     */
+    std::vector<std::uint64_t> tagA;
+    std::vector<std::uint64_t> lastUseA;
     std::uint64_t useClock = 0;
     CacheStats stat;
 };

@@ -6,15 +6,29 @@
  * (execution latencies top out at dl1Lat + tlbMissLat + l2Lat +
  * memLat) and visits every cycle exactly once, so a ring of per-cycle
  * buckets replaces a binary heap: O(1) amortised schedule/drain
- * instead of O(log n), no per-event allocation in steady state
- * (bucket vectors keep their capacity across reuse).
+ * instead of O(log n), no per-event allocation in steady state.
  *
- * Drain order is the exact order the replaced std::priority_queue
- * popped in — ascending (cycle, seq) — by sorting each (small) bucket
- * before draining it. That ordering is bit-significant: completion
- * handlers update floating-point AVF accumulators, and FP addition is
- * not associative, so a different within-cycle order would change
- * simulated results.
+ * Storage is a bounded node pool with per-bucket intrusive lists: the
+ * pipeline has at most one pending event per issued-but-uncommitted
+ * ROB entry, so the pool never needs more than robSize nodes, which
+ * lets a batched run carve it (and the bucket heads) from the batch
+ * arena (sim/batch_arena.hh) instead of the heap. The heap-mode
+ * constructor grows the pool on demand; exceeding an arena-mode
+ * capacity falls back to an owned pool, so a wrong estimate costs an
+ * allocation, never an event.
+ *
+ * Drain order is the exact order the original std::priority_queue
+ * popped in — ascending (cycle, seq) — by sorting each (small)
+ * bucket's events before firing them. That ordering is
+ * bit-significant: completion handlers update floating-point AVF
+ * accumulators, and FP addition is not associative, so a different
+ * within-cycle order would change simulated results.
+ *
+ * nextEventCycle() supports the pipeline's idle-cycle fast-forward:
+ * every pending event lies within (now, now + mask] (bounded schedule
+ * horizon, drained every cycle), so each bucket holds events of at
+ * most one pending cycle and scanning bucket heads for non-emptiness
+ * finds the next event in O(distance).
  */
 
 #ifndef WAVEDYN_SIM_CALENDAR_QUEUE_HH
@@ -25,6 +39,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/batch_arena.hh"
 #include "util/bits.hh"
 
 namespace wavedyn
@@ -34,7 +49,13 @@ namespace wavedyn
 class CalendarQueue
 {
   public:
+    /** No next event within the asked range. */
+    static constexpr std::uint64_t kNoEvent = ~0ull;
+
     /**
+     * Heap mode: bucket heads and the node pool are owned; the pool
+     * grows on demand.
+     *
      * @param horizon minimum schedulable distance in cycles; the
      *        bucket ring rounds up to a power of two and grows on
      *        demand if an event ever lands further out.
@@ -42,11 +63,38 @@ class CalendarQueue
     explicit CalendarQueue(std::uint64_t horizon)
     {
         std::uint64_t cap = ceilPow2(horizon + 1);
-        buckets.resize(cap);
+        ownHeads.assign(cap, kNil);
         mask = cap - 1;
     }
 
+    /**
+     * Arena mode: heads and a @p maxPending node pool are carved from
+     * @p arena. The pipeline's bound is robSize (one pending
+     * completion per issued, uncommitted entry).
+     */
+    CalendarQueue(std::uint64_t horizon, std::size_t maxPending,
+                  BatchArena &arena)
+    {
+        std::uint64_t cap = ceilPow2(horizon + 1);
+        extHeads = arena.allocate<std::uint32_t>(cap);
+        for (std::uint64_t b = 0; b < cap; ++b)
+            extHeads[b] = kNil;
+        mask = cap - 1;
+        extNodes = arena.allocate<Node>(maxPending);
+        poolCap = maxPending;
+    }
+
     std::size_t pending() const { return count; }
+
+    /** Arena bytes the arena-mode constructor will carve (heads +
+     *  node pool + alignment slack) — for batch slab sizing. */
+    static std::size_t
+    arenaBytes(std::uint64_t horizon, std::size_t maxPending)
+    {
+        std::uint64_t cap = ceilPow2(horizon + 1);
+        return static_cast<std::size_t>(cap) * sizeof(std::uint32_t) +
+               maxPending * sizeof(Node) + 2 * alignof(std::uint64_t);
+    }
 
     /**
      * Schedule @p seq to fire at @p eventCycle.
@@ -58,16 +106,25 @@ class CalendarQueue
     {
         assert(eventCycle > now);
         if (eventCycle - now > mask)
-            grow(now, eventCycle);
-        buckets[eventCycle & mask].push_back({eventCycle, seq});
+            growHorizon(eventCycle - now);
+        std::uint32_t idx = allocNode();
+        Node *ns = nodes();
+        std::uint32_t *hs = heads();
+        std::uint64_t b = eventCycle & mask;
+        ns[idx].cycle = eventCycle;
+        ns[idx].seq = seq;
+        ns[idx].next = hs[b];
+        hs[b] = idx;
         ++count;
+        if (eventCycle < minHint)
+            minHint = eventCycle;
     }
 
     /**
      * Invoke fn(seq) for every event scheduled at @p cycle, in
-     * ascending seq order, then recycle the bucket (its capacity is
-     * kept, so steady-state draining never allocates). The caller must
-     * drain every cycle in order; events never fire early or late.
+     * ascending seq order, then recycle the bucket's nodes. The caller
+     * must drain every cycle in order; events never fire early or
+     * late.
      */
     template <typename Fn>
     void
@@ -75,49 +132,146 @@ class CalendarQueue
     {
         if (count == 0)
             return;
-        std::vector<Event> &bucket = buckets[cycle & mask];
-        if (bucket.empty())
+        // The caller drains in cycle order, so whatever remains after
+        // this call fires strictly later — keep the hint monotone.
+        if (minHint <= cycle)
+            minHint = cycle + 1;
+        std::uint32_t *hs = heads();
+        std::uint64_t b = cycle & mask;
+        std::uint32_t idx = hs[b];
+        if (idx == kNil)
             return;
-        if (bucket.size() > 1)
-            std::sort(bucket.begin(), bucket.end());
-        for (const Event &e : bucket) {
-            assert(e.cycle == cycle);
-            fn(e.seq);
+        Node *ns = nodes();
+        scratch.clear();
+        while (idx != kNil) {
+            assert(ns[idx].cycle == cycle);
+            scratch.push_back(ns[idx].seq);
+            std::uint32_t nxt = ns[idx].next;
+            ns[idx].next = freeHead;
+            freeHead = idx;
+            idx = nxt;
         }
-        count -= bucket.size();
-        bucket.clear();
+        hs[b] = kNil;
+        count -= scratch.size();
+        if (count == 0)
+            minHint = kNoEvent;
+        if (scratch.size() > 1)
+            std::sort(scratch.begin(), scratch.end());
+        for (std::uint64_t seq : scratch)
+            fn(seq);
+    }
+
+    /**
+     * Earliest cycle in [from, stopAt] holding a pending event, or
+     * kNoEvent when there is none in range. Events beyond the bucket
+     * horizon cannot be pending (see file comment), so the scan is
+     * additionally capped at from + mask.
+     *
+     * A monotone lower bound on the earliest pending event
+     * (maintained by schedule/drain, tightened here) lets repeated
+     * queries skip re-scanning buckets already known empty, so the
+     * idle fast-forward's scans amortise to O(1) per query instead of
+     * O(skip distance).
+     */
+    std::uint64_t
+    nextEventCycle(std::uint64_t from, std::uint64_t stopAt)
+    {
+        if (count == 0)
+            return kNoEvent;
+        std::uint64_t last = from + mask;
+        if (stopAt < last)
+            last = stopAt;
+        std::uint64_t c = from;
+        if (minHint > c)
+            c = minHint; // nothing pending below the lower bound
+        const std::uint32_t *hs =
+            extHeads ? extHeads : ownHeads.data();
+        for (; c <= last; ++c)
+            if (hs[c & mask] != kNil) {
+                minHint = c;
+                return c;
+            }
+        // No events at or below `last`; remember that.
+        minHint = last + 1;
+        return kNoEvent;
     }
 
   private:
-    struct Event
-    {
-        std::uint64_t cycle;
-        std::uint64_t seq;
+    static constexpr std::uint32_t kNil = ~0u;
 
-        bool
-        operator<(const Event &o) const
-        {
-            return cycle != o.cycle ? cycle < o.cycle : seq < o.seq;
-        }
+    struct Node
+    {
+        std::uint64_t cycle = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t next = kNil;
     };
 
-    /** Rehash every pending event into a ring that spans eventCycle. */
-    void
-    grow(std::uint64_t now, std::uint64_t eventCycle)
+    std::uint32_t *heads() { return extHeads ? extHeads : ownHeads.data(); }
+    Node *nodes() { return extNodes ? extNodes : ownNodes.data(); }
+
+    std::uint32_t
+    allocNode()
     {
-        std::uint64_t cap =
-            std::max((mask + 1) * 2, ceilPow2(eventCycle - now + 1));
-        std::vector<std::vector<Event>> bigger(cap);
-        for (auto &bucket : buckets)
-            for (const Event &e : bucket)
-                bigger[e.cycle & (cap - 1)].push_back(e);
-        buckets = std::move(bigger);
+        if (freeHead != kNil) {
+            std::uint32_t idx = freeHead;
+            freeHead = nodes()[idx].next;
+            return idx;
+        }
+        if (fresh == poolCap)
+            growPool();
+        return static_cast<std::uint32_t>(fresh++);
+    }
+
+    /** Double the pool into owned storage (indices stay valid). */
+    void
+    growPool()
+    {
+        std::size_t bigger = std::max<std::size_t>(64, poolCap * 2);
+        std::vector<Node> next(bigger);
+        const Node *old = extNodes ? extNodes : ownNodes.data();
+        if (old != nullptr)
+            std::copy(old, old + poolCap, next.begin());
+        ownNodes = std::move(next);
+        extNodes = nullptr;
+        poolCap = bigger;
+    }
+
+    /** Re-bucket every pending event into a ring spanning @p dist. */
+    void
+    growHorizon(std::uint64_t dist)
+    {
+        std::uint64_t cap = std::max((mask + 1) * 2, ceilPow2(dist + 1));
+        std::vector<std::uint32_t> bigger(cap, kNil);
+        Node *ns = nodes();
+        std::uint32_t *hs = heads();
+        for (std::uint64_t b = 0; b <= mask; ++b) {
+            std::uint32_t idx = hs[b];
+            while (idx != kNil) {
+                std::uint32_t nxt = ns[idx].next;
+                std::uint64_t nb = ns[idx].cycle & (cap - 1);
+                ns[idx].next = bigger[nb];
+                bigger[nb] = idx;
+                idx = nxt;
+            }
+        }
+        ownHeads = std::move(bigger);
+        extHeads = nullptr;
         mask = cap - 1;
     }
 
-    std::vector<std::vector<Event>> buckets;
+    std::vector<std::uint32_t> ownHeads;
+    std::vector<Node> ownNodes;
+    std::uint32_t *extHeads = nullptr; //!< arena-carved, when set
+    Node *extNodes = nullptr;          //!< arena-carved, when set
     std::uint64_t mask = 0;
+    std::size_t poolCap = 0;
+    std::size_t fresh = 0; //!< pool nodes handed out at least once
+    std::uint32_t freeHead = kNil;
     std::size_t count = 0;
+    /** Lower bound on the earliest pending event cycle (kNoEvent when
+     *  empty). Never exceeds the true minimum while count > 0. */
+    std::uint64_t minHint = kNoEvent;
+    std::vector<std::uint64_t> scratch; //!< drain sort buffer
 };
 
 } // namespace wavedyn

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "workload/shared_decode.hh"
 
 namespace wavedyn
 {
@@ -19,6 +22,18 @@ AvfSample::combined(const SimConfig &cfg) const
 
 Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
                    DvmConfig dvm)
+    : Pipeline(stream, cfg, dvm, nullptr)
+{
+}
+
+Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+                   DvmConfig dvm, BatchArena &arena)
+    : Pipeline(stream, cfg, dvm, &arena)
+{
+}
+
+Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+                   DvmConfig dvm, BatchArena *arena)
     : cfg(cfg),
       il1Cache(cfg.il1SizeKb, cfg.il1Assoc, cfg.il1LineBytes, "il1"),
       dl1Cache(cfg.dl1SizeKb, cfg.dl1Assoc, cfg.dl1LineBytes, "dl1"),
@@ -31,15 +46,50 @@ Pipeline::Pipeline(const InstructionStream &stream, const SimConfig &cfg,
       iqAvfAcc(cfg.iqSize), robAvfAcc(cfg.robSize),
       lsqAvfAcc(cfg.lsqSize),
       dvmCtl(dvm, cfg.iqSize),
-      window(cfg.robSize),
-      fetchQueue(2 * cfg.fetchWidth),
+      window(arena ? RingBuffer<InFlight>(cfg.robSize, *arena)
+                   : RingBuffer<InFlight>(cfg.robSize)),
+      fetchQueue(arena ? RingBuffer<InFlight>(2 * cfg.fetchWidth, *arena)
+                       : RingBuffer<InFlight>(2 * cfg.fetchWidth)),
       // Longest schedulable latency: a load missing DTLB, DL1 and L2.
       // Fixed execution latencies are far shorter; the queue grows on
-      // demand should a configuration ever exceed the bound.
-      completions(cfg.dl1Lat + cfg.tlbMissLat + cfg.l2Lat + cfg.memLat +
-                  16),
+      // demand should a configuration ever exceed the bound. The
+      // arena-mode node pool is bounded by the ROB: at most one
+      // pending completion per issued, uncommitted entry.
+      completions(arena
+                      ? CalendarQueue(cfg.dl1Lat + cfg.tlbMissLat +
+                                          cfg.l2Lat + cfg.memLat + 16,
+                                      cfg.robSize + 1, *arena)
+                      : CalendarQueue(cfg.dl1Lat + cfg.tlbMissLat +
+                                      cfg.l2Lat + cfg.memLat + 16)),
       fetchCursor(stream)
 {
+    scanSlotMask = window.capacity() - 1;
+    notReadyA.assign(scanSlotMask + 1, 0);
+    iqSeqA.reserve(256 + cfg.iqSize);
+    iqNrbA.reserve(256 + cfg.iqSize);
+    auto shift_of = [](unsigned v, unsigned &shift, bool &pow2) {
+        if (v == 0 || (v & (v - 1)) != 0)
+            return;
+        pow2 = true;
+        while ((1u << shift) < v)
+            ++shift;
+    };
+    shift_of(cfg.il1LineBytes, il1LineShift, il1LinePow2);
+    shift_of(cfg.pageBytes, pageShift, pagePow2);
+}
+
+std::size_t
+Pipeline::arenaBytes(const SimConfig &cfg)
+{
+    std::uint64_t horizon =
+        cfg.dl1Lat + cfg.tlbMissLat + cfg.l2Lat + cfg.memLat + 16;
+    std::size_t bytes =
+        static_cast<std::size_t>(ceilPow2(cfg.robSize)) *
+        sizeof(InFlight);
+    bytes += static_cast<std::size_t>(ceilPow2(2 * cfg.fetchWidth)) *
+             sizeof(InFlight);
+    bytes += CalendarQueue::arenaBytes(horizon, cfg.robSize + 1);
+    return bytes + 4 * alignof(InFlight); // per-array alignment slack
 }
 
 Pipeline::InFlight *
@@ -54,7 +104,7 @@ Pipeline::entryFor(std::uint64_t seq)
 }
 
 bool
-Pipeline::depsReady(InFlight &e)
+Pipeline::depsReady(InFlight &e, std::uint64_t &scanMemo)
 {
     bool ready = true;
     std::uint64_t not_before = cycle + 1;
@@ -78,44 +128,41 @@ Pipeline::depsReady(InFlight &e)
             // and the oldest-first scan refreshes producers before
             // their consumers, collapsing whole dependence chains to
             // near-exact bounds in a single pass.
-            if (p.notReadyBefore + 1 > not_before)
-                not_before = p.notReadyBefore + 1;
+            std::uint64_t pn = notReadyA[pseq & scanSlotMask];
+            if (pn + 1 > not_before)
+                not_before = pn + 1;
         } else if (p.completeCycle > cycle) {
             ready = false;
             if (p.completeCycle > not_before)
                 not_before = p.completeCycle;
         }
     }
-    if (!ready)
-        e.notReadyBefore = not_before;
+    if (!ready) {
+        // Dual write: the scan lane copy drives the skip loop, the
+        // seq-indexed copy serves producer reads above.
+        notReadyA[e.seq & scanSlotMask] = not_before;
+        scanMemo = not_before;
+    }
     return ready;
 }
 
 void
 Pipeline::iqListAppend(InFlight &e)
 {
-    e.iqPrev = iqTail;
-    e.iqNext = kNoSeq;
-    if (iqTail != kNoSeq)
-        liveEntry(iqTail).iqNext = e.seq;
-    else
-        iqHead = e.seq;
-    iqTail = e.seq;
-}
-
-void
-Pipeline::iqListRemove(InFlight &e)
-{
-    if (e.iqPrev != kNoSeq)
-        liveEntry(e.iqPrev).iqNext = e.iqNext;
-    else
-        iqHead = e.iqNext;
-    if (e.iqNext != kNoSeq)
-        liveEntry(e.iqNext).iqPrev = e.iqPrev;
-    else
-        iqTail = e.iqPrev;
-    e.iqNext = kNoSeq;
-    e.iqPrev = kNoSeq;
+    notReadyA[e.seq & scanSlotMask] = 0; // readiness unknown
+    // Reclaim the dead prefix before the vectors grow past a couple
+    // of cache lines of garbage; the live span is at most iqSize.
+    if (iqStart >= 256) {
+        iqSeqA.erase(iqSeqA.begin(),
+                     iqSeqA.begin() +
+                         static_cast<std::ptrdiff_t>(iqStart));
+        iqNrbA.erase(iqNrbA.begin(),
+                     iqNrbA.begin() +
+                         static_cast<std::ptrdiff_t>(iqStart));
+        iqStart = 0;
+    }
+    iqSeqA.push_back(e.seq);
+    iqNrbA.push_back(0);
 }
 
 unsigned
@@ -231,23 +278,70 @@ Pipeline::doIssue()
     std::uint64_t ready_seen = 0, waiting_seen = 0;
     std::uint64_t wake = ~0ull; //!< earliest bound among the unready
 
-    // Walk the unissued IQ residents oldest first. The intrusive list
-    // contains exactly the entries the historical full-window walk
+    // Walk the unissued IQ residents oldest first. The dense arrays
+    // hold exactly the entries the historical full-window walk
     // considered (inIq && !issued), in the same seq order, so the
     // scan cap, FU arbitration and DVM observations are unchanged.
-    for (std::uint64_t s = iqHead;
-         s != kNoSeq && issued < issue_width;) {
-        InFlight &e = liveEntry(s);
-        s = e.iqNext; // read before a possible unlink below
+    // Issued entries are removed by compacting in place: survivors
+    // are written back through `wr`, and the unvisited tail (early
+    // break on the cap or the issue width) is shifted down after the
+    // loop.
+    std::size_t rd = iqStart, wr = iqStart, len = iqSeqA.size();
+    for (; rd < len && issued < issue_width; ++rd) {
+        // Fast-forward over runs of memo-waiting entries — the bulk
+        // of every scan — four at a time with a single branch. Each
+        // quad contributes exactly what four scalar iterations would:
+        // four scan slots, four waiting observations, and its minimum
+        // memo bound into the wakeup.
+        while (rd + 4 <= len && scanned + 4 <= scan_cap) {
+            std::uint64_t n0 = iqNrbA[rd], n1 = iqNrbA[rd + 1];
+            std::uint64_t n2 = iqNrbA[rd + 2], n3 = iqNrbA[rd + 3];
+            if (!((n0 > cycle) & (n1 > cycle) & (n2 > cycle) &
+                  (n3 > cycle)))
+                break;
+            scanned += 4;
+            waiting_seen += 4;
+            std::uint64_t m01 = n0 < n1 ? n0 : n1;
+            std::uint64_t m23 = n2 < n3 ? n2 : n3;
+            std::uint64_t m = m01 < m23 ? m01 : m23;
+            if (m < wake)
+                wake = m;
+            if (wr != rd)
+                for (int i = 0; i < 4; ++i) {
+                    iqSeqA[wr + i] = iqSeqA[rd + i];
+                    iqNrbA[wr + i] = iqNrbA[rd + i];
+                }
+            wr += 4;
+            rd += 4;
+        }
+        if (rd >= len)
+            break;
+
+        std::uint64_t cur = iqSeqA[rd];
         if (++scanned > scan_cap)
             break;
 
-        // The memo short-circuits the producer walk for entries known
-        // to still be waiting — the common case cycle after cycle.
-        if (e.notReadyBefore > cycle || !depsReady(e)) {
+        // The memo short-circuits everything for entries known to
+        // still be waiting, touching only the scan lanes — never the
+        // window entry.
+        std::uint64_t nrb = iqNrbA[rd];
+        if (nrb > cycle) {
             ++waiting_seen;
-            if (e.notReadyBefore < wake)
-                wake = e.notReadyBefore;
+            if (nrb < wake)
+                wake = nrb;
+            iqSeqA[wr] = cur;
+            iqNrbA[wr] = nrb;
+            ++wr;
+            continue;
+        }
+        InFlight &e = liveEntry(cur);
+        if (!depsReady(e, nrb)) {
+            ++waiting_seen;
+            if (nrb < wake) // depsReady refreshed the memo
+                wake = nrb;
+            iqSeqA[wr] = cur;
+            iqNrbA[wr] = nrb;
+            ++wr;
             continue;
         }
         ++ready_seen;
@@ -285,8 +379,12 @@ Pipeline::doIssue()
                 ++fu_mem;
             break;
         }
-        if (!fu_ok)
+        if (!fu_ok) {
+            iqSeqA[wr] = cur;
+            iqNrbA[wr] = nrb; // expired memo: re-check next cycle
+            ++wr;
             continue;
+        }
 
         // Issue.
         unsigned lat;
@@ -336,9 +434,8 @@ Pipeline::doIssue()
         if (e.op.cls != InstrClass::Store && !isControl(e.op.cls))
             ++activity.regWrites;
 
-        // Free the IQ slot.
+        // Free the IQ slot (not writing `cur` back removes it).
         e.inIq = false;
-        iqListRemove(e);
         assert(iqOcc > 0);
         --iqOcc;
         iqAvfAcc.release(ace.iqWaiting(e.op.cls));
@@ -351,6 +448,20 @@ Pipeline::doIssue()
                 e.completeCycle + cfg.frontEndDepth);
         }
         ++issued;
+    }
+
+    // Reattach the unvisited tail behind the survivors.
+    if (wr != rd) {
+        if (wr == iqStart)
+            iqStart = rd; // every visited entry issued: just advance
+        else {
+            std::memmove(&iqSeqA[wr], &iqSeqA[rd],
+                         (len - rd) * sizeof(iqSeqA[0]));
+            std::memmove(&iqNrbA[wr], &iqNrbA[rd],
+                         (len - rd) * sizeof(iqNrbA[0]));
+            iqSeqA.resize(len - (rd - wr));
+            iqNrbA.resize(len - (rd - wr));
+        }
     }
 
     lastReadyCount = ready_seen;
@@ -369,10 +480,10 @@ Pipeline::doIssue()
 void
 Pipeline::doDispatch()
 {
-    bool stall = dvmCtl.shouldStallDispatch(
-        iqAvfAcc.occupancy(), lastWaitingCount, lastReadyCount,
-        cycle < l2MissOutstandingUntil);
-    if (stall)
+    if (dvmCtl.enabled() &&
+        dvmCtl.shouldStallDispatch(iqAvfAcc.occupancy(),
+                                   lastWaitingCount, lastReadyCount,
+                                   cycle < l2MissOutstandingUntil))
         return;
 
     unsigned done = 0;
@@ -417,15 +528,22 @@ Pipeline::doFetch()
     unsigned fetched = 0;
     while (fetched < cfg.fetchWidth && fetchQueue.size() < fq_cap) {
         InFlight e;
-        e.op = fetchCursor.next();
+        // Batched lanes read the shared decode window by absolute
+        // index — the same op the private cursor's next() would have
+        // produced (workload/shared_decode.hh pins the identity).
+        e.op = sharedOps ? sharedOps->opAt(fetchPos)
+                         : fetchCursor.next();
+        ++fetchPos;
 
         // Instruction cache: one access per new line.
-        std::uint64_t line = e.op.pc / cfg.il1LineBytes;
+        std::uint64_t line = il1LinePow2 ? e.op.pc >> il1LineShift
+                                         : e.op.pc / cfg.il1LineBytes;
         bool stop_after = false;
         if (line != lastFetchLine) {
             lastFetchLine = line;
             ++activity.il1Accesses;
-            std::uint64_t page = e.op.pc / cfg.pageBytes;
+            std::uint64_t page = pagePow2 ? e.op.pc >> pageShift
+                                          : e.op.pc / cfg.pageBytes;
             if (page != lastFetchPage) {
                 lastFetchPage = page;
                 ++activity.itlbAccesses;
@@ -458,8 +576,8 @@ Pipeline::doFetch()
             if (e.op.cls == InstrClass::Branch) {
                 ++activity.bpredLookups;
                 ++bpStats.lookups;
-                bool predicted = gshare.predict(e.op.pc);
-                gshare.update(e.op.pc, e.op.branchTaken);
+                bool predicted =
+                    gshare.predictThenUpdate(e.op.pc, e.op.branchTaken);
                 if (predicted != e.op.branchTaken) {
                     ++bpStats.directionMispredicts;
                     ++activity.bpredMispredicts;
@@ -531,10 +649,106 @@ Pipeline::cycleOnce()
     ++cycle;
 }
 
+std::uint64_t
+Pipeline::idleCycles()
+{
+    // Each stage in turn must be provably inert at the current cycle
+    // AND stay inert until some explicit bound — otherwise 0. All the
+    // state the checks read is frozen across inert cycles: commit,
+    // issue, dispatch and fetch are the only mutators, and each is
+    // blocked below. The DVM controller is disabled whenever this
+    // runs (setIdleSkip), so dispatch gating never observes a cycle.
+
+    // Commit: the head must be absent, unissued, or incomplete.
+    if (!window.empty()) {
+        const InFlight &h = window.front();
+        if (h.issued && h.completeCycle <= cycle)
+            return 0;
+    }
+
+    // Issue: the scan only provably does nothing while asleep (or
+    // with an empty IQ); its wakeup is an explicit bound below.
+    if (iqOcc > 0 && cycle >= issueSleepUntil)
+        return 0;
+
+    // Dispatch: the in-order front must be blocked by a full
+    // downstream structure (the loop stops at the first such entry).
+    if (!fetchQueue.empty()) {
+        const InFlight &f = fetchQueue.front();
+        if (window.size() < cfg.robSize && iqOcc < cfg.iqSize &&
+            !(isMem(f.op.cls) && lsqOcc >= cfg.lsqSize))
+            return 0;
+    }
+
+    // Fetch: blocked on a mispredict resolution (cleared only by
+    // issue, asleep above), a full fetch queue (drained only by
+    // dispatch, blocked above), or a time bound.
+    bool fetch_time_blocked = false;
+    if (!fetchWaitingResolve &&
+        fetchQueue.size() < 2 * cfg.fetchWidth) {
+        if (cycle >= fetchBlockedUntil)
+            return 0;
+        fetch_time_blocked = true;
+    }
+
+    // Everything is inert. The machine state cannot change before the
+    // earliest of: the next completion event, the issue-sleep wakeup,
+    // the fetch unblock. (Completions at the current cycle have not
+    // drained yet — cycleOnce does that — so the event scan starts at
+    // `cycle` itself and a due event forces a normal cycle.)
+    std::uint64_t target = ~0ull;
+    if (iqOcc > 0 && issueSleepUntil < target)
+        target = issueSleepUntil;
+    if (fetch_time_blocked && fetchBlockedUntil < target)
+        target = fetchBlockedUntil;
+    std::uint64_t ev = completions.nextEventCycle(cycle, target);
+    if (ev == cycle)
+        return 0;
+    if (ev < target)
+        target = ev;
+    if (target == ~0ull || target <= cycle)
+        return 0; // no provable bound: run the cycle normally
+    return target - cycle;
+}
+
+void
+Pipeline::skipCycles(std::uint64_t k)
+{
+    // Occupancies are frozen across the skipped range, so the integer
+    // sums are exact; the FP AVF accumulation replays the per-cycle
+    // adds bitwise (AvfAccumulator::tickMany).
+    activity.iqOccupancySum += static_cast<std::uint64_t>(iqOcc) * k;
+    activity.robOccupancySum +=
+        static_cast<std::uint64_t>(window.size()) * k;
+    activity.lsqOccupancySum += static_cast<std::uint64_t>(lsqOcc) * k;
+    AvfAccumulator::tickMany(iqAvfAcc, robAvfAcc, lsqAvfAcc, k);
+    activity.cycles += k;
+    cycle += k;
+    idleSkipped += k;
+}
+
 void
 Pipeline::runInstructions(std::uint64_t count)
 {
     committedTarget = totalCommitted + count;
+    if (idleSkip) {
+        while (totalCommitted < committedTarget) {
+            // Cheap pre-filter: unless the issue stage is provably
+            // inert (idleCycles' own second test), the cycle is
+            // active and the full check would just re-derive that.
+            // Skipping the check never changes results — a normal
+            // cycle is always the ground truth.
+            if (iqOcc == 0 || cycle < issueSleepUntil) {
+                std::uint64_t k = idleCycles();
+                if (k > 0) {
+                    skipCycles(k);
+                    continue;
+                }
+            }
+            cycleOnce();
+        }
+        return;
+    }
     while (totalCommitted < committedTarget)
         cycleOnce();
 }

@@ -30,12 +30,14 @@
  *    RingBuffers (ring_buffer.hh) sized from SimConfig at
  *    construction: no per-push allocation, and depsReady()'s
  *    producer lookups and the commit walk touch contiguous memory.
- *  - Unissued IQ residents are additionally threaded on an intrusive
- *    doubly-linked list (iqHead/iqNext/iqPrev, seq-keyed), so the
- *    issue scan visits exactly the candidates the historical
- *    whole-window walk would have considered — in the same oldest-
- *    first order, with the same scan cap — without iterating the
- *    issued majority of a full window every cycle.
+ *  - Unissued IQ residents are additionally tracked in dense
+ *    seq-ordered parallel arrays (iqSeqA/iqNrbA, compacted in place
+ *    by the scan itself), so the issue scan visits exactly the
+ *    candidates the historical whole-window walk would have
+ *    considered — in the same oldest-first order, with the same scan
+ *    cap — as a prefetchable sequential read whose common
+ *    waiting-entry case never touches the window entries at all and
+ *    fast-forwards over waiting runs four entries per branch.
  *  - Completion events live in a CalendarQueue (calendar_queue.hh):
  *    execution latencies are bounded by l2Lat + memLat + tlbMissLat,
  *    so per-cycle buckets replace the former std::priority_queue and
@@ -46,6 +48,48 @@
  *    InstructionStream::Cursor instead of random-access at(i), which
  *    re-derives segment constants only at phase/modulation boundaries
  *    (see workload/stream.hh).
+ *
+ * Batched-kernel notes (sim/batch.hh)
+ * -----------------------------------
+ * simulateBatch() runs N configurations of the same run as N Pipeline
+ * lanes in chunked lockstep. Three hooks on this class serve it, all
+ * bit-identity-preserving:
+ *
+ *  - Shared decode: attachSharedOps() redirects fetch from the
+ *    private cursor to a SharedOpWindow (workload/shared_decode.hh),
+ *    so the stream is decoded once per batch instead of once per
+ *    lane. fetchPosition() lets the driver trim the window to the
+ *    slowest lane.
+ *  - Arena state: the arena constructor carves the ROB/fetch rings
+ *    and the calendar queue's bounded node pool (pending completions
+ *    never exceed robSize — one per issued, uncommitted entry) from
+ *    one batch-owned BatchArena slab instead of N sets of heap
+ *    allocations. The per-run state lives exactly as long as the
+ *    batch, so teardown is one slab release.
+ *  - Idle-cycle fast-forward: setIdleSkip() lets runInstructions()
+ *    jump over provably inert cycles — every stage blocked, with the
+ *    earliest possible state change bounded by the next completion
+ *    event / issue-sleep wakeup / fetch unblock — in one step, with
+ *    exact integer occupancy accounting (occ * k) and bitwise-exact
+ *    AVF accumulation (AvfAccumulator::tickMany replays the FP adds
+ *    with a fixed-point early exit). The skip is only armed when the
+ *    DVM controller is disabled: an enabled controller observes and
+ *    mutates its window state every cycle, so no cycle is inert.
+ *    High-CPI (memory-bound) configurations spend most cycles
+ *    waiting on memory, which is where the batched kernel's ~3-5x
+ *    comes from.
+ *
+ * Per-cycle machine state stays laid out per lane (an AoS of
+ * pipelines): each lane's control flow diverges after the first
+ * config-dependent stall, so there is no cross-lane per-cycle loop to
+ * vectorise. The struct-of-arrays layout lives one level up, in the
+ * batch driver's per-lane bookkeeping and interval-sample assembly
+ * arrays (sim/batch.cc), where iteration really is lane-major.
+ *
+ * Scalar simulate() stays byte-for-byte the reference: it takes none
+ * of these hooks, so every batched optimisation must reproduce its
+ * results exactly (pinned by tests/sim/batch_test.cc and the golden
+ * report tests) rather than redefining them.
  *
  * bench/sim_throughput.cc measures the resulting simulate()
  * instructions/second and records them in BENCH_sim.json.
@@ -60,6 +104,7 @@
 #include "avf/estimator.hh"
 #include "dvm/controller.hh"
 #include "power/model.hh"
+#include "sim/batch_arena.hh"
 #include "sim/bpred.hh"
 #include "sim/cache.hh"
 #include "sim/calendar_queue.hh"
@@ -69,6 +114,8 @@
 
 namespace wavedyn
 {
+
+class SharedOpWindow;
 
 /** AVF values of the tracked structures over a window. */
 struct AvfSample
@@ -91,8 +138,42 @@ class Pipeline
     Pipeline(const InstructionStream &stream, const SimConfig &cfg,
              DvmConfig dvm = {});
 
+    /**
+     * Batched-lane construction: per-run rings and the calendar node
+     * pool are carved from @p arena (see "Batched-kernel notes").
+     * The pipeline must not outlive the arena.
+     */
+    Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+             DvmConfig dvm, BatchArena &arena);
+
     /** Simulate until `count` more instructions commit. */
     void runInstructions(std::uint64_t count);
+
+    /**
+     * Fetch decoded ops from @p w (by absolute dynamic index) instead
+     * of the private cursor. Call before the first runInstructions();
+     * the window must outlive the pipeline and must retain every
+     * index from fetchPosition() on.
+     */
+    void attachSharedOps(SharedOpWindow *w) { sharedOps = w; }
+
+    /** Dynamic index the next fetched op will have. */
+    std::uint64_t fetchPosition() const { return fetchPos; }
+
+    /** Arena bytes one lane of @p cfg carves (batch slab sizing). */
+    static std::size_t arenaBytes(const SimConfig &cfg);
+
+    /**
+     * Arm the idle-cycle fast-forward (batch path only; scalar
+     * simulate() never calls this, staying the plain-loop reference).
+     * Ignored — runInstructions stays cycle-by-cycle — when the DVM
+     * controller is enabled, since it observes every cycle.
+     */
+    void
+    setIdleSkip(bool on)
+    {
+        idleSkip = on && !dvmCtl.config().enabled;
+    }
 
     /** Activity accumulated since the last interval reset. */
     const ActivityCounts &intervalActivity() const { return activity; }
@@ -105,6 +186,9 @@ class Pipeline
 
     /** Cycles elapsed since construction. */
     std::uint64_t now() const { return cycle; }
+
+    /** Cycles covered by the idle fast-forward (0 on the scalar path). */
+    std::uint64_t idleSkippedCycles() const { return idleSkipped; }
 
     /** Instructions committed since construction. */
     std::uint64_t committed() const { return totalCommitted; }
@@ -127,16 +211,6 @@ class Pipeline
         MicroOp op;
         std::uint64_t seq = 0;
         std::uint64_t completeCycle = ~0ull;
-        std::uint64_t iqNext = ~0ull; //!< next unissued IQ resident
-        std::uint64_t iqPrev = ~0ull; //!< previous unissued IQ resident
-        /**
-         * Wakeup memo: the entry cannot have ready operands before
-         * this cycle, so the issue scan skips the producer walk until
-         * then. Producers' completeCycle is immutable once issued,
-         * making the bound exact when every producer has issued; with
-         * an unissued producer it degrades to "recheck next cycle".
-         */
-        std::uint64_t notReadyBefore = 0;
         bool issued = false;
         bool inIq = false;
         bool inLsq = false;
@@ -144,12 +218,26 @@ class Pipeline
         bool mispredicted = false; //!< direction mispredict at fetch
     };
 
+    /** Shared body of the public constructors (arena optional). */
+    Pipeline(const InstructionStream &stream, const SimConfig &cfg,
+             DvmConfig dvm, BatchArena *arena);
+
     void cycleOnce();
     void doCompletions();
     void doCommit();
     void doIssue();
     void doDispatch();
     void doFetch();
+
+    /**
+     * Cycles from `cycle` during which every stage is provably inert
+     * (0 = this cycle must run normally). Only meaningful with the
+     * DVM controller disabled — see idleSkip.
+     */
+    std::uint64_t idleCycles();
+
+    /** Account @p k inert cycles exactly and advance the clock. */
+    void skipCycles(std::uint64_t k);
 
     /** Window entry for a sequence number, or nullptr if committed. */
     InFlight *entryFor(std::uint64_t seq);
@@ -162,16 +250,14 @@ class Pipeline
     }
 
     /**
-     * Operand readiness; on false, refreshes e.notReadyBefore so
-     * later cycles skip the producer walk.
+     * Operand readiness; on false, refreshes the entry's wakeup memo
+     * (both the seq-indexed copy in notReadyA and the caller's scan
+     * lane copy) so later cycles skip the producer walk.
      */
-    bool depsReady(InFlight &e);
+    bool depsReady(InFlight &e, std::uint64_t &scanMemo);
 
-    /** Append a dispatched entry to the unissued-IQ list. */
+    /** Append a dispatched entry to the unissued-IQ scan array. */
     void iqListAppend(InFlight &e);
-
-    /** Unlink an entry from the unissued-IQ list (at issue). */
-    void iqListRemove(InFlight &e);
 
     /** Load latency through DTLB/DL1/L2/memory; updates stats. */
     unsigned loadLatency(std::uint64_t addr);
@@ -194,10 +280,37 @@ class Pipeline
     RingBuffer<InFlight> fetchQueue;
     CalendarQueue completions;
     InstructionStream::Cursor fetchCursor;
+    SharedOpWindow *sharedOps = nullptr; //!< batch decode, when set
+    std::uint64_t fetchPos = 0; //!< ops fetched so far
+    bool idleSkip = false;      //!< fast-forward armed (batch path)
+    std::uint64_t idleSkipped = 0; //!< cycles fast-forwarded over
 
-    // Unissued IQ residents in dispatch (= seq) order.
-    std::uint64_t iqHead = kNoSeq;
-    std::uint64_t iqTail = kNoSeq;
+    /**
+     * Unissued IQ residents in dispatch (= seq) order as parallel
+     * scan lanes: the live span is [iqStart, iqSeqA.size()) of
+     * iqSeqA (entry seq) and iqNrbA (that entry's wakeup memo).
+     * Dispatch appends at the back; the issue scan removes by
+     * compacting in place as it walks (it touches every live element
+     * anyway), so iteration is a dense sequential read the hardware
+     * prefetcher can stream, and runs of memo-waiting entries — the
+     * bulk of every scan — fast-forward four at a time off the
+     * iqNrbA lane alone.
+     *
+     * The wakeup memo means: the entry cannot have ready operands
+     * before the recorded cycle, so the scan skips the producer walk
+     * until then. Producers' completeCycle is immutable once issued,
+     * making the bound exact when every producer has issued; with an
+     * unissued producer it degrades to "recheck next cycle".
+     * notReadyA duplicates the memo keyed by seq & scanSlotMask
+     * (live seqs span less than the window capacity, so slots are
+     * unique among residents) for depsReady's producer reads, which
+     * know the producer's seq but not its scan position.
+     */
+    std::vector<std::uint64_t> iqSeqA;
+    std::vector<std::uint64_t> iqNrbA;
+    std::size_t iqStart = 0;
+    std::vector<std::uint64_t> notReadyA; //!< seq-keyed memo copy
+    std::uint64_t scanSlotMask = 0;
 
     /**
      * Issue-stage sleep: when a scan finds every candidate unready,
@@ -221,6 +334,13 @@ class Pipeline
     bool fetchWaitingResolve = false;
     std::uint64_t lastFetchLine = ~0ull;
     std::uint64_t lastFetchPage = ~0ull;
+    // pc -> line/page number: shift when the size is a power of two
+    // (identical quotient by definition), divide otherwise. Both run
+    // once per fetched op, so keep them off the divider.
+    unsigned il1LineShift = 0; //!< valid iff il1LinePow2
+    unsigned pageShift = 0;    //!< valid iff pagePow2
+    bool il1LinePow2 = false;
+    bool pagePow2 = false;
 
     // DVM observations from the previous issue scan.
     std::uint64_t lastReadyCount = 0;

@@ -129,6 +129,41 @@ SimResult::aggregate(Domain d) const
     return weight > 0.0 ? acc / weight : 0.0;
 }
 
+IntervalSample
+assembleIntervalSample(const Pipeline &pipe, const PowerModel &power,
+                       const SimConfig &cfg, std::uint64_t startCycle)
+{
+    const ActivityCounts &act = pipe.intervalActivity();
+    AvfSample avf = pipe.intervalAvf();
+
+    IntervalSample s;
+    s.cycles = pipe.now() - startCycle;
+    s.instructions = act.committed;
+    s.cpi = s.instructions
+        ? static_cast<double>(s.cycles) /
+          static_cast<double>(s.instructions)
+        : 0.0;
+    s.ipc = s.cpi > 0.0 ? 1.0 / s.cpi : 0.0;
+    s.power = power.watts(act);
+    s.iqAvf = avf.iq;
+    s.robAvf = avf.rob;
+    s.lsqAvf = avf.lsq;
+    s.avf = avf.combined(cfg);
+    s.dl1MissRate = act.dl1Accesses
+        ? static_cast<double>(act.dl1Misses) /
+          static_cast<double>(act.dl1Accesses)
+        : 0.0;
+    s.l2MissRate = act.l2Accesses
+        ? static_cast<double>(act.l2Misses) /
+          static_cast<double>(act.l2Accesses)
+        : 0.0;
+    s.bpredMissRate = act.bpredLookups
+        ? static_cast<double>(act.bpredMispredicts) /
+          static_cast<double>(act.bpredLookups)
+        : 0.0;
+    return s;
+}
+
 SimResult
 simulate(const BenchmarkProfile &bench, const SimConfig &cfg,
          std::size_t numIntervals, std::size_t intervalInstrs,
@@ -159,36 +194,8 @@ simulate(const BenchmarkProfile &bench, const SimConfig &cfg,
         pipe.resetInterval();
         std::uint64_t start_cycle = pipe.now();
         pipe.runInstructions(intervalInstrs);
-
-        const ActivityCounts &act = pipe.intervalActivity();
-        AvfSample avf = pipe.intervalAvf();
-
-        IntervalSample s;
-        s.cycles = pipe.now() - start_cycle;
-        s.instructions = act.committed;
-        s.cpi = s.instructions
-            ? static_cast<double>(s.cycles) /
-              static_cast<double>(s.instructions)
-            : 0.0;
-        s.ipc = s.cpi > 0.0 ? 1.0 / s.cpi : 0.0;
-        s.power = power.watts(act);
-        s.iqAvf = avf.iq;
-        s.robAvf = avf.rob;
-        s.lsqAvf = avf.lsq;
-        s.avf = avf.combined(cfg);
-        s.dl1MissRate = act.dl1Accesses
-            ? static_cast<double>(act.dl1Misses) /
-              static_cast<double>(act.dl1Accesses)
-            : 0.0;
-        s.l2MissRate = act.l2Accesses
-            ? static_cast<double>(act.l2Misses) /
-              static_cast<double>(act.l2Accesses)
-            : 0.0;
-        s.bpredMissRate = act.bpredLookups
-            ? static_cast<double>(act.bpredMispredicts) /
-              static_cast<double>(act.bpredLookups)
-            : 0.0;
-        result.intervals.push_back(s);
+        result.intervals.push_back(
+            assembleIntervalSample(pipe, power, cfg, start_cycle));
     }
 
     result.totalCycles = pipe.now();

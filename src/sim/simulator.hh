@@ -118,6 +118,19 @@ SimResult simulate(const BenchmarkProfile &bench, const SimConfig &cfg,
                    std::size_t numIntervals, std::size_t intervalInstrs,
                    const DvmConfig &dvm = {});
 
+/**
+ * Assemble one IntervalSample from a pipeline whose interval window
+ * just closed. One function shared by scalar simulate() and the
+ * batched kernel (sim/batch.hh): both paths must perform the
+ * identical floating-point arithmetic, in the identical order, for
+ * the batched results to stay bit-identical to the reference.
+ * @param startCycle pipe.now() at the interval's start.
+ */
+IntervalSample assembleIntervalSample(const Pipeline &pipe,
+                                      const PowerModel &power,
+                                      const SimConfig &cfg,
+                                      std::uint64_t startCycle);
+
 } // namespace wavedyn
 
 #endif // WAVEDYN_SIM_SIMULATOR_HH

@@ -1,0 +1,41 @@
+#include "workload/shared_decode.hh"
+
+#include "util/bits.hh"
+
+namespace wavedyn
+{
+
+SharedOpWindow::SharedOpWindow(const InstructionStream &stream,
+                               std::size_t initialCapacity)
+    : cursor(stream)
+{
+    std::size_t cap =
+        static_cast<std::size_t>(ceilPow2(initialCapacity));
+    ring.resize(cap);
+    mask = cap - 1;
+}
+
+void
+SharedOpWindow::decodeTo(std::uint64_t i)
+{
+    while (head <= i) {
+        if (head - tail == ring.size())
+            grow();
+        ring[head & mask] = cursor.next();
+        ++head;
+    }
+}
+
+void
+SharedOpWindow::grow()
+{
+    std::size_t cap = ring.size() * 2;
+    std::vector<MicroOp> bigger(cap);
+    std::uint64_t bmask = cap - 1;
+    for (std::uint64_t idx = tail; idx < head; ++idx)
+        bigger[idx & bmask] = ring[idx & mask];
+    ring = std::move(bigger);
+    mask = bmask;
+}
+
+} // namespace wavedyn

@@ -124,6 +124,7 @@
 #include "core/serialize.hh"
 #include "fleet/orchestrator.hh"
 #include "lint/driver.hh"
+#include "sim/batch.hh"
 #include "telemetry/logsink.hh"
 #include "telemetry/telemetry.hh"
 #include "util/atomic_file.hh"
@@ -184,6 +185,10 @@ usage()
         "common options:\n"
         "  --jobs N    simulate/train with N worker threads (default:\n"
         "              WAVEDYN_JOBS or hardware concurrency; 1 = serial;\n"
+        "              reports are identical for every N)\n"
+        "  --batch-width N  fold up to N same-shape cache-missing runs\n"
+        "              into one config-batched simulation (default:\n"
+        "              WAVEDYN_BATCH_WIDTH or 16; 1 = unbatched;\n"
         "              reports are identical for every N)\n"
         "  --format F  report format: text (default), markdown, csv,\n"
         "              json\n"
@@ -280,6 +285,7 @@ struct Options
     std::size_t interval = 256;
     std::size_t coeffs = 16;
     std::size_t jobs = 0; // 0 => WAVEDYN_JOBS / hardware concurrency
+    std::size_t batchWidth = 0; // 0 => WAVEDYN_BATCH_WIDTH / default
     double dvmThreshold = -1.0; // <0 => DVM off
     std::string scale = "quick";
     std::size_t generate = 0; // 0 => paper benchmarks
@@ -343,6 +349,7 @@ constexpr FlagDef kFlagRegistry[] = {
     {"--train", true},      {"--test", true},
     {"--samples", true},    {"--interval", true},
     {"--coeffs", true},     {"--jobs", true},
+    {"--batch-width", true},
     {"--dvm", true},        {"--scale", true},
     {"--format", true},     {"--out", true},
     {"--generate", true},   {"--family", true},
@@ -376,7 +383,8 @@ findFlag(const std::string &name)
 std::vector<std::string>
 campaignFlags(std::initializer_list<const char *> extras)
 {
-    std::vector<std::string> allowed = {"--jobs", "--format", "--out",
+    std::vector<std::string> allowed = {"--jobs", "--batch-width",
+                                        "--format", "--out",
                                         "--cache-dir", "--no-cache",
                                         "--trace-out", "--metrics-out",
                                         "--log-stamp"};
@@ -454,6 +462,8 @@ parseOptions(int argc, char **argv, int first,
             o.coeffs = parseSize(val, key);
         else if (key == "--jobs")
             o.jobs = parseSize(val, key);
+        else if (key == "--batch-width")
+            o.batchWidth = parseSize(val, key);
         else if (key == "--dvm")
             o.dvmThreshold = parseDouble(val, key);
         else if (key == "--scale")
@@ -510,6 +520,7 @@ parseOptions(int argc, char **argv, int first,
         i += 2;
     }
     setJobs(o.jobs);
+    setGlobalBatchWidth(static_cast<unsigned>(o.batchWidth));
     return o;
 }
 
@@ -536,10 +547,19 @@ void
 configureResultCache(const Options &o)
 {
     std::string dir = resolveCacheDir(o);
-    if (dir.empty())
+    if (dir.empty()) {
         setActiveResultCache(nullptr);
-    else
-        setActiveResultCache(std::make_shared<ResultCache>(dir));
+        return;
+    }
+    auto cache = std::make_shared<ResultCache>(dir);
+    // Campaign commands re-probe keys within one process (explore
+    // rounds, shard merges): front the disk store with a small
+    // in-memory LRU so those repeats skip file I/O and decode. ~256
+    // quick-scale results is a few MB. Maintenance commands (cache
+    // stats/gc/verify) build their own ResultCache and keep the
+    // layer off — they must see the disk truth.
+    cache->setMemoryCapacity(256);
+    setActiveResultCache(std::move(cache));
 }
 
 /** Resolve the trace output: --trace-out beats WAVEDYN_TRACE; empty =
